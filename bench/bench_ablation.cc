@@ -1,0 +1,130 @@
+// Ablation benches for the design choices DESIGN.md calls out:
+//   A. Liveness watchdogs (Algorithm 1) on vs off — off models "manual intervention":
+//      a wedged board wastes 30 virtual minutes before a human reflashes it.
+//   B. Bug monitors: full (log + exception) vs timeout-only (the Tardis detection model):
+//      what fraction of triggered bugs is actually *identified*.
+//   C. API-aware generation vs byte-buffer syscall tapes on the same target and budget
+//      (the GUSTAVE comparison, isolated from the emulation question).
+
+#include <cstdio>
+
+#include "src/baselines/byte_fuzzer.h"
+#include "src/core/campaign.h"
+#include "src/core/fuzzer.h"
+#include "src/os/all_oses.h"
+
+using namespace eof;
+
+int main() {
+  if (!RegisterAllOses().ok()) {
+    fprintf(stderr, "OS registration failed\n");
+    return 1;
+  }
+  VirtualDuration budget = ScaledCampaignBudget() / 4;
+  if (budget < 30 * kVirtualMinute) {
+    budget = 30 * kVirtualMinute;
+  }
+  printf("=== Ablations (%llu virtual min per campaign) ===\n\n",
+         static_cast<unsigned long long>(budget / kVirtualMinute));
+
+  // --- A: watchdogs (plus the §6 power-probe variant) ---
+  printf("--- A. liveness watchdogs (rtthread: stall-heavy target) ---\n");
+  for (int mode = 0; mode < 3; ++mode) {
+    FuzzerConfig config;
+    config.os_name = "rtthread";
+    config.seed = 501;
+    config.budget = budget;
+    config.watchdogs = mode != 2;
+    config.power_probe = mode == 1;
+    EofFuzzer fuzzer(config);
+    auto result = fuzzer.Run();
+    if (!result.ok()) {
+      fprintf(stderr, "ablation A: %s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    const char* label = mode == 0 ? "on" : mode == 1 ? "on+power" : "off";
+    printf("  watchdogs=%-9s execs=%-8llu coverage=%-6llu restores=%llu\n", label,
+           (unsigned long long)result.value().execs,
+           (unsigned long long)result.value().final_coverage,
+           (unsigned long long)result.value().restores);
+  }
+
+  // --- B: monitors ---
+  printf("\n--- B. bug monitors (zephyr): identified bugs ---\n");
+  for (int mode = 0; mode < 2; ++mode) {
+    FuzzerConfig config;
+    config.os_name = "zephyr";
+    config.seed = 502;
+    config.budget = budget;
+    if (mode == 1) {
+      config.log_monitor = false;
+      config.exception_monitor = false;  // timeout-only detection
+    }
+    EofFuzzer fuzzer(config);
+    auto result = fuzzer.Run();
+    if (!result.ok()) {
+      fprintf(stderr, "ablation B: %s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    size_t identified = 0;
+    for (const BugReport& bug : result.value().bugs) {
+      if (bug.catalog_id != 0) {
+        ++identified;
+      }
+    }
+    printf("  monitors=%-13s crash/stall events=%-6llu identified bugs=%zu\n",
+           mode == 0 ? "log+exception" : "timeout-only",
+           (unsigned long long)(result.value().crashes + result.value().stalls),
+           identified);
+  }
+
+  // --- C: generation strategy on PoKOS, same board/budget ---
+  printf("\n--- C. API-aware vs byte-buffer generation (pokos on hifive1) ---\n");
+  {
+    FuzzerConfig api_aware;
+    api_aware.os_name = "pokos";
+    api_aware.seed = 503;
+    api_aware.budget = budget;
+    EofFuzzer fuzzer(api_aware);
+    auto result = fuzzer.Run();
+    if (result.ok()) {
+      printf("  api-aware    coverage=%-6llu execs=%llu\n",
+             (unsigned long long)result.value().final_coverage,
+             (unsigned long long)result.value().execs);
+    }
+  }
+  {
+    ByteFuzzerConfig tape;
+    tape.mode = ByteFuzzerMode::kGustave;
+    tape.os_name = "pokos";
+    tape.board_name = "hifive1-revb";  // same hardware as the API-aware run
+    tape.seed = 503;
+    tape.budget = budget;
+    ByteFuzzer fuzzer(tape);
+    auto result = fuzzer.Run();
+    if (result.ok()) {
+      printf("  byte-tape    coverage=%-6llu execs=%llu\n",
+             (unsigned long long)result.value().final_coverage,
+             (unsigned long long)result.value().execs);
+    }
+  }
+  // --- D: peripheral event injection (the §6 extension) ---
+  printf("\n--- D. peripheral event injection (freertos): interrupt-path coverage ---\n");
+  for (bool inject : {false, true}) {
+    FuzzerConfig config;
+    config.os_name = "freertos";
+    config.seed = 504;
+    config.budget = budget;
+    config.inject_peripheral_events = inject;
+    EofFuzzer fuzzer(config);
+    auto result = fuzzer.Run();
+    if (result.ok()) {
+      printf("  events=%-4s coverage=%llu\n", inject ? "on" : "off",
+             (unsigned long long)result.value().final_coverage);
+    }
+  }
+  printf("\nExpected: watchdogs recover throughput; timeout-only identifies ~0 bugs; "
+         "API-aware generation out-covers byte tapes; event injection adds ISR-path "
+         "coverage.\n");
+  return 0;
+}

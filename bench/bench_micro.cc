@@ -1,0 +1,100 @@
+// Microbenchmarks (google-benchmark) of the host-side hot paths: wire codec, program
+// generation/mutation, coverage accounting, debug-port memory traffic, and full target
+// boots. These bound the host overhead per executed payload.
+
+#include <benchmark/benchmark.h>
+
+#include "src/common/coverage_map.h"
+#include "src/core/deployment.h"
+#include "src/fuzz/corpus.h"
+#include "src/fuzz/generator.h"
+#include "src/kernel/os.h"
+#include "src/os/all_oses.h"
+#include "src/spec/spec_miner.h"
+
+namespace eof {
+namespace {
+
+const spec::CompiledSpecs& Specs() {
+  static const spec::CompiledSpecs* specs = [] {
+    (void)RegisterAllOses();
+    auto os = OsRegistry::Instance().Find("rtthread").value().factory();
+    auto mined = spec::MineValidatedSpecs(os->registry());
+    return new spec::CompiledSpecs(std::move(mined.value().specs));
+  }();
+  return *specs;
+}
+
+void BM_GenerateProgram(benchmark::State& state) {
+  fuzz::Generator generator(Specs(), fuzz::GeneratorOptions{}, 1);
+  for (auto _ : state) {
+    fuzz::Program program = generator.Generate();
+    benchmark::DoNotOptimize(program.calls.size());
+  }
+}
+BENCHMARK(BM_GenerateProgram);
+
+void BM_MutateProgram(benchmark::State& state) {
+  fuzz::Generator generator(Specs(), fuzz::GeneratorOptions{}, 1);
+  fuzz::Program seed = generator.Generate();
+  for (auto _ : state) {
+    fuzz::Program program = generator.Mutate(seed);
+    benchmark::DoNotOptimize(program.calls.size());
+  }
+}
+BENCHMARK(BM_MutateProgram);
+
+void BM_WireEncodeDecode(benchmark::State& state) {
+  fuzz::Generator generator(Specs(), fuzz::GeneratorOptions{}, 1);
+  fuzz::Program program = generator.Generate();
+  WireProgram wire = program.ToWire(Specs());
+  for (auto _ : state) {
+    std::vector<uint8_t> encoded = EncodeProgram(wire);
+    WireProgram decoded;
+    AgentError error = DecodeProgram(encoded.data(), encoded.size(), &decoded);
+    benchmark::DoNotOptimize(error);
+  }
+}
+BENCHMARK(BM_WireEncodeDecode);
+
+void BM_CoverageMerge(benchmark::State& state) {
+  Rng rng(7);
+  std::vector<uint64_t> batch(256);
+  for (auto& id : batch) {
+    id = rng.Below(1 << 14);
+  }
+  CoverageMap map;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.AddBatch(batch));
+  }
+}
+BENCHMARK(BM_CoverageMerge);
+
+void BM_DebugPortMemRead(benchmark::State& state) {
+  (void)RegisterAllOses();
+  DeployOptions options;
+  options.os_name = "freertos";
+  static auto deployment = Deployment::Create(options).value().release();
+  uint64_t base = deployment->board_spec().ram_base;
+  for (auto _ : state) {
+    auto data = deployment->port().ReadMem(base, 4096);
+    benchmark::DoNotOptimize(data.ok());
+  }
+}
+BENCHMARK(BM_DebugPortMemRead);
+
+void BM_FullDeployBoot(benchmark::State& state) {
+  (void)RegisterAllOses();
+  for (auto _ : state) {
+    DeployOptions options;
+    options.os_name = "zephyr";
+    auto deployment = Deployment::Create(options);
+    benchmark::DoNotOptimize(deployment.ok());
+  }
+}
+BENCHMARK(BM_FullDeployBoot);
+
+}  // namespace
+}  // namespace eof
+
+BENCHMARK_MAIN();

@@ -1,0 +1,126 @@
+// Regenerates Table 1: supported targets (OS x architecture) for EOF, GDBFuzz, Tardis,
+// and SHIFT. EOF's rows come from the live OS registry + board catalog (an entry is
+// supported when a catalog board of that architecture exposes a debug port and fits the
+// image); the other tools' capability models follow their published designs.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/core/image_builder.h"
+#include "src/hw/board_catalog.h"
+#include "src/kernel/os.h"
+#include "src/os/all_oses.h"
+
+using namespace eof;
+
+namespace {
+
+// Can EOF drive `os_name` on some catalog board of `arch`? Requires a non-emulated board
+// with a debug port whose flash fits the instrumented image.
+bool EofSupports(const std::string& os_name, Arch arch) {
+  auto info = OsRegistry::Instance().Find(os_name);
+  if (!info.ok()) {
+    return false;
+  }
+  for (const std::string& board_name : KnownBoardNames()) {
+    BoardSpec spec = BoardSpecByName(board_name).value();
+    if (spec.arch != arch || spec.emulated || !spec.has_debug_port) {
+      continue;
+    }
+    ImageBuildOptions build;
+    build.os_name = os_name;
+    if (BuildImage(spec, build).ok()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Published capability matrices of the comparison tools.
+bool GdbFuzzSupports(const std::string& target, Arch arch) {
+  if (target != "applications") {
+    return false;  // no full-OS testing
+  }
+  return arch == Arch::kArm || arch == Arch::kMsp430;
+}
+
+bool TardisSupports(const std::string& target, Arch arch) {
+  if (target == "applications") {
+    return false;
+  }
+  if (target == "freertos") {
+    return arch == Arch::kArm || arch == Arch::kRiscV;
+  }
+  return arch == Arch::kArm;  // RT-Thread / NuttX / Zephyr QEMU machines
+}
+
+bool ShiftSupports(const std::string& target, Arch arch) {
+  if (target == "freertos" || target == "applications") {
+    return arch == Arch::kArm || arch == Arch::kRiscV || arch == Arch::kPowerPc ||
+           arch == Arch::kMips;
+  }
+  return false;
+}
+
+const char* Mark(bool supported) { return supported ? "yes" : "-"; }
+
+}  // namespace
+
+int main() {
+  if (!RegisterAllOses().ok()) {
+    fprintf(stderr, "OS registration failed\n");
+    return 1;
+  }
+  printf("=== Table 1: supported targets (EOF vs GDBFuzz vs Tardis vs SHIFT) ===\n\n");
+  printf("%-14s %-9s %-6s %-8s %-7s %-6s\n", "Target", "Arch", "EOF", "GDBFuzz", "Tardis",
+         "SHIFT");
+
+  struct Row {
+    const char* target;
+    Arch arch;
+  };
+  const std::vector<Row> rows = {
+      {"FreeRTOS", Arch::kArm},      {"FreeRTOS", Arch::kRiscV},
+      {"FreeRTOS", Arch::kPowerPc},  {"FreeRTOS", Arch::kMips},
+      {"RT-Thread", Arch::kArm},     {"NuttX", Arch::kArm},
+      {"Zephyr", Arch::kArm},        {"Applications", Arch::kArm},
+      {"Applications", Arch::kRiscV}, {"Applications", Arch::kPowerPc},
+      {"Applications", Arch::kMips}, {"Applications", Arch::kMsp430},
+  };
+  auto canonical = [](const char* target) -> std::string {
+    std::string name = target;
+    if (name == "FreeRTOS") {
+      return "freertos";
+    }
+    if (name == "RT-Thread") {
+      return "rtthread";
+    }
+    if (name == "NuttX") {
+      return "nuttx";
+    }
+    if (name == "Zephyr") {
+      return "zephyr";
+    }
+    return "applications";
+  };
+
+  for (const Row& row : rows) {
+    std::string os_name = canonical(row.target);
+    // "Applications" = app-level fuzzing: EOF supports it wherever FreeRTOS (the app
+    // host) deploys.
+    bool eof = os_name == "applications" ? EofSupports("freertos", row.arch)
+                                         : EofSupports(os_name, row.arch);
+    printf("%-14s %-9s %-6s %-8s %-7s %-6s\n", row.target, ArchName(row.arch), Mark(eof),
+           Mark(GdbFuzzSupports(os_name, row.arch)),
+           Mark(TardisSupports(os_name, row.arch)), Mark(ShiftSupports(os_name, row.arch)));
+  }
+  printf("\nPoKOS (GUSTAVE's target) additionally deploys on: ");
+  for (Arch arch : {Arch::kArm, Arch::kRiscV}) {
+    if (EofSupports("pokos", arch)) {
+      printf("%s ", ArchName(arch));
+    }
+  }
+  printf("(EOF)\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Regenerates Table 2: previously-unknown bugs found by EOF on the four target OSs, with
+// scope / type / operation / detector attribution, plus the §5.4.1 comparison counts
+// (EOF-nf and Tardis bug totals).
+//
+// Campaign length scales with EOF_BENCH_SCALE (default: 1 virtual hour per campaign;
+// EOF_BENCH_SCALE=1 runs the paper's full 24 hours). Short runs find the shallow subset;
+// the deep staircase bugs (#7, #10, #11, #14, #16, #17) need longer budgets.
+
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+
+#include "src/baselines/baselines.h"
+#include "src/core/bug_catalog.h"
+#include "src/core/campaign.h"
+#include "src/os/all_oses.h"
+
+using namespace eof;
+
+int main() {
+  if (!RegisterAllOses().ok()) {
+    fprintf(stderr, "OS registration failed\n");
+    return 1;
+  }
+  VirtualDuration budget = ScaledCampaignBudget();
+  int reps = ScaledRepetitions();
+  printf("=== Table 2: bugs detected (campaign: %llu virtual min x %d reps per OS) ===\n\n",
+         static_cast<unsigned long long>(budget / kVirtualMinute), reps);
+
+  const char* oses[] = {"zephyr", "rtthread", "freertos", "nuttx"};
+  std::set<int> eof_bugs;
+  std::set<int> eofnf_bugs;
+  std::set<int> tardis_bugs;
+  std::map<int, std::string> detector_of;
+
+  for (const char* os : oses) {
+    auto eof_runs = RunRepeated(EofConfig(os, 101, budget), reps);
+    if (!eof_runs.ok()) {
+      fprintf(stderr, "%s EOF: %s\n", os, eof_runs.status().ToString().c_str());
+      return 1;
+    }
+    for (const CampaignResult& run : eof_runs.value().runs) {
+      for (const BugReport& bug : run.bugs) {
+        if (bug.catalog_id != 0) {
+          eof_bugs.insert(bug.catalog_id);
+          if (detector_of.count(bug.catalog_id) == 0) {
+            detector_of[bug.catalog_id] = bug.detector;
+          }
+        }
+      }
+    }
+    auto nf_runs = RunRepeated(EofNfConfig(os, 101, budget), reps);
+    if (nf_runs.ok()) {
+      for (int id : nf_runs.value().UnionBugs()) {
+        eofnf_bugs.insert(id);
+      }
+    }
+    // Tardis has no bug monitors: a bug "found" by Tardis is a crash it *triggered*; we
+    // count catalog bugs its campaigns tripped (visible in our ground truth as restores
+    // whose UART carried a signature — approximated by running with monitors for
+    // accounting but Tardis's own report would say "timeout").
+    FuzzerConfig tardis_accounting = TardisConfig(os, 101, budget);
+    tardis_accounting.log_monitor = true;
+    tardis_accounting.exception_monitor = true;
+    auto tardis_runs = RunRepeated(tardis_accounting, reps);
+    if (tardis_runs.ok()) {
+      for (int id : tardis_runs.value().UnionBugs()) {
+        tardis_bugs.insert(id);
+      }
+    }
+  }
+
+  printf("%-3s %-10s %-10s %-17s %-22s %-9s %-10s\n", "#", "Target", "Scope", "Bug Type",
+         "Operation", "Found", "Detector");
+  int found_count = 0;
+  int confirmed = 0;
+  for (const BugInfo& bug : BugCatalog()) {
+    bool found = eof_bugs.count(bug.id) != 0;
+    if (found) {
+      ++found_count;
+      if (bug.confirmed) {
+        ++confirmed;
+      }
+    }
+    printf("%-3d %-10s %-10s %-17s %-22s %-9s %-10s\n", bug.id, bug.os.c_str(),
+           bug.scope.c_str(), bug.bug_type.c_str(), bug.operation.c_str(),
+           found ? "yes" : "-",
+           found ? detector_of[bug.id].c_str() : "-");
+  }
+  printf("\nEOF: %d of 19 catalog bugs (%d upstream-confirmed among them)\n", found_count,
+         confirmed);
+  printf("EOF-nf: %zu bugs (paper: 11)   [", eofnf_bugs.size());
+  for (int id : eofnf_bugs) {
+    printf("#%d ", id);
+  }
+  printf("]\nTardis triggered: %zu bugs (paper: 6; Tardis itself reports them only as "
+         "timeouts) [",
+         tardis_bugs.size());
+  for (int id : tardis_bugs) {
+    printf("#%d ", id);
+  }
+  printf("]\n\nNote: paper detector split — log monitor: #5 #8 #17; exception monitor: "
+         "the rest.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Specification-pipeline tour: mine Syzlang from a target OS's API surface (the GPT-4o
+// substitute), inject extraction noise, and watch post-validation repair and admit the
+// specifications — then generate a few programs from them.
+//
+//   $ ./build/examples/spec_tour [os-name]
+
+#include <cstdio>
+#include <cstring>
+
+#include "src/fuzz/generator.h"
+#include "src/kernel/os.h"
+#include "src/os/all_oses.h"
+#include "src/spec/spec_miner.h"
+
+using namespace eof;
+
+int main(int argc, char** argv) {
+  if (!RegisterAllOses().ok()) {
+    fprintf(stderr, "OS registration failed\n");
+    return 1;
+  }
+  const char* os_name = argc > 1 ? argv[1] : "zephyr";
+  auto info = OsRegistry::Instance().Find(os_name);
+  if (!info.ok()) {
+    fprintf(stderr, "unknown OS '%s'\n", os_name);
+    return 1;
+  }
+  std::unique_ptr<Os> os = info.value().factory();
+
+  // Mine with deliberate extraction noise, as imperfect LLM output would arrive.
+  spec::MinerOptions miner;
+  miner.noise_per_mille = 60;
+  miner.seed = 1234;
+  auto mined_or = spec::MineValidatedSpecs(os->registry(), miner);
+  if (!mined_or.ok()) {
+    fprintf(stderr, "mining failed: %s\n", mined_or.status().ToString().c_str());
+    return 1;
+  }
+  const spec::MinedSpecs& mined = mined_or.value();
+
+  printf("=== validated Syzlang for %s (first 40 lines) ===\n", os_name);
+  int lines = 0;
+  for (const char* p = mined.source.c_str(); *p != '\0' && lines < 40; ++p) {
+    putchar(*p);
+    if (*p == '\n') {
+      ++lines;
+    }
+  }
+  printf("...\n\n=== post-validation ===\n");
+  printf("admitted: %zu of %zu target APIs\n", mined.specs.calls.size(),
+         os->registry().size());
+  printf("parse-repair rounds: %d\n", mined.repair_rounds);
+  for (const std::string& rejection : mined.rejected) {
+    printf("rejected: %s\n", rejection.c_str());
+  }
+
+  printf("\n=== three generated programs ===\n");
+  fuzz::Generator generator(mined.specs, fuzz::GeneratorOptions{}, 7);
+  for (int i = 0; i < 3; ++i) {
+    fuzz::Program program = generator.Generate();
+    printf("--- program %d ---\n%s", i + 1, program.Format(mined.specs).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,88 @@
+// RAM and symbol layout contract between the on-target agent and the host fuzzer.
+//
+// The host discovers these locations through the image's symbol table (g_eof_status,
+// g_eof_mailbox, g_eof_cov_ring, and the program-point symbols of Figure 4); the constants
+// here are the link-time addresses the image builder assigns.
+
+#ifndef SRC_AGENT_AGENT_LAYOUT_H_
+#define SRC_AGENT_AGENT_LAYOUT_H_
+
+#include <cstdint>
+
+namespace eof {
+
+// --- RAM blocks (offsets from ram_base) ---
+
+// Agent status block.
+inline constexpr uint64_t kStatusBlockOffset = 0x100;
+inline constexpr uint64_t kStatusStateOffset = 0;      // u32 AgentState
+inline constexpr uint64_t kStatusLastErrorOffset = 4;  // u32 AgentError of last program
+inline constexpr uint64_t kStatusCallsDoneOffset = 8;  // u32 calls executed in last program
+inline constexpr uint64_t kStatusProgsOffset = 12;     // u32 programs completed since boot
+inline constexpr uint64_t kStatusTotalCallsOffset = 16;  // u32 calls executed since boot
+inline constexpr uint64_t kStatusBlockSize = 32;
+
+// Test-case mailbox: host writes [flag u32][len u32][bytes], agent consumes and clears.
+inline constexpr uint64_t kMailboxOffset = 0x140;
+inline constexpr uint64_t kMailboxFlagOffset = 0;  // 0 = empty, 1 = program ready
+inline constexpr uint64_t kMailboxLenOffset = 4;
+inline constexpr uint64_t kMailboxDataOffset = 8;
+inline constexpr uint64_t kMailboxMaxBytes = 8192;
+
+// Coverage ring (header layout in src/kernel/cov_ring.h).
+inline constexpr uint64_t kCovRingOffset = 0x2200;
+
+// Ring capacity scales with board RAM: tiny parts get a small ring (more _kcmp_buf_full
+// pauses — the paper's ESP32 vs. HiFive1 difference).
+constexpr uint32_t CovRingCapacityFor(uint64_t ram_bytes) {
+  if (ram_bytes >= 512 * 1024) {
+    return 4096;
+  }
+  if (ram_bytes >= 128 * 1024) {
+    return 1024;
+  }
+  return 192;
+}
+
+// --- Program-point symbols (offsets from text_base) ---
+
+struct ProgramPoint {
+  const char* symbol;
+  uint64_t text_offset;
+};
+
+inline constexpr ProgramPoint kPpAgentStart = {"agent_start", 0x00};
+inline constexpr ProgramPoint kPpExecutorMain = {"executor_main", 0x40};
+inline constexpr ProgramPoint kPpReadProg = {"read_prog", 0x80};
+inline constexpr ProgramPoint kPpExecuteOne = {"execute_one", 0xc0};
+inline constexpr ProgramPoint kPpCovBufFull = {"_kcmp_buf_full", 0x100};
+// The OS-specific exception handler symbol is placed at this offset by the image builder.
+inline constexpr uint64_t kExceptionSymbolOffset = 0x140;
+// Module basic-block regions start here.
+inline constexpr uint64_t kCodeSpaceOffset = 0x1000;
+
+// --- agent status values ---
+
+enum class AgentState : uint32_t {
+  kBooting = 0,
+  kWaiting = 1,    // parked at executor_main
+  kReading = 2,
+  kExecuting = 3,
+  kDone = 4,       // last program completed
+  kRejected = 5,   // last program failed to decode
+};
+
+enum class AgentError : uint32_t {
+  kNone = 0,
+  kBadMagic = 1,
+  kTruncated = 2,
+  kTooManyCalls = 3,
+  kBadApiId = 4,
+  kBadArgCount = 5,
+  kBadResultRef = 6,
+  kOversizedBytes = 7,
+};
+
+}  // namespace eof
+
+#endif  // SRC_AGENT_AGENT_LAYOUT_H_

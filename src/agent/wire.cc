@@ -1,0 +1,92 @@
+#include "src/agent/wire.h"
+
+namespace eof {
+
+std::vector<uint8_t> EncodeProgram(const WireProgram& program) {
+  ByteWriter writer;
+  writer.PutU32(kWireMagic);
+  writer.PutU16(static_cast<uint16_t>(program.calls.size()));
+  for (const WireCall& call : program.calls) {
+    writer.PutU32(call.api_id);
+    writer.PutU8(static_cast<uint8_t>(call.args.size()));
+    for (const WireArg& arg : call.args) {
+      writer.PutU8(static_cast<uint8_t>(arg.kind));
+      switch (arg.kind) {
+        case WireArgKind::kScalar:
+          writer.PutU64(arg.scalar);
+          break;
+        case WireArgKind::kResultRef:
+          writer.PutU16(static_cast<uint16_t>(arg.scalar));
+          break;
+        case WireArgKind::kBytes:
+          writer.PutU32(static_cast<uint32_t>(arg.bytes.size()));
+          writer.PutBytes(arg.bytes.data(), arg.bytes.size());
+          break;
+      }
+    }
+  }
+  return writer.TakeBytes();
+}
+
+AgentError DecodeProgram(const uint8_t* data, size_t size, WireProgram* out) {
+  ByteReader reader(data, size);
+  if (reader.GetU32() != kWireMagic) {
+    return AgentError::kBadMagic;
+  }
+  uint16_t ncalls = reader.GetU16();
+  if (reader.failed()) {
+    return AgentError::kTruncated;
+  }
+  if (ncalls > kWireMaxCalls) {
+    return AgentError::kTooManyCalls;
+  }
+  out->calls.clear();
+  out->calls.reserve(ncalls);
+  for (uint16_t i = 0; i < ncalls; ++i) {
+    WireCall call;
+    call.api_id = reader.GetU32();
+    uint8_t nargs = reader.GetU8();
+    if (reader.failed()) {
+      return AgentError::kTruncated;
+    }
+    for (uint8_t a = 0; a < nargs; ++a) {
+      uint8_t kind = reader.GetU8();
+      WireArg arg;
+      switch (kind) {
+        case 0:
+          arg.kind = WireArgKind::kScalar;
+          arg.scalar = reader.GetU64();
+          break;
+        case 1: {
+          arg.kind = WireArgKind::kResultRef;
+          uint16_t ref = reader.GetU16();
+          if (ref >= i) {
+            return AgentError::kBadResultRef;  // may only reference earlier calls
+          }
+          arg.scalar = ref;
+          break;
+        }
+        case 2: {
+          arg.kind = WireArgKind::kBytes;
+          uint32_t len = reader.GetU32();
+          if (reader.failed() || len > kWireMaxArgBytes || len > reader.remaining()) {
+            return AgentError::kOversizedBytes;
+          }
+          arg.bytes.resize(len);
+          reader.GetBytes(arg.bytes.data(), len);
+          break;
+        }
+        default:
+          return AgentError::kTruncated;
+      }
+      if (reader.failed()) {
+        return AgentError::kTruncated;
+      }
+      call.args.push_back(std::move(arg));
+    }
+    out->calls.push_back(std::move(call));
+  }
+  return AgentError::kNone;
+}
+
+}  // namespace eof

@@ -1,0 +1,32 @@
+// State of the application-level fuzzing targets (Table 4 / Figure 8): an HTTP server and
+// a JSON component running as FreeRTOS applications.
+
+#ifndef SRC_APPS_APPS_STATE_H_
+#define SRC_APPS_APPS_STATE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace eof {
+namespace apps {
+
+struct AppsState {
+  // HTTP server.
+  bool server_started = false;
+  uint16_t server_port = 0;
+  bool led_on = false;
+  uint64_t uploads_bytes = 0;
+  uint32_t requests_handled = 0;
+  uint32_t errors_returned = 0;
+  std::string auth_token = "tok-3fe1";
+
+  // JSON component statistics.
+  uint32_t json_docs_parsed = 0;
+  uint32_t json_parse_errors = 0;
+};
+
+}  // namespace apps
+}  // namespace eof
+
+#endif  // SRC_APPS_APPS_STATE_H_

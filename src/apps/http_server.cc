@@ -1,0 +1,391 @@
+// Embedded HTTP server application (the http_server target of Table 4).
+//
+// One raw entry point parses request bytes — request line, headers, routing, query
+// strings, auth, bodies, chunked transfer encoding — so byte-level fuzzers (GDBFuzz/SHIFT)
+// and API-aware fuzzers (EOF) exercise the same code with very different effectiveness:
+// random buffers die in the request-line parser, while structured requests reach routing
+// and handlers.
+
+#include <algorithm>
+
+#include "src/apps/apps.h"
+#include "src/common/strings.h"
+#include "src/kernel/costs.h"
+#include "src/kernel/coverage.h"
+#include "src/kernel/kernel_context.h"
+
+namespace eof {
+namespace apps {
+namespace {
+
+EOF_COV_MODULE("apps/http");
+
+// HTTP status codes the server produces.
+constexpr int64_t kOk = 200;
+constexpr int64_t kCreated = 201;
+constexpr int64_t kNoContent = 204;
+constexpr int64_t kBadRequest = 400;
+constexpr int64_t kUnauthorized = 401;
+constexpr int64_t kNotFound = 404;
+constexpr int64_t kMethodNotAllowed = 405;
+constexpr int64_t kPayloadTooLarge = 413;
+constexpr int64_t kUriTooLong = 414;
+constexpr int64_t kServerError = 500;
+constexpr int64_t kNotStarted = -1;
+
+struct Request {
+  std::string method;
+  std::string path;
+  std::string query;
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+  bool chunked = false;
+  size_t content_length = 0;
+  bool has_content_length = false;
+};
+
+// Parses the request line and headers; returns a status code (kOk when parse succeeded).
+int64_t ParseRequest(KernelContext& ctx, const std::string& raw, Request* out) {
+  ctx.ConsumeCycles(kCopyPerByteCycles * raw.size());
+  size_t line_end = raw.find("\r\n");
+  if (line_end == std::string::npos) {
+    EOF_COV(ctx);
+    return kBadRequest;
+  }
+  std::string request_line = raw.substr(0, line_end);
+  std::vector<std::string> parts = StrSplit(request_line, ' ');
+  EOF_COV_BUCKET(ctx, parts.size());  // tokenizer row
+  if (parts.size() != 3) {
+    EOF_COV(ctx);
+    return kBadRequest;
+  }
+  out->method = parts[0];
+  std::string target = parts[1];
+  const std::string& version = parts[2];
+  // The method table compare is a byte loop in the embedded build: every matched prefix
+  // byte is its own edge, the gradient byte-level fuzzers climb.
+  {
+    size_t best_prefix = 0;
+    for (const char* known : {"GET", "POST", "PUT", "DELETE", "HEAD"}) {
+      size_t match = 0;
+      while (match < out->method.size() && known[match] != '\0' &&
+             out->method[match] == known[match]) {
+        ++match;
+      }
+      best_prefix = std::max(best_prefix, match);
+      ctx.ConsumeCycles(kListOpCycles);
+    }
+    EOF_COV_BUCKET(ctx, best_prefix + 8);
+  }
+  if (out->method != "GET" && out->method != "POST" && out->method != "PUT" &&
+      out->method != "DELETE" && out->method != "HEAD") {
+    EOF_COV(ctx);
+    return kMethodNotAllowed;
+  }
+  EOF_COV(ctx);
+  {
+    const char* proto = "HTTP/1.";
+    size_t match = 0;
+    while (match < version.size() && proto[match] != '\0' && version[match] == proto[match]) {
+      ++match;
+    }
+    EOF_COV_BUCKET(ctx, match + 16);  // version byte-compare gradient
+  }
+  if (version != "HTTP/1.1" && version != "HTTP/1.0") {
+    EOF_COV(ctx);
+    return kBadRequest;
+  }
+  if (target.empty() || target[0] != '/') {
+    EOF_COV(ctx);
+    return kBadRequest;
+  }
+  if (target.size() > 256) {
+    EOF_COV(ctx);
+    return kUriTooLong;
+  }
+  size_t query_pos = target.find('?');
+  if (query_pos != std::string::npos) {
+    EOF_COV(ctx);
+    out->query = target.substr(query_pos + 1);
+    target = target.substr(0, query_pos);
+  }
+  out->path = target;
+
+  // Header block.
+  size_t cursor = line_end + 2;
+  while (cursor < raw.size()) {
+    size_t next = raw.find("\r\n", cursor);
+    if (next == std::string::npos) {
+      EOF_COV(ctx);
+      return kBadRequest;  // unterminated header
+    }
+    if (next == cursor) {
+      cursor += 2;  // blank line: end of headers
+      break;
+    }
+    std::string line = raw.substr(cursor, next - cursor);
+    cursor = next + 2;
+    size_t colon = line.find(':');
+    if (colon == std::string::npos) {
+      EOF_COV(ctx);
+      return kBadRequest;
+    }
+    std::string name(StripWhitespace(line.substr(0, colon)));
+    std::string value(StripWhitespace(line.substr(colon + 1)));
+    std::transform(name.begin(), name.end(), name.begin(),
+                   [](unsigned char c) { return static_cast<char>(tolower(c)); });
+    if (name == "content-length") {
+      EOF_COV(ctx);
+      out->has_content_length = true;
+      out->content_length = 0;
+      for (char c : value) {
+        if (c < '0' || c > '9') {
+          EOF_COV(ctx);
+          return kBadRequest;
+        }
+        out->content_length = out->content_length * 10 + static_cast<size_t>(c - '0');
+        if (out->content_length > 1 << 20) {
+          EOF_COV(ctx);
+          return kPayloadTooLarge;
+        }
+      }
+    } else if (name == "transfer-encoding") {
+      EOF_COV(ctx);
+      out->chunked = Contains(value, "chunked");
+    }
+    out->headers.emplace_back(name, value);
+    if (out->headers.size() > 32) {
+      EOF_COV(ctx);
+      return kBadRequest;
+    }
+  }
+
+  // Body.
+  std::string rest = raw.substr(std::min(cursor, raw.size()));
+  if (out->chunked) {
+    EOF_COV(ctx);
+    // Chunked decode: <hex-len>\r\n<bytes>\r\n ... 0\r\n\r\n
+    uint64_t chunks = 0;
+    size_t pos = 0;
+    while (pos < rest.size()) {
+      size_t eol = rest.find("\r\n", pos);
+      if (eol == std::string::npos) {
+        EOF_COV(ctx);
+        return kBadRequest;
+      }
+      size_t chunk_len = 0;
+      for (size_t i = pos; i < eol; ++i) {
+        char c = static_cast<char>(tolower(static_cast<unsigned char>(rest[i])));
+        int digit;
+        if (c >= '0' && c <= '9') {
+          digit = c - '0';
+        } else if (c >= 'a' && c <= 'f') {
+          digit = c - 'a' + 10;
+        } else {
+          EOF_COV(ctx);
+          return kBadRequest;
+        }
+        chunk_len = chunk_len * 16 + static_cast<size_t>(digit);
+        if (chunk_len > 1 << 16) {
+          EOF_COV(ctx);
+          return kPayloadTooLarge;
+        }
+      }
+      pos = eol + 2;
+      if (chunk_len == 0) {
+        EOF_COV(ctx);
+        EOF_COV_BUCKET(ctx, chunks + 14);  // chunk-count class
+        break;  // terminal chunk
+      }
+      ++chunks;
+      if (pos + chunk_len > rest.size()) {
+        EOF_COV(ctx);
+        return kBadRequest;
+      }
+      out->body.append(rest, pos, chunk_len);
+      pos += chunk_len + 2;  // skip trailing CRLF
+    }
+  } else if (out->has_content_length) {
+    EOF_COV(ctx);
+    if (rest.size() < out->content_length) {
+      EOF_COV(ctx);
+      return kBadRequest;  // truncated body
+    }
+    out->body = rest.substr(0, out->content_length);
+  }
+  return kOk;
+}
+
+uint64_t MethodIndex(const std::string& method) {
+  const char* kMethods[] = {"GET", "POST", "PUT", "DELETE", "HEAD"};
+  for (uint64_t i = 0; i < 5; ++i) {
+    if (method == kMethods[i]) {
+      return i;
+    }
+  }
+  return 5;
+}
+
+uint64_t RouteIndex(const std::string& path) {
+  if (path == "/" || path == "/index.html") {
+    return 0;
+  }
+  if (path == "/api/status") {
+    return 1;
+  }
+  if (path == "/api/led") {
+    return 2;
+  }
+  if (path == "/upload") {
+    return 3;
+  }
+  if (path.rfind("/files/", 0) == 0) {
+    return 4;
+  }
+  return 5;
+}
+
+// Routes a parsed request; returns the HTTP status.
+int64_t Route(KernelContext& ctx, AppsState& state, const Request& request) {
+  ctx.ConsumeCycles(kListOpCycles * 8);
+  // Dispatch-table row: every (route, method) pair is its own handler edge.
+  EOF_COV_BUCKET(ctx, RouteIndex(request.path) * 4 + MethodIndex(request.method) % 4);
+  if (request.path == "/" || request.path == "/index.html") {
+    EOF_COV(ctx);
+    if (request.method != "GET" && request.method != "HEAD") {
+      EOF_COV(ctx);
+      return kMethodNotAllowed;
+    }
+    return kOk;
+  }
+  if (request.path == "/api/status") {
+    EOF_COV(ctx);
+    if (!request.query.empty()) {
+      EOF_COV(ctx);
+      // ?verbose=1 style query parsing.
+      uint64_t params = 0;
+      for (const std::string& kv : StrSplit(request.query, '&')) {
+        ++params;
+        if (StartsWith(kv, "verbose=")) {
+          EOF_COV(ctx);
+        }
+        if (Contains(kv, "%")) {
+          EOF_COV(ctx);  // percent-decode path
+        }
+      }
+      EOF_COV_BUCKET(ctx, params + 12);  // query-arity class
+    }
+    return kOk;
+  }
+  if (request.path == "/api/led") {
+    EOF_COV(ctx);
+    if (request.method != "POST") {
+      EOF_COV(ctx);
+      return kMethodNotAllowed;
+    }
+    // Requires auth.
+    bool authed = false;
+    for (const auto& [name, value] : request.headers) {
+      if (name == "authorization" && Contains(value, state.auth_token)) {
+        authed = true;
+      }
+    }
+    if (!authed) {
+      EOF_COV(ctx);
+      return kUnauthorized;
+    }
+    EOF_COV(ctx);
+    if (request.body == "on") {
+      EOF_COV(ctx);
+      state.led_on = true;
+      return kNoContent;
+    }
+    if (request.body == "off") {
+      EOF_COV(ctx);
+      state.led_on = false;
+      return kNoContent;
+    }
+    return kBadRequest;
+  }
+  if (request.path == "/upload") {
+    EOF_COV(ctx);
+    if (request.method != "PUT" && request.method != "POST") {
+      EOF_COV(ctx);
+      return kMethodNotAllowed;
+    }
+    if (request.body.empty()) {
+      EOF_COV(ctx);
+      return kBadRequest;
+    }
+    if (request.body.size() > 4096) {
+      EOF_COV(ctx);
+      return kPayloadTooLarge;
+    }
+    EOF_COV(ctx);
+    state.uploads_bytes += request.body.size();
+    return kCreated;
+  }
+  if (StartsWith(request.path, "/files/")) {
+    EOF_COV(ctx);
+    std::string name = request.path.substr(7);
+    if (Contains(name, "..")) {
+      EOF_COV(ctx);
+      return kBadRequest;  // traversal rejected
+    }
+    if (request.method == "DELETE") {
+      EOF_COV(ctx);
+      return kNoContent;
+    }
+    EOF_COV(ctx);
+    return kNotFound;
+  }
+  EOF_COV(ctx);
+  return kNotFound;
+}
+
+}  // namespace
+
+int64_t HttpServerStart(KernelContext& ctx, AppsState& state, uint16_t port) {
+  ctx.ConsumeCycles(kApiBaseCycles);
+  EOF_COV(ctx);
+  if (port == 0) {
+    EOF_COV(ctx);
+    return kBadRequest;
+  }
+  if (state.server_started) {
+    EOF_COV(ctx);
+    return kServerError;  // already bound
+  }
+  EOF_COV(ctx);
+  state.server_started = true;
+  state.server_port = port;
+  return kOk;
+}
+
+int64_t HttpHandleRaw(KernelContext& ctx, AppsState& state, const std::string& raw) {
+  ctx.ConsumeCycles(kApiBaseCycles);
+  EOF_COV(ctx);
+  if (!state.server_started) {
+    EOF_COV(ctx);
+    return kNotStarted;
+  }
+  Request request;
+  int64_t parse_status = ParseRequest(ctx, raw, &request);
+  if (parse_status != kOk) {
+    ++state.errors_returned;
+    return parse_status;
+  }
+  EOF_COV(ctx);
+  EOF_COV_BUCKET(ctx, request.headers.size());            // header-count class
+  EOF_COV_BUCKET(ctx, CovSizeClass(request.body.size()) + 10);  // body size class
+  int64_t status = Route(ctx, state, request);
+  EOF_COV_BUCKET(ctx, static_cast<uint64_t>(status) % 24);      // status-code row
+  ++state.requests_handled;
+  if (status >= 400) {
+    ++state.errors_returned;
+  }
+  return status;
+}
+
+}  // namespace apps
+}  // namespace eof

@@ -1,0 +1,336 @@
+// Embedded JSON component (the JSON target of Table 4): a recursive-descent parser over
+// raw bytes — numbers with fractions/exponents, strings with escapes and \uXXXX, arrays,
+// objects, nesting limits, and trailing-garbage detection.
+
+#include <algorithm>
+#include <cctype>
+
+#include "src/apps/apps.h"
+#include "src/kernel/costs.h"
+#include "src/kernel/coverage.h"
+#include "src/kernel/kernel_context.h"
+
+namespace eof {
+namespace apps {
+namespace {
+
+EOF_COV_MODULE("apps/json");
+
+constexpr int kMaxDepth = 12;
+
+// Parse-error codes.
+constexpr int64_t kErrEmpty = -1;
+constexpr int64_t kErrSyntax = -2;
+constexpr int64_t kErrDepth = -3;
+constexpr int64_t kErrTrailing = -4;
+constexpr int64_t kErrBadEscape = -5;
+constexpr int64_t kErrBadNumber = -6;
+
+struct Parser {
+  KernelContext& ctx;
+  const std::string& text;
+  size_t pos = 0;
+  int64_t nodes = 0;
+  int64_t error = 0;
+  uint64_t strings = 0;
+  uint64_t escapes = 0;
+  uint64_t max_array_width = 0;
+  uint64_t max_object_keys = 0;
+
+  bool Done() const { return pos >= text.size(); }
+  char Peek() const { return text[pos]; }
+
+  void SkipWs() {
+    while (!Done() && isspace(static_cast<unsigned char>(Peek())) != 0) {
+      ++pos;
+    }
+  }
+
+  bool Literal(const char* word) {
+    size_t len = 0;
+    while (word[len] != '\0') {
+      ++len;
+    }
+    if (text.compare(pos, len, word) != 0) {
+      return false;
+    }
+    pos += len;
+    return true;
+  }
+
+  bool ParseString() {
+    ++pos;  // opening quote
+    size_t start = pos;
+    ++strings;
+    while (!Done()) {
+      char c = Peek();
+      ++pos;
+      if (c == '"') {
+        EOF_COV(ctx);
+        EOF_COV_BUCKET(ctx, CovSizeClass(pos - start));  // string-length class
+        return true;
+      }
+      if (c == '\\') {
+        if (Done()) {
+          break;
+        }
+        ++escapes;
+        char esc = Peek();
+        ++pos;
+        switch (esc) {
+          case '"':
+          case '\\':
+          case '/':
+          case 'b':
+          case 'f':
+          case 'n':
+          case 'r':
+          case 't':
+            EOF_COV(ctx);
+            break;
+          case 'u': {
+            EOF_COV(ctx);
+            for (int i = 0; i < 4; ++i) {
+              if (Done() || isxdigit(static_cast<unsigned char>(Peek())) == 0) {
+                EOF_COV(ctx);
+                error = kErrBadEscape;
+                return false;
+              }
+              ++pos;
+            }
+            break;
+          }
+          default:
+            EOF_COV(ctx);
+            error = kErrBadEscape;
+            return false;
+        }
+      }
+    }
+    EOF_COV(ctx);
+    error = kErrSyntax;  // unterminated string
+    return false;
+  }
+
+  bool ParseNumber() {
+    uint64_t features = 0;
+    if (Peek() == '-') {
+      EOF_COV(ctx);
+      features |= 1;
+      ++pos;
+    }
+    size_t digits = 0;
+    while (!Done() && isdigit(static_cast<unsigned char>(Peek())) != 0) {
+      ++pos;
+      ++digits;
+    }
+    if (digits == 0) {
+      EOF_COV(ctx);
+      error = kErrBadNumber;
+      return false;
+    }
+    if (!Done() && Peek() == '.') {
+      EOF_COV(ctx);
+      features |= 2;
+      ++pos;
+      size_t frac = 0;
+      while (!Done() && isdigit(static_cast<unsigned char>(Peek())) != 0) {
+        ++pos;
+        ++frac;
+      }
+      if (frac == 0) {
+        EOF_COV(ctx);
+        error = kErrBadNumber;
+        return false;
+      }
+    }
+    if (!Done() && (Peek() == 'e' || Peek() == 'E')) {
+      EOF_COV(ctx);
+      features |= 4;
+      ++pos;
+      if (!Done() && (Peek() == '+' || Peek() == '-')) {
+        features |= 8;
+        ++pos;
+      }
+      size_t exp = 0;
+      while (!Done() && isdigit(static_cast<unsigned char>(Peek())) != 0) {
+        ++pos;
+        ++exp;
+      }
+      if (exp == 0) {
+        EOF_COV(ctx);
+        error = kErrBadNumber;
+        return false;
+      }
+    }
+    EOF_COV(ctx);
+    EOF_COV_BUCKET(ctx, features);                    // sign/frac/exp/signed-exp combos
+    EOF_COV_BUCKET(ctx, CovSizeClass(digits) + 16);   // magnitude class
+    return true;
+  }
+
+  bool ParseValue(int depth) {
+    ctx.ConsumeCycles(kListOpCycles * 2);
+    EOF_COV_BUCKET(ctx, static_cast<uint64_t>(depth) + 8);  // nesting-depth row
+    if (depth > kMaxDepth) {
+      EOF_COV(ctx);
+      error = kErrDepth;
+      return false;
+    }
+    SkipWs();
+    if (Done()) {
+      error = kErrSyntax;
+      return false;
+    }
+    ++nodes;
+    char c = Peek();
+    if (c == '{') {
+      EOF_COV(ctx);
+      ++pos;
+      SkipWs();
+      if (!Done() && Peek() == '}') {
+        EOF_COV(ctx);
+        ++pos;
+        return true;
+      }
+      uint64_t keys = 0;
+      for (;;) {
+        SkipWs();
+        if (Done() || Peek() != '"') {
+          EOF_COV(ctx);
+          error = kErrSyntax;
+          return false;
+        }
+        if (!ParseString()) {
+          return false;
+        }
+        SkipWs();
+        if (Done() || Peek() != ':') {
+          EOF_COV(ctx);
+          error = kErrSyntax;
+          return false;
+        }
+        ++pos;
+        if (!ParseValue(depth + 1)) {
+          return false;
+        }
+        ++keys;
+        SkipWs();
+        if (!Done() && Peek() == ',') {
+          ++pos;
+          continue;
+        }
+        if (!Done() && Peek() == '}') {
+          EOF_COV(ctx);
+          max_object_keys = std::max(max_object_keys, keys);
+          EOF_COV_BUCKET(ctx, keys);  // object-width class
+          ++pos;
+          return true;
+        }
+        EOF_COV(ctx);
+        error = kErrSyntax;
+        return false;
+      }
+    }
+    if (c == '[') {
+      EOF_COV(ctx);
+      ++pos;
+      SkipWs();
+      if (!Done() && Peek() == ']') {
+        EOF_COV(ctx);
+        ++pos;
+        return true;
+      }
+      uint64_t width = 0;
+      for (;;) {
+        if (!ParseValue(depth + 1)) {
+          return false;
+        }
+        ++width;
+        SkipWs();
+        if (!Done() && Peek() == ',') {
+          ++pos;
+          continue;
+        }
+        if (!Done() && Peek() == ']') {
+          EOF_COV(ctx);
+          max_array_width = std::max(max_array_width, width);
+          EOF_COV_BUCKET(ctx, width + 8);  // array-width class
+          ++pos;
+          return true;
+        }
+        EOF_COV(ctx);
+        error = kErrSyntax;
+        return false;
+      }
+    }
+    if (c == '"') {
+      EOF_COV(ctx);
+      return ParseString();
+    }
+    if (c == 't') {
+      EOF_COV(ctx);
+      if (!Literal("true")) {
+        error = kErrSyntax;
+        return false;
+      }
+      return true;
+    }
+    if (c == 'f') {
+      EOF_COV(ctx);
+      if (!Literal("false")) {
+        error = kErrSyntax;
+        return false;
+      }
+      return true;
+    }
+    if (c == 'n') {
+      EOF_COV(ctx);
+      if (!Literal("null")) {
+        error = kErrSyntax;
+        return false;
+      }
+      return true;
+    }
+    if (c == '-' || isdigit(static_cast<unsigned char>(c)) != 0) {
+      EOF_COV(ctx);
+      return ParseNumber();
+    }
+    EOF_COV(ctx);
+    error = kErrSyntax;
+    return false;
+  }
+};
+
+}  // namespace
+
+int64_t JsonParse(KernelContext& ctx, AppsState& state, const std::string& text) {
+  ctx.ConsumeCycles(kApiBaseCycles);
+  EOF_COV(ctx);
+  if (text.empty()) {
+    EOF_COV(ctx);
+    ++state.json_parse_errors;
+    return kErrEmpty;
+  }
+  ctx.ConsumeCycles(kCopyPerByteCycles * text.size());
+  Parser parser{ctx, text};
+  if (!parser.ParseValue(0)) {
+    ++state.json_parse_errors;
+    return parser.error;
+  }
+  parser.SkipWs();
+  if (!parser.Done()) {
+    EOF_COV(ctx);
+    ++state.json_parse_errors;
+    return kErrTrailing;
+  }
+  EOF_COV(ctx);
+  EOF_COV_BUCKET(ctx, CovSizeClass(static_cast<uint64_t>(parser.nodes)));
+  EOF_COV_BUCKET(ctx, parser.escapes + 8);                        // escape population
+  EOF_COV_BUCKET(ctx, CovSizeClass(parser.strings) + 16);         // string population
+  ++state.json_docs_parsed;
+  return parser.nodes;
+}
+
+}  // namespace apps
+}  // namespace eof

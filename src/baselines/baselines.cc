@@ -1,0 +1,43 @@
+#include "src/baselines/baselines.h"
+
+namespace eof {
+namespace {
+
+// QEMU machine for an OS (Tardis runs everything emulated).
+std::string QemuBoardFor(const std::string& os_name) {
+  if (os_name == "pokos") {
+    return "qemu-virt-riscv";
+  }
+  return "qemu-virt-arm";
+}
+
+}  // namespace
+
+FuzzerConfig EofConfig(const std::string& os_name, uint64_t seed, VirtualDuration budget) {
+  FuzzerConfig config;
+  config.os_name = os_name;
+  config.seed = seed;
+  config.budget = budget;
+  return config;
+}
+
+FuzzerConfig EofNfConfig(const std::string& os_name, uint64_t seed,
+                         VirtualDuration budget) {
+  FuzzerConfig config = EofConfig(os_name, seed, budget);
+  config.coverage_feedback = false;
+  return config;
+}
+
+FuzzerConfig TardisConfig(const std::string& os_name, uint64_t seed,
+                          VirtualDuration budget) {
+  FuzzerConfig config = EofConfig(os_name, seed, budget);
+  config.board_name = QemuBoardFor(os_name);
+  config.use_extended_specs = false;     // hand-written Syzkaller descriptions only
+  config.gen.max_buffer_len = 48;        // conservative fixed-size buffers in those specs
+  config.log_monitor = false;            // bug detection rests on the timeout mechanism
+  config.exception_monitor = false;
+  config.restore_mode = RestoreMode::kRebootOnly;  // emulator reset; no reflash logic
+  return config;
+}
+
+}  // namespace eof

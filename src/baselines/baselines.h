@@ -1,0 +1,29 @@
+// Baseline fuzzer configurations (§5.1). Two baselines are configurations of the EOF
+// engine (their designs share the structure): EOF-nf (EOF minus coverage feedback) and
+// Tardis (Syzkaller-based, QEMU shared-memory transport, hand-written base-tier specs,
+// timeout-only bug/liveness detection, reboot-style reset). GDBFuzz, SHIFT and GUSTAVE
+// are byte-buffer fuzzers with their own loop (src/baselines/byte_fuzzer.h).
+
+#ifndef SRC_BASELINES_BASELINES_H_
+#define SRC_BASELINES_BASELINES_H_
+
+#include <string>
+
+#include "src/common/vclock.h"
+#include "src/core/fuzzer.h"
+
+namespace eof {
+
+// The real thing, on the OS's default evaluation board.
+FuzzerConfig EofConfig(const std::string& os_name, uint64_t seed, VirtualDuration budget);
+
+// EOF without feedback guidance: same specs and monitors, no corpus.
+FuzzerConfig EofNfConfig(const std::string& os_name, uint64_t seed, VirtualDuration budget);
+
+// Tardis: emulation (QEMU machine), base-tier specs with conservative buffer sizes,
+// timeout-only detection (no log/exception monitors), reboot-only reset.
+FuzzerConfig TardisConfig(const std::string& os_name, uint64_t seed, VirtualDuration budget);
+
+}  // namespace eof
+
+#endif  // SRC_BASELINES_BASELINES_H_

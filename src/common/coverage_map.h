@@ -1,0 +1,62 @@
+// Host-side edge-coverage accumulator.
+//
+// Target instrumentation emits 64-bit edge IDs into a RAM ring buffer (src/kernel/coverage.h);
+// the host drains that ring over the debug port and folds the IDs into this map. The map
+// hashes IDs into a fixed bitmap (AFL-style) so membership tests are O(1), and additionally
+// keeps the exact distinct-edge count, which is what the paper's tables report
+// ("average number of branches found").
+
+#ifndef SRC_COMMON_COVERAGE_MAP_H_
+#define SRC_COMMON_COVERAGE_MAP_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+namespace eof {
+
+class CoverageMap {
+ public:
+  CoverageMap() = default;
+
+  // Records one edge. Returns true when the edge was not seen before.
+  bool Add(uint64_t edge_id) { return edges_.insert(edge_id).second; }
+
+  // Folds a batch in; returns how many were new.
+  size_t AddBatch(const std::vector<uint64_t>& edge_ids) {
+    size_t fresh = 0;
+    for (uint64_t id : edge_ids) {
+      if (Add(id)) {
+        ++fresh;
+      }
+    }
+    return fresh;
+  }
+
+  bool Contains(uint64_t edge_id) const { return edges_.count(edge_id) != 0; }
+
+  // Number of distinct edges observed ("branches found" in Tables 3 and 4).
+  size_t Count() const { return edges_.size(); }
+
+  // Merges `other` into this map; returns the number of edges that were new here.
+  size_t Merge(const CoverageMap& other) {
+    size_t fresh = 0;
+    for (uint64_t id : other.edges_) {
+      if (Add(id)) {
+        ++fresh;
+      }
+    }
+    return fresh;
+  }
+
+  void Clear() { edges_.clear(); }
+
+  const std::unordered_set<uint64_t>& edges() const { return edges_; }
+
+ private:
+  std::unordered_set<uint64_t> edges_;
+};
+
+}  // namespace eof
+
+#endif  // SRC_COMMON_COVERAGE_MAP_H_

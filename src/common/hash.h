@@ -1,0 +1,48 @@
+// FNV-1a hashing used for coverage-edge identifiers and image checksums. Edge IDs must be
+// stable across runs (corpus entries reference them), so we use a fixed, well-known hash
+// rather than std::hash, whose value is implementation-defined.
+
+#ifndef SRC_COMMON_HASH_H_
+#define SRC_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace eof {
+
+inline constexpr uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ULL;
+inline constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+constexpr uint64_t Fnv1a(std::string_view data, uint64_t seed = kFnvOffsetBasis) {
+  uint64_t hash = seed;
+  for (char c : data) {
+    hash ^= static_cast<uint8_t>(c);
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+constexpr uint64_t Fnv1aBytes(const uint8_t* data, size_t size,
+                              uint64_t seed = kFnvOffsetBasis) {
+  uint64_t hash = seed;
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= data[i];
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+// Mixes an integer into an existing hash (order-sensitive: the multiply precedes the
+// xor, so HashCombine(a, b) != HashCombine(b, a) in general).
+constexpr uint64_t HashCombine(uint64_t hash, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    hash *= kFnvPrime;
+    hash ^= (value >> (i * 8)) & 0xff;
+  }
+  return hash;
+}
+
+}  // namespace eof
+
+#endif  // SRC_COMMON_HASH_H_

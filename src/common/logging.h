@@ -1,0 +1,64 @@
+// Host-side logging for the EOF fuzzer engine. This is *not* the target's UART log (which
+// lives in src/hw/uart.h); it is the operator-facing diagnostic stream, roughly equivalent
+// to the Golang engine's log output in the paper's implementation.
+
+#ifndef SRC_COMMON_LOGGING_H_
+#define SRC_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace eof {
+
+enum class LogSeverity : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+// Global severity floor; messages below it are discarded. Benchmarks raise this to kError
+// to keep harness output to the paper's tables only.
+void SetMinLogSeverity(LogSeverity severity);
+LogSeverity MinLogSeverity();
+
+// Emits one formatted line to stderr. kFatal aborts after emitting.
+void LogMessage(LogSeverity severity, const char* file, int line, const std::string& message);
+
+// Stream-style sink: LOG(kInfo) << "flashed " << n << " partitions";
+class LogStream {
+ public:
+  LogStream(LogSeverity severity, const char* file, int line)
+      : severity_(severity), file_(file), line_(line) {}
+  ~LogStream() { LogMessage(severity_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogSeverity severity_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+#define EOF_LOG(severity)                                                      \
+  if (::eof::LogSeverity::severity < ::eof::MinLogSeverity()) {                \
+  } else                                                                       \
+    ::eof::LogStream(::eof::LogSeverity::severity, __FILE__, __LINE__)
+
+// Invariant check inside EOF itself (never used to model target bugs — targets use their
+// kernel's own panic/assert plumbing so that monitors observe them).
+#define EOF_CHECK(cond)                                                        \
+  if (cond) {                                                                  \
+  } else                                                                       \
+    ::eof::LogStream(::eof::LogSeverity::kFatal, __FILE__, __LINE__)           \
+        << "CHECK failed: " #cond " "
+
+}  // namespace eof
+
+#endif  // SRC_COMMON_LOGGING_H_

@@ -1,0 +1,129 @@
+// Lightweight error-propagation primitives used across the EOF codebase.
+//
+// The debug-port stack and the fuzzing engine run in environments where an exception thrown
+// mid-transaction can leave the target in an undefined state, so all fallible operations
+// return `Status` (or `Result<T>` when they also produce a value) and the caller decides how
+// to react — typically by feeding the failure into the liveness watchdogs.
+
+#ifndef SRC_COMMON_STATUS_H_
+#define SRC_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace eof {
+
+// Coarse failure classification. The watchdogs in src/core/liveness.h key off these codes:
+// kTimeout and kUnavailable mark the debug link as dead, kFault marks the target as crashed.
+enum class ErrorCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,  // caller error: bad parameter, malformed input
+  kNotFound,         // missing symbol, partition, API, ...
+  kAlreadyExists,    // duplicate registration
+  kOutOfRange,       // address or index outside the valid window
+  kResourceExhausted,  // RAM/flash/handle budget exceeded
+  kFailedPrecondition,  // operation not legal in the current state
+  kUnavailable,      // debug link down / target not attached
+  kTimeout,          // debug link transaction timed out
+  kFault,            // target raised a hardware fault / kernel panic
+  kDataLoss,         // corrupted image or wire data
+  kInternal,         // invariant violation inside EOF itself
+};
+
+// Human-readable name of `code`, e.g. "TIMEOUT". Never returns null.
+const char* ErrorCodeName(ErrorCode code);
+
+// Value-type status: an ErrorCode plus an optional diagnostic message.
+// The empty-message kOk singleton is cheap to copy; error statuses carry their message.
+class Status {
+ public:
+  Status() : code_(ErrorCode::kOk) {}
+  Status(ErrorCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "TIMEOUT: gdb continue did not ack".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) { return a.code_ == b.code_; }
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status::Ok(); }
+
+// Shorthand constructors, mirroring absl naming so call sites read naturally.
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status OutOfRangeError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status UnavailableError(std::string message);
+Status TimeoutError(std::string message);
+Status FaultError(std::string message);
+Status DataLossError(std::string message);
+Status InternalError(std::string message);
+
+// Result<T>: either a value or an error Status. kOk statuses are not representable as the
+// error arm (enforced by the constructors), so `ok()` is unambiguous.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : rep_(std::move(status)) {}  // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const T& value() const& { return std::get<T>(rep_); }
+  T& value() & { return std::get<T>(rep_); }
+  T&& value() && { return std::get<T>(std::move(rep_)); }
+
+  // Status of the result: OkStatus() when a value is held.
+  Status status() const {
+    if (ok()) {
+      return OkStatus();
+    }
+    return std::get<Status>(rep_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+// Propagate-on-error helpers. `RETURN_IF_ERROR(expr)` returns the failing Status from the
+// enclosing function; `ASSIGN_OR_RETURN(lhs, expr)` unwraps a Result<T>.
+#define EOF_STATUS_CONCAT_INNER_(a, b) a##b
+#define EOF_STATUS_CONCAT_(a, b) EOF_STATUS_CONCAT_INNER_(a, b)
+
+#define RETURN_IF_ERROR(expr)                                 \
+  do {                                                        \
+    ::eof::Status eof_status_tmp_ = (expr);                   \
+    if (!eof_status_tmp_.ok()) {                              \
+      return eof_status_tmp_;                                 \
+    }                                                         \
+  } while (false)
+
+#define ASSIGN_OR_RETURN(lhs, expr)                                         \
+  auto EOF_STATUS_CONCAT_(eof_result_, __LINE__) = (expr);                  \
+  if (!EOF_STATUS_CONCAT_(eof_result_, __LINE__).ok()) {                    \
+    return EOF_STATUS_CONCAT_(eof_result_, __LINE__).status();              \
+  }                                                                         \
+  lhs = std::move(EOF_STATUS_CONCAT_(eof_result_, __LINE__)).value()
+
+}  // namespace eof
+
+#endif  // SRC_COMMON_STATUS_H_

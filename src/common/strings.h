@@ -1,0 +1,37 @@
+// Small string helpers shared across EOF. gcc 12 lacks <format>, so StrFormat wraps
+// vsnprintf with the usual two-pass sizing.
+
+#ifndef SRC_COMMON_STRINGS_H_
+#define SRC_COMMON_STRINGS_H_
+
+#include <cstdarg>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace eof {
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+// Splits on `sep`, dropping empty pieces when `keep_empty` is false.
+std::vector<std::string> StrSplit(std::string_view text, char sep, bool keep_empty = false);
+
+// Removes leading/trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+// Case-sensitive substring test (readability wrapper over find()).
+bool Contains(std::string_view text, std::string_view needle);
+
+// Joins `pieces` with `sep` between elements.
+std::string StrJoin(const std::vector<std::string>& pieces, std::string_view sep);
+
+// Renders bytes as lowercase hex, e.g. {0xde, 0xad} -> "dead".
+std::string BytesToHex(const uint8_t* data, size_t size);
+
+}  // namespace eof
+
+#endif  // SRC_COMMON_STRINGS_H_

@@ -1,0 +1,36 @@
+// Virtual time source shared by the board simulator and the campaign runner.
+//
+// The paper's campaigns run 24 wall-clock hours; here, every simulated instruction, flash
+// write, and reboot advances a virtual clock, so a "24-hour campaign" is a deterministic
+// virtual-time budget independent of host speed. Benchmarks scale the budget down with
+// EOF_BENCH_SCALE while preserving the cost *ratios* that shape the coverage curves.
+
+#ifndef SRC_COMMON_VCLOCK_H_
+#define SRC_COMMON_VCLOCK_H_
+
+#include <cstdint>
+
+namespace eof {
+
+// Microseconds of virtual time.
+using VirtualDuration = uint64_t;
+using VirtualTime = uint64_t;
+
+inline constexpr VirtualDuration kVirtualMillisecond = 1000;
+inline constexpr VirtualDuration kVirtualSecond = 1000 * kVirtualMillisecond;
+inline constexpr VirtualDuration kVirtualMinute = 60 * kVirtualSecond;
+inline constexpr VirtualDuration kVirtualHour = 60 * kVirtualMinute;
+
+class VirtualClock {
+ public:
+  VirtualTime Now() const { return now_; }
+  void Advance(VirtualDuration delta) { now_ += delta; }
+  void Reset() { now_ = 0; }
+
+ private:
+  VirtualTime now_ = 0;
+};
+
+}  // namespace eof
+
+#endif  // SRC_COMMON_VCLOCK_H_

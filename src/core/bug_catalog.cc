@@ -1,0 +1,68 @@
+#include "src/core/bug_catalog.h"
+
+#include "src/common/strings.h"
+
+namespace eof {
+
+const std::vector<BugInfo>& BugCatalog() {
+  static const std::vector<BugInfo>* catalog = new std::vector<BugInfo>{
+      {1, "zephyr", "Heap", "Kernel Panic", "sys_heap_stress()", false, "sys_heap_stress",
+       "exception"},
+      {2, "zephyr", "Kernel", "Kernel Panic", "z_impl_k_msgq_get()", true,
+       "z_impl_k_msgq_get", "exception"},
+      {3, "zephyr", "JSON", "Kernel Panic", "json_obj_encode()", true, "json_obj_encode",
+       "exception"},
+      {4, "zephyr", "KHeap", "Kernel Panic", "k_heap_init()", true, "k_heap_init",
+       "exception"},
+      {5, "rtthread", "Kernel", "Kernel Assertion", "rt_object_get_type()", false,
+       "rt_object_get_type", "log"},
+      {6, "rtthread", "RTService", "Kernel Panic", "rt_list_isempty()", false,
+       "rt_list_isempty", "exception"},
+      {7, "rtthread", "Memory", "Kernel Panic", "rt_mp_alloc()", false, "rt_mp_alloc",
+       "exception"},
+      {8, "rtthread", "Kernel", "Kernel Assertion", "rt_object_init()", false,
+       "rt_object_init", "log"},
+      {9, "rtthread", "Heap", "Kernel Panic", "_heap_lock()", false, "_heap_lock",
+       "exception"},
+      {10, "rtthread", "IPC", "Kernel Panic", "rt_event_send()", false, "rt_event_send",
+       "exception"},
+      {11, "rtthread", "Memory", "Kernel Panic", "rt_smem_setname()", true,
+       "rt_smem_setname", "exception"},
+      {12, "rtthread", "Serial", "Kernel Panic", "rt_serial_write()", false,
+       "rt_serial_write", "exception"},
+      {13, "freertos", "Kernel", "Kernel Panic", "load_partitions()", false,
+       "load_partitions", "exception"},
+      {14, "nuttx", "Kernel", "Kernel Panic", "setenv()", true, "setenv", "exception"},
+      {15, "nuttx", "Libc", "Kernel Panic", "gettimeofday()", false, "gettimeofday",
+       "exception"},
+      {16, "nuttx", "MQueue", "Kernel Panic", "nxmq_timedsend()", false, "nxmq_timedsend",
+       "exception"},
+      {17, "nuttx", "Semaphore", "Kernel Assertion", "nxsem_trywait()", false,
+       "sem_trywait", "log"},
+      {18, "nuttx", "Timer", "Kernel Panic", "timer_create()", false, "timer_create",
+       "exception"},
+      {19, "nuttx", "Libc", "Kernel Panic", "clock_getres()", false, "clock_getres",
+       "exception"},
+  };
+  return *catalog;
+}
+
+int AttributeBug(const std::string& os, const std::string& crash_text) {
+  for (const BugInfo& bug : BugCatalog()) {
+    if (bug.os == os && Contains(crash_text, bug.signature)) {
+      return bug.id;
+    }
+  }
+  return 0;
+}
+
+const BugInfo* FindBug(int id) {
+  for (const BugInfo& bug : BugCatalog()) {
+    if (bug.id == id) {
+      return &bug;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace eof

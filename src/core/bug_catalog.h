@@ -1,0 +1,36 @@
+// The ground-truth catalog of the 19 previously-unknown bugs of Table 2, with the crash
+// signature each one leaves. Campaign code attributes detected crashes back to catalog
+// entries, and the Table 2 bench prints its rows from here.
+
+#ifndef SRC_CORE_BUG_CATALOG_H_
+#define SRC_CORE_BUG_CATALOG_H_
+
+#include <string>
+#include <vector>
+
+namespace eof {
+
+struct BugInfo {
+  int id = 0;                 // 1..19 (Table 2 numbering)
+  std::string os;             // "zephyr", "rtthread", "freertos", "nuttx"
+  std::string scope;          // Table 2 "Scope" column
+  std::string bug_type;       // "Kernel Panic" | "Kernel Assertion"
+  std::string operation;      // Table 2 "Operations" column
+  bool confirmed = false;     // upstream-confirmed
+  std::string signature;      // substring present in the crash text
+  std::string expected_detector;  // "exception" | "log"
+};
+
+// All 19 entries, ordered by id.
+const std::vector<BugInfo>& BugCatalog();
+
+// Attributes a crash to a catalog entry by OS and crash text (UART excerpt + backtrace).
+// Returns 0 when the crash matches no known entry.
+int AttributeBug(const std::string& os, const std::string& crash_text);
+
+// Entry by id, or nullptr.
+const BugInfo* FindBug(int id);
+
+}  // namespace eof
+
+#endif  // SRC_CORE_BUG_CATALOG_H_

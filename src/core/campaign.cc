@@ -1,0 +1,107 @@
+#include "src/core/campaign.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace eof {
+
+double RepeatedResult::MeanFinalCoverage() const {
+  if (runs.empty()) {
+    return 0;
+  }
+  double total = 0;
+  for (const CampaignResult& run : runs) {
+    total += static_cast<double>(run.final_coverage);
+  }
+  return total / static_cast<double>(runs.size());
+}
+
+std::set<int> RepeatedResult::UnionBugs() const {
+  std::set<int> bugs;
+  for (const CampaignResult& run : runs) {
+    for (const BugReport& bug : run.bugs) {
+      if (bug.catalog_id != 0) {
+        bugs.insert(bug.catalog_id);
+      }
+    }
+  }
+  return bugs;
+}
+
+SeriesBand RepeatedResult::Band() const {
+  SeriesBand band;
+  if (runs.empty()) {
+    return band;
+  }
+  size_t points = runs[0].series.size();
+  for (const CampaignResult& run : runs) {
+    points = std::min(points, run.series.size());
+  }
+  for (size_t i = 0; i < points; ++i) {
+    double sum = 0;
+    double lo = static_cast<double>(runs[0].series[i].coverage);
+    double hi = lo;
+    for (const CampaignResult& run : runs) {
+      double value = static_cast<double>(run.series[i].coverage);
+      sum += value;
+      lo = std::min(lo, value);
+      hi = std::max(hi, value);
+    }
+    band.time.push_back(runs[0].series[i].time);
+    band.mean.push_back(sum / static_cast<double>(runs.size()));
+    band.min.push_back(lo);
+    band.max.push_back(hi);
+  }
+  return band;
+}
+
+uint64_t RepeatedResult::TotalExecs() const {
+  uint64_t total = 0;
+  for (const CampaignResult& run : runs) {
+    total += run.execs;
+  }
+  return total;
+}
+
+Result<RepeatedResult> RunRepeated(const FuzzerConfig& base, int repetitions) {
+  RepeatedResult repeated;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    FuzzerConfig config = base;
+    config.seed = base.seed + static_cast<uint64_t>(rep) * 7919;
+    EofFuzzer fuzzer(config);
+    ASSIGN_OR_RETURN(CampaignResult run, fuzzer.Run());
+    repeated.runs.push_back(std::move(run));
+  }
+  return repeated;
+}
+
+namespace {
+
+uint64_t BenchScale() {
+  const char* raw = getenv("EOF_BENCH_SCALE");
+  if (raw == nullptr) {
+    return 8;  // default: 3 virtual hours per campaign
+  }
+  long value = atol(raw);
+  if (value < 1) {
+    value = 1;
+  }
+  return static_cast<uint64_t>(value);
+}
+
+}  // namespace
+
+VirtualDuration ScaledCampaignBudget() { return 24 * kVirtualHour / BenchScale(); }
+
+int ScaledRepetitions() {
+  uint64_t scale = BenchScale();
+  if (scale <= 2) {
+    return 5;
+  }
+  if (scale <= 12) {
+    return 3;
+  }
+  return 2;
+}
+
+}  // namespace eof

@@ -1,0 +1,52 @@
+// Campaign repetition and aggregation: the evaluation repeats every experiment 5 times
+// (§5.1); these helpers run the repetitions with distinct seeds and aggregate coverage
+// series (mean/min/max bands for Figures 7/8) and bug sets (union across runs, Table 2).
+
+#ifndef SRC_CORE_CAMPAIGN_H_
+#define SRC_CORE_CAMPAIGN_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/fuzzer.h"
+
+namespace eof {
+
+struct SeriesBand {
+  std::vector<VirtualTime> time;
+  std::vector<double> mean;
+  std::vector<double> min;
+  std::vector<double> max;
+};
+
+struct RepeatedResult {
+  std::vector<CampaignResult> runs;
+
+  // Mean of final coverage across runs (the "average number of branches" of Tables 3/4).
+  double MeanFinalCoverage() const;
+
+  // Union of catalog bug ids found in any run.
+  std::set<int> UnionBugs() const;
+
+  // Aggregated coverage-over-time band (series must have equal lengths).
+  SeriesBand Band() const;
+
+  uint64_t TotalExecs() const;
+};
+
+// Runs `repetitions` campaigns of the EOF engine with seeds base.seed, base.seed+1, ...
+Result<RepeatedResult> RunRepeated(const FuzzerConfig& base, int repetitions);
+
+// The paper's campaigns run 24 hours; benches scale that down via the EOF_BENCH_SCALE
+// environment variable (virtual budget = 24 h / scale; default scale 24 -> 1 virtual
+// hour). Set EOF_BENCH_SCALE=1 for full-length runs.
+VirtualDuration ScaledCampaignBudget();
+
+// Scaled repetition count: min(5, max(2, 5 - log2(scale))) keeps quick runs quick.
+int ScaledRepetitions();
+
+}  // namespace eof
+
+#endif  // SRC_CORE_CAMPAIGN_H_

@@ -1,0 +1,107 @@
+#include "src/core/deployment.h"
+
+#include "src/common/byteio.h"
+#include "src/common/strings.h"
+#include "src/kernel/os.h"
+
+namespace eof {
+
+Result<std::unique_ptr<Deployment>> Deployment::Create(const DeployOptions& options) {
+  ASSIGN_OR_RETURN(OsInfo info, OsRegistry::Instance().Find(options.os_name));
+  std::string board_name = options.board_name.empty() ? info.default_board : options.board_name;
+  ASSIGN_OR_RETURN(BoardSpec spec, BoardSpecByName(board_name));
+
+  ImageBuildOptions build;
+  build.os_name = options.os_name;
+  build.instrumentation = options.instrumentation;
+  build.seed = options.seed;
+  ASSIGN_OR_RETURN(std::shared_ptr<FirmwareImage> image, BuildImage(spec, build));
+
+  auto deployment = std::unique_ptr<Deployment>(new Deployment());
+  deployment->image_ = image;
+  deployment->ram_base_ = spec.ram_base;
+  deployment->ring_.ram_offset = kCovRingOffset;
+  deployment->ring_.capacity = CovRingCapacityFor(spec.ram_bytes);
+  deployment->board_ = std::make_unique<Board>(spec);
+  deployment->board_->InstallImage(image);
+  deployment->port_ = std::make_unique<DebugPort>(deployment->board_.get());
+
+  RETURN_IF_ERROR(deployment->port_->Connect());
+  RETURN_IF_ERROR(deployment->ReflashAndReboot());
+  return deployment;
+}
+
+Status Deployment::ReflashAndReboot() {
+  for (const Partition& part : image_->partition_table().partitions) {
+    auto payload = image_->PayloadOf(part.name);
+    if (!payload.ok()) {
+      continue;  // raw partitions (nvs) carry no payload
+    }
+    RETURN_IF_ERROR(port_->FlashPartition(part.offset, payload.value()));
+  }
+  return port_->ResetTarget();
+}
+
+Result<uint64_t> Deployment::SymbolAddress(const std::string& symbol) const {
+  return image_->symbols().AddressOf(symbol);
+}
+
+Status Deployment::WriteTestCase(const std::vector<uint8_t>& encoded) {
+  if (encoded.size() > kMailboxMaxBytes) {
+    return InvalidArgumentError(StrFormat("test case of %zu bytes exceeds the mailbox",
+                                          encoded.size()));
+  }
+  uint64_t base = ram_base_ + kMailboxOffset;
+  // Payload first, then length, then the ready flag — the flag write publishes the case.
+  RETURN_IF_ERROR(port_->WriteMem(base + kMailboxDataOffset, encoded));
+  ByteWriter header;
+  header.PutU32(1);  // flag
+  header.PutU32(static_cast<uint32_t>(encoded.size()));
+  return port_->WriteMem(base + kMailboxFlagOffset, header.bytes());
+}
+
+Result<AgentStatusView> Deployment::ReadAgentStatus() {
+  ASSIGN_OR_RETURN(std::vector<uint8_t> raw,
+                   port_->ReadMem(ram_base_ + kStatusBlockOffset, kStatusBlockSize));
+  ByteReader reader(raw);
+  AgentStatusView view;
+  view.state = static_cast<AgentState>(reader.GetU32());
+  view.last_error = static_cast<AgentError>(reader.GetU32());
+  view.calls_done = reader.GetU32();
+  view.progs_done = reader.GetU32();
+  view.total_calls = reader.GetU32();
+  return view;
+}
+
+Result<std::vector<uint64_t>> Deployment::DrainCoverage(uint32_t* dropped) {
+  uint64_t ring_base = ram_base_ + ring_.ram_offset;
+  ASSIGN_OR_RETURN(std::vector<uint8_t> header, port_->ReadMem(ring_base, 8));
+  ByteReader reader(header);
+  uint32_t count = reader.GetU32();
+  uint32_t drop_count = reader.GetU32();
+  if (dropped != nullptr) {
+    *dropped = drop_count;
+  }
+  std::vector<uint64_t> entries;
+  if (count > ring_.capacity) {
+    count = ring_.capacity;  // a scribbled header must not drive a huge read
+  }
+  if (count > 0) {
+    ASSIGN_OR_RETURN(std::vector<uint8_t> raw,
+                     port_->ReadMem(ring_base + CovRingLayout::kEntriesOffset,
+                                    static_cast<uint64_t>(count) * 8));
+    ByteReader entry_reader(raw);
+    entries.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      entries.push_back(entry_reader.GetU64());
+    }
+  }
+  // Reset the header (count and dropped).
+  ByteWriter zero;
+  zero.PutU32(0);
+  zero.PutU32(0);
+  RETURN_IF_ERROR(port_->WriteMem(ring_base, zero.bytes()));
+  return entries;
+}
+
+}  // namespace eof

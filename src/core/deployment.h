@@ -1,0 +1,83 @@
+// Deployment: one attached (board, image, debug port) trio plus the host-side helpers all
+// fuzzers share — flashing every partition at its table offset, booting to the agent,
+// writing mailbox test cases, reading agent status, and draining the coverage ring.
+//
+// This corresponds to the paper's per-target adaptation artifacts: the memory-layout
+// analysis (partition table), the OpenOCD connection config, and the agent glue.
+
+#ifndef SRC_CORE_DEPLOYMENT_H_
+#define SRC_CORE_DEPLOYMENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/agent/agent_layout.h"
+#include "src/common/status.h"
+#include "src/kernel/cov_ring.h"
+#include "src/core/image_builder.h"
+#include "src/hw/board.h"
+#include "src/hw/board_catalog.h"
+#include "src/hw/debug_port.h"
+
+namespace eof {
+
+struct DeployOptions {
+  std::string os_name;
+  std::string board_name;  // "" = the OS's default evaluation board
+  InstrumentationOptions instrumentation;
+  uint64_t seed = 1;
+};
+
+// Snapshot of the agent status block.
+struct AgentStatusView {
+  AgentState state = AgentState::kBooting;
+  AgentError last_error = AgentError::kNone;
+  uint32_t calls_done = 0;
+  uint32_t progs_done = 0;
+  uint32_t total_calls = 0;
+};
+
+class Deployment {
+ public:
+  // Builds the image, constructs the board, attaches the debug port, flashes, and boots to
+  // the agent. On success the target is parked at executor_main (kIdle).
+  static Result<std::unique_ptr<Deployment>> Create(const DeployOptions& options);
+
+  Board& board() { return *board_; }
+  DebugPort& port() { return *port_; }
+  const FirmwareImage& image() const { return *image_; }
+  const BoardSpec& board_spec() const { return board_->spec(); }
+
+  // Reflash every partition payload at its table offset and reboot — the StateRestoration
+  // body of Algorithm 1 (lines 15-18).
+  Status ReflashAndReboot();
+
+  // Absolute address of `symbol`, resolved from the image.
+  Result<uint64_t> SymbolAddress(const std::string& symbol) const;
+
+  // Writes an encoded program into the mailbox and raises the ready flag.
+  Status WriteTestCase(const std::vector<uint8_t>& encoded);
+
+  Result<AgentStatusView> ReadAgentStatus();
+
+  // Reads the coverage ring, resets its header, and returns the drained entries
+  // (synthetic basic-block addresses). Also returns entries dropped since last drain via
+  // `dropped` when non-null.
+  Result<std::vector<uint64_t>> DrainCoverage(uint32_t* dropped = nullptr);
+
+  CovRingLayout cov_ring() const { return ring_; }
+
+ private:
+  Deployment() = default;
+
+  std::shared_ptr<FirmwareImage> image_;
+  std::unique_ptr<Board> board_;
+  std::unique_ptr<DebugPort> port_;
+  CovRingLayout ring_;
+  uint64_t ram_base_ = 0;
+};
+
+}  // namespace eof
+
+#endif  // SRC_CORE_DEPLOYMENT_H_

@@ -1,0 +1,118 @@
+#include "src/core/image_builder.h"
+
+#include <algorithm>
+
+#include "src/agent/agent.h"
+#include "src/agent/agent_layout.h"
+#include "src/common/strings.h"
+#include "src/kernel/coverage.h"
+#include "src/kernel/cov_ring.h"
+#include "src/kernel/image_layout.h"
+#include "src/kernel/os.h"
+
+namespace eof {
+namespace {
+
+constexpr uint64_t kBootloaderBodyBytes = 48 * 1024;
+constexpr uint64_t kPtableBodyBytes = 256;
+constexpr uint64_t kFlashAlign = 0x1000;
+
+uint64_t AlignUp(uint64_t value) { return (value + kFlashAlign - 1) & ~(kFlashAlign - 1); }
+
+// Instrumented-site count for the given filter: whole build when unfiltered, per-module
+// estimates otherwise.
+uint64_t InstrumentedSites(const Os& os, const InstrumentationOptions& instrumentation) {
+  if (!instrumentation.enabled) {
+    return 0;
+  }
+  if (instrumentation.module_filter.empty()) {
+    return os.footprint().edge_sites;
+  }
+  uint64_t sites = 0;
+  for (const auto& [module, bb_count] : os.modules()) {
+    if (instrumentation.Covers(module)) {
+      sites += bb_count;
+    }
+  }
+  return sites;
+}
+
+}  // namespace
+
+Result<uint64_t> ComputeImageSize(const std::string& os_name,
+                                  const InstrumentationOptions& instrumentation) {
+  ASSIGN_OR_RETURN(OsInfo info, OsRegistry::Instance().Find(os_name));
+  std::unique_ptr<Os> os = info.factory();
+  uint64_t size = kBootloaderBodyBytes + kPtableBodyBytes + os->footprint().base_image_bytes;
+  size += InstrumentedSites(*os, instrumentation) * kCovBytesPerSite;
+  return size;
+}
+
+Result<std::shared_ptr<FirmwareImage>> BuildImage(const BoardSpec& spec,
+                                                  const ImageBuildOptions& options) {
+  ASSIGN_OR_RETURN(OsInfo info, OsRegistry::Instance().Find(options.os_name));
+  bool arch_ok = std::find(info.supported_archs.begin(), info.supported_archs.end(),
+                           spec.arch) != info.supported_archs.end();
+  if (!arch_ok) {
+    return FailedPreconditionError(StrFormat("OS '%s' has no %s port",
+                                             options.os_name.c_str(), ArchName(spec.arch)));
+  }
+  std::unique_ptr<Os> os = info.factory();
+
+  auto image = std::make_shared<FirmwareImage>();
+  image->set_os_name(options.os_name);
+  image->set_instrumentation(options.instrumentation);
+
+  // --- flash layout ---
+  uint64_t kernel_bytes = os->footprint().base_image_bytes +
+                          InstrumentedSites(*os, options.instrumentation) * kCovBytesPerSite;
+  uint64_t kernel_part_size = AlignUp(kernel_bytes + 64);
+  uint64_t nvs_offset = AlignUp(kKernelFlashOffset + kernel_part_size);
+  if (nvs_offset + kNvsSize > spec.flash_bytes) {
+    return ResourceExhaustedError(
+        StrFormat("image for '%s' (%llu bytes) does not fit board '%s' flash",
+                  options.os_name.c_str(), static_cast<unsigned long long>(kernel_bytes),
+                  spec.name.c_str()));
+  }
+  RETURN_IF_ERROR(image->AddPartition("bootloader", kBootloaderFlashOffset, kBootloaderSize,
+                                      kBootloaderBodyBytes, options.seed));
+  RETURN_IF_ERROR(image->AddPartition("ptable", kPtableFlashOffset, kPtableSize,
+                                      kPtableBodyBytes, options.seed));
+  RETURN_IF_ERROR(image->AddPartition("kernel", kKernelFlashOffset, kernel_part_size,
+                                      kernel_bytes, options.seed));
+  RETURN_IF_ERROR(image->AddRawPartition("nvs", nvs_offset, kNvsSize));
+  RETURN_IF_ERROR(image->partition_table().Validate(spec.flash_bytes));
+  image->set_size_bytes(kBootloaderBodyBytes + kPtableBodyBytes + kernel_bytes);
+  image->set_instrumented_sites(InstrumentedSites(*os, options.instrumentation));
+
+  // --- symbols: agent program points, the OS exception handler, agent data blocks ---
+  SymbolTable& symbols = image->mutable_symbols();
+  for (const ProgramPoint& point :
+       {kPpAgentStart, kPpExecutorMain, kPpReadProg, kPpExecuteOne, kPpCovBufFull}) {
+    RETURN_IF_ERROR(symbols.Add(point.symbol, spec.text_base + point.text_offset, 0x40));
+  }
+  RETURN_IF_ERROR(symbols.Add(os->exception_symbol(),
+                              spec.text_base + kExceptionSymbolOffset, 0x40));
+  RETURN_IF_ERROR(symbols.Add("g_eof_status", spec.ram_base + kStatusBlockOffset,
+                              kStatusBlockSize));
+  RETURN_IF_ERROR(symbols.Add("g_eof_mailbox", spec.ram_base + kMailboxOffset,
+                              kMailboxDataOffset + kMailboxMaxBytes));
+  CovRingLayout ring;
+  ring.ram_offset = kCovRingOffset;
+  ring.capacity = CovRingCapacityFor(spec.ram_bytes);
+  RETURN_IF_ERROR(symbols.Add("g_eof_cov_ring", spec.ram_base + kCovRingOffset,
+                              ring.SizeBytes()));
+
+  // --- module basic-block regions ---
+  image->set_code_base(spec.text_base + kCodeSpaceOffset);
+  for (const auto& [module, bb_count] : os->modules()) {
+    auto layout = image->AddModule(module, bb_count);
+    RETURN_IF_ERROR(layout.status());
+  }
+
+  ASSIGN_OR_RETURN(FirmwareFactory factory, MakeAgentFactory(options.os_name));
+  image->set_factory(std::move(factory));
+  return image;
+}
+
+}  // namespace eof

@@ -1,0 +1,34 @@
+// Builds a flashable firmware image for (OS, board): partitions with boot-verifiable
+// payloads, the agent + OS symbol table, module basic-block layouts, and instrumentation
+// options. This is the host side of Figure 3 steps ① (memory-layout analysis input) and
+// ③ (instrumentation), rolled into the build as the paper's compilation-script changes.
+
+#ifndef SRC_CORE_IMAGE_BUILDER_H_
+#define SRC_CORE_IMAGE_BUILDER_H_
+
+#include <memory>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/hw/board_spec.h"
+#include "src/hw/image.h"
+
+namespace eof {
+
+struct ImageBuildOptions {
+  std::string os_name;
+  InstrumentationOptions instrumentation;
+  uint64_t seed = 1;  // payload generation seed (build id)
+};
+
+// Computes the flash footprint of the image in bytes — base OS build plus instrumentation
+// growth (§5.5.1). Exposed separately so the overhead bench can compare without building.
+Result<uint64_t> ComputeImageSize(const std::string& os_name,
+                                  const InstrumentationOptions& instrumentation);
+
+Result<std::shared_ptr<FirmwareImage>> BuildImage(const BoardSpec& spec,
+                                                  const ImageBuildOptions& options);
+
+}  // namespace eof
+
+#endif  // SRC_CORE_IMAGE_BUILDER_H_

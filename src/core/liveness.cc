@@ -1,0 +1,49 @@
+#include "src/core/liveness.h"
+
+namespace eof {
+
+const char* LivenessVerdictName(LivenessVerdict verdict) {
+  switch (verdict) {
+    case LivenessVerdict::kAlive:
+      return "alive";
+    case LivenessVerdict::kConnectionTimeout:
+      return "connection-timeout";
+    case LivenessVerdict::kPcStall:
+      return "pc-stall";
+    case LivenessVerdict::kPowerPlateau:
+      return "power-plateau";
+  }
+  return "?";
+}
+
+LivenessVerdict LivenessWatchdog::Check(DebugPort& port) {
+  if (power_probe_) {
+    if (port.SamplePowerMilliAmps() >= kPlateauMilliAmps) {
+      if (++plateau_strikes_ >= 2) {
+        return LivenessVerdict::kPowerPlateau;
+      }
+    } else {
+      plateau_strikes_ = 0;
+    }
+  }
+  auto pc = port.ReadPC();
+  if (!pc.ok()) {
+    last_pc_.reset();
+    return LivenessVerdict::kConnectionTimeout;
+  }
+  if (!last_pc_.has_value()) {
+    last_pc_ = pc.value();
+    return LivenessVerdict::kAlive;
+  }
+  if (*last_pc_ == pc.value()) {
+    return LivenessVerdict::kPcStall;
+  }
+  last_pc_ = pc.value();
+  return LivenessVerdict::kAlive;
+}
+
+Status StateRestoration(Deployment& deployment) {
+  return deployment.ReflashAndReboot();
+}
+
+}  // namespace eof

@@ -1,0 +1,68 @@
+#include "src/core/monitors.h"
+
+#include "src/common/strings.h"
+
+namespace eof {
+
+LogMonitor::LogMonitor() {
+  // The cross-OS crash vocabulary: panic banners, assertion reports, fatal exceptions.
+  struct Default {
+    const char* pattern;
+    const char* kind;
+  };
+  static const Default kDefaults[] = {
+      {R"(BUG: kernel panic)", "panic"},
+      {R"(BUG: unexpected stop)", "panic"},
+      {R"(Guru Meditation Error)", "panic"},
+      {R"(FATAL EXCEPTION|FATAL:)", "panic"},
+      {R"(up_assert: PANIC!)", "panic"},
+      {R"(Kernel panic)", "panic"},
+      {R"(assertion failed|Assertion failed|ASSERT)", "assertion"},
+      {R"(DEBUGASSERT)", "assertion"},
+  };
+  for (const Default& entry : kDefaults) {
+    (void)AddPattern(entry.pattern, entry.kind);
+  }
+}
+
+Status LogMonitor::AddPattern(const std::string& pattern, const std::string& kind) {
+  try {
+    patterns_.push_back(Pattern{std::regex(pattern), kind});
+  } catch (const std::regex_error& error) {
+    return InvalidArgumentError(StrFormat("bad pattern '%s': %s", pattern.c_str(),
+                                          error.what()));
+  }
+  return OkStatus();
+}
+
+std::optional<BugSignature> LogMonitor::Scan(const std::string& uart_text) const {
+  if (uart_text.empty()) {
+    return std::nullopt;
+  }
+  for (const std::string& line : StrSplit(uart_text, '\n')) {
+    for (const Pattern& pattern : patterns_) {
+      if (std::regex_search(line, pattern.regex)) {
+        BugSignature signature;
+        signature.detector = "log";
+        signature.kind = pattern.kind;
+        signature.excerpt = line;
+        return signature;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+Status ExceptionMonitor::Arm(Deployment& deployment, const std::string& exception_symbol) {
+  ASSIGN_OR_RETURN(uint64_t address, deployment.SymbolAddress(exception_symbol));
+  RETURN_IF_ERROR(deployment.port().SetBreakpoint(address));
+  symbol_ = exception_symbol;
+  return OkStatus();
+}
+
+bool ExceptionMonitor::IsExceptionStop(const StopInfo& stop) const {
+  return !symbol_.empty() && stop.reason == HaltReason::kBreakpoint &&
+         stop.symbol == symbol_;
+}
+
+}  // namespace eof

@@ -1,0 +1,88 @@
+#include "src/core/replay.h"
+
+#include "src/core/bug_catalog.h"
+#include "src/core/monitors.h"
+#include "src/fuzz/program_text.h"
+#include "src/kernel/os.h"
+#include "src/spec/spec_miner.h"
+
+namespace eof {
+
+Result<ReplayOutcome> ReplayReproducer(const std::string& os_name,
+                                       const std::string& program_text,
+                                       const std::string& board_name) {
+  DeployOptions deploy;
+  deploy.os_name = os_name;
+  deploy.board_name = board_name;
+  ASSIGN_OR_RETURN(std::unique_ptr<Deployment> deployment, Deployment::Create(deploy));
+
+  ASSIGN_OR_RETURN(OsInfo info, OsRegistry::Instance().Find(os_name));
+  std::unique_ptr<Os> scratch = info.factory();
+  ASSIGN_OR_RETURN(spec::MinedSpecs mined, spec::MineValidatedSpecs(scratch->registry()));
+  ASSIGN_OR_RETURN(fuzz::Program program,
+                   fuzz::ParseProgramText(mined.specs, program_text));
+
+  ExceptionMonitor exception_monitor;
+  LogMonitor log_monitor;
+  RETURN_IF_ERROR(exception_monitor.Arm(*deployment, scratch->exception_symbol()));
+  ASSIGN_OR_RETURN(uint64_t executor_main, deployment->SymbolAddress("executor_main"));
+  RETURN_IF_ERROR(deployment->port().SetBreakpoint(executor_main));
+  ASSIGN_OR_RETURN(StopInfo parked, deployment->port().Continue());
+  (void)parked;
+  (void)deployment->port().DrainUart();  // boot banner is not part of the verdict
+
+  RETURN_IF_ERROR(deployment->WriteTestCase(EncodeProgram(program.ToWire(mined.specs))));
+
+  ReplayOutcome outcome;
+  for (int round = 0; round < 8; ++round) {
+    auto stop = deployment->port().Continue();
+    if (!stop.ok()) {
+      // Link-dead target: the reproducer bricked it (flash damage class).
+      outcome.crashed = true;
+      outcome.detector = "timeout";
+      break;
+    }
+    outcome.uart += deployment->port().DrainUart();
+    if (exception_monitor.IsExceptionStop(stop.value())) {
+      outcome.crashed = true;
+      outcome.detector = "exception";
+      break;
+    }
+    auto log_hit = log_monitor.Scan(outcome.uart);
+    if (log_hit.has_value()) {
+      outcome.crashed = true;
+      outcome.detector = "log";
+      break;
+    }
+    if (stop.value().reason == HaltReason::kBreakpoint &&
+        stop.value().symbol == "executor_main") {
+      auto status = deployment->ReadAgentStatus();
+      if (status.ok() && status.value().state == AgentState::kWaiting) {
+        continue;  // pre-read pause
+      }
+      break;  // completed without incident
+    }
+    if (stop.value().reason == HaltReason::kIdle) {
+      break;
+    }
+    // Quantum expired twice in a row with a frozen PC = wedge.
+    auto pc1 = deployment->port().ReadPC();
+    auto again = deployment->port().Continue();
+    auto pc2 = deployment->port().ReadPC();
+    outcome.uart += deployment->port().DrainUart();
+    if (pc1.ok() && again.ok() && pc2.ok() && pc1.value() != pc2.value()) {
+      continue;
+    }
+    outcome.crashed = true;
+    auto log_hit2 = log_monitor.Scan(outcome.uart);
+    outcome.detector = log_hit2.has_value() ? "log" : "timeout";
+    break;
+  }
+  if (outcome.crashed) {
+    outcome.crash_text = outcome.uart;
+    outcome.catalog_id = AttributeBug(os_name, outcome.crash_text);
+  }
+  return outcome;
+}
+
+}  // namespace eof

@@ -1,0 +1,30 @@
+// Reproducer replay: run one saved program text against a fresh deployment with full
+// monitoring, and report what happened — the triage half of the fuzzing workflow.
+
+#ifndef SRC_CORE_REPLAY_H_
+#define SRC_CORE_REPLAY_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/core/fuzzer.h"
+
+namespace eof {
+
+struct ReplayOutcome {
+  bool crashed = false;
+  int catalog_id = 0;        // attributed Table-2 bug, 0 if unknown/no crash
+  std::string detector;      // "exception" | "log" | ""
+  std::string crash_text;    // UART capture when crashed
+  std::string uart;          // full UART capture of the run
+};
+
+// Deploys `os_name` on its default board (or `board_name`), parses `program_text`
+// against freshly mined specs, executes it once, and reports.
+Result<ReplayOutcome> ReplayReproducer(const std::string& os_name,
+                                       const std::string& program_text,
+                                       const std::string& board_name = "");
+
+}  // namespace eof
+
+#endif  // SRC_CORE_REPLAY_H_

@@ -1,0 +1,39 @@
+// AFL-style havoc mutation over raw byte buffers. EOF uses it for buffer-typed arguments;
+// the byte-buffer baselines (GDBFuzz, SHIFT, Gustave) use it as their whole input stage.
+
+#ifndef SRC_FUZZ_BYTE_MUTATOR_H_
+#define SRC_FUZZ_BYTE_MUTATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace eof {
+namespace fuzz {
+
+class ByteMutator {
+ public:
+  explicit ByteMutator(uint64_t max_len) : max_len_(max_len) {}
+
+  // Fresh random buffer, size biased small.
+  std::vector<uint8_t> Random(Rng& rng) const;
+
+  // Havoc: 1..8 stacked operations (bit flips, interesting values, arithmetic, block
+  // delete/insert/duplicate, truncate/extend).
+  std::vector<uint8_t> Mutate(const std::vector<uint8_t>& seed, Rng& rng) const;
+
+  // Crossover: head of `a` spliced with tail of `b`.
+  std::vector<uint8_t> Splice(const std::vector<uint8_t>& a, const std::vector<uint8_t>& b,
+                              Rng& rng) const;
+
+  uint64_t max_len() const { return max_len_; }
+
+ private:
+  uint64_t max_len_;
+};
+
+}  // namespace fuzz
+}  // namespace eof
+
+#endif  // SRC_FUZZ_BYTE_MUTATOR_H_

@@ -1,0 +1,65 @@
+// Corpus management: interesting programs (new coverage or crashes) are retained and
+// scheduled for further mutation, weighted by how much new coverage they brought and how
+// recently they were added (§4.5: "If so, EOF saves the case to the corpus for further
+// mutation ... otherwise it discards the case").
+
+#ifndef SRC_FUZZ_CORPUS_H_
+#define SRC_FUZZ_CORPUS_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/fuzz/program.h"
+#include "src/spec/compiler.h"
+
+namespace eof {
+namespace fuzz {
+
+struct CorpusEntry {
+  Program program;
+  uint64_t new_edges = 0;   // edges this program discovered when added
+  uint64_t added_seq = 0;   // admission order
+  uint64_t picks = 0;       // times scheduled since admission
+};
+
+class Corpus {
+ public:
+  explicit Corpus(size_t max_entries = 4096) : max_entries_(max_entries) {}
+
+  // Admits `program` if its hash is unseen. Returns true when added.
+  bool Add(Program program, uint64_t new_edges);
+
+  // True if an identical program was admitted before (also marks it seen, so repeated
+  // non-interesting duplicates are cheap to skip).
+  bool Seen(const Program& program);
+
+  // Weighted seed choice: more new edges and fresher entries are favoured; heavily
+  // re-picked entries decay. Returns nullptr while empty.
+  const Program* PickSeed(Rng& rng);
+
+  // Serializes the whole corpus as reproducer texts separated by blank lines (campaign
+  // checkpointing); LoadText re-admits every program that still parses against `specs`
+  // and returns how many were admitted.
+  std::string SaveText(const spec::CompiledSpecs& specs) const;
+  Result<size_t> LoadText(const spec::CompiledSpecs& specs, const std::string& text);
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  const std::vector<CorpusEntry>& entries() const { return entries_; }
+
+ private:
+  void TrimIfNeeded();
+
+  size_t max_entries_;
+  uint64_t next_seq_ = 0;
+  std::vector<CorpusEntry> entries_;
+  std::unordered_set<uint64_t> seen_hashes_;
+};
+
+}  // namespace fuzz
+}  // namespace eof
+
+#endif  // SRC_FUZZ_CORPUS_H_

@@ -1,0 +1,165 @@
+#include "src/fuzz/program_text.h"
+
+#include <cctype>
+
+#include "src/common/strings.h"
+
+namespace eof {
+namespace fuzz {
+namespace {
+
+bool ParseHexByte(char hi, char lo, uint8_t* out) {
+  auto digit = [](char c) -> int {
+    if (c >= '0' && c <= '9') {
+      return c - '0';
+    }
+    if (c >= 'a' && c <= 'f') {
+      return c - 'a' + 10;
+    }
+    if (c >= 'A' && c <= 'F') {
+      return c - 'A' + 10;
+    }
+    return -1;
+  };
+  int high = digit(hi);
+  int low = digit(lo);
+  if (high < 0 || low < 0) {
+    return false;
+  }
+  *out = static_cast<uint8_t>(high << 4 | low);
+  return true;
+}
+
+// Splits an argument list respecting backtick quoting.
+Result<std::vector<std::string>> SplitArgs(const std::string& body, int line_number) {
+  std::vector<std::string> args;
+  std::string current;
+  bool in_bytes = false;
+  for (char c : body) {
+    if (c == '`') {
+      in_bytes = !in_bytes;
+      current.push_back(c);
+      continue;
+    }
+    if (c == ',' && !in_bytes) {
+      std::string piece(StripWhitespace(current));
+      if (piece.empty()) {
+        return InvalidArgumentError(StrFormat("line %d: empty argument", line_number));
+      }
+      args.push_back(piece);
+      current.clear();
+      continue;
+    }
+    current.push_back(c);
+  }
+  if (in_bytes) {
+    return InvalidArgumentError(StrFormat("line %d: unterminated byte literal", line_number));
+  }
+  std::string piece(StripWhitespace(current));
+  if (!piece.empty()) {
+    args.push_back(piece);
+  }
+  return args;
+}
+
+}  // namespace
+
+std::string SerializeProgramText(const spec::CompiledSpecs& specs, const Program& program) {
+  std::string out;
+  for (size_t i = 0; i < program.calls.size(); ++i) {
+    const ProgCall& call = program.calls[i];
+    out += StrFormat("r%zu = %s(", i, specs.calls[call.spec_index].name.c_str());
+    for (size_t a = 0; a < call.args.size(); ++a) {
+      if (a != 0) {
+        out += ", ";
+      }
+      const ProgArg& arg = call.args[a];
+      switch (arg.kind) {
+        case ProgArg::Kind::kScalar:
+          out += StrFormat("0x%llx", static_cast<unsigned long long>(arg.scalar));
+          break;
+        case ProgArg::Kind::kResult:
+          out += StrFormat("r%d", arg.ref);
+          break;
+        case ProgArg::Kind::kBytes:
+          out += "`" + BytesToHex(arg.bytes.data(), arg.bytes.size()) + "`";
+          break;
+      }
+    }
+    out += ")\n";
+  }
+  return out;
+}
+
+Result<Program> ParseProgramText(const spec::CompiledSpecs& specs, const std::string& text) {
+  Program program;
+  int line_number = 0;
+  for (const std::string& raw_line : StrSplit(text, '\n')) {
+    ++line_number;
+    std::string line(StripWhitespace(raw_line));
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    // rN = name(args)
+    size_t equals = line.find('=');
+    size_t open = line.find('(');
+    size_t close = line.rfind(')');
+    if (equals == std::string::npos || open == std::string::npos ||
+        close == std::string::npos || close < open) {
+      return InvalidArgumentError(StrFormat("line %d: malformed call", line_number));
+    }
+    std::string name(StripWhitespace(line.substr(equals + 1, open - equals - 1)));
+    const spec::CompiledCall* decl = specs.FindByName(name);
+    if (decl == nullptr) {
+      return NotFoundError(StrFormat("line %d: unknown API '%s'", line_number,
+                                     name.c_str()));
+    }
+    ASSIGN_OR_RETURN(std::vector<std::string> pieces,
+                     SplitArgs(line.substr(open + 1, close - open - 1), line_number));
+    if (pieces.size() != decl->args.size()) {
+      return InvalidArgumentError(StrFormat("line %d: %s takes %zu args, got %zu",
+                                            line_number, name.c_str(), decl->args.size(),
+                                            pieces.size()));
+    }
+    ProgCall call;
+    call.spec_index = static_cast<size_t>(decl - specs.calls.data());
+    for (const std::string& piece : pieces) {
+      if (piece[0] == '`') {
+        if (piece.size() < 2 || piece.back() != '`' || (piece.size() - 2) % 2 != 0) {
+          return InvalidArgumentError(
+              StrFormat("line %d: bad byte literal '%s'", line_number, piece.c_str()));
+        }
+        std::vector<uint8_t> bytes;
+        for (size_t i = 1; i + 1 < piece.size(); i += 2) {
+          uint8_t byte = 0;
+          if (!ParseHexByte(piece[i], piece[i + 1], &byte)) {
+            return InvalidArgumentError(
+                StrFormat("line %d: bad hex in byte literal", line_number));
+          }
+          bytes.push_back(byte);
+        }
+        call.args.push_back(ProgArg::Bytes(std::move(bytes)));
+      } else if (piece[0] == 'r' && piece.size() > 1 &&
+                 isdigit(static_cast<unsigned char>(piece[1])) != 0) {
+        int ref = atoi(piece.c_str() + 1);
+        if (ref < 0 || static_cast<size_t>(ref) >= program.calls.size()) {
+          return InvalidArgumentError(
+              StrFormat("line %d: forward/invalid reference '%s'", line_number,
+                        piece.c_str()));
+        }
+        call.args.push_back(ProgArg::Result(ref));
+      } else {
+        uint64_t value = strtoull(piece.c_str(), nullptr, 0);
+        call.args.push_back(ProgArg::Scalar(value));
+      }
+    }
+    program.calls.push_back(std::move(call));
+  }
+  if (program.calls.empty()) {
+    return InvalidArgumentError("no calls in program text");
+  }
+  return program;
+}
+
+}  // namespace fuzz
+}  // namespace eof

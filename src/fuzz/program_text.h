@@ -1,0 +1,30 @@
+// Portable text form of fuzzer programs — the reproducer artifact format (one call per
+// line, Syzkaller-style):
+//
+//   r0 = xQueueCreate(0x8, 0x10)
+//   r1 = xQueueSend(r0, `68690a`, 0x0)     # bytes as backtick-quoted hex
+//
+// Round-trips through ParseProgramText against the same compiled specs, so crash
+// reproducers survive across runs and machines.
+
+#ifndef SRC_FUZZ_PROGRAM_TEXT_H_
+#define SRC_FUZZ_PROGRAM_TEXT_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/fuzz/program.h"
+
+namespace eof {
+namespace fuzz {
+
+// Serializes `program`. All scalars hex, bytes backtick-hex, refs rN.
+std::string SerializeProgramText(const spec::CompiledSpecs& specs, const Program& program);
+
+// Parses the text form; validates API names against `specs`, arity, and ref ordering.
+Result<Program> ParseProgramText(const spec::CompiledSpecs& specs, const std::string& text);
+
+}  // namespace fuzz
+}  // namespace eof
+
+#endif  // SRC_FUZZ_PROGRAM_TEXT_H_

@@ -1,0 +1,174 @@
+#include "src/hw/board_catalog.h"
+
+#include "src/common/strings.h"
+
+namespace eof {
+namespace {
+
+std::vector<BoardSpec> BuildCatalog() {
+  std::vector<BoardSpec> catalog;
+
+  {
+    BoardSpec spec;
+    spec.name = "esp32-devkitc";
+    spec.arch = Arch::kXtensa;
+    spec.clock_mhz = 240;
+    spec.ram_bytes = 520 * 1024;
+    spec.flash_bytes = 4 * 1024 * 1024;
+    spec.flash_base = 0x00000000;
+    spec.ram_base = 0x3ffb0000;
+    spec.text_base = 0x400d0000;
+    spec.max_hw_breakpoints = 2;  // Xtensa LX6 exposes 2 IBREAK units
+    spec.peripherals = {Peripheral::kUartHw, Peripheral::kSpiFlash, Peripheral::kGpio,
+                        Peripheral::kWifi, Peripheral::kHwTimer, Peripheral::kTrng};
+    catalog.push_back(spec);
+  }
+  {
+    BoardSpec spec;
+    spec.name = "stm32h745-nucleo";
+    spec.arch = Arch::kArm;
+    spec.clock_mhz = 480;
+    spec.ram_bytes = 1024 * 1024;
+    // 2 MiB internal dual-bank flash plus memory-mapped QSPI NOR, presented as one window.
+    spec.flash_bytes = 4 * 1024 * 1024;
+    spec.flash_base = 0x08000000;
+    spec.ram_base = 0x20000000;
+    spec.text_base = 0x08010000;
+    spec.max_hw_breakpoints = 8;  // Cortex-M7 FPB
+    spec.peripherals = {Peripheral::kUartHw, Peripheral::kSpiFlash, Peripheral::kGpio,
+                        Peripheral::kCan, Peripheral::kEthernet, Peripheral::kHwTimer,
+                        Peripheral::kTrng};
+    catalog.push_back(spec);
+  }
+  {
+    BoardSpec spec;
+    spec.name = "stm32f407-disco";
+    spec.arch = Arch::kArm;
+    spec.clock_mhz = 168;
+    spec.ram_bytes = 192 * 1024;
+    spec.flash_bytes = 1024 * 1024;
+    spec.flash_base = 0x08000000;
+    spec.ram_base = 0x20000000;
+    spec.text_base = 0x08008000;
+    spec.max_hw_breakpoints = 6;  // Cortex-M4 FPB
+    spec.peripherals = {Peripheral::kUartHw, Peripheral::kGpio, Peripheral::kCan,
+                        Peripheral::kHwTimer, Peripheral::kTrng};
+    catalog.push_back(spec);
+  }
+  {
+    BoardSpec spec;
+    spec.name = "hifive1-revb";
+    spec.arch = Arch::kRiscV;
+    spec.clock_mhz = 320;
+    spec.ram_bytes = 16 * 1024;  // tiny SRAM: exercises the RAM-budget paths
+    spec.flash_bytes = 4 * 1024 * 1024;
+    spec.flash_base = 0x20000000;
+    spec.ram_base = 0x80000000;
+    spec.text_base = 0x20010000;
+    spec.max_hw_breakpoints = 4;
+    spec.peripherals = {Peripheral::kUartHw, Peripheral::kSpiFlash, Peripheral::kGpio};
+    catalog.push_back(spec);
+  }
+  {
+    BoardSpec spec;
+    spec.name = "qemu-virt-arm";
+    spec.arch = Arch::kArm;
+    spec.clock_mhz = 400;  // TCG throughput on the host, MMIO traps included
+    spec.ram_bytes = 8 * 1024 * 1024;
+    spec.flash_bytes = 16 * 1024 * 1024;
+    spec.flash_base = 0x08000000;
+    spec.ram_base = 0x20000000;
+    spec.text_base = 0x08010000;
+    spec.max_hw_breakpoints = 32;  // gdbstub breakpoints are plentiful
+    spec.emulated = true;
+    spec.peripherals = {};  // no peripheral-accurate devices
+    catalog.push_back(spec);
+  }
+  {
+    BoardSpec spec;
+    spec.name = "qemu-virt-riscv";
+    spec.arch = Arch::kRiscV;
+    spec.clock_mhz = 400;
+    spec.ram_bytes = 8 * 1024 * 1024;
+    spec.flash_bytes = 16 * 1024 * 1024;
+    spec.flash_base = 0x20000000;
+    spec.ram_base = 0x80000000;
+    spec.text_base = 0x20010000;
+    spec.max_hw_breakpoints = 32;
+    spec.emulated = true;
+    spec.peripherals = {};
+    catalog.push_back(spec);
+  }
+  return catalog;
+}
+
+const std::vector<BoardSpec>& Catalog() {
+  static const std::vector<BoardSpec>* catalog = new std::vector<BoardSpec>(BuildCatalog());
+  return *catalog;
+}
+
+}  // namespace
+
+const char* ArchName(Arch arch) {
+  switch (arch) {
+    case Arch::kArm:
+      return "ARM";
+    case Arch::kRiscV:
+      return "RISC-V";
+    case Arch::kXtensa:
+      return "Xtensa";
+    case Arch::kMips:
+      return "MIPS";
+    case Arch::kPowerPc:
+      return "PowerPC";
+    case Arch::kMsp430:
+      return "MSP430";
+  }
+  return "?";
+}
+
+const char* PeripheralName(Peripheral peripheral) {
+  switch (peripheral) {
+    case Peripheral::kUartHw:
+      return "uart";
+    case Peripheral::kSpiFlash:
+      return "spi-flash";
+    case Peripheral::kGpio:
+      return "gpio";
+    case Peripheral::kCan:
+      return "can";
+    case Peripheral::kEthernet:
+      return "ethernet";
+    case Peripheral::kWifi:
+      return "wifi";
+    case Peripheral::kHwTimer:
+      return "hw-timer";
+    case Peripheral::kTrng:
+      return "trng";
+  }
+  return "?";
+}
+
+std::vector<std::string> KnownBoardNames() {
+  std::vector<std::string> names;
+  for (const BoardSpec& spec : Catalog()) {
+    names.push_back(spec.name);
+  }
+  return names;
+}
+
+Result<BoardSpec> BoardSpecByName(const std::string& name) {
+  for (const BoardSpec& spec : Catalog()) {
+    if (spec.name == name) {
+      return spec;
+    }
+  }
+  return NotFoundError(StrFormat("unknown board '%s'", name.c_str()));
+}
+
+Result<std::unique_ptr<Board>> MakeBoard(const std::string& name) {
+  ASSIGN_OR_RETURN(BoardSpec spec, BoardSpecByName(name));
+  return std::make_unique<Board>(std::move(spec));
+}
+
+}  // namespace eof

@@ -1,0 +1,35 @@
+// Catalog of the boards used in the paper's evaluation plus the QEMU-style virtual boards
+// the emulation-based baselines require. MakeBoard() is the single factory used by
+// examples, tests, and benches.
+
+#ifndef SRC_HW_BOARD_CATALOG_H_
+#define SRC_HW_BOARD_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/hw/board.h"
+#include "src/hw/board_spec.h"
+
+namespace eof {
+
+// Known board identifiers.
+//   "esp32-devkitc"   — Xtensa, JTAG, Wi-Fi/UART/SPI peripherals (GDBFuzz comparison board)
+//   "stm32h745-nucleo"— ARM Cortex-M7-class, SWD, CAN/ETH (the industrial-control example)
+//   "stm32f407-disco" — ARM Cortex-M4-class, SWD
+//   "hifive1-revb"    — RISC-V, JTAG
+//   "qemu-virt-arm"   — emulated ARM machine: no peripheral-accurate devices, no real
+//                       debug-unit limits (Tardis/Gustave run here)
+//   "qemu-virt-riscv" — emulated RISC-V machine
+std::vector<std::string> KnownBoardNames();
+
+Result<BoardSpec> BoardSpecByName(const std::string& name);
+
+// Constructs a powered-off board of the named type.
+Result<std::unique_ptr<Board>> MakeBoard(const std::string& name);
+
+}  // namespace eof
+
+#endif  // SRC_HW_BOARD_CATALOG_H_

@@ -1,0 +1,71 @@
+// Static description of a target board: architecture, memory geometry, debug facilities,
+// and peripheral population. EOF's adaptability claims (Table 1) are about exactly these
+// properties — any board exposing a JTAG/SWD-style debug port can be driven.
+
+#ifndef SRC_HW_BOARD_SPEC_H_
+#define SRC_HW_BOARD_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace eof {
+
+enum class Arch : uint8_t {
+  kArm,
+  kRiscV,
+  kXtensa,
+  kMips,
+  kPowerPc,
+  kMsp430,
+};
+
+const char* ArchName(Arch arch);
+
+// Peripherals that gate hardware-specific kernel paths. Emulated boards (QEMU) lack the
+// peripheral-accurate members, which is why emulation-based fuzzers cannot reach those
+// branches (§2.2: "many STM32H7-based controllers lack peripheral-accurate emulators").
+enum class Peripheral : uint8_t {
+  kUartHw,     // hardware UART FIFO / flow control paths
+  kSpiFlash,   // external flash controller
+  kGpio,
+  kCan,
+  kEthernet,
+  kWifi,
+  kHwTimer,
+  kTrng,       // true random number generator
+};
+
+const char* PeripheralName(Peripheral peripheral);
+
+struct BoardSpec {
+  std::string name;          // e.g. "esp32-devkitc"
+  Arch arch = Arch::kArm;
+  uint32_t clock_mhz = 100;  // core clock; converts cycles to virtual time
+  uint64_t ram_bytes = 512 * 1024;
+  uint64_t flash_bytes = 4 * 1024 * 1024;
+
+  // Address map (absolute addresses as the debugger sees them).
+  uint64_t flash_base = 0x08000000;
+  uint64_t ram_base = 0x20000000;
+  uint64_t text_base = 0x08010000;  // where code symbols are laid out
+
+  int max_hw_breakpoints = 6;  // hardware breakpoint units (GDBFuzz leans on these)
+  bool emulated = false;       // true for QEMU-style virtual boards
+  bool has_debug_port = true;  // JTAG/SWD exposed
+
+  std::vector<Peripheral> peripherals;
+
+  bool HasPeripheral(Peripheral peripheral) const {
+    for (Peripheral p : peripherals) {
+      if (p == peripheral) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+}  // namespace eof
+
+#endif  // SRC_HW_BOARD_SPEC_H_

@@ -1,0 +1,138 @@
+#include "src/hw/debug_port.h"
+
+#include "src/common/strings.h"
+#include "src/hw/timing.h"
+
+namespace eof {
+
+Status DebugPort::Connect() {
+  if (!board_->spec().has_debug_port) {
+    return UnavailableError(
+        StrFormat("board '%s' exposes no debug port", board_->spec().name.c_str()));
+  }
+  if (link_severed_) {
+    board_->clock().Advance(kLinkTimeout);
+    ++stats_.timeouts;
+    return TimeoutError("debug link severed");
+  }
+  board_->clock().Advance(kDebugTransactionCost);
+  ++stats_.transactions;
+  attached_ = true;
+  return OkStatus();
+}
+
+Status DebugPort::CheckResponsive(bool needs_core) {
+  if (!attached_) {
+    return UnavailableError("debug port not attached");
+  }
+  if (link_severed_) {
+    board_->clock().Advance(kLinkTimeout);
+    ++stats_.timeouts;
+    return TimeoutError("debug link severed");
+  }
+  if (needs_core && (board_->power_state() == PowerState::kOff ||
+                     board_->power_state() == PowerState::kBootFailed)) {
+    // A core that never left the boot ROM does not service run-control requests.
+    board_->clock().Advance(kLinkTimeout);
+    ++stats_.timeouts;
+    return TimeoutError(StrFormat("target unresponsive (state: %s)",
+                                  PowerStateName(board_->power_state())));
+  }
+  return OkStatus();
+}
+
+Result<std::vector<uint8_t>> DebugPort::ReadMem(uint64_t address, uint64_t size) {
+  RETURN_IF_ERROR(CheckResponsive(/*needs_core=*/true));
+  board_->clock().Advance(DebugMemCost(size));
+  ++stats_.transactions;
+  stats_.bytes_read += size;
+  const BoardSpec& spec = board_->spec();
+  if (address >= spec.ram_base && address + size <= spec.ram_base + spec.ram_bytes) {
+    return board_->RamRead(address - spec.ram_base, size);
+  }
+  if (address >= spec.flash_base && address + size <= spec.flash_base + spec.flash_bytes) {
+    return board_->flash().Read(address - spec.flash_base, size);
+  }
+  return OutOfRangeError(StrFormat("address 0x%llx not in RAM or flash window",
+                                   static_cast<unsigned long long>(address)));
+}
+
+Status DebugPort::WriteMem(uint64_t address, const std::vector<uint8_t>& data) {
+  RETURN_IF_ERROR(CheckResponsive(/*needs_core=*/true));
+  board_->clock().Advance(DebugMemCost(data.size()));
+  ++stats_.transactions;
+  stats_.bytes_written += data.size();
+  const BoardSpec& spec = board_->spec();
+  if (address >= spec.ram_base && address + data.size() <= spec.ram_base + spec.ram_bytes) {
+    return board_->RamWrite(address - spec.ram_base, data);
+  }
+  return OutOfRangeError(StrFormat("address 0x%llx not writable over the link",
+                                   static_cast<unsigned long long>(address)));
+}
+
+Result<uint64_t> DebugPort::ReadPC() {
+  RETURN_IF_ERROR(CheckResponsive(/*needs_core=*/true));
+  board_->clock().Advance(kDebugTransactionCost);
+  ++stats_.transactions;
+  return board_->ReadPC();
+}
+
+Result<StopInfo> DebugPort::Continue(uint64_t max_steps) {
+  RETURN_IF_ERROR(CheckResponsive(/*needs_core=*/true));
+  board_->clock().Advance(kDebugTransactionCost);
+  ++stats_.transactions;
+  return board_->Continue(max_steps);
+}
+
+Status DebugPort::SetBreakpoint(uint64_t address) {
+  RETURN_IF_ERROR(CheckResponsive(/*needs_core=*/false));
+  board_->clock().Advance(kDebugTransactionCost);
+  ++stats_.transactions;
+  return board_->AddBreakpoint(address);
+}
+
+Status DebugPort::ClearBreakpoint(uint64_t address) {
+  RETURN_IF_ERROR(CheckResponsive(/*needs_core=*/false));
+  board_->clock().Advance(kDebugTransactionCost);
+  ++stats_.transactions;
+  board_->RemoveBreakpoint(address);
+  return OkStatus();
+}
+
+void DebugPort::ClearAllBreakpoints() {
+  board_->clock().Advance(kDebugTransactionCost);
+  ++stats_.transactions;
+  board_->ClearBreakpoints();
+}
+
+Status DebugPort::FlashPartition(uint64_t offset, const std::vector<uint8_t>& data) {
+  RETURN_IF_ERROR(CheckResponsive(/*needs_core=*/false));
+  board_->clock().Advance(FlashProgramCost(data.size()));
+  ++stats_.transactions;
+  stats_.flash_bytes += data.size();
+  return board_->FlashWrite(offset, data);
+}
+
+Status DebugPort::ResetTarget() {
+  RETURN_IF_ERROR(CheckResponsive(/*needs_core=*/false));
+  ++stats_.transactions;
+  ++stats_.resets;
+  board_->Reset();  // charges kRebootCost internally
+  return OkStatus();
+}
+
+Status DebugPort::InjectPeripheralEvent(const PeripheralEvent& event) {
+  RETURN_IF_ERROR(CheckResponsive(/*needs_core=*/false));
+  board_->clock().Advance(kDebugTransactionCost);
+  ++stats_.transactions;
+  if (!board_->InjectPeripheralEvent(event)) {
+    return ResourceExhaustedError("peripheral event queue saturated");
+  }
+  return OkStatus();
+}
+
+std::string DebugPort::DrainUart() { return board_->uart().Drain(); }
+
+std::vector<uint64_t> DebugPort::TakeBreakpointHits() { return board_->TakeBreakpointHits(); }
+
+}  // namespace eof

@@ -1,0 +1,100 @@
+// The host's only channel to the target: a JTAG/SWD-style debug port, equivalent to the
+// OpenOCD + GDB/MI stack the paper drives (§4.3.1). Every operation costs virtual time per
+// the src/hw/timing.h model, and every operation can time out — either because the link
+// was severed (injected for watchdog tests) or because the target never booted. The fuzzer
+// layers (src/core, src/baselines) are written strictly against this interface.
+
+#ifndef SRC_HW_DEBUG_PORT_H_
+#define SRC_HW_DEBUG_PORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/vclock.h"
+#include "src/hw/board.h"
+#include "src/hw/stop_info.h"
+
+namespace eof {
+
+struct DebugPortStats {
+  uint64_t transactions = 0;
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+  uint64_t timeouts = 0;
+  uint64_t flash_bytes = 0;
+  uint64_t resets = 0;
+};
+
+class DebugPort {
+ public:
+  // The board must outlive the port.
+  explicit DebugPort(Board* board) : board_(board) {}
+
+  // Attaches to the target's debug unit; fails for boards without one (Table 1 boundary).
+  Status Connect();
+  void Disconnect() { attached_ = false; }
+  bool attached() const { return attached_; }
+
+  // Memory access by absolute address (flash or RAM window).
+  Result<std::vector<uint8_t>> ReadMem(uint64_t address, uint64_t size);
+  Status WriteMem(uint64_t address, const std::vector<uint8_t>& data);
+
+  // Current program counter (watchdog #2 probes this around exec-continue).
+  Result<uint64_t> ReadPC();
+
+  // exec-continue: run the target until a stop condition.
+  Result<StopInfo> Continue(uint64_t max_steps = Board::kDefaultQuantum);
+
+  Status SetBreakpoint(uint64_t address);
+  Status ClearBreakpoint(uint64_t address);
+  void ClearAllBreakpoints();
+
+  // Programs a partition payload at `offset` (the StateRestoration reflash path).
+  Status FlashPartition(uint64_t offset, const std::vector<uint8_t>& data);
+
+  // Hardware reset; the target re-runs its boot ROM against current flash contents.
+  Status ResetTarget();
+
+  // Captured UART output since the last drain (the paper redirects this to stdout and the
+  // log monitor greps it). Works even when the core is wedged — it is a separate wire.
+  std::string DrainUart();
+
+  // Hardware-breakpoint hits recorded by the debug unit since the last call.
+  std::vector<uint64_t> TakeBreakpointHits();
+
+  VirtualTime Now() const { return board_->clock().Now(); }
+
+  // Samples the bench ammeter on the target's supply rail (§6 extension). This is a
+  // separate physical channel: it works even when the debug link is severed.
+  uint32_t SamplePowerMilliAmps() const { return board_->PowerDrawMilliAmps(); }
+
+  // Injects a peripheral event (GPIO toggle, serial RX byte...) through the bench signal
+  // generator attached to the target (§6 extension). Link-gated like everything else.
+  Status InjectPeripheralEvent(const PeripheralEvent& event);
+
+  // Severs / restores the physical link. While severed, every operation burns the link
+  // timeout and fails — this is what watchdog #1 reacts to.
+  void InjectLinkFailure(bool severed) { link_severed_ = severed; }
+  bool link_severed() const { return link_severed_; }
+
+  const DebugPortStats& stats() const { return stats_; }
+
+  // Escape hatch for tests and the campaign harness; production fuzzer code must not use.
+  Board& board_for_test() { return *board_; }
+
+ private:
+  // Returns a TimeoutError (burning kLinkTimeout) when the link is severed or the target's
+  // debug unit is unresponsive (never-booted cores hold the DAP in reset on our boards).
+  Status CheckResponsive(bool needs_core);
+
+  Board* board_;
+  bool attached_ = false;
+  bool link_severed_ = false;
+  DebugPortStats stats_;
+};
+
+}  // namespace eof
+
+#endif  // SRC_HW_DEBUG_PORT_H_

@@ -1,0 +1,31 @@
+// Firmware executes on a Board. The board is OS-agnostic: it boots whatever the installed
+// image's factory produces and advances it via Resume(). The agent layer (src/agent)
+// provides the concrete Firmware that embeds an embedded OS and the Figure-4 fuzzing loop.
+
+#ifndef SRC_HW_FIRMWARE_H_
+#define SRC_HW_FIRMWARE_H_
+
+#include <memory>
+
+#include "src/common/status.h"
+#include "src/hw/stop_info.h"
+#include "src/hw/target_env.h"
+
+namespace eof {
+
+class Firmware {
+ public:
+  virtual ~Firmware() = default;
+
+  // One-time boot: OS init, agent setup, boot banner on UART. A failed boot leaves the
+  // board in the boot-failed state (watchdog #1 territory).
+  virtual Status OnBoot(TargetEnv& env) = 0;
+
+  // Runs until a breakpointed program point, a fault, an idle point (agent waiting for
+  // host input), a wedge, or `max_steps` agent steps — whichever comes first.
+  virtual StopInfo Resume(TargetEnv& env, uint64_t max_steps) = 0;
+};
+
+}  // namespace eof
+
+#endif  // SRC_HW_FIRMWARE_H_

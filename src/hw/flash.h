@@ -1,0 +1,62 @@
+// Simulated on-board flash with a partition layout.
+//
+// The embedded OS image is split into partitions (bootloader, kernel, app, nvs...), each at
+// a fixed offset — the memory-layout analysis step in Figure 3 (①) extracts exactly this
+// table from the build configuration, and StateRestoration (Algorithm 1) reflashes each
+// partition at its offset. Kernel bugs can scribble over flash; boot-time validation then
+// fails until the host reflashes pristine bytes.
+
+#ifndef SRC_HW_FLASH_H_
+#define SRC_HW_FLASH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace eof {
+
+// One entry of the partition table ("a configuration file supplied by the developer").
+struct Partition {
+  std::string name;    // "bootloader", "kernel", ...
+  uint64_t offset = 0;  // byte offset into flash
+  uint64_t size = 0;    // reserved region size
+};
+
+struct PartitionTable {
+  std::vector<Partition> partitions;
+
+  // Returns nullptr when absent.
+  const Partition* Find(const std::string& name) const;
+
+  // Validates that partitions are in-bounds for `flash_size` and non-overlapping.
+  Status Validate(uint64_t flash_size) const;
+};
+
+class Flash {
+ public:
+  explicit Flash(uint64_t size_bytes) : storage_(size_bytes, 0xff) {}
+
+  uint64_t size() const { return storage_.size(); }
+
+  // Program bytes at `offset` (debug-port reflash path, or a buggy kernel write).
+  Status Write(uint64_t offset, const std::vector<uint8_t>& data);
+
+  // Reads `size` bytes at `offset`.
+  Result<std::vector<uint8_t>> Read(uint64_t offset, uint64_t size) const;
+
+  // Erases the whole device back to 0xff.
+  void MassErase();
+
+  // Number of programming operations since construction (wear accounting for stats).
+  uint64_t write_count() const { return write_count_; }
+
+ private:
+  std::vector<uint8_t> storage_;
+  uint64_t write_count_ = 0;
+};
+
+}  // namespace eof
+
+#endif  // SRC_HW_FLASH_H_

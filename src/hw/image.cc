@@ -1,0 +1,140 @@
+#include "src/hw/image.h"
+
+#include "src/common/byteio.h"
+#include "src/common/hash.h"
+#include "src/common/rng.h"
+#include "src/common/strings.h"
+
+namespace eof {
+namespace {
+
+constexpr uint32_t kPayloadMagic = 0xe0fb007u;
+
+}  // namespace
+
+std::vector<uint8_t> FirmwareImage::MakePayload(const std::string& name, uint64_t seed,
+                                                uint64_t body_bytes) {
+  Rng rng(Fnv1a(name, seed));
+  std::vector<uint8_t> body(body_bytes);
+  for (auto& byte : body) {
+    byte = static_cast<uint8_t>(rng.Next());
+  }
+  ByteWriter writer;
+  writer.PutU32(kPayloadMagic);
+  writer.PutU32(static_cast<uint32_t>(body.size()));
+  writer.PutU64(Fnv1aBytes(body.data(), body.size()));
+  writer.PutBytes(body.data(), body.size());
+  return writer.TakeBytes();
+}
+
+Status FirmwareImage::VerifyPayload(const std::vector<uint8_t>& bytes) {
+  ByteReader reader(bytes);
+  uint32_t magic = reader.GetU32();
+  uint32_t len = reader.GetU32();
+  uint64_t crc = reader.GetU64();
+  if (reader.failed() || magic != kPayloadMagic) {
+    return DataLossError("bad payload magic");
+  }
+  if (len > reader.remaining()) {
+    return DataLossError("truncated payload body");
+  }
+  std::vector<uint8_t> body(len);
+  reader.GetBytes(body.data(), body.size());
+  if (reader.failed() || Fnv1aBytes(body.data(), body.size()) != crc) {
+    return DataLossError("payload checksum mismatch");
+  }
+  return OkStatus();
+}
+
+Status FirmwareImage::AddPartition(const std::string& name, uint64_t offset, uint64_t part_size,
+                                   uint64_t body_bytes, uint64_t seed) {
+  std::vector<uint8_t> payload = MakePayload(name, seed, body_bytes);
+  if (payload.size() > part_size) {
+    return InvalidArgumentError(
+        StrFormat("payload for '%s' (%zu bytes) exceeds partition size %llu", name.c_str(),
+                  payload.size(), static_cast<unsigned long long>(part_size)));
+  }
+  if (payloads_.count(name) != 0) {
+    return AlreadyExistsError(StrFormat("partition '%s' already added", name.c_str()));
+  }
+  table_.partitions.push_back(Partition{name, offset, part_size});
+  payloads_[name] = std::move(payload);
+  return OkStatus();
+}
+
+Status FirmwareImage::AddRawPartition(const std::string& name, uint64_t offset,
+                                      uint64_t part_size) {
+  if (payloads_.count(name) != 0 || table_.Find(name) != nullptr) {
+    return AlreadyExistsError(StrFormat("partition '%s' already added", name.c_str()));
+  }
+  table_.partitions.push_back(Partition{name, offset, part_size});
+  return OkStatus();
+}
+
+Result<ModuleLayout> FirmwareImage::AddModule(const std::string& module, uint64_t bb_count) {
+  if (bb_count == 0) {
+    return InvalidArgumentError(StrFormat("module '%s' has zero basic blocks", module.c_str()));
+  }
+  for (const ModuleLayout& layout : modules_) {
+    if (layout.module == module) {
+      return AlreadyExistsError(StrFormat("module '%s' already declared", module.c_str()));
+    }
+  }
+  if (next_module_base_ == 0) {
+    next_module_base_ = code_base_;
+  }
+  ModuleLayout layout{module, next_module_base_, bb_count};
+  next_module_base_ += bb_count * kBasicBlockStride;
+  modules_.push_back(layout);
+  return layout;
+}
+
+Result<ModuleLayout> FirmwareImage::ModuleOf(const std::string& module) const {
+  for (const ModuleLayout& layout : modules_) {
+    if (layout.module == module) {
+      return layout;
+    }
+  }
+  return NotFoundError(StrFormat("module '%s' not declared", module.c_str()));
+}
+
+bool FirmwareImage::InCodeSpace(uint64_t address) const {
+  for (const ModuleLayout& layout : modules_) {
+    if (address >= layout.base && address < layout.base + layout.bb_count * kBasicBlockStride) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Result<std::vector<uint8_t>> FirmwareImage::PayloadOf(const std::string& partition) const {
+  auto it = payloads_.find(partition);
+  if (it == payloads_.end()) {
+    return NotFoundError(StrFormat("no payload for partition '%s'", partition.c_str()));
+  }
+  return it->second;
+}
+
+Status FirmwareImage::VerifyFlash(const Flash& flash) const {
+  for (const Partition& part : table_.partitions) {
+    auto payload_it = payloads_.find(part.name);
+    if (payload_it == payloads_.end()) {
+      continue;
+    }
+    ASSIGN_OR_RETURN(std::vector<uint8_t> stored,
+                     flash.Read(part.offset, payload_it->second.size()));
+    Status valid = VerifyPayload(stored);
+    if (!valid.ok()) {
+      return DataLossError(
+          StrFormat("partition '%s' failed boot validation: %s", part.name.c_str(),
+                    valid.ToString().c_str()));
+    }
+    // CRC validity is necessary but not sufficient: the stored body must be the image's.
+    if (stored != payload_it->second) {
+      return DataLossError(StrFormat("partition '%s' content mismatch", part.name.c_str()));
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace eof

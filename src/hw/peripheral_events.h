@@ -1,0 +1,32 @@
+// Peripheral event injection — the extension the paper's §6 proposes ("we can introduce
+// lightweight peripheral models to drive interrupt paths and I/O error handling ...
+// hardware event injection such as GPIO toggles or serial input").
+//
+// The host injects events through the debug tooling (modelling a bench signal generator
+// wired to the board); the board queues them; the agent drains the queue between calls
+// and dispatches each event to the OS's interrupt-path handler.
+
+#ifndef SRC_HW_PERIPHERAL_EVENTS_H_
+#define SRC_HW_PERIPHERAL_EVENTS_H_
+
+#include <cstdint>
+
+namespace eof {
+
+enum class PeripheralEventKind : uint8_t {
+  kGpioEdge = 0,    // value = line number | (level << 8)
+  kSerialRx = 1,    // value = received byte
+  kTimerTick = 2,   // value = timer channel
+  kCanFrame = 3,    // value = frame id
+};
+
+const char* PeripheralEventKindName(PeripheralEventKind kind);
+
+struct PeripheralEvent {
+  PeripheralEventKind kind = PeripheralEventKind::kGpioEdge;
+  uint32_t value = 0;
+};
+
+}  // namespace eof
+
+#endif  // SRC_HW_PERIPHERAL_EVENTS_H_

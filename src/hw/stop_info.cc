@@ -1,0 +1,39 @@
+#include "src/hw/stop_info.h"
+
+#include "src/hw/peripheral_events.h"
+
+namespace eof {
+
+const char* HaltReasonName(HaltReason reason) {
+  switch (reason) {
+    case HaltReason::kBreakpoint:
+      return "breakpoint";
+    case HaltReason::kFault:
+      return "fault";
+    case HaltReason::kIdle:
+      return "idle";
+    case HaltReason::kQuantumExpired:
+      return "quantum-expired";
+    case HaltReason::kHang:
+      return "hang";
+    case HaltReason::kPoweredOff:
+      return "powered-off";
+  }
+  return "?";
+}
+
+const char* PeripheralEventKindName(PeripheralEventKind kind) {
+  switch (kind) {
+    case PeripheralEventKind::kGpioEdge:
+      return "gpio-edge";
+    case PeripheralEventKind::kSerialRx:
+      return "serial-rx";
+    case PeripheralEventKind::kTimerTick:
+      return "timer-tick";
+    case PeripheralEventKind::kCanFrame:
+      return "can-frame";
+  }
+  return "?";
+}
+
+}  // namespace eof

@@ -1,0 +1,32 @@
+// Halt/stop reporting shared between the board simulator and the debug port.
+
+#ifndef SRC_HW_STOP_INFO_H_
+#define SRC_HW_STOP_INFO_H_
+
+#include <cstdint>
+#include <string>
+
+namespace eof {
+
+// Why Resume()/Continue() returned control to the host.
+enum class HaltReason : uint8_t {
+  kBreakpoint,      // PC reached an address with a breakpoint set
+  kFault,           // target raised a hardware fault / panic with no handler breakpoint
+  kIdle,            // firmware is parked waiting for host input (no breakpoint set)
+  kQuantumExpired,  // execution quantum exhausted without reaching a stop point
+  kHang,            // firmware wedged in a non-advancing loop (PC frozen)
+  kPoweredOff,      // board is not running (boot failure or not powered)
+};
+
+const char* HaltReasonName(HaltReason reason);
+
+struct StopInfo {
+  HaltReason reason = HaltReason::kPoweredOff;
+  uint64_t pc = 0;
+  // Symbol containing the PC, when known (e.g. "execute_one", "panic_handler").
+  std::string symbol;
+};
+
+}  // namespace eof
+
+#endif  // SRC_HW_STOP_INFO_H_

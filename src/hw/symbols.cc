@@ -1,0 +1,40 @@
+#include "src/hw/symbols.h"
+
+#include "src/common/strings.h"
+
+namespace eof {
+
+Status SymbolTable::Add(const std::string& name, uint64_t address, uint64_t size) {
+  if (by_name_.count(name) != 0) {
+    return AlreadyExistsError(StrFormat("symbol '%s' already defined", name.c_str()));
+  }
+  for (const Symbol& sym : symbols_) {
+    bool overlap = address < sym.address + sym.size && sym.address < address + size;
+    if (overlap && size != 0 && sym.size != 0) {
+      return InvalidArgumentError(
+          StrFormat("symbol '%s' overlaps '%s'", name.c_str(), sym.name.c_str()));
+    }
+  }
+  by_name_[name] = symbols_.size();
+  symbols_.push_back(Symbol{name, address, size});
+  return OkStatus();
+}
+
+Result<uint64_t> SymbolTable::AddressOf(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return NotFoundError(StrFormat("symbol '%s' not found", name.c_str()));
+  }
+  return symbols_[it->second].address;
+}
+
+std::string SymbolTable::Containing(uint64_t address) const {
+  for (const Symbol& sym : symbols_) {
+    if (address >= sym.address && address < sym.address + sym.size) {
+      return sym.name;
+    }
+  }
+  return "";
+}
+
+}  // namespace eof

@@ -1,0 +1,45 @@
+// Symbol table of a firmware image. The host extracts this from the build (as the paper
+// does with the ELF) and uses it to plant breakpoints at agent program points and OS
+// exception handlers, and to locate the mailbox / coverage-ring RAM blocks.
+
+#ifndef SRC_HW_SYMBOLS_H_
+#define SRC_HW_SYMBOLS_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace eof {
+
+struct Symbol {
+  std::string name;
+  uint64_t address = 0;
+  uint64_t size = 0;
+};
+
+class SymbolTable {
+ public:
+  // Adds a symbol; duplicate names or overlapping ranges are rejected.
+  Status Add(const std::string& name, uint64_t address, uint64_t size);
+
+  // Address of `name`, or NotFoundError.
+  Result<uint64_t> AddressOf(const std::string& name) const;
+
+  // Symbol whose [address, address+size) range contains `address`; empty string if none.
+  std::string Containing(uint64_t address) const;
+
+  bool Has(const std::string& name) const { return by_name_.count(name) != 0; }
+
+  const std::vector<Symbol>& symbols() const { return symbols_; }
+
+ private:
+  std::vector<Symbol> symbols_;
+  std::unordered_map<std::string, size_t> by_name_;
+};
+
+}  // namespace eof
+
+#endif  // SRC_HW_SYMBOLS_H_

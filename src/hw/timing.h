@@ -1,0 +1,44 @@
+// Virtual-time cost model for debug-link transactions and board lifecycle operations.
+//
+// Values approximate a JTAG adapter in the few-MHz TCK range driving OpenOCD: per-
+// transaction round-trip latency dominates small transfers; bulk flash programming runs at
+// tens of KB/s; a full reboot takes hundreds of milliseconds. The *ratios* between these
+// costs (execution vs. reflash vs. timeout) shape the coverage curves in Figures 7/8, so
+// they are centralized here and used consistently by all fuzzers under comparison.
+
+#ifndef SRC_HW_TIMING_H_
+#define SRC_HW_TIMING_H_
+
+#include "src/common/vclock.h"
+
+namespace eof {
+
+// One debug transaction (halt, resume ack, register read...).
+inline constexpr VirtualDuration kDebugTransactionCost = 150;  // 150 us
+
+// Memory read/write over the link, per byte on top of the transaction cost.
+inline constexpr VirtualDuration kDebugPerByteCost16 = 1;  // 1 us per 16 bytes
+
+// Flash programming, per byte (erase+program, ~60 KB/s).
+inline constexpr VirtualDuration kFlashPerByteCostNs = 5000;  // 5 us per byte
+
+// Cold boot / reset to agent-ready.
+inline constexpr VirtualDuration kRebootCost = 300 * kVirtualMillisecond;
+
+// How long the host waits before declaring a connection timeout (watchdog #1).
+inline constexpr VirtualDuration kLinkTimeout = 2 * kVirtualSecond;
+
+// Semihosting trap cost (SHIFT baseline): each instrumentation event traps to the host.
+inline constexpr VirtualDuration kSemihostTrapCost = 9000;  // ~9 ms per debugger-serviced BKPT
+
+inline constexpr VirtualDuration DebugMemCost(uint64_t bytes) {
+  return kDebugTransactionCost + bytes / 16 * kDebugPerByteCost16;
+}
+
+inline constexpr VirtualDuration FlashProgramCost(uint64_t bytes) {
+  return kDebugTransactionCost + bytes * (kFlashPerByteCostNs / 1000);
+}
+
+}  // namespace eof
+
+#endif  // SRC_HW_TIMING_H_

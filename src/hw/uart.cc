@@ -1,0 +1,35 @@
+#include "src/hw/uart.h"
+
+namespace eof {
+
+void Uart::Write(const std::string& data) {
+  if (frozen_) {
+    dropped_ += data.size();
+    return;
+  }
+  if (buffer_.size() + data.size() > capacity_) {
+    // Keep the oldest output (closest to the fault origin) and drop the tail, matching how
+    // a stalled reader loses the most recent bytes.
+    size_t room = capacity_ > buffer_.size() ? capacity_ - buffer_.size() : 0;
+    buffer_.append(data, 0, room);
+    dropped_ += data.size() - room;
+    return;
+  }
+  buffer_.append(data);
+}
+
+void Uart::WriteLine(const std::string& line) { Write(line + "\n"); }
+
+std::string Uart::Drain() {
+  std::string out;
+  out.swap(buffer_);
+  return out;
+}
+
+void Uart::Reset() {
+  buffer_.clear();
+  frozen_ = false;
+  dropped_ = 0;
+}
+
+}  // namespace eof

@@ -1,0 +1,49 @@
+// Simulated UART transmit path. Target code writes log lines here; the host drains them
+// through DebugPort::DrainUart() and feeds them to the log monitor (§4.5.2).
+//
+// Real boards lose UART output when the core wedges before the FIFO drains; we model that
+// with a bounded buffer plus an explicit Freeze() that the fault path may invoke, after
+// which writes are dropped (the "UART logs may vanish after a fault" behaviour from §3.2).
+
+#ifndef SRC_HW_UART_H_
+#define SRC_HW_UART_H_
+
+#include <cstddef>
+#include <string>
+
+namespace eof {
+
+class Uart {
+ public:
+  explicit Uart(size_t capacity_bytes) : capacity_(capacity_bytes) {}
+
+  // Appends a line (newline added) unless frozen or over capacity; excess is dropped and
+  // counted so tests can assert on loss.
+  void WriteLine(const std::string& line);
+
+  // Appends raw bytes with the same drop rules.
+  void Write(const std::string& data);
+
+  // Returns and clears all buffered output.
+  std::string Drain();
+
+  // Stops accepting further output (core wedged mid-transmission).
+  void Freeze() { frozen_ = true; }
+  bool frozen() const { return frozen_; }
+
+  // Clears buffer and unfreezes (power-on reset).
+  void Reset();
+
+  size_t dropped_bytes() const { return dropped_; }
+  size_t buffered_bytes() const { return buffer_.size(); }
+
+ private:
+  size_t capacity_;
+  std::string buffer_;
+  bool frozen_ = false;
+  size_t dropped_ = 0;
+};
+
+}  // namespace eof
+
+#endif  // SRC_HW_UART_H_

@@ -1,0 +1,124 @@
+// API registry: the machine-readable ground truth about each embedded OS's API surface.
+//
+// Every kernel registers its callable APIs here with full type information — argument
+// kinds, value ranges, flag sets, resource production/consumption. Two consumers exist:
+//   * the agent executor dispatches decoded test-case calls through the registry, and
+//   * the spec miner (src/spec/spec_miner.h) emits Syzlang from it, playing the role of
+//     the paper's GPT-4o pass over headers/docs (§4.5, "LLM-based Input Generation").
+
+#ifndef SRC_KERNEL_API_H_
+#define SRC_KERNEL_API_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace eof {
+
+class KernelContext;
+
+enum class ArgKind : uint8_t {
+  kScalar,    // plain integer with an optional [min, max] range
+  kFlags,     // OR-combination / one-of a declared value set
+  kResource,  // handle produced by an earlier call (task id, queue handle, ...)
+  kBuffer,    // byte blob (the fuzzer controls contents and length)
+  kString,    // NUL-terminated text, optionally from a candidate set (device names, keys)
+  kLen,       // length of a sibling buffer argument
+};
+
+const char* ArgKindName(ArgKind kind);
+
+struct ArgSpec {
+  std::string name;
+  ArgKind kind = ArgKind::kScalar;
+
+  // kScalar:
+  unsigned bits = 32;
+  uint64_t min = 0;
+  uint64_t max = UINT64_MAX;
+
+  // kFlags: the declared values; `combinable` allows OR-ing several.
+  std::vector<uint64_t> flag_values;
+  // Additional values only the LLM-mined (extended) specs know about — header-only
+  // constants hand-written baseline specs typically miss. Baseline generators ignore them.
+  std::vector<uint64_t> extended_flag_values;
+  bool combinable = false;
+
+  // kResource:
+  std::string resource_kind;
+  bool optional_null = false;  // 0 is an accepted "no resource" value
+
+  // kBuffer / kString:
+  uint64_t buf_min = 0;
+  uint64_t buf_max = 256;
+  std::vector<std::string> string_set;  // kString candidates ("" = arbitrary text)
+
+  // kLen: index of the sibling buffer argument this is the length of.
+  int len_of = -1;
+
+  // --- convenience constructors ---
+  static ArgSpec Scalar(std::string name, unsigned bits, uint64_t min, uint64_t max);
+  static ArgSpec Flags(std::string name, std::vector<uint64_t> values, bool combinable = false);
+  static ArgSpec Resource(std::string name, std::string kind, bool optional_null = false);
+  static ArgSpec Buffer(std::string name, uint64_t min_len, uint64_t max_len);
+  static ArgSpec String(std::string name, std::vector<std::string> candidates = {});
+  static ArgSpec Len(std::string name, int buffer_index);
+};
+
+struct ApiSpec {
+  uint32_t id = 0;  // assigned by the registry at registration time
+  std::string name;        // "xTaskCreate", "rt_event_send", ...
+  std::string subsystem;   // coverage-module suffix: "task", "queue", "heap", ...
+  std::string doc;         // one-line description (feeds the generated Syzlang comment)
+  std::vector<ArgSpec> args;
+  std::string produces;    // resource kind returned on success ("" = plain status code)
+  bool is_pseudo = false;  // pseudo-syscall: an op sequence behind one entry point
+  // Extended-tier specs come from the LLM/miner pass over headers and docs (§4.5); the
+  // hand-written baseline spec sets (what Tardis-style tools ship) cover only the base
+  // tier. EOF and EOF-nf use both tiers.
+  bool extended_spec = false;
+};
+
+// A runtime argument value: scalar word and, for buffer/string kinds, the payload bytes.
+struct ArgValue {
+  uint64_t scalar = 0;
+  std::vector<uint8_t> bytes;
+
+  std::string AsString() const {
+    return std::string(reinterpret_cast<const char*>(bytes.data()), bytes.size());
+  }
+};
+
+// API entry point. Returns a kernel status / handle value (OS-specific conventions).
+// May throw KernelPanicSignal / KernelAssertSignal / KernelHangSignal.
+using ApiFn = std::function<int64_t(KernelContext&, const std::vector<ArgValue>&)>;
+
+class ApiRegistry {
+ public:
+  // Registers `spec` with its implementation; assigns and returns the API id.
+  Result<uint32_t> Register(ApiSpec spec, ApiFn fn);
+
+  const ApiSpec* FindById(uint32_t id) const;
+  const ApiSpec* FindByName(const std::string& name) const;
+
+  // Dispatches a call. Unknown ids or arity mismatches are *rejected by the agent* with an
+  // error return (the paper's agent validates before dispatch), never a crash.
+  Result<int64_t> Call(KernelContext& ctx, uint32_t id,
+                       const std::vector<ArgValue>& args) const;
+
+  const std::vector<ApiSpec>& all() const { return specs_; }
+  size_t size() const { return specs_.size(); }
+
+ private:
+  std::vector<ApiSpec> specs_;
+  std::vector<ApiFn> fns_;
+  std::unordered_map<std::string, uint32_t> by_name_;
+};
+
+}  // namespace eof
+
+#endif  // SRC_KERNEL_API_H_

@@ -1,0 +1,38 @@
+// Cycle-cost constants for simulated kernel work. Centralized so the §5.5 overhead
+// experiments and the Figure 7/8 curve shapes rest on one consistent model:
+//   * each API call burns a base cost (entry, validation, scheduling),
+//   * data-structure work burns per-operation costs, and
+//   * each instrumented coverage site burns kCovCallbackCycles (src/kernel/coverage.h).
+// The ratio of instrumentation cycles to base execution cycles — not any absolute value —
+// is what lands execution overhead in the paper's ~15-30% band.
+
+#ifndef SRC_KERNEL_COSTS_H_
+#define SRC_KERNEL_COSTS_H_
+
+#include <cstdint>
+
+namespace eof {
+
+// Burnt by the agent for every dispatched call (trap entry, argument marshalling,
+// scheduler pass). Dominates per-call execution cost.
+inline constexpr uint64_t kApiBaseCycles = 60000;
+
+// Inter-call settling delay (ticks, idle task, housekeeping) burnt by the agent between
+// test-case calls. Dominates per-call latency, as it does on real boards, and puts
+// campaign throughput in the paper's ~1000-1600 payloads / 10 min band.
+inline constexpr uint64_t kYieldBaseCycles = 18'000'000;
+
+// Extra housekeeping cycles per instrumented site in the image (see
+// KernelContext::YieldDelay): the carrier of the §5.5.2 execution overhead.
+inline constexpr uint64_t kCovYieldCyclesPerSite = 1400;
+
+// Typical fine-grained work units used inside kernels.
+inline constexpr uint64_t kListOpCycles = 120;
+inline constexpr uint64_t kAllocOpCycles = 900;
+inline constexpr uint64_t kCopyPerByteCycles = 4;
+inline constexpr uint64_t kContextSwitchCycles = 2600;
+inline constexpr uint64_t kTickCycles = 1800;
+
+}  // namespace eof
+
+#endif  // SRC_KERNEL_COSTS_H_

@@ -1,0 +1,28 @@
+// Layout of the in-RAM coverage ring shared between target instrumentation (writer) and
+// the host fuzzer (reader). Mirrors the paper's write_comp_data() buffer: a header with a
+// valid-entry count and a drop counter, followed by fixed-width entries.
+
+#ifndef SRC_KERNEL_COV_RING_H_
+#define SRC_KERNEL_COV_RING_H_
+
+#include <cstdint>
+
+namespace eof {
+
+struct CovRingLayout {
+  uint64_t ram_offset = 0;  // offset of the header within board RAM
+  uint32_t capacity = 0;    // max entries
+
+  static constexpr uint64_t kCountOffset = 0;    // u32: valid entries
+  static constexpr uint64_t kDroppedOffset = 4;  // u32: entries dropped since last drain
+  static constexpr uint64_t kEntriesOffset = 8;  // u64 per entry
+
+  uint64_t EntryOffset(uint32_t index) const {
+    return ram_offset + kEntriesOffset + static_cast<uint64_t>(index) * 8;
+  }
+  uint64_t SizeBytes() const { return kEntriesOffset + static_cast<uint64_t>(capacity) * 8; }
+};
+
+}  // namespace eof
+
+#endif  // SRC_KERNEL_COV_RING_H_

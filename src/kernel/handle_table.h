@@ -1,0 +1,137 @@
+// Slot-reusing handle table, the allocation pattern embedded kernels actually use for
+// object pools: freed slots are recycled immediately. Handles encode (slot | generation)
+// so a stale handle normally fails lookup — but FindSlotRaw() exposes the recycled-slot
+// semantics kernels with weaker checks exhibit, which several planted bugs rely on.
+
+#ifndef SRC_KERNEL_HANDLE_TABLE_H_
+#define SRC_KERNEL_HANDLE_TABLE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace eof {
+
+template <typename T>
+class HandleTable {
+ public:
+  explicit HandleTable(size_t max_slots = 256) : max_slots_(max_slots) {}
+
+  // Inserts `value`; returns its handle, or 0 when the table is full.
+  int64_t Insert(T value) {
+    size_t slot = slots_.size();
+    for (size_t i = 0; i < slots_.size(); ++i) {
+      if (!slots_[i].occupied) {
+        slot = i;
+        break;
+      }
+    }
+    if (slot == slots_.size()) {
+      if (slots_.size() >= max_slots_) {
+        return 0;
+      }
+      slots_.push_back(Slot{});
+    }
+    Slot& s = slots_[slot];
+    s.occupied = true;
+    ++s.generation;
+    s.value = std::move(value);
+    ++live_;
+    return MakeHandle(slot, s.generation);
+  }
+
+  // Live object for `handle`, or nullptr for stale/invalid handles.
+  T* Find(int64_t handle) {
+    Slot* slot = Resolve(handle);
+    return slot != nullptr ? &*slot->value : nullptr;
+  }
+  const T* Find(int64_t handle) const {
+    return const_cast<HandleTable*>(this)->Find(handle);
+  }
+
+  // The object currently occupying the slot `handle` points at, regardless of generation —
+  // i.e. what a dangling pointer would actually reference after the slot was recycled.
+  // Returns nullptr only when the slot is empty or out of range.
+  T* FindSlotRaw(int64_t handle) {
+    size_t slot_index = SlotIndex(handle);
+    if (slot_index >= slots_.size() || !slots_[slot_index].occupied) {
+      return nullptr;
+    }
+    return &*slots_[slot_index].value;
+  }
+
+  // True when `handle` names a slot that was valid once but has since been freed or
+  // recycled (the stale-pointer situation).
+  bool IsStale(int64_t handle) const {
+    size_t slot_index = SlotIndex(handle);
+    if (handle == 0 || slot_index >= slots_.size()) {
+      return false;
+    }
+    const Slot& slot = slots_[slot_index];
+    return !slot.occupied || slot.generation != Generation(handle);
+  }
+
+  // Releases `handle`; returns false for stale/invalid handles.
+  bool Remove(int64_t handle) {
+    Slot* slot = Resolve(handle);
+    if (slot == nullptr) {
+      return false;
+    }
+    slot->occupied = false;
+    slot->value.reset();
+    --live_;
+    return true;
+  }
+
+  size_t live() const { return live_; }
+  size_t capacity() const { return max_slots_; }
+
+  // Iterates live objects: fn(handle, T&).
+  template <typename Fn>
+  void ForEach(Fn&& fn) {
+    for (size_t i = 0; i < slots_.size(); ++i) {
+      if (slots_[i].occupied) {
+        fn(MakeHandle(i, slots_[i].generation), *slots_[i].value);
+      }
+    }
+  }
+
+ private:
+  struct Slot {
+    bool occupied = false;
+    uint32_t generation = 0;
+    std::optional<T> value;
+  };
+
+  static int64_t MakeHandle(size_t slot, uint32_t generation) {
+    return static_cast<int64_t>((static_cast<uint64_t>(generation) << 20) |
+                                (static_cast<uint64_t>(slot) + 1));
+  }
+  static size_t SlotIndex(int64_t handle) {
+    uint64_t low = static_cast<uint64_t>(handle) & 0xfffff;
+    return low == 0 ? SIZE_MAX : static_cast<size_t>(low - 1);
+  }
+  static uint32_t Generation(int64_t handle) {
+    return static_cast<uint32_t>(static_cast<uint64_t>(handle) >> 20);
+  }
+
+  Slot* Resolve(int64_t handle) {
+    size_t slot_index = SlotIndex(handle);
+    if (handle <= 0 || slot_index >= slots_.size()) {
+      return nullptr;
+    }
+    Slot& slot = slots_[slot_index];
+    if (!slot.occupied || slot.generation != Generation(handle)) {
+      return nullptr;
+    }
+    return &slot;
+  }
+
+  size_t max_slots_;
+  std::vector<Slot> slots_;
+  size_t live_ = 0;
+};
+
+}  // namespace eof
+
+#endif  // SRC_KERNEL_HANDLE_TABLE_H_

@@ -1,0 +1,25 @@
+// Flash layout conventions shared by the image builder (host) and kernels that touch
+// their own flash (e.g. the FreeRTOS partition loader). Offsets are relative to flash
+// start; the partition table always sits at kPtableFlashOffset.
+
+#ifndef SRC_KERNEL_IMAGE_LAYOUT_H_
+#define SRC_KERNEL_IMAGE_LAYOUT_H_
+
+#include <cstdint>
+
+namespace eof {
+
+inline constexpr uint64_t kBootloaderFlashOffset = 0x0;
+inline constexpr uint64_t kBootloaderSize = 0x10000;  // 64 KiB
+
+inline constexpr uint64_t kPtableFlashOffset = 0x10000;
+inline constexpr uint64_t kPtableSize = 0x1000;  // 4 KiB
+
+inline constexpr uint64_t kKernelFlashOffset = 0x11000;
+
+// Scratch NVS partition size; its offset is placed after the kernel by the image builder.
+inline constexpr uint64_t kNvsSize = 0x8000;  // 32 KiB
+
+}  // namespace eof
+
+#endif  // SRC_KERNEL_IMAGE_LAYOUT_H_

@@ -1,0 +1,129 @@
+#include "src/kernel/kernel_context.h"
+
+#include "src/common/hash.h"
+#include "src/common/strings.h"
+#include "src/hw/timing.h"
+#include "src/kernel/costs.h"
+
+namespace eof {
+
+KernelContext::KernelContext(TargetEnv& env, const FirmwareImage& image, CovRingLayout ring)
+    : env_(env),
+      image_(image),
+      ring_(ring),
+      rng_(Fnv1a(image.os_name(), Fnv1a(env.spec().name))) {}
+
+void KernelContext::CovBucket(const EdgeSite& site, uint64_t bucket) {
+  ++cov_events_;
+  // Resolve the site's synthetic basic-block address.
+  const ModuleLayout* layout = nullptr;
+  auto it = layout_cache_.find(site.module);
+  if (it != layout_cache_.end()) {
+    layout = it->second;
+  } else {
+    for (const ModuleLayout& candidate : image_.modules()) {
+      if (candidate.module == site.module) {
+        layout = &candidate;
+        break;
+      }
+    }
+    layout_cache_[site.module] = layout;
+  }
+  if (layout == nullptr) {
+    return;  // module not declared in the image: invisible to every tool
+  }
+  if (bucket >= kMaxCovBuckets) {
+    bucket = kMaxCovBuckets - 1;
+  }
+  // Knuth-hash the bucket into the site id so buckets land on distinct synthetic blocks.
+  uint64_t edge_id = site.id + bucket * 2654435761ULL;
+  uint64_t bb_address = FirmwareImage::BasicBlockAddress(*layout, edge_id);
+  // The block executed whether or not instrumentation is compiled in — hardware
+  // breakpoints (GDBFuzz) observe it either way.
+  env_.OnBasicBlockExecuted(bb_address);
+
+  if (!image_.instrumentation().Covers(site.module)) {
+    return;
+  }
+  ++cov_instrumented_events_;
+  env_.ConsumeCycles(kCovCallbackCycles);
+  if (image_.instrumentation().semihost) {
+    // SHIFT-style semihosting: every event traps to the host debugger.
+    env_.ConsumeCycles(kSemihostTrapCost * env_.spec().clock_mhz);
+  }
+  if (ring_.capacity == 0) {
+    return;
+  }
+  auto count_or = env_.RamReadU32(ring_.ram_offset + CovRingLayout::kCountOffset);
+  if (!count_or.ok()) {
+    return;
+  }
+  uint32_t count = count_or.value();
+  if (count >= ring_.capacity) {
+    auto dropped_or = env_.RamReadU32(ring_.ram_offset + CovRingLayout::kDroppedOffset);
+    uint32_t dropped = dropped_or.ok() ? dropped_or.value() : 0;
+    (void)env_.RamWriteU32(ring_.ram_offset + CovRingLayout::kDroppedOffset, dropped + 1);
+    cov_overflow_pending_ = true;
+    return;
+  }
+  (void)env_.RamWriteU64(ring_.EntryOffset(count), bb_address);
+  (void)env_.RamWriteU32(ring_.ram_offset + CovRingLayout::kCountOffset, count + 1);
+}
+
+void KernelContext::YieldDelay() {
+  // The settling delay between test-case calls: ticks, idle task, housekeeping threads.
+  uint64_t cycles = kYieldBaseCycles;
+  // Housekeeping runs the instrumented build too; its slowdown scales with how much of
+  // the image carries callbacks.
+  uint64_t extra = image_.instrumented_sites() * kCovYieldCyclesPerSite;
+  if (image_.instrumentation().semihost) {
+    extra *= 20;  // every housekeeping callback traps to the debugger
+  }
+  env_.ConsumeCycles(cycles + extra);
+}
+
+void KernelContext::Panic(const std::string& message, const std::string& backtrace) {
+  // The panic banner races the fault latch on real boards but the first lines make it out.
+  LogLine(message);
+  if (!backtrace.empty()) {
+    LogLine(backtrace);
+  }
+  env_.ConsumeCycles(200);
+  throw KernelPanicSignal{message, backtrace};
+}
+
+void KernelContext::AssertFail(const std::string& message) {
+  LogLine(message);
+  env_.ConsumeCycles(100);
+  throw KernelAssertSignal{message};
+}
+
+void KernelContext::Hang(const std::string& message) {
+  env_.ConsumeCycles(100);
+  throw KernelHangSignal{message};
+}
+
+void KernelContext::LogLine(const std::string& line) {
+  env_.ConsumeCycles(40 + 8 * line.size());  // polled UART transmit is slow
+  env_.uart().WriteLine(line);
+}
+
+Status KernelContext::ReserveRam(uint64_t bytes) {
+  // Keep headroom for stacks and the agent's own blocks.
+  uint64_t budget = env_.spec().ram_bytes * 3 / 4;
+  if (ram_in_use_ + bytes > budget) {
+    return ResourceExhaustedError(
+        StrFormat("kernel heap exhausted: %llu in use, %llu requested, %llu budget",
+                  static_cast<unsigned long long>(ram_in_use_),
+                  static_cast<unsigned long long>(bytes),
+                  static_cast<unsigned long long>(budget)));
+  }
+  ram_in_use_ += bytes;
+  return OkStatus();
+}
+
+void KernelContext::ReleaseRam(uint64_t bytes) {
+  ram_in_use_ = bytes > ram_in_use_ ? 0 : ram_in_use_ - bytes;
+}
+
+}  // namespace eof

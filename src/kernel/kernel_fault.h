@@ -1,0 +1,37 @@
+// Kernel trap signals. These are *simulator control flow*, not error handling: when a
+// target kernel panics, asserts, or wedges, the corresponding signal unwinds out of the
+// API call into the agent executor, which then drives the board into the matching
+// hardware-observable state (fault latch, hang latch). Host-side code never sees these
+// types — it observes only UART text, frozen PCs, and exception-handler breakpoints, just
+// as the paper's monitors do.
+
+#ifndef SRC_KERNEL_KERNEL_FAULT_H_
+#define SRC_KERNEL_KERNEL_FAULT_H_
+
+#include <string>
+
+namespace eof {
+
+// A kernel panic / bus fault / usage fault: control vectors to the OS exception handler
+// and the core freezes there. Detected by the exception monitor (breakpoint on the
+// handler) or, failing that, by the PC-stall watchdog.
+struct KernelPanicSignal {
+  std::string message;     // e.g. "BUG: unexpected stop: ..."
+  std::string backtrace;   // rendered stack-frame text for the UART banner
+};
+
+// A failed kernel assertion: the OS prints the assertion text and parks in a tight loop
+// (no exception vector). Detected by the log monitor; liveness-wise it is a hang.
+struct KernelAssertSignal {
+  std::string message;  // e.g. "(obj != RT_NULL) assertion failed at rt_object_init"
+};
+
+// A wedge with no output at all (infinite polling loop): only the PC-stall watchdog sees
+// this one.
+struct KernelHangSignal {
+  std::string message;  // for test introspection only; never reaches the UART
+};
+
+}  // namespace eof
+
+#endif  // SRC_KERNEL_KERNEL_FAULT_H_

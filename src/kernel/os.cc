@@ -1,0 +1,39 @@
+#include "src/kernel/os.h"
+
+#include "src/common/strings.h"
+
+namespace eof {
+
+OsRegistry& OsRegistry::Instance() {
+  static OsRegistry* registry = new OsRegistry();
+  return *registry;
+}
+
+Status OsRegistry::Register(OsInfo info) {
+  for (const OsInfo& existing : infos_) {
+    if (existing.name == info.name) {
+      return AlreadyExistsError(StrFormat("OS '%s' already registered", info.name.c_str()));
+    }
+  }
+  infos_.push_back(std::move(info));
+  return OkStatus();
+}
+
+Result<OsInfo> OsRegistry::Find(const std::string& name) const {
+  for (const OsInfo& info : infos_) {
+    if (info.name == name) {
+      return info;
+    }
+  }
+  return NotFoundError(StrFormat("OS '%s' not registered", name.c_str()));
+}
+
+std::vector<std::string> OsRegistry::Names() const {
+  std::vector<std::string> names;
+  for (const OsInfo& info : infos_) {
+    names.push_back(info.name);
+  }
+  return names;
+}
+
+}  // namespace eof

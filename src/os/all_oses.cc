@@ -1,0 +1,29 @@
+#include "src/os/all_oses.h"
+
+#include "src/os/freertos/freertos.h"
+#include "src/os/nuttx/nuttx.h"
+#include "src/os/pokos/pokos.h"
+#include "src/os/rtthread/rtthread.h"
+#include "src/os/zephyr/zephyr.h"
+
+namespace eof {
+
+Status RegisterAllOses() {
+  static const Status* status = new Status([] {
+    Status result = OkStatus();
+    auto accumulate = [&result](Status step) {
+      if (result.ok() && !step.ok() && step.code() != ErrorCode::kAlreadyExists) {
+        result = step;
+      }
+    };
+    accumulate(freertos::RegisterFreeRtosOs());
+    accumulate(rtthread::RegisterRtThreadOs());
+    accumulate(nuttx::RegisterNuttxOs());
+    accumulate(zephyr::RegisterZephyrOs());
+    accumulate(pokos::RegisterPokOs());
+    return result;
+  }());
+  return *status;
+}
+
+}  // namespace eof

@@ -1,0 +1,16 @@
+// One-stop registration of every supported target OS. Binaries call RegisterAllOses()
+// once at startup; re-registration is reported as AlreadyExists and ignored here.
+
+#ifndef SRC_OS_ALL_OSES_H_
+#define SRC_OS_ALL_OSES_H_
+
+#include "src/common/status.h"
+
+namespace eof {
+
+// Registers FreeRTOS, RT-Thread, NuttX, Zephyr, and PoKOS. Idempotent.
+Status RegisterAllOses();
+
+}  // namespace eof
+
+#endif  // SRC_OS_ALL_OSES_H_

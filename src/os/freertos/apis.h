@@ -1,0 +1,32 @@
+// Per-subsystem registration hooks for the FreeRTOS-like kernel. Each function registers
+// its subsystem's API specs + implementations against the shared state.
+
+#ifndef SRC_OS_FREERTOS_APIS_H_
+#define SRC_OS_FREERTOS_APIS_H_
+
+#include "src/common/status.h"
+#include "src/kernel/api.h"
+#include "src/os/freertos/state.h"
+
+namespace eof {
+namespace freertos {
+
+Status RegisterTaskApis(ApiRegistry& registry, FreeRtosState& state);
+Status RegisterQueueApis(ApiRegistry& registry, FreeRtosState& state);
+Status RegisterEventGroupApis(ApiRegistry& registry, FreeRtosState& state);
+Status RegisterTimerApis(ApiRegistry& registry, FreeRtosState& state);
+Status RegisterHeapApis(ApiRegistry& registry, FreeRtosState& state);
+Status RegisterStreamBufferApis(ApiRegistry& registry, FreeRtosState& state);
+Status RegisterPartitionApis(ApiRegistry& registry, FreeRtosState& state);
+Status RegisterPseudoApis(ApiRegistry& registry, FreeRtosState& state);
+
+// Heap bookkeeping shared with Init().
+void HeapInit(FreeRtosState& state, uint64_t arena_size);
+
+// Timer expiry processing, called from FreeRtosOs::Tick().
+void TimersOnTick(KernelContext& ctx, FreeRtosState& state);
+
+}  // namespace freertos
+}  // namespace eof
+
+#endif  // SRC_OS_FREERTOS_APIS_H_

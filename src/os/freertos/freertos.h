@@ -1,0 +1,50 @@
+// The FreeRTOS-like target OS (paper target #1, evaluated on ESP32).
+
+#ifndef SRC_OS_FREERTOS_FREERTOS_H_
+#define SRC_OS_FREERTOS_FREERTOS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/apps/apps_state.h"
+#include "src/kernel/os.h"
+#include "src/os/freertos/state.h"
+
+namespace eof {
+namespace freertos {
+
+class FreeRtosOs : public Os {
+ public:
+  FreeRtosOs();
+
+  const std::string& name() const override { return name_; }
+  const ApiRegistry& registry() const override { return registry_; }
+  Status Init(KernelContext& ctx) override;
+  std::string exception_symbol() const override { return "panic_handler"; }
+  OsFootprint footprint() const override;
+  std::vector<std::pair<std::string, uint64_t>> modules() const override;
+  void Tick(KernelContext& ctx) override;
+  void OnPeripheralEvent(KernelContext& ctx, const PeripheralEvent& event) override;
+
+  // Test access to internal kernel state.
+  FreeRtosState& state_for_test() { return state_; }
+  apps::AppsState& apps_state_for_test() { return apps_state_; }
+
+ private:
+  std::string name_ = "freertos";
+  FreeRtosState state_;
+  // The application layer (HTTP server + JSON component) ships in the same firmware;
+  // Table 4 confines instrumentation and generation to these modules.
+  apps::AppsState apps_state_;
+  ApiRegistry registry_;
+};
+
+// Adds FreeRTOS to the global OS registry (idempotent-unsafe; call once via
+// RegisterAllOses()).
+Status RegisterFreeRtosOs();
+
+}  // namespace freertos
+}  // namespace eof
+
+#endif  // SRC_OS_FREERTOS_FREERTOS_H_

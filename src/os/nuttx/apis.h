@@ -1,0 +1,23 @@
+// Per-subsystem registration hooks for the NuttX-like kernel.
+
+#ifndef SRC_OS_NUTTX_APIS_H_
+#define SRC_OS_NUTTX_APIS_H_
+
+#include "src/common/status.h"
+#include "src/kernel/api.h"
+#include "src/os/nuttx/state.h"
+
+namespace eof {
+namespace nuttx {
+
+Status RegisterEnvApis(ApiRegistry& registry, NuttxState& state);
+Status RegisterTimeApis(ApiRegistry& registry, NuttxState& state);
+Status RegisterMqApis(ApiRegistry& registry, NuttxState& state);
+Status RegisterSemApis(ApiRegistry& registry, NuttxState& state);
+Status RegisterTimerApis(ApiRegistry& registry, NuttxState& state);
+Status RegisterTaskApis(ApiRegistry& registry, NuttxState& state);
+
+}  // namespace nuttx
+}  // namespace eof
+
+#endif  // SRC_OS_NUTTX_APIS_H_

@@ -1,0 +1,41 @@
+// The NuttX-like target OS (paper target #3): POSIX-flavoured RTOS surface.
+
+#ifndef SRC_OS_NUTTX_NUTTX_H_
+#define SRC_OS_NUTTX_NUTTX_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/kernel/os.h"
+#include "src/os/nuttx/state.h"
+
+namespace eof {
+namespace nuttx {
+
+class NuttxOs : public Os {
+ public:
+  NuttxOs();
+
+  const std::string& name() const override { return name_; }
+  const ApiRegistry& registry() const override { return registry_; }
+  Status Init(KernelContext& ctx) override;
+  std::string exception_symbol() const override { return "up_assert"; }
+  OsFootprint footprint() const override;
+  std::vector<std::pair<std::string, uint64_t>> modules() const override;
+  void Tick(KernelContext& ctx) override;
+
+  NuttxState& state_for_test() { return state_; }
+
+ private:
+  std::string name_ = "nuttx";
+  NuttxState state_;
+  ApiRegistry registry_;
+};
+
+Status RegisterNuttxOs();
+
+}  // namespace nuttx
+}  // namespace eof
+
+#endif  // SRC_OS_NUTTX_NUTTX_H_

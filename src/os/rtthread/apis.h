@@ -1,0 +1,33 @@
+// Per-subsystem registration hooks for the RT-Thread-like kernel.
+
+#ifndef SRC_OS_RTTHREAD_APIS_H_
+#define SRC_OS_RTTHREAD_APIS_H_
+
+#include "src/common/status.h"
+#include "src/kernel/api.h"
+#include "src/os/rtthread/state.h"
+
+namespace eof {
+namespace rtthread {
+
+Status RegisterObjectApis(ApiRegistry& registry, RtThreadState& state);
+Status RegisterThreadApis(ApiRegistry& registry, RtThreadState& state);
+Status RegisterIpcApis(ApiRegistry& registry, RtThreadState& state);
+Status RegisterMemPoolApis(ApiRegistry& registry, RtThreadState& state);
+Status RegisterSmemApis(ApiRegistry& registry, RtThreadState& state);
+Status RegisterHeapApis(ApiRegistry& registry, RtThreadState& state);
+Status RegisterDeviceApis(ApiRegistry& registry, RtThreadState& state);
+Status RegisterServiceApis(ApiRegistry& registry, RtThreadState& state);
+Status RegisterSocketApis(ApiRegistry& registry, RtThreadState& state);
+
+// Console output path: rt_kprintf -> _kputs -> rt_device_write -> rt_serial_write.
+// Exposed to the socket layer, whose logging rides this path (Figure 6 / bug #12).
+void RtKprintf(KernelContext& ctx, RtThreadState& state, const std::string& line);
+
+// Boot-time device table population (uart0/uart1, pin device).
+void DevicesInit(KernelContext& ctx, RtThreadState& state);
+
+}  // namespace rtthread
+}  // namespace eof
+
+#endif  // SRC_OS_RTTHREAD_APIS_H_

@@ -1,0 +1,178 @@
+// Kernel state of the RT-Thread-like target. RT-Thread structures everything around a
+// central object registry (rt_object), with IPC, memory pools, the small-memory allocator,
+// the device framework, and the SAL socket layer on top.
+
+#ifndef SRC_OS_RTTHREAD_STATE_H_
+#define SRC_OS_RTTHREAD_STATE_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "src/kernel/handle_table.h"
+
+namespace eof {
+namespace rtthread {
+
+// RT-Thread error codes (rtdef.h).
+inline constexpr int64_t RT_EOK = 0;
+inline constexpr int64_t RT_ERROR = -1;
+inline constexpr int64_t RT_ETIMEOUT = -2;
+inline constexpr int64_t RT_EFULL = -3;
+inline constexpr int64_t RT_EEMPTY = -4;
+inline constexpr int64_t RT_ENOMEM = -5;
+inline constexpr int64_t RT_EINVAL = -10;
+
+// rt_object_class_type.
+enum class ObjectClass : uint8_t {
+  kNull = 0,
+  kThread = 1,
+  kSemaphore = 2,
+  kMutex = 3,
+  kEvent = 4,
+  kMailBox = 5,
+  kMessageQueue = 6,
+  kMemPool = 7,
+  kDevice = 8,
+  kTimer = 9,
+};
+
+struct RtObject {
+  std::string name;  // max 8 chars, RT_NAME_MAX
+  ObjectClass type = ObjectClass::kNull;
+  bool is_static = false;
+  bool detached = false;
+};
+
+struct Thread {
+  int64_t object = 0;  // handle into objects
+  uint32_t priority = 10;
+  uint32_t stack_size = 1024;
+  uint32_t tick_slice = 10;
+  bool started = false;
+  bool suspended = false;
+};
+
+struct Event {
+  int64_t object = 0;
+  uint32_t set = 0;
+  struct Waiter {
+    uint32_t pattern = 0;
+    uint8_t option = 0;
+  };
+  std::vector<Waiter> waiters;
+};
+
+struct Semaphore {
+  int64_t object = 0;
+  uint32_t value = 0;
+  uint32_t max_value = 65535;
+};
+
+struct Mailbox {
+  int64_t object = 0;
+  uint32_t capacity = 0;
+  std::deque<uint64_t> mails;
+};
+
+struct RtMessageQueue {
+  int64_t object = 0;
+  uint32_t msg_size = 0;
+  uint32_t max_msgs = 0;
+  std::deque<std::vector<uint8_t>> msgs;
+};
+
+struct MemPool {
+  int64_t object = 0;
+  uint32_t block_size = 0;
+  uint32_t block_count = 0;
+  uint32_t used = 0;
+};
+
+// rt_smem small-memory heap instance.
+struct SmemBlock {
+  uint64_t offset = 0;
+  uint64_t size = 0;
+  bool used = false;
+};
+
+struct Smem {
+  int64_t object = 0;
+  std::string name;
+  uint64_t total = 0;
+  uint64_t used_bytes = 0;
+  std::vector<SmemBlock> blocks;
+};
+
+// Device framework node. Serial devices carry extra state.
+struct Device {
+  int64_t object = 0;
+  std::string name;
+  uint8_t device_class = 0;  // RT_Device_Class_Char = 0, _Serial-ish marker below
+  bool is_serial = false;
+  bool registered = true;
+  bool opened = false;
+  uint16_t open_flag = 0;
+  uint32_t tx_count = 0;  // writes since open (fills the poll-tx buffer)
+};
+
+// "RTService" background service registry (the rt_list surface of bug #6).
+struct ServiceNode {
+  std::string name;
+  bool registered = false;
+  bool ever_registered = false;
+};
+
+struct Socket {
+  int domain = 0;
+  int type = 0;
+  int protocol = 0;
+  bool bound = false;
+  bool connected = false;
+};
+
+struct RtThreadState {
+  HandleTable<RtObject> objects{256};
+  HandleTable<Thread> threads{64};
+  HandleTable<Event> events{64};
+  HandleTable<Semaphore> semaphores{64};
+  HandleTable<Mailbox> mailboxes{64};
+  HandleTable<RtMessageQueue> mqueues{32};
+  HandleTable<MemPool> mempools{32};
+  HandleTable<Smem> smems{16};
+  HandleTable<uint64_t> smem_allocs{256};  // handle -> (smem_handle << 32 | block index)
+  HandleTable<Socket> sockets{32};
+
+  // Devices are indexed by slot without generation so stale handles alias recycled slots —
+  // the substrate of bug #12.
+  std::vector<Device> devices;
+
+  std::vector<ServiceNode> services;
+  bool service_list_corrupt = false;
+  uint32_t services_ever = 0;
+
+  // Main heap (rt_malloc) bookkeeping.
+  uint64_t heap_total = 8 * 1024;
+  uint64_t heap_used = 0;
+  uint32_t heap_lock_nest = 0;
+
+  // Console: index into devices of the current console device, -1 when unset.
+  int console_device = -1;
+  // Set when rt_console_set_device() re-targeted the console after boot — the re-target
+  // path skips the teardown hook registration, the precondition of bug #12.
+  bool console_retargeted = false;
+
+  uint64_t tick = 0;
+
+  // ISR-side state (peripheral event injection, the §6 extension).
+  std::deque<uint8_t> serial_rx_ring;  // console RX; capacity 32
+  uint32_t serial_rx_overruns = 0;
+  uint32_t can_frames_seen = 0;
+  uint32_t gpio_service_kicks = 0;
+};
+
+}  // namespace rtthread
+}  // namespace eof
+
+#endif  // SRC_OS_RTTHREAD_STATE_H_

@@ -1,0 +1,26 @@
+// Per-subsystem registration hooks for the Zephyr-like kernel.
+
+#ifndef SRC_OS_ZEPHYR_APIS_H_
+#define SRC_OS_ZEPHYR_APIS_H_
+
+#include "src/common/status.h"
+#include "src/kernel/api.h"
+#include "src/os/zephyr/state.h"
+
+namespace eof {
+namespace zephyr {
+
+Status RegisterSysHeapApis(ApiRegistry& registry, ZephyrState& state);
+Status RegisterKHeapApis(ApiRegistry& registry, ZephyrState& state);
+Status RegisterMsgqApis(ApiRegistry& registry, ZephyrState& state);
+Status RegisterJsonApis(ApiRegistry& registry, ZephyrState& state);
+Status RegisterThreadApis(ApiRegistry& registry, ZephyrState& state);
+Status RegisterFifoApis(ApiRegistry& registry, ZephyrState& state);
+
+// Boot-time sys_heap arena initialisation.
+void SysHeapInit(ZephyrState& state, uint64_t bytes);
+
+}  // namespace zephyr
+}  // namespace eof
+
+#endif  // SRC_OS_ZEPHYR_APIS_H_

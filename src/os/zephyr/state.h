@@ -1,0 +1,93 @@
+// Kernel state of the Zephyr-like target: sys_heap/k_heap allocators, message queues,
+// threads + work queues, FIFOs, and the JSON library.
+
+#ifndef SRC_OS_ZEPHYR_STATE_H_
+#define SRC_OS_ZEPHYR_STATE_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "src/kernel/handle_table.h"
+
+namespace eof {
+namespace zephyr {
+
+// Zephyr error codes (negative errno).
+inline constexpr int64_t Z_OK = 0;
+inline constexpr int64_t Z_EINVAL = -22;
+inline constexpr int64_t Z_ENOMEM = -12;
+inline constexpr int64_t Z_EAGAIN = -11;
+inline constexpr int64_t Z_ENOMSG = -42;
+inline constexpr int64_t Z_EBUSY = -16;
+
+// sys_heap chunk (chunk-header encoded allocator, modelled as an explicit list).
+struct SysChunk {
+  uint64_t offset = 0;
+  uint64_t size = 0;
+  bool used = false;
+};
+
+struct SysHeap {
+  uint64_t total = 0;
+  std::vector<SysChunk> chunks;
+  uint64_t used_bytes = 0;
+};
+
+struct KHeap {
+  uint64_t total = 0;
+  uint64_t used = 0;
+  uint32_t alloc_count = 0;
+};
+
+struct Msgq {
+  uint32_t msg_size = 0;
+  uint32_t max_msgs = 0;
+  std::deque<std::vector<uint8_t>> ring;
+};
+
+struct KThread {
+  std::string name;
+  int32_t priority = 0;  // cooperative < 0 <= preemptive
+  uint32_t stack_size = 1024;
+  bool started = false;
+  bool suspended = false;
+};
+
+struct WorkItem {
+  uint32_t tag = 0;
+  bool pending = false;
+};
+
+struct Fifo {
+  std::deque<uint64_t> items;
+};
+
+// JSON DOM node (descriptor-based lib/json surface).
+struct JsonNode {
+  enum class Kind : uint8_t { kObject, kNumber, kString, kBool };
+  Kind kind = Kind::kObject;
+  std::string key;
+  int64_t num = 0;
+  std::string str;
+  bool boolean = false;
+  std::vector<int64_t> children;  // handles of child nodes (objects only)
+};
+
+struct ZephyrState {
+  SysHeap sys_heap;
+  HandleTable<uint64_t> sys_allocs{256};  // handle -> chunk offset
+  HandleTable<KHeap> kheaps{16};
+  HandleTable<Msgq> msgqs{32};
+  HandleTable<KThread> threads{64};
+  HandleTable<WorkItem> work_items{64};
+  HandleTable<Fifo> fifos{32};
+  HandleTable<JsonNode> json_nodes{128};
+  uint64_t uptime_ticks = 0;
+};
+
+}  // namespace zephyr
+}  // namespace eof
+
+#endif  // SRC_OS_ZEPHYR_STATE_H_

@@ -1,0 +1,41 @@
+// The Zephyr-like target OS (paper target #4).
+
+#ifndef SRC_OS_ZEPHYR_ZEPHYR_H_
+#define SRC_OS_ZEPHYR_ZEPHYR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/kernel/os.h"
+#include "src/os/zephyr/state.h"
+
+namespace eof {
+namespace zephyr {
+
+class ZephyrOs : public Os {
+ public:
+  ZephyrOs();
+
+  const std::string& name() const override { return name_; }
+  const ApiRegistry& registry() const override { return registry_; }
+  Status Init(KernelContext& ctx) override;
+  std::string exception_symbol() const override { return "z_fatal_error"; }
+  OsFootprint footprint() const override;
+  std::vector<std::pair<std::string, uint64_t>> modules() const override;
+  void Tick(KernelContext& ctx) override;
+
+  ZephyrState& state_for_test() { return state_; }
+
+ private:
+  std::string name_ = "zephyr";
+  ZephyrState state_;
+  ApiRegistry registry_;
+};
+
+Status RegisterZephyrOs();
+
+}  // namespace zephyr
+}  // namespace eof
+
+#endif  // SRC_OS_ZEPHYR_ZEPHYR_H_

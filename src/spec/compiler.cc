@@ -1,0 +1,160 @@
+#include "src/spec/compiler.h"
+
+#include "src/common/strings.h"
+
+namespace eof {
+namespace spec {
+namespace {
+
+// Converts one TypeRef to the generator's ArgSpec. Returns a failure description, or ""
+// on success.
+std::string ConvertType(const SpecFile& file, const CallDecl& call, size_t arg_index,
+                        const TypeRef& type, ArgSpec* out) {
+  const FieldDecl& field = call.args[arg_index];
+  out->name = field.name;
+  switch (type.kind) {
+    case TypeKind::kInt: {
+      out->kind = ArgKind::kScalar;
+      out->bits = type.bits;
+      if (type.has_range) {
+        if (type.min > type.max) {
+          return StrFormat("arg '%s': inverted range", field.name.c_str());
+        }
+        out->min = type.min;
+        out->max = type.max;
+      } else {
+        out->min = 0;
+        out->max = type.bits >= 64 ? UINT64_MAX : (1ULL << type.bits) - 1;
+      }
+      return "";
+    }
+    case TypeKind::kFlags: {
+      out->kind = ArgKind::kFlags;
+      if (!type.flags_name.empty()) {
+        auto it = file.flag_sets.find(type.flags_name);
+        if (it == file.flag_sets.end()) {
+          return StrFormat("arg '%s': unknown flag set '%s'", field.name.c_str(),
+                           type.flags_name.c_str());
+        }
+        out->flag_values = it->second.values;
+        out->extended_flag_values = it->second.extended_values;
+      } else {
+        out->flag_values = type.inline_flags;
+      }
+      if (out->flag_values.empty() && out->extended_flag_values.empty()) {
+        return StrFormat("arg '%s': empty flag set", field.name.c_str());
+      }
+      return "";
+    }
+    case TypeKind::kResource: {
+      out->kind = ArgKind::kResource;
+      if (file.resources.count(type.resource) == 0) {
+        return StrFormat("arg '%s': unknown resource '%s'", field.name.c_str(),
+                         type.resource.c_str());
+      }
+      out->resource_kind = type.resource;
+      out->optional_null = type.optional;
+      return "";
+    }
+    case TypeKind::kBuffer: {
+      out->kind = ArgKind::kBuffer;
+      if (type.buf_min > type.buf_max) {
+        return StrFormat("arg '%s': inverted buffer bounds", field.name.c_str());
+      }
+      out->buf_min = type.buf_min;
+      out->buf_max = type.buf_max;
+      return "";
+    }
+    case TypeKind::kString: {
+      out->kind = ArgKind::kString;
+      out->string_set = type.string_values;
+      return "";
+    }
+    case TypeKind::kLen: {
+      out->kind = ArgKind::kLen;
+      int target = -1;
+      for (size_t i = 0; i < call.args.size(); ++i) {
+        if (call.args[i].name == type.len_target) {
+          target = static_cast<int>(i);
+          break;
+        }
+      }
+      if (target < 0) {
+        return StrFormat("arg '%s': len target '%s' not found", field.name.c_str(),
+                         type.len_target.c_str());
+      }
+      TypeKind target_kind = call.args[static_cast<size_t>(target)].type.kind;
+      if (target_kind != TypeKind::kBuffer && target_kind != TypeKind::kString) {
+        return StrFormat("arg '%s': len target is not a buffer", field.name.c_str());
+      }
+      out->len_of = target;
+      return "";
+    }
+  }
+  return "unhandled type kind";
+}
+
+}  // namespace
+
+Result<CompiledSpecs> CompileSpec(const SpecFile& file, const ApiRegistry& registry,
+                                  std::vector<std::string>* rejected) {
+  CompiledSpecs specs;
+  auto reject = [&](const CallDecl& call, const std::string& why) {
+    if (rejected != nullptr) {
+      rejected->push_back(StrFormat("%s (line %d): %s", call.name.c_str(), call.line,
+                                    why.c_str()));
+    }
+  };
+
+  for (const CallDecl& call : file.calls) {
+    const ApiSpec* target = registry.FindByName(call.name);
+    if (target == nullptr) {
+      reject(call, "no such API on the target");
+      continue;
+    }
+    if (target->args.size() != call.args.size()) {
+      reject(call, StrFormat("arity mismatch: target takes %zu args, spec has %zu",
+                             target->args.size(), call.args.size()));
+      continue;
+    }
+    if (!call.returns_resource.empty() &&
+        file.resources.count(call.returns_resource) == 0) {
+      reject(call, StrFormat("returns undeclared resource '%s'",
+                             call.returns_resource.c_str()));
+      continue;
+    }
+    CompiledCall compiled;
+    compiled.api_id = target->id;
+    compiled.name = call.name;
+    compiled.subsystem = target->subsystem;
+    compiled.produces = call.returns_resource;
+    compiled.is_pseudo = call.pseudo;
+    compiled.extended = call.extended;
+    bool ok = true;
+    for (size_t i = 0; i < call.args.size(); ++i) {
+      ArgSpec arg;
+      std::string why = ConvertType(file, call, i, call.args[i].type, &arg);
+      if (!why.empty()) {
+        reject(call, why);
+        ok = false;
+        break;
+      }
+      compiled.args.push_back(std::move(arg));
+    }
+    if (!ok) {
+      continue;
+    }
+    if (specs.FindByName(compiled.name) != nullptr) {
+      reject(call, "duplicate declaration");
+      continue;
+    }
+    specs.calls.push_back(std::move(compiled));
+  }
+  if (specs.calls.empty()) {
+    return InvalidArgumentError("no specification validated against the target registry");
+  }
+  return specs;
+}
+
+}  // namespace spec
+}  // namespace eof

@@ -1,0 +1,52 @@
+// Spec compiler: semantic validation of a parsed SpecFile and binding against a target
+// OS's ApiRegistry (the paper's post-validation: "only validated specifications are
+// admitted to the corpus"). The output is the generator's internal form.
+
+#ifndef SRC_SPEC_COMPILER_H_
+#define SRC_SPEC_COMPILER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/kernel/api.h"
+#include "src/spec/syzlang.h"
+
+namespace eof {
+namespace spec {
+
+// One callable, fully resolved: the registry id plus the generator-facing argument model.
+struct CompiledCall {
+  uint32_t api_id = 0;
+  std::string name;
+  std::string subsystem;
+  std::vector<ArgSpec> args;
+  std::string produces;
+  bool is_pseudo = false;
+  bool extended = false;
+};
+
+struct CompiledSpecs {
+  std::vector<CompiledCall> calls;
+
+  const CompiledCall* FindByName(const std::string& name) const {
+    for (const CompiledCall& call : calls) {
+      if (call.name == name) {
+        return &call;
+      }
+    }
+    return nullptr;
+  }
+};
+
+// Validates `file` (resources exist, flag sets resolvable, len targets valid, ranges sane)
+// and binds each call to `registry` by name and arity. Calls that do not validate are
+// reported in `rejected` (when non-null) and dropped; the returned specs contain only the
+// admitted ones. Fails outright when nothing validates.
+Result<CompiledSpecs> CompileSpec(const SpecFile& file, const ApiRegistry& registry,
+                                  std::vector<std::string>* rejected = nullptr);
+
+}  // namespace spec
+}  // namespace eof
+
+#endif  // SRC_SPEC_COMPILER_H_

@@ -1,0 +1,145 @@
+#include "src/spec/emitter.h"
+
+#include <set>
+
+#include "src/common/strings.h"
+
+namespace eof {
+namespace spec {
+namespace {
+
+const char* BitsName(unsigned bits) {
+  switch (bits) {
+    case 8:
+      return "int8";
+    case 16:
+      return "int16";
+    case 64:
+      return "int64";
+    default:
+      return "int32";
+  }
+}
+
+std::string EmitType(const ApiSpec& api, const ArgSpec& arg, bool include_extended,
+                     std::string* flag_decl_out) {
+  switch (arg.kind) {
+    case ArgKind::kScalar: {
+      uint64_t cap = arg.bits >= 64 ? UINT64_MAX : (1ULL << arg.bits) - 1;
+      if (arg.min == 0 && arg.max >= cap) {
+        return BitsName(arg.bits);
+      }
+      return StrFormat("%s[%llu:%llu]", BitsName(arg.bits),
+                       static_cast<unsigned long long>(arg.min),
+                       static_cast<unsigned long long>(arg.max > cap ? cap : arg.max));
+    }
+    case ArgKind::kFlags: {
+      if (arg.extended_flag_values.empty() || !include_extended) {
+        std::string values;
+        for (size_t i = 0; i < arg.flag_values.size(); ++i) {
+          values += StrFormat("%s%llu", i == 0 ? "" : ", ",
+                              static_cast<unsigned long long>(arg.flag_values[i]));
+        }
+        return "flags[" + values + "]";
+      }
+      // Extended values need a named set with the `extended:` marker.
+      std::string set_name = api.name + "_" + arg.name + "_flags";
+      std::string decl = set_name + " = ";
+      for (size_t i = 0; i < arg.flag_values.size(); ++i) {
+        decl += StrFormat("%s%llu", i == 0 ? "" : ", ",
+                          static_cast<unsigned long long>(arg.flag_values[i]));
+      }
+      decl += " extended: ";
+      for (size_t i = 0; i < arg.extended_flag_values.size(); ++i) {
+        decl += StrFormat("%s%llu", i == 0 ? "" : ", ",
+                          static_cast<unsigned long long>(arg.extended_flag_values[i]));
+      }
+      *flag_decl_out += decl + "\n";
+      return "flags[" + set_name + "]";
+    }
+    case ArgKind::kResource:
+      return arg.resource_kind + (arg.optional_null ? "[opt]" : "");
+    case ArgKind::kBuffer:
+      return StrFormat("buffer[%llu:%llu]", static_cast<unsigned long long>(arg.buf_min),
+                       static_cast<unsigned long long>(arg.buf_max));
+    case ArgKind::kString: {
+      if (arg.string_set.empty()) {
+        return "string";
+      }
+      std::string values;
+      for (size_t i = 0; i < arg.string_set.size(); ++i) {
+        values += (i == 0 ? "" : ", ") + ("\"" + arg.string_set[i] + "\"");
+      }
+      return "string[" + values + "]";
+    }
+    case ArgKind::kLen:
+      return StrFormat("len[%s]",
+                       api.args[static_cast<size_t>(arg.len_of)].name.c_str());
+  }
+  return "int32";
+}
+
+}  // namespace
+
+std::string EmitSyzlang(const ApiRegistry& registry, const EmitOptions& options) {
+  std::string out;
+  std::string flag_decls;
+  std::set<std::string> resources;
+
+  // Resource declarations first: every produced kind plus every consumed kind (a consumed
+  // kind with no producer still needs a declaration to validate).
+  for (const ApiSpec& api : registry.all()) {
+    if (!options.include_extended && api.extended_spec) {
+      continue;
+    }
+    if (!api.produces.empty()) {
+      resources.insert(api.produces);
+    }
+    for (const ArgSpec& arg : api.args) {
+      if (arg.kind == ArgKind::kResource) {
+        resources.insert(arg.resource_kind);
+      }
+    }
+  }
+  for (const std::string& resource : resources) {
+    out += "resource " + resource + "[int32]\n";
+  }
+  out += "\n";
+
+  std::string calls;
+  for (const ApiSpec& api : registry.all()) {
+    if (!options.include_extended && api.extended_spec) {
+      continue;
+    }
+    if (options.with_comments && !api.doc.empty()) {
+      calls += "# " + api.doc + "\n";
+    }
+    calls += api.name + "(";
+    for (size_t i = 0; i < api.args.size(); ++i) {
+      if (i != 0) {
+        calls += ", ";
+      }
+      calls += api.args[i].name + " " +
+               EmitType(api, api.args[i], options.include_extended, &flag_decls);
+    }
+    calls += ")";
+    if (!api.produces.empty()) {
+      calls += " " + api.produces;
+    }
+    if (api.is_pseudo || api.extended_spec) {
+      calls += " (";
+      if (api.is_pseudo) {
+        calls += "pseudo";
+      }
+      if (api.extended_spec) {
+        calls += api.is_pseudo ? ", extended" : "extended";
+      }
+      calls += ")";
+    }
+    calls += "\n";
+  }
+  return out + flag_decls + "\n" + calls;
+}
+
+}  // namespace spec
+}  // namespace eof

@@ -1,0 +1,25 @@
+// Emits Syzlang text from an ApiRegistry — the output format of the spec miner. The
+// emitted text round-trips through the lexer/parser/compiler, which is how the pipeline
+// is tested end to end.
+
+#ifndef SRC_SPEC_EMITTER_H_
+#define SRC_SPEC_EMITTER_H_
+
+#include <string>
+
+#include "src/kernel/api.h"
+
+namespace eof {
+namespace spec {
+
+struct EmitOptions {
+  bool include_extended = true;  // emit extended-tier calls and flag values
+  bool with_comments = true;     // '#' doc lines above each call
+};
+
+std::string EmitSyzlang(const ApiRegistry& registry, const EmitOptions& options = {});
+
+}  // namespace spec
+}  // namespace eof
+
+#endif  // SRC_SPEC_EMITTER_H_

@@ -1,0 +1,146 @@
+#include "src/spec/lexer.h"
+
+#include <cctype>
+
+#include "src/common/strings.h"
+
+namespace eof {
+namespace spec {
+
+Result<std::vector<Token>> Tokenize(const std::string& source) {
+  std::vector<Token> tokens;
+  int line = 1;
+  size_t i = 0;
+  auto push = [&](TokenKind kind, std::string text = "", uint64_t number = 0) {
+    if (kind == TokenKind::kNewline &&
+        (tokens.empty() || tokens.back().kind == TokenKind::kNewline)) {
+      return;  // collapse blank lines and drop leading ones
+    }
+    tokens.push_back(Token{kind, std::move(text), number, line});
+  };
+
+  while (i < source.size()) {
+    char c = source[i];
+    if (c == '#') {
+      while (i < source.size() && source[i] != '\n') {
+        ++i;
+      }
+      continue;
+    }
+    if (c == '\n') {
+      push(TokenKind::kNewline);
+      ++line;
+      ++i;
+      continue;
+    }
+    if (isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    if (c == '(') {
+      push(TokenKind::kLParen);
+      ++i;
+      continue;
+    }
+    if (c == ')') {
+      push(TokenKind::kRParen);
+      ++i;
+      continue;
+    }
+    if (c == '[') {
+      push(TokenKind::kLBracket);
+      ++i;
+      continue;
+    }
+    if (c == ']') {
+      push(TokenKind::kRBracket);
+      ++i;
+      continue;
+    }
+    if (c == ',') {
+      push(TokenKind::kComma);
+      ++i;
+      continue;
+    }
+    if (c == ':') {
+      push(TokenKind::kColon);
+      ++i;
+      continue;
+    }
+    if (c == '=') {
+      push(TokenKind::kEquals);
+      ++i;
+      continue;
+    }
+    if (c == '"') {
+      size_t start = ++i;
+      std::string value;
+      bool closed = false;
+      while (i < source.size()) {
+        if (source[i] == '"') {
+          closed = true;
+          break;
+        }
+        if (source[i] == '\n') {
+          break;
+        }
+        if (source[i] == '\\' && i + 1 < source.size()) {
+          ++i;  // keep escaped char verbatim
+        }
+        value.push_back(source[i]);
+        ++i;
+      }
+      if (!closed) {
+        return InvalidArgumentError(
+            StrFormat("line %d: unterminated string literal", line));
+      }
+      ++i;  // closing quote
+      (void)start;
+      push(TokenKind::kString, std::move(value));
+      continue;
+    }
+    if (isdigit(static_cast<unsigned char>(c)) != 0 ||
+        (c == '0' && i + 1 < source.size() && source[i + 1] == 'x')) {
+      uint64_t value = 0;
+      if (source.compare(i, 2, "0x") == 0) {
+        i += 2;
+        size_t digits = 0;
+        while (i < source.size() && isxdigit(static_cast<unsigned char>(source[i])) != 0) {
+          char d = static_cast<char>(tolower(static_cast<unsigned char>(source[i])));
+          value = value * 16 +
+                  static_cast<uint64_t>(d <= '9' ? d - '0' : d - 'a' + 10);
+          ++i;
+          ++digits;
+        }
+        if (digits == 0) {
+          return InvalidArgumentError(StrFormat("line %d: bare 0x prefix", line));
+        }
+      } else {
+        while (i < source.size() && isdigit(static_cast<unsigned char>(source[i])) != 0) {
+          value = value * 10 + static_cast<uint64_t>(source[i] - '0');
+          ++i;
+        }
+      }
+      push(TokenKind::kNumber, "", value);
+      continue;
+    }
+    if (isalpha(static_cast<unsigned char>(c)) != 0 || c == '_' || c == '/' || c == '$') {
+      std::string ident;
+      while (i < source.size() &&
+             (isalnum(static_cast<unsigned char>(source[i])) != 0 || source[i] == '_' ||
+              source[i] == '/' || source[i] == '$' || source[i] == '.')) {
+        ident.push_back(source[i]);
+        ++i;
+      }
+      push(TokenKind::kIdent, std::move(ident));
+      continue;
+    }
+    return InvalidArgumentError(StrFormat("line %d: unexpected character '%c'", line, c));
+  }
+  push(TokenKind::kNewline);
+  tokens.push_back(Token{TokenKind::kEnd, "", 0, line});
+  return tokens;
+}
+
+}  // namespace spec
+}  // namespace eof

@@ -1,0 +1,44 @@
+// Tokenizer for the Syzlang-style spec language.
+
+#ifndef SRC_SPEC_LEXER_H_
+#define SRC_SPEC_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace eof {
+namespace spec {
+
+enum class TokenKind : uint8_t {
+  kIdent,
+  kNumber,
+  kString,    // double-quoted literal (content unescaped)
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kComma,
+  kColon,
+  kEquals,
+  kNewline,   // significant: declarations are line-oriented
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;     // ident/string content
+  uint64_t number = 0;  // kNumber value
+  int line = 0;
+};
+
+// Tokenizes `source`. '#' starts a comment running to end of line. Consecutive newlines
+// collapse into one kNewline token. Fails on unterminated strings and unknown characters.
+Result<std::vector<Token>> Tokenize(const std::string& source);
+
+}  // namespace spec
+}  // namespace eof
+
+#endif  // SRC_SPEC_LEXER_H_

@@ -1,0 +1,343 @@
+#include "src/spec/parser.h"
+
+#include "src/common/strings.h"
+#include "src/spec/lexer.h"
+
+namespace eof {
+namespace spec {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<SpecFile> Parse() {
+    SpecFile file;
+    while (!At(TokenKind::kEnd)) {
+      if (At(TokenKind::kNewline)) {
+        Advance();
+        continue;
+      }
+      RETURN_IF_ERROR(ParseDeclaration(&file));
+    }
+    return file;
+  }
+
+ private:
+  const Token& Cur() const { return tokens_[pos_]; }
+  bool At(TokenKind kind) const { return Cur().kind == kind; }
+  void Advance() {
+    if (pos_ + 1 < tokens_.size()) {
+      ++pos_;
+    }
+  }
+
+  Status Expect(TokenKind kind, const char* what) {
+    if (!At(kind)) {
+      return InvalidArgumentError(StrFormat("line %d: expected %s", Cur().line, what));
+    }
+    Advance();
+    return OkStatus();
+  }
+
+  Status ParseDeclaration(SpecFile* file) {
+    if (!At(TokenKind::kIdent)) {
+      return InvalidArgumentError(
+          StrFormat("line %d: expected a declaration", Cur().line));
+    }
+    std::string head = Cur().text;
+    int line = Cur().line;
+    Advance();
+
+    if (head == "resource") {
+      return ParseResource(file, line);
+    }
+    if (At(TokenKind::kEquals)) {
+      return ParseFlagSet(file, head, line);
+    }
+    if (At(TokenKind::kLParen)) {
+      return ParseCall(file, head, line);
+    }
+    return InvalidArgumentError(
+        StrFormat("line %d: malformed declaration after '%s'", line, head.c_str()));
+  }
+
+  // resource <name>[intN]
+  Status ParseResource(SpecFile* file, int line) {
+    if (!At(TokenKind::kIdent)) {
+      return InvalidArgumentError(StrFormat("line %d: resource name expected", line));
+    }
+    ResourceDecl decl;
+    decl.name = Cur().text;
+    decl.line = line;
+    Advance();
+    RETURN_IF_ERROR(Expect(TokenKind::kLBracket, "'['"));
+    if (!At(TokenKind::kIdent)) {
+      return InvalidArgumentError(StrFormat("line %d: resource base type expected", line));
+    }
+    unsigned bits = 32;
+    if (!ParseIntBits(Cur().text, &bits)) {
+      return InvalidArgumentError(
+          StrFormat("line %d: '%s' is not an integer base type", line, Cur().text.c_str()));
+    }
+    decl.bits = bits;
+    Advance();
+    RETURN_IF_ERROR(Expect(TokenKind::kRBracket, "']'"));
+    RETURN_IF_ERROR(Expect(TokenKind::kNewline, "end of line"));
+    if (file->resources.count(decl.name) != 0) {
+      return AlreadyExistsError(
+          StrFormat("line %d: resource '%s' redeclared", line, decl.name.c_str()));
+    }
+    file->resources[decl.name] = decl;
+    return OkStatus();
+  }
+
+  // <name> = v1, v2, ... [extended: v3, v4]
+  Status ParseFlagSet(SpecFile* file, const std::string& name, int line) {
+    RETURN_IF_ERROR(Expect(TokenKind::kEquals, "'='"));
+    FlagsDecl decl;
+    decl.name = name;
+    decl.line = line;
+    bool extended_section = false;
+    for (;;) {
+      if (At(TokenKind::kIdent) && Cur().text == "extended") {
+        if (extended_section) {
+          return InvalidArgumentError(
+              StrFormat("line %d: duplicate extended section", Cur().line));
+        }
+        Advance();
+        RETURN_IF_ERROR(Expect(TokenKind::kColon, "':' after extended"));
+        extended_section = true;
+        continue;
+      }
+      if (!At(TokenKind::kNumber)) {
+        return InvalidArgumentError(StrFormat("line %d: flag value expected", Cur().line));
+      }
+      (extended_section ? decl.extended_values : decl.values).push_back(Cur().number);
+      Advance();
+      if (At(TokenKind::kComma)) {
+        Advance();
+        continue;
+      }
+      if (At(TokenKind::kIdent) && Cur().text == "extended") {
+        continue;  // "v1, v2 extended: v3" — section marker without a comma
+      }
+      break;
+    }
+    RETURN_IF_ERROR(Expect(TokenKind::kNewline, "end of line"));
+    if (file->flag_sets.count(name) != 0) {
+      return AlreadyExistsError(
+          StrFormat("line %d: flag set '%s' redeclared", line, name.c_str()));
+    }
+    file->flag_sets[name] = std::move(decl);
+    return OkStatus();
+  }
+
+  // <name>(<field>*) [retres] [(attr, ...)]
+  Status ParseCall(SpecFile* file, const std::string& name, int line) {
+    RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'('"));
+    CallDecl decl;
+    decl.name = name;
+    decl.line = line;
+    if (!At(TokenKind::kRParen)) {
+      for (;;) {
+        FieldDecl field;
+        if (!At(TokenKind::kIdent)) {
+          return InvalidArgumentError(
+              StrFormat("line %d: argument name expected", Cur().line));
+        }
+        field.name = Cur().text;
+        Advance();
+        ASSIGN_OR_RETURN(field.type, ParseType());
+        decl.args.push_back(std::move(field));
+        if (At(TokenKind::kComma)) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+    }
+    RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+    if (At(TokenKind::kIdent)) {
+      decl.returns_resource = Cur().text;
+      Advance();
+    }
+    if (At(TokenKind::kLParen)) {
+      Advance();
+      for (;;) {
+        if (!At(TokenKind::kIdent)) {
+          return InvalidArgumentError(StrFormat("line %d: attribute expected", Cur().line));
+        }
+        if (Cur().text == "pseudo") {
+          decl.pseudo = true;
+        } else if (Cur().text == "extended") {
+          decl.extended = true;
+        } else {
+          return InvalidArgumentError(StrFormat("line %d: unknown attribute '%s'",
+                                                Cur().line, Cur().text.c_str()));
+        }
+        Advance();
+        if (At(TokenKind::kComma)) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')' after attributes"));
+    }
+    RETURN_IF_ERROR(Expect(TokenKind::kNewline, "end of line"));
+    file->calls.push_back(std::move(decl));
+    return OkStatus();
+  }
+
+  static bool ParseIntBits(const std::string& word, unsigned* bits) {
+    if (word == "int8") {
+      *bits = 8;
+    } else if (word == "int16") {
+      *bits = 16;
+    } else if (word == "int32") {
+      *bits = 32;
+    } else if (word == "int64") {
+      *bits = 64;
+    } else {
+      return false;
+    }
+    return true;
+  }
+
+  Result<TypeRef> ParseType() {
+    if (!At(TokenKind::kIdent)) {
+      return InvalidArgumentError(StrFormat("line %d: type expected", Cur().line));
+    }
+    std::string word = Cur().text;
+    int line = Cur().line;
+    Advance();
+    TypeRef type;
+
+    unsigned bits = 0;
+    if (ParseIntBits(word, &bits)) {
+      type.kind = TypeKind::kInt;
+      type.bits = bits;
+      if (At(TokenKind::kLBracket)) {
+        Advance();
+        if (!At(TokenKind::kNumber)) {
+          return InvalidArgumentError(StrFormat("line %d: range min expected", line));
+        }
+        type.min = Cur().number;
+        Advance();
+        RETURN_IF_ERROR(Expect(TokenKind::kColon, "':' in range"));
+        if (!At(TokenKind::kNumber)) {
+          return InvalidArgumentError(StrFormat("line %d: range max expected", line));
+        }
+        type.max = Cur().number;
+        type.has_range = true;
+        Advance();
+        RETURN_IF_ERROR(Expect(TokenKind::kRBracket, "']' after range"));
+      }
+      return type;
+    }
+
+    if (word == "flags") {
+      type.kind = TypeKind::kFlags;
+      RETURN_IF_ERROR(Expect(TokenKind::kLBracket, "'[' after flags"));
+      if (At(TokenKind::kIdent)) {
+        type.flags_name = Cur().text;
+        Advance();
+      } else {
+        for (;;) {
+          if (!At(TokenKind::kNumber)) {
+            return InvalidArgumentError(StrFormat("line %d: flag value expected", line));
+          }
+          type.inline_flags.push_back(Cur().number);
+          Advance();
+          if (At(TokenKind::kComma)) {
+            Advance();
+            continue;
+          }
+          break;
+        }
+      }
+      RETURN_IF_ERROR(Expect(TokenKind::kRBracket, "']' after flags"));
+      return type;
+    }
+
+    if (word == "buffer") {
+      type.kind = TypeKind::kBuffer;
+      RETURN_IF_ERROR(Expect(TokenKind::kLBracket, "'[' after buffer"));
+      if (!At(TokenKind::kNumber)) {
+        return InvalidArgumentError(StrFormat("line %d: buffer min expected", line));
+      }
+      type.buf_min = Cur().number;
+      Advance();
+      RETURN_IF_ERROR(Expect(TokenKind::kColon, "':' in buffer bounds"));
+      if (!At(TokenKind::kNumber)) {
+        return InvalidArgumentError(StrFormat("line %d: buffer max expected", line));
+      }
+      type.buf_max = Cur().number;
+      Advance();
+      RETURN_IF_ERROR(Expect(TokenKind::kRBracket, "']' after buffer"));
+      return type;
+    }
+
+    if (word == "string") {
+      type.kind = TypeKind::kString;
+      if (At(TokenKind::kLBracket)) {
+        Advance();
+        for (;;) {
+          if (!At(TokenKind::kString)) {
+            return InvalidArgumentError(StrFormat("line %d: string literal expected", line));
+          }
+          type.string_values.push_back(Cur().text);
+          Advance();
+          if (At(TokenKind::kComma)) {
+            Advance();
+            continue;
+          }
+          break;
+        }
+        RETURN_IF_ERROR(Expect(TokenKind::kRBracket, "']' after string set"));
+      }
+      return type;
+    }
+
+    if (word == "len") {
+      type.kind = TypeKind::kLen;
+      RETURN_IF_ERROR(Expect(TokenKind::kLBracket, "'[' after len"));
+      if (!At(TokenKind::kIdent)) {
+        return InvalidArgumentError(StrFormat("line %d: len target expected", line));
+      }
+      type.len_target = Cur().text;
+      Advance();
+      RETURN_IF_ERROR(Expect(TokenKind::kRBracket, "']' after len"));
+      return type;
+    }
+
+    // Anything else is a resource reference, optionally [opt].
+    type.kind = TypeKind::kResource;
+    type.resource = word;
+    if (At(TokenKind::kLBracket)) {
+      Advance();
+      if (!At(TokenKind::kIdent) || Cur().text != "opt") {
+        return InvalidArgumentError(StrFormat("line %d: only [opt] is valid here", line));
+      }
+      Advance();
+      RETURN_IF_ERROR(Expect(TokenKind::kRBracket, "']' after opt"));
+      type.optional = true;
+    }
+    return type;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<SpecFile> ParseSpec(const std::string& source) {
+  ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace spec
+}  // namespace eof

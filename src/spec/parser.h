@@ -1,0 +1,21 @@
+// Recursive-descent parser for the Syzlang-style spec language. Produces a SpecFile AST;
+// semantic validation (resource existence, len targets, range sanity) happens in the
+// compiler pass (src/spec/compiler.h).
+
+#ifndef SRC_SPEC_PARSER_H_
+#define SRC_SPEC_PARSER_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/spec/syzlang.h"
+
+namespace eof {
+namespace spec {
+
+Result<SpecFile> ParseSpec(const std::string& source);
+
+}  // namespace spec
+}  // namespace eof
+
+#endif  // SRC_SPEC_PARSER_H_

@@ -1,0 +1,105 @@
+#include "src/spec/spec_miner.h"
+
+#include "src/common/rng.h"
+#include "src/common/strings.h"
+#include "src/spec/emitter.h"
+#include "src/spec/parser.h"
+
+namespace eof {
+namespace spec {
+namespace {
+
+// Extraction-noise operators: each mangles a declaration the way sloppy generation does.
+std::string CorruptLine(Rng& rng, const std::string& line) {
+  if (line.empty() || line[0] == '#') {
+    return line;
+  }
+  switch (rng.Below(4)) {
+    case 0: {  // drop a bracket
+      std::string out = line;
+      size_t pos = out.find_first_of("[]()");
+      if (pos != std::string::npos) {
+        out.erase(pos, 1);
+      }
+      return out;
+    }
+    case 1:  // hallucinated trailing token
+      return line + " ???";
+    case 2: {  // truncate mid-declaration
+      return line.substr(0, line.size() / 2);
+    }
+    default: {  // mangle the call name (will fail registry binding, not parsing)
+      std::string out = line;
+      if (!out.empty() && isalpha(static_cast<unsigned char>(out[0])) != 0) {
+        out[0] = out[0] == 'z' ? 'a' : static_cast<char>(out[0] + 1);
+      }
+      return out;
+    }
+  }
+}
+
+// Parses, and on a line-tagged failure removes that line; repeats until the text parses.
+Result<SpecFile> ParseWithRepair(std::string* source, int* rounds,
+                                 std::vector<std::string>* rejected) {
+  for (int attempt = 0; attempt < 256; ++attempt) {
+    auto parsed = ParseSpec(*source);
+    if (parsed.ok()) {
+      *rounds = attempt;
+      return parsed;
+    }
+    // Extract "line N" from the diagnostic and drop that line.
+    Status failure = parsed.status();
+    const std::string& message = failure.message();
+    size_t tag = message.find("line ");
+    if (tag == std::string::npos) {
+      return parsed.status();
+    }
+    int line_number = atoi(message.c_str() + tag + 5);
+    if (line_number <= 0) {
+      return parsed.status();
+    }
+    std::vector<std::string> lines = StrSplit(*source, '\n', /*keep_empty=*/true);
+    if (static_cast<size_t>(line_number) > lines.size()) {
+      return parsed.status();
+    }
+    if (rejected != nullptr) {
+      rejected->push_back(StrFormat("parse: dropped line %d: %s", line_number,
+                                    lines[static_cast<size_t>(line_number - 1)].c_str()));
+    }
+    lines[static_cast<size_t>(line_number - 1)].clear();
+    *source = StrJoin(lines, "\n");
+  }
+  return InternalError("spec repair did not converge");
+}
+
+}  // namespace
+
+std::string MineSyzlang(const ApiRegistry& registry, const MinerOptions& options) {
+  EmitOptions emit;
+  emit.include_extended = options.include_extended;
+  std::string source = EmitSyzlang(registry, emit);
+  if (options.noise_per_mille == 0) {
+    return source;
+  }
+  Rng rng(options.seed);
+  std::vector<std::string> lines = StrSplit(source, '\n', /*keep_empty=*/true);
+  for (std::string& line : lines) {
+    if (rng.Below(1000) < options.noise_per_mille) {
+      line = CorruptLine(rng, line);
+    }
+  }
+  return StrJoin(lines, "\n");
+}
+
+Result<MinedSpecs> MineValidatedSpecs(const ApiRegistry& registry,
+                                      const MinerOptions& options) {
+  MinedSpecs mined;
+  mined.source = MineSyzlang(registry, options);
+  ASSIGN_OR_RETURN(SpecFile file,
+                   ParseWithRepair(&mined.source, &mined.repair_rounds, &mined.rejected));
+  ASSIGN_OR_RETURN(mined.specs, CompileSpec(file, registry, &mined.rejected));
+  return mined;
+}
+
+}  // namespace spec
+}  // namespace eof

@@ -1,0 +1,47 @@
+// The spec miner: this reproduction's stand-in for the paper's GPT-4o pass (§4.5), which
+// was prompted with headers/unit tests/API reference text and asked to emit Syzlang. Here
+// the "reference text" is the target's API registry; the miner emits Syzlang (optionally
+// with extraction noise to model imperfect LLM output), and MineValidatedSpecs runs the
+// same post-validation loop the paper describes — parse + type-check, dropping lines that
+// fail until the file validates, admitting only validated specifications.
+
+#ifndef SRC_SPEC_SPEC_MINER_H_
+#define SRC_SPEC_SPEC_MINER_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/kernel/api.h"
+#include "src/spec/compiler.h"
+
+namespace eof {
+namespace spec {
+
+struct MinerOptions {
+  // Include the extended tier (pseudo-syscalls, header-only constants). Baseline spec
+  // sets (Tardis-style, hand-written) are modelled by mining with this off.
+  bool include_extended = true;
+  // Probability (num/1000) of corrupting an emitted declaration line, modelling flawed
+  // extraction. Corrupted lines are rejected by post-validation, not executed.
+  uint32_t noise_per_mille = 0;
+  uint64_t seed = 1;
+};
+
+// Emits (possibly noisy) Syzlang for the registry.
+std::string MineSyzlang(const ApiRegistry& registry, const MinerOptions& options = {});
+
+struct MinedSpecs {
+  CompiledSpecs specs;
+  std::string source;                  // final validated Syzlang text
+  std::vector<std::string> rejected;   // diagnostics for dropped declarations
+  int repair_rounds = 0;               // parse-failure lines removed before success
+};
+
+// Full pipeline: mine -> parse -> repair (drop failing lines) -> compile -> admit.
+Result<MinedSpecs> MineValidatedSpecs(const ApiRegistry& registry,
+                                      const MinerOptions& options = {});
+
+}  // namespace spec
+}  // namespace eof
+
+#endif  // SRC_SPEC_SPEC_MINER_H_

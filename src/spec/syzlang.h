@@ -1,0 +1,102 @@
+// AST for the Syzlang-style API specification language (§4.5, "LLM-based Input
+// Generation"). EOF converts these specifications into the generator's internal form;
+// the miner emits them as text, and the parser + validator round-trip them, mirroring the
+// paper's "generated specifications are post-validated by parsing and type checking".
+//
+// Supported surface (one declaration per line, '#' comments):
+//
+//   resource task_handle[int32]
+//   notify_action = 0, 1, 2, 3, 4
+//   xTaskCreate(name string["main", "rx"], stack int32[128:4096], prio int32[0:32]) task_handle
+//   vTaskDelete(task task_handle[opt])
+//   xQueueSend(q queue_handle, item buffer[0:512], front int8[0:1])
+//   syz_worker_pipeline(workers int32[0:16], items int32[0:64]) (pseudo, extended)
+//
+// Types: intN[min:max] | flags[name] | flags[v1, v2, ...] | <resource>[opt]
+//        | buffer[min:max] | string | string["a", "b"] | len[argname]
+
+#ifndef SRC_SPEC_SYZLANG_H_
+#define SRC_SPEC_SYZLANG_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace eof {
+namespace spec {
+
+enum class TypeKind : uint8_t {
+  kInt,
+  kFlags,
+  kResource,
+  kBuffer,
+  kString,
+  kLen,
+};
+
+struct TypeRef {
+  TypeKind kind = TypeKind::kInt;
+
+  // kInt:
+  unsigned bits = 32;
+  bool has_range = false;
+  uint64_t min = 0;
+  uint64_t max = 0;
+
+  // kFlags: either a named set or inline values.
+  std::string flags_name;
+  std::vector<uint64_t> inline_flags;
+
+  // kResource:
+  std::string resource;
+  bool optional = false;
+
+  // kBuffer:
+  uint64_t buf_min = 0;
+  uint64_t buf_max = 256;
+
+  // kString:
+  std::vector<std::string> string_values;
+
+  // kLen:
+  std::string len_target;
+};
+
+struct FieldDecl {
+  std::string name;
+  TypeRef type;
+};
+
+struct CallDecl {
+  std::string name;
+  std::vector<FieldDecl> args;
+  std::string returns_resource;  // "" when the call returns a plain status
+  bool pseudo = false;
+  bool extended = false;
+  int line = 0;  // source line, for diagnostics
+};
+
+struct ResourceDecl {
+  std::string name;
+  unsigned bits = 32;
+  int line = 0;
+};
+
+struct FlagsDecl {
+  std::string name;
+  std::vector<uint64_t> values;
+  std::vector<uint64_t> extended_values;  // values after an `extended:` marker
+  int line = 0;
+};
+
+struct SpecFile {
+  std::map<std::string, ResourceDecl> resources;
+  std::map<std::string, FlagsDecl> flag_sets;
+  std::vector<CallDecl> calls;
+};
+
+}  // namespace spec
+}  // namespace eof
+
+#endif  // SRC_SPEC_SYZLANG_H_

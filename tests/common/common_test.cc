@@ -1,0 +1,176 @@
+// Unit tests for the common substrate: Status/Result, string helpers, RNG statistical
+// sanity, byte IO round-trips, hashing stability, and the coverage map.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/common/byteio.h"
+#include "src/common/coverage_map.h"
+#include "src/common/hash.h"
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/common/strings.h"
+#include "src/common/vclock.h"
+
+namespace eof {
+namespace {
+
+TEST(StatusTest, OkAndErrors) {
+  EXPECT_TRUE(OkStatus().ok());
+  EXPECT_EQ(OkStatus().ToString(), "OK");
+  Status timeout = TimeoutError("gdb continue did not ack");
+  EXPECT_FALSE(timeout.ok());
+  EXPECT_EQ(timeout.code(), ErrorCode::kTimeout);
+  EXPECT_EQ(timeout.ToString(), "TIMEOUT: gdb continue did not ack");
+}
+
+TEST(StatusTest, ResultValueAndError) {
+  Result<int> good = 42;
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 42);
+  EXPECT_TRUE(good.status().ok());
+
+  Result<int> bad = NotFoundError("nope");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), ErrorCode::kNotFound);
+}
+
+TEST(StatusTest, Macros) {
+  auto fails = []() -> Status { return InvalidArgumentError("boom"); };
+  auto wrapper = [&]() -> Status {
+    RETURN_IF_ERROR(fails());
+    return InternalError("unreachable");
+  };
+  EXPECT_EQ(wrapper().code(), ErrorCode::kInvalidArgument);
+
+  auto produce = []() -> Result<int> { return 7; };
+  auto assign = [&]() -> Result<int> {
+    ASSIGN_OR_RETURN(int value, produce());
+    return value * 2;
+  };
+  EXPECT_EQ(assign().value(), 14);
+}
+
+TEST(StringsTest, FormatSplitStrip) {
+  EXPECT_EQ(StrFormat("%s-%d", "x", 5), "x-5");
+  EXPECT_EQ(StrSplit("a,b,,c", ',').size(), 3u);
+  EXPECT_EQ(StrSplit("a,b,,c", ',', /*keep_empty=*/true).size(), 4u);
+  EXPECT_EQ(StripWhitespace("  hi \t"), "hi");
+  EXPECT_TRUE(StartsWith("transfer-encoding", "transfer"));
+  EXPECT_TRUE(EndsWith("panic_handler", "handler"));
+  EXPECT_TRUE(Contains("Guru Meditation Error", "Meditation"));
+  EXPECT_EQ(StrJoin({"a", "b"}, "::"), "a::b");
+}
+
+TEST(StringsTest, BytesToHex) {
+  uint8_t data[] = {0xde, 0xad, 0x01};
+  EXPECT_EQ(BytesToHex(data, 3), "dead01");
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, BelowIsInRangeAndRoughlyUniform) {
+  Rng rng(99);
+  std::map<uint64_t, int> histogram;
+  for (int i = 0; i < 10000; ++i) {
+    uint64_t value = rng.Below(10);
+    ASSERT_LT(value, 10u);
+    ++histogram[value];
+  }
+  for (const auto& [value, count] : histogram) {
+    EXPECT_GT(count, 700) << "bucket " << value;  // ~1000 expected
+    EXPECT_LT(count, 1300) << "bucket " << value;
+  }
+}
+
+TEST(RngTest, BiasedSizeFavorsSmall) {
+  Rng rng(3);
+  int small = 0;
+  for (int i = 0; i < 4000; ++i) {
+    if (rng.BiasedSize(1000) < 100) {
+      ++small;
+    }
+  }
+  EXPECT_GT(small, 800);  // well above the uniform 10% (= 400)
+}
+
+TEST(RngTest, WeightedIndexRespectsWeights) {
+  Rng rng(5);
+  int picks[3] = {0, 0, 0};
+  for (int i = 0; i < 9000; ++i) {
+    ++picks[rng.WeightedIndex({1, 1, 7})];
+  }
+  EXPECT_GT(picks[2], picks[0] * 3);
+  EXPECT_GT(picks[2], picks[1] * 3);
+}
+
+TEST(ByteIoTest, RoundTrip) {
+  ByteWriter writer;
+  writer.PutU8(0xab);
+  writer.PutU16(0x1234);
+  writer.PutU32(0xdeadbeef);
+  writer.PutU64(0x0102030405060708ULL);
+  writer.PutLengthPrefixed(std::string("hello"));
+
+  ByteReader reader(writer.bytes());
+  EXPECT_EQ(reader.GetU8(), 0xab);
+  EXPECT_EQ(reader.GetU16(), 0x1234);
+  EXPECT_EQ(reader.GetU32(), 0xdeadbeefu);
+  EXPECT_EQ(reader.GetU64(), 0x0102030405060708ULL);
+  std::vector<uint8_t> blob = reader.GetLengthPrefixed();
+  EXPECT_EQ(std::string(blob.begin(), blob.end()), "hello");
+  EXPECT_FALSE(reader.failed());
+  EXPECT_EQ(reader.remaining(), 0u);
+}
+
+TEST(ByteIoTest, OverrunSetsFailureFlag) {
+  std::vector<uint8_t> two = {1, 2};
+  ByteReader reader(two);
+  EXPECT_EQ(reader.GetU32(), 0u);
+  EXPECT_TRUE(reader.failed());
+}
+
+TEST(ByteIoTest, LengthPrefixOverrunRejected) {
+  ByteWriter writer;
+  writer.PutU32(1000);  // claims 1000 bytes, provides none
+  ByteReader reader(writer.bytes());
+  EXPECT_TRUE(reader.GetLengthPrefixed().empty());
+  EXPECT_TRUE(reader.failed());
+}
+
+TEST(HashTest, StableAcrossCalls) {
+  EXPECT_EQ(Fnv1a("freertos/queue"), Fnv1a("freertos/queue"));
+  EXPECT_NE(Fnv1a("a"), Fnv1a("b"));
+  constexpr uint64_t kCompileTime = Fnv1a("compile-time");
+  EXPECT_EQ(kCompileTime, Fnv1a("compile-time"));
+  EXPECT_NE(HashCombine(1, 2), HashCombine(2, 1));
+}
+
+TEST(CoverageMapTest, AddMergeCount) {
+  CoverageMap map;
+  EXPECT_TRUE(map.Add(1));
+  EXPECT_FALSE(map.Add(1));
+  EXPECT_EQ(map.AddBatch({1, 2, 3, 3}), 2u);
+  EXPECT_EQ(map.Count(), 3u);
+
+  CoverageMap other;
+  other.AddBatch({3, 4});
+  EXPECT_EQ(map.Merge(other), 1u);
+  EXPECT_EQ(map.Count(), 4u);
+}
+
+TEST(VClockTest, AdvanceAndUnits) {
+  VirtualClock clock;
+  clock.Advance(2 * kVirtualHour + kVirtualMinute);
+  EXPECT_EQ(clock.Now(), 121 * kVirtualMinute);
+}
+
+}  // namespace
+}  // namespace eof

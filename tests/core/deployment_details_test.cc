@@ -1,0 +1,99 @@
+// Detail tests of the deployment helpers: coverage-ring drop accounting, mailbox bounds,
+// debug-port traffic statistics, and virtual-time cost accounting of the reflash path.
+
+#include <gtest/gtest.h>
+
+#include "src/core/deployment.h"
+#include "src/hw/timing.h"
+#include "src/kernel/os.h"
+#include "src/os/all_oses.h"
+
+namespace eof {
+namespace {
+
+class DeploymentDetailsTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { ASSERT_TRUE(RegisterAllOses().ok()); }
+
+  std::unique_ptr<Deployment> Deploy(const std::string& os_name) {
+    DeployOptions options;
+    options.os_name = os_name;
+    return std::move(Deployment::Create(options).value());
+  }
+};
+
+TEST_F(DeploymentDetailsTest, MailboxRejectsOversizedTestCase) {
+  auto deployment = Deploy("pokos");
+  std::vector<uint8_t> oversized(kMailboxMaxBytes + 1, 0xab);
+  EXPECT_EQ(deployment->WriteTestCase(oversized).code(), ErrorCode::kInvalidArgument);
+  std::vector<uint8_t> max_size(kMailboxMaxBytes, 0xab);
+  EXPECT_TRUE(deployment->WriteTestCase(max_size).ok());
+}
+
+TEST_F(DeploymentDetailsTest, CoverageDrainResetsHeaderAndReportsDrops) {
+  auto deployment = Deploy("pokos");  // HiFive1: tiny 192-entry ring
+  Board& board = deployment->board();
+  // Fabricate a full ring with drops, as heavy instrumentation would leave it.
+  CovRingLayout ring = deployment->cov_ring();
+  ASSERT_EQ(ring.capacity, 192u);
+  for (uint32_t i = 0; i < ring.capacity; ++i) {
+    ASSERT_TRUE(board.RamWriteU64(ring.EntryOffset(i), 0x1000 + i).ok());
+  }
+  ASSERT_TRUE(board.RamWriteU32(ring.ram_offset + CovRingLayout::kCountOffset,
+                                ring.capacity).ok());
+  ASSERT_TRUE(board.RamWriteU32(ring.ram_offset + CovRingLayout::kDroppedOffset, 7).ok());
+
+  uint32_t dropped = 0;
+  auto entries = deployment->DrainCoverage(&dropped);
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries.value().size(), ring.capacity);
+  EXPECT_EQ(dropped, 7u);
+  EXPECT_EQ(entries.value()[3], 0x1003u);
+
+  // Header reset: a second drain is empty.
+  auto again = deployment->DrainCoverage(&dropped);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again.value().empty());
+  EXPECT_EQ(dropped, 0u);
+}
+
+TEST_F(DeploymentDetailsTest, ScribbledRingCountIsClamped) {
+  auto deployment = Deploy("pokos");
+  CovRingLayout ring = deployment->cov_ring();
+  // A buggy target wrote a huge count; the host must not issue a giant read.
+  ASSERT_TRUE(deployment->board().RamWriteU32(
+      ring.ram_offset + CovRingLayout::kCountOffset, 0xffffffff).ok());
+  auto entries = deployment->DrainCoverage();
+  ASSERT_TRUE(entries.ok());
+  EXPECT_LE(entries.value().size(), ring.capacity);
+}
+
+TEST_F(DeploymentDetailsTest, DebugPortStatsAccumulate) {
+  auto deployment = Deploy("zephyr");
+  DebugPortStats before = deployment->port().stats();
+  (void)deployment->port().ReadMem(deployment->board_spec().ram_base, 256);
+  (void)deployment->port().Continue();
+  DebugPortStats after = deployment->port().stats();
+  EXPECT_GT(after.transactions, before.transactions);
+  EXPECT_EQ(after.bytes_read, before.bytes_read + 256);
+  EXPECT_GT(after.flash_bytes, 0u);  // the initial deployment flashed partitions
+  EXPECT_GE(after.resets, 1u);
+}
+
+TEST_F(DeploymentDetailsTest, ReflashCostScalesWithImageSize) {
+  auto small = Deploy("zephyr");    // ~0.9 MB image
+  auto large = Deploy("nuttx");     // ~3.6 MB image
+  VirtualTime t0 = small->port().Now();
+  ASSERT_TRUE(small->ReflashAndReboot().ok());
+  VirtualDuration small_cost = small->port().Now() - t0;
+
+  t0 = large->port().Now();
+  ASSERT_TRUE(large->ReflashAndReboot().ok());
+  VirtualDuration large_cost = large->port().Now() - t0;
+
+  EXPECT_GT(large_cost, small_cost * 2);
+  EXPECT_GT(small_cost, kRebootCost);  // flash programming dominates a bare reboot
+}
+
+}  // namespace
+}  // namespace eof

@@ -1,0 +1,115 @@
+// Engine-mode tests: watchdog ablation, monitor configurations, restore modes under
+// flash damage, oversized-program trimming, and extension flags.
+
+#include <gtest/gtest.h>
+
+#include "src/core/fuzzer.h"
+#include "src/os/all_oses.h"
+
+namespace eof {
+namespace {
+
+class FuzzerModesTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { ASSERT_TRUE(RegisterAllOses().ok()); }
+
+  CampaignResult Run(FuzzerConfig config) {
+    EofFuzzer fuzzer(std::move(config));
+    auto result = fuzzer.Run();
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return result.ok() ? result.value() : CampaignResult{};
+  }
+};
+
+TEST_F(FuzzerModesTest, WatchdogsOffBurnsManualInterventionTime) {
+  // RT-Thread wedges often (stale-console hangs); without watchdogs each wedge costs a
+  // 30-virtual-minute human walk-over, so the no-watchdog campaign executes far less.
+  FuzzerConfig with;
+  with.os_name = "rtthread";
+  with.seed = 61;
+  with.budget = 2 * kVirtualHour;
+  FuzzerConfig without = with;
+  without.watchdogs = false;
+  CampaignResult guarded = Run(with);
+  CampaignResult manual = Run(without);
+  EXPECT_GT(guarded.execs, manual.execs * 2);
+}
+
+TEST_F(FuzzerModesTest, TimeoutOnlyDetectionIdentifiesNothing) {
+  FuzzerConfig config;
+  config.os_name = "zephyr";
+  config.seed = 62;
+  config.budget = 90 * kVirtualMinute;
+  config.log_monitor = false;
+  config.exception_monitor = false;
+  CampaignResult result = Run(config);
+  // Crashes still *happen* (stall events / restores), but nothing is identified.
+  EXPECT_TRUE(result.bugs.empty());
+  EXPECT_GT(result.stalls + result.timeouts + result.crashes, 0u);
+}
+
+TEST_F(FuzzerModesTest, LogMonitorAloneStillCatchesAssertionBugs) {
+  // Exception monitor off: panics degrade to stalls, but assertion bugs (#5/#8) leave
+  // console text the log monitor reads during the stall protocol.
+  FuzzerConfig config;
+  config.os_name = "rtthread";
+  config.seed = 63;
+  config.budget = 2 * kVirtualHour;
+  config.exception_monitor = false;
+  CampaignResult result = Run(config);
+  bool found_log_bug = false;
+  for (const BugReport& bug : result.bugs) {
+    EXPECT_EQ(bug.detector, "log");  // only the log monitor is armed
+    if (bug.catalog_id == 5 || bug.catalog_id == 8) {
+      found_log_bug = true;
+    }
+  }
+  EXPECT_TRUE(found_log_bug);
+}
+
+TEST_F(FuzzerModesTest, RebootOnlyModeRecoversViaManualReflashAfterFlashDamage) {
+  // FreeRTOS bug #13 corrupts flash. In reboot-only mode the engine pays the manual-
+  // intervention cost and still recovers (a human reflashes), so the campaign finishes.
+  FuzzerConfig config;
+  config.os_name = "freertos";
+  config.seed = 64;
+  config.budget = 4 * kVirtualHour;
+  config.restore_mode = RestoreMode::kRebootOnly;
+  CampaignResult result = Run(config);
+  EXPECT_GT(result.execs, 100u);
+  if (result.FoundBug(13)) {
+    EXPECT_GT(result.restores, 0u);
+  }
+}
+
+TEST_F(FuzzerModesTest, SubsystemConfinementHoldsDuringCampaign) {
+  FuzzerConfig config;
+  config.os_name = "freertos";
+  config.seed = 65;
+  config.budget = 30 * kVirtualMinute;
+  config.gen.allowed_subsystems = {"json"};
+  config.instrumentation.module_filter = {"apps/json"};
+  CampaignResult result = Run(config);
+  EXPECT_GT(result.execs, 10u);
+  // Coverage confined to the JSON module: far below a full-system campaign's take.
+  EXPECT_LT(result.final_coverage, 160u);
+  EXPECT_GT(result.final_coverage, 5u);
+}
+
+TEST_F(FuzzerModesTest, DeterministicForSeedAndDifferentAcrossSeeds) {
+  FuzzerConfig config;
+  config.os_name = "nuttx";
+  config.seed = 66;
+  config.budget = 20 * kVirtualMinute;
+  CampaignResult a = Run(config);
+  CampaignResult b = Run(config);
+  EXPECT_EQ(a.final_coverage, b.final_coverage);
+  EXPECT_EQ(a.execs, b.execs);
+  EXPECT_EQ(a.crashes, b.crashes);
+  config.seed = 67;
+  CampaignResult c = Run(config);
+  EXPECT_NE(a.execs, c.execs);
+}
+
+}  // namespace
+}  // namespace eof

@@ -1,0 +1,84 @@
+// Short-campaign smoke tests of the full EOF engine on each OS: coverage grows, the
+// engine survives crashes/stalls via restoration, and feedback beats no-feedback.
+
+#include "src/core/fuzzer.h"
+
+#include <gtest/gtest.h>
+
+#include "src/os/all_oses.h"
+
+namespace eof {
+namespace {
+
+class FuzzerSmokeTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  static void SetUpTestSuite() { ASSERT_TRUE(RegisterAllOses().ok()); }
+};
+
+TEST_P(FuzzerSmokeTest, ShortCampaignMakesProgress) {
+  FuzzerConfig config;
+  config.os_name = GetParam();
+  config.seed = 11;
+  config.budget = 5 * kVirtualMinute;
+  config.sample_points = 10;
+  EofFuzzer fuzzer(config);
+  auto result = fuzzer.Run();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const CampaignResult& campaign = result.value();
+  EXPECT_GT(campaign.execs, 10u);
+  EXPECT_GT(campaign.final_coverage, 20u);
+  EXPECT_EQ(campaign.series.size(), 10u);
+  // Series is monotone.
+  for (size_t i = 1; i < campaign.series.size(); ++i) {
+    EXPECT_GE(campaign.series[i].coverage, campaign.series[i - 1].coverage);
+  }
+  EXPECT_LE(campaign.elapsed, config.budget + kVirtualMinute);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOses, FuzzerSmokeTest,
+                         ::testing::Values("freertos", "rtthread", "nuttx", "zephyr",
+                                           "pokos"));
+
+TEST(FuzzerFeedbackTest, FeedbackBuildsACorpus) {
+  ASSERT_TRUE(RegisterAllOses().ok());
+  FuzzerConfig config;
+  config.os_name = "rtthread";
+  config.seed = 3;
+  config.budget = 5 * kVirtualMinute;
+  EofFuzzer fuzzer(config);
+  auto result = fuzzer.Run();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result.value().corpus_size, 5u);
+}
+
+TEST(FuzzerFeedbackTest, NoFeedbackKeepsNoCorpus) {
+  ASSERT_TRUE(RegisterAllOses().ok());
+  FuzzerConfig config;
+  config.os_name = "rtthread";
+  config.seed = 3;
+  config.budget = 5 * kVirtualMinute;
+  config.coverage_feedback = false;
+  EofFuzzer fuzzer(config);
+  auto result = fuzzer.Run();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().corpus_size, 0u);
+}
+
+TEST(FuzzerCrashTest, SurvivesCrashesOnZephyr) {
+  ASSERT_TRUE(RegisterAllOses().ok());
+  FuzzerConfig config;
+  config.os_name = "zephyr";  // k_heap_init(size<8) crashes are shallow
+  config.seed = 5;
+  config.budget = 20 * kVirtualMinute;
+  EofFuzzer fuzzer(config);
+  auto result = fuzzer.Run();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // The campaign keeps executing after crashes (restores happened).
+  if (result.value().crashes > 0) {
+    EXPECT_GT(result.value().restores, 0u);
+  }
+  EXPECT_GT(result.value().execs, 50u);
+}
+
+}  // namespace
+}  // namespace eof

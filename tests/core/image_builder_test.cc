@@ -1,0 +1,99 @@
+// Tests of the image builder: flash layout, symbol publication, architecture gating,
+// instrumentation sizing (§5.5.1 accounting), and flash-capacity rejection.
+
+#include <gtest/gtest.h>
+
+#include "src/core/image_builder.h"
+
+#include "src/agent/agent_layout.h"
+#include "src/hw/board_catalog.h"
+#include "src/kernel/image_layout.h"
+#include "src/kernel/os.h"
+#include "src/os/all_oses.h"
+
+namespace eof {
+namespace {
+
+class ImageBuilderTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  static void SetUpTestSuite() { ASSERT_TRUE(RegisterAllOses().ok()); }
+};
+
+TEST_P(ImageBuilderTest, BuildsOnDefaultBoardWithAllSymbols) {
+  OsInfo info = OsRegistry::Instance().Find(GetParam()).value();
+  BoardSpec spec = BoardSpecByName(info.default_board).value();
+  ImageBuildOptions options;
+  options.os_name = GetParam();
+  auto image = BuildImage(spec, options);
+  ASSERT_TRUE(image.ok()) << image.status().ToString();
+
+  // The Figure-4 program points, the OS exception function, and the agent data blocks.
+  std::unique_ptr<Os> os = info.factory();
+  for (const char* symbol : {"agent_start", "executor_main", "read_prog", "execute_one",
+                             "_kcmp_buf_full", "g_eof_status", "g_eof_mailbox",
+                             "g_eof_cov_ring"}) {
+    EXPECT_TRUE(image.value()->symbols().Has(symbol)) << symbol;
+  }
+  EXPECT_TRUE(image.value()->symbols().Has(os->exception_symbol()));
+
+  // Partition layout: bootloader / ptable / kernel / nvs, table validates, ptable at the
+  // shared constant the kernels use.
+  const PartitionTable& table = image.value()->partition_table();
+  ASSERT_EQ(table.partitions.size(), 4u);
+  EXPECT_EQ(table.Find("ptable")->offset, kPtableFlashOffset);
+  EXPECT_TRUE(table.Validate(spec.flash_bytes).ok());
+
+  // Module code regions exist for every declared module and stay inside flash-ish space.
+  EXPECT_EQ(image.value()->modules().size(), os->modules().size());
+}
+
+TEST_P(ImageBuilderTest, InstrumentationGrowsImageWithinPaperBand) {
+  InstrumentationOptions off;
+  off.enabled = false;
+  uint64_t base = ComputeImageSize(GetParam(), off).value();
+  uint64_t on = ComputeImageSize(GetParam(), InstrumentationOptions{}).value();
+  double overhead = (static_cast<double>(on) - base) / base * 100.0;
+  EXPECT_GT(overhead, 3.0) << GetParam();
+  EXPECT_LT(overhead, 11.0) << GetParam();  // paper band: 4.32% .. 9.58%
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOses, ImageBuilderTest,
+                         ::testing::Values("freertos", "rtthread", "nuttx", "zephyr",
+                                           "pokos"));
+
+TEST(ImageBuilderGatingTest, RejectsUnportedArchitecture) {
+  ASSERT_TRUE(RegisterAllOses().ok());
+  // RT-Thread has no Xtensa port in the registry; ESP32 is Xtensa.
+  BoardSpec esp32 = BoardSpecByName("esp32-devkitc").value();
+  ImageBuildOptions options;
+  options.os_name = "rtthread";
+  auto image = BuildImage(esp32, options);
+  EXPECT_FALSE(image.ok());
+  EXPECT_EQ(image.status().code(), ErrorCode::kFailedPrecondition);
+}
+
+TEST(ImageBuilderGatingTest, RejectsImageLargerThanFlash) {
+  ASSERT_TRUE(RegisterAllOses().ok());
+  BoardSpec tiny = BoardSpecByName("stm32f407-disco").value();  // 1 MiB flash
+  ImageBuildOptions options;
+  options.os_name = "nuttx";  // ~3.5 MiB image
+  auto image = BuildImage(tiny, options);
+  EXPECT_FALSE(image.ok());
+  EXPECT_EQ(image.status().code(), ErrorCode::kResourceExhausted);
+}
+
+TEST(ImageBuilderGatingTest, AppFilteredInstrumentationIsSmaller) {
+  ASSERT_TRUE(RegisterAllOses().ok());
+  InstrumentationOptions apps_only;
+  apps_only.module_filter = {"apps/"};
+  uint64_t full = ComputeImageSize("freertos", InstrumentationOptions{}).value();
+  uint64_t filtered = ComputeImageSize("freertos", apps_only).value();
+  InstrumentationOptions off;
+  off.enabled = false;
+  uint64_t base = ComputeImageSize("freertos", off).value();
+  EXPECT_LT(filtered, full);
+  EXPECT_GT(filtered, base);
+}
+
+}  // namespace
+}  // namespace eof

@@ -1,0 +1,93 @@
+// Tests of the §6 power-signal extension: the ammeter model per power state, the
+// plateau watchdog verdict, and a campaign with the probe enabled.
+
+#include <gtest/gtest.h>
+
+#include "src/core/deployment.h"
+#include "src/core/fuzzer.h"
+#include "src/core/liveness.h"
+#include "src/os/all_oses.h"
+
+namespace eof {
+namespace {
+
+class PowerProbeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { ASSERT_TRUE(RegisterAllOses().ok()); }
+
+  std::unique_ptr<Deployment> Deploy() {
+    DeployOptions options;
+    options.os_name = "rtthread";
+    return std::move(Deployment::Create(options).value());
+  }
+};
+
+TEST_F(PowerProbeTest, DrawTracksPowerState) {
+  auto deployment = Deploy();
+  Board& board = deployment->board();
+  uint32_t running = deployment->port().SamplePowerMilliAmps();
+  EXPECT_GE(running, 40u);
+  EXPECT_LT(running, 100u);
+
+  board.LatchHang("test wedge");
+  EXPECT_GE(deployment->port().SamplePowerMilliAmps(), 100u);  // flat-out spin
+
+  ASSERT_TRUE(deployment->ReflashAndReboot().ok());
+  EXPECT_LT(deployment->port().SamplePowerMilliAmps(), 100u);
+
+  // Corrupt flash -> boot failure -> ROM idle draw.
+  const Partition* kernel = deployment->image().partition_table().Find("kernel");
+  ASSERT_TRUE(board.FlashWrite(kernel->offset + 32, {0}).ok());
+  ASSERT_TRUE(deployment->port().ResetTarget().ok());
+  EXPECT_LT(deployment->port().SamplePowerMilliAmps(), 40u);
+  EXPECT_GT(deployment->port().SamplePowerMilliAmps(), 0u);
+}
+
+TEST_F(PowerProbeTest, AmmeterWorksWithSeveredLink) {
+  auto deployment = Deploy();
+  deployment->board().LatchHang("wedge");
+  deployment->port().InjectLinkFailure(true);
+  // The ammeter is a separate physical channel.
+  EXPECT_GE(deployment->port().SamplePowerMilliAmps(), 100u);
+}
+
+TEST_F(PowerProbeTest, PlateauVerdictBeforePcProtocol) {
+  auto deployment = Deploy();
+  deployment->board().LatchHang("wedge");
+  LivenessWatchdog watchdog;
+  watchdog.EnablePowerProbe();
+  // First check records the plateau strike (and a PC sample); second confirms.
+  LivenessVerdict first = watchdog.Check(deployment->port());
+  EXPECT_NE(first, LivenessVerdict::kPowerPlateau);
+  EXPECT_EQ(watchdog.Check(deployment->port()), LivenessVerdict::kPowerPlateau);
+  watchdog.Reset();
+  EXPECT_NE(watchdog.Check(deployment->port()), LivenessVerdict::kPowerPlateau);
+}
+
+TEST_F(PowerProbeTest, HealthyTargetNeverTripsTheProbe) {
+  auto deployment = Deploy();
+  LivenessWatchdog watchdog;
+  watchdog.EnablePowerProbe();
+  for (int i = 0; i < 6; ++i) {
+    (void)deployment->port().Continue();
+    EXPECT_EQ(watchdog.Check(deployment->port()), LivenessVerdict::kAlive) << i;
+  }
+}
+
+TEST_F(PowerProbeTest, CampaignWithProbeMatchesStallRecoveryBudget) {
+  // The probe must not regress a campaign (same recovery semantics, fewer PC rounds).
+  for (bool probe : {false, true}) {
+    FuzzerConfig config;
+    config.os_name = "rtthread";
+    config.seed = 91;
+    config.budget = 45 * kVirtualMinute;
+    config.power_probe = probe;
+    EofFuzzer fuzzer(config);
+    auto result = fuzzer.Run();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_GT(result.value().execs, 100u) << "probe=" << probe;
+  }
+}
+
+}  // namespace
+}  // namespace eof

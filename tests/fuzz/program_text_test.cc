@@ -1,0 +1,139 @@
+// Tests of the reproducer text format: serialize→parse round-trips (property sweep over
+// generated programs), malformed-input rejection, and end-to-end replay of a catalog bug
+// from its text form.
+
+#include <gtest/gtest.h>
+
+#include "src/core/replay.h"
+#include "src/fuzz/corpus.h"
+#include "src/fuzz/generator.h"
+#include "src/fuzz/program_text.h"
+#include "src/kernel/os.h"
+#include "src/os/all_oses.h"
+#include "src/spec/spec_miner.h"
+
+namespace eof {
+namespace fuzz {
+namespace {
+
+const spec::CompiledSpecs& Specs(const std::string& os_name) {
+  static auto* cache = new std::map<std::string, spec::CompiledSpecs>();
+  auto it = cache->find(os_name);
+  if (it == cache->end()) {
+    (void)RegisterAllOses();
+    auto os = OsRegistry::Instance().Find(os_name).value().factory();
+    it = cache->emplace(os_name,
+                        std::move(spec::MineValidatedSpecs(os->registry()).value().specs))
+             .first;
+  }
+  return it->second;
+}
+
+TEST(ProgramTextTest, RoundTripPropertySweep) {
+  for (const char* os : {"freertos", "rtthread", "nuttx"}) {
+    const spec::CompiledSpecs& specs = Specs(os);
+    Generator generator(specs, GeneratorOptions{}, 314);
+    for (int i = 0; i < 200; ++i) {
+      Program program = generator.Generate();
+      std::string text = SerializeProgramText(specs, program);
+      auto parsed = ParseProgramText(specs, text);
+      ASSERT_TRUE(parsed.ok()) << os << ": " << parsed.status().ToString() << "\n" << text;
+      EXPECT_EQ(parsed.value().Hash(), program.Hash()) << text;
+    }
+  }
+}
+
+TEST(ProgramTextTest, ParsesCommentsAndWhitespace) {
+  const spec::CompiledSpecs& specs = Specs("freertos");
+  const char* text = R"(
+# a queue round trip
+r0 = xQueueCreate(0x4, 0x8)
+  r1 = xQueueSend(r0, `6869`, 0x0)
+r2 = uxQueueMessagesWaiting(r0)
+)";
+  auto parsed = ParseProgramText(specs, text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed.value().calls.size(), 3u);
+  EXPECT_EQ(parsed.value().calls[1].args[1].bytes,
+            (std::vector<uint8_t>{'h', 'i'}));
+  EXPECT_TRUE(parsed.value().RefsValid());
+}
+
+TEST(ProgramTextTest, RejectsMalformedInputs) {
+  const spec::CompiledSpecs& specs = Specs("freertos");
+  const char* bad[] = {
+      "",                                        // empty
+      "r0 = notAnApi(0x1)",                      // unknown API
+      "r0 = xQueueCreate(0x4)",                  // arity
+      "r0 = xQueueSend(r5, `00`, 0x0)",          // forward ref
+      "r0 = xQueueCreate(0x4, 0x8",              // missing paren
+      "r0 = xQueueSend(r0, `0`, 0x0)",           // odd hex length (also self-ref)
+      "r0 = xQueueSend(r0, `zz`, 0x0)",          // bad hex
+  };
+  for (const char* text : bad) {
+    EXPECT_FALSE(ParseProgramText(specs, text).ok()) << text;
+  }
+}
+
+TEST(ProgramTextTest, ReplayReproducesCatalogBug) {
+  (void)RegisterAllOses();
+  // Bug #4 (zephyr k_heap_init with a tiny region), as a reproducer file's contents.
+  auto outcome = ReplayReproducer("zephyr", "r0 = k_heap_init(0x4)\n");
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_TRUE(outcome.value().crashed);
+  EXPECT_EQ(outcome.value().catalog_id, 4);
+  EXPECT_EQ(outcome.value().detector, "exception");
+
+  // A benign program replays clean.
+  auto benign = ReplayReproducer("zephyr", "r0 = k_heap_init(0x400)\n");
+  ASSERT_TRUE(benign.ok());
+  EXPECT_FALSE(benign.value().crashed);
+}
+
+TEST(ProgramTextTest, CorpusCheckpointRoundTrip) {
+  const spec::CompiledSpecs& specs = Specs("rtthread");
+  Generator generator(specs, GeneratorOptions{}, 2718);
+  Corpus original;
+  for (int i = 0; i < 40; ++i) {
+    original.Add(generator.Generate(), static_cast<uint64_t>(i % 7) + 1);
+  }
+  std::string checkpoint = original.SaveText(specs);
+
+  Corpus restored;
+  auto admitted = restored.LoadText(specs, checkpoint);
+  ASSERT_TRUE(admitted.ok());
+  EXPECT_EQ(admitted.value(), original.size());
+  EXPECT_EQ(restored.size(), original.size());
+  // Entry programs and their discovery value survive.
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(restored.entries()[i].program.Hash(), original.entries()[i].program.Hash());
+    EXPECT_EQ(restored.entries()[i].new_edges, original.entries()[i].new_edges);
+  }
+  // Loading the same checkpoint again admits nothing (dedup holds).
+  EXPECT_EQ(restored.LoadText(specs, checkpoint).value(), 0u);
+}
+
+TEST(ProgramTextTest, CorpusLoadSkipsStaleEntries) {
+  const spec::CompiledSpecs& specs = Specs("rtthread");
+  Corpus corpus;
+  std::string checkpoint =
+      "# new_edges=3\nr0 = rt_sem_create(`73656d30`, 0x1)\n\n"
+      "# from an older build\nr0 = rt_api_gone(0x1)\n\n";
+  auto admitted = corpus.LoadText(specs, checkpoint);
+  ASSERT_TRUE(admitted.ok());
+  EXPECT_EQ(admitted.value(), 1u);  // the stale entry is dropped, the live one admitted
+  EXPECT_EQ(corpus.entries()[0].new_edges, 3u);
+}
+
+TEST(ProgramTextTest, ReplayCatchesAssertionViaLogMonitor) {
+  (void)RegisterAllOses();
+  auto outcome = ReplayReproducer("rtthread", "r0 = rt_object_get_type(0x0)\n");
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_TRUE(outcome.value().crashed);
+  EXPECT_EQ(outcome.value().catalog_id, 5);
+  EXPECT_EQ(outcome.value().detector, "log");
+}
+
+}  // namespace
+}  // namespace fuzz
+}  // namespace eof

@@ -1,0 +1,216 @@
+// Unit tests for the hardware substrate: flash + partitions, UART loss semantics, symbol
+// tables, image payload validation, board lifecycle/fault latching, and the debug port's
+// cost accounting and timeout behaviour.
+
+#include <gtest/gtest.h>
+
+#include "src/hw/board.h"
+#include "src/hw/board_catalog.h"
+#include "src/hw/debug_port.h"
+#include "src/hw/image.h"
+#include "src/hw/timing.h"
+
+namespace eof {
+namespace {
+
+TEST(FlashTest, WriteReadErase) {
+  Flash flash(4096);
+  ASSERT_TRUE(flash.Write(16, {1, 2, 3}).ok());
+  auto read = flash.Read(16, 3);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), (std::vector<uint8_t>{1, 2, 3}));
+  EXPECT_FALSE(flash.Write(4095, {1, 2}).ok());
+  flash.MassErase();
+  EXPECT_EQ(flash.Read(16, 1).value()[0], 0xff);
+}
+
+TEST(PartitionTableTest, ValidationRejectsOverlapAndOverflow) {
+  PartitionTable table;
+  table.partitions = {{"a", 0, 100}, {"b", 100, 100}};
+  EXPECT_TRUE(table.Validate(200).ok());
+  EXPECT_FALSE(table.Validate(150).ok());  // b overflows
+  table.partitions.push_back({"c", 50, 100});
+  EXPECT_FALSE(table.Validate(1000).ok());  // c overlaps a and b
+  EXPECT_NE(table.Find("a"), nullptr);
+  EXPECT_EQ(table.Find("zzz"), nullptr);
+}
+
+TEST(UartTest, DrainAndFreeze) {
+  Uart uart(64);
+  uart.WriteLine("boot ok");
+  EXPECT_EQ(uart.Drain(), "boot ok\n");
+  EXPECT_EQ(uart.Drain(), "");
+  uart.WriteLine("crash imminent");
+  uart.Freeze();
+  uart.WriteLine("lost");
+  EXPECT_EQ(uart.Drain(), "crash imminent\n");
+  EXPECT_GT(uart.dropped_bytes(), 0u);
+}
+
+TEST(UartTest, CapacityKeepsOldest) {
+  Uart uart(8);
+  uart.Write("12345678ABC");
+  EXPECT_EQ(uart.Drain(), "12345678");
+  EXPECT_EQ(uart.dropped_bytes(), 3u);
+}
+
+TEST(SymbolTableTest, AddLookupContaining) {
+  SymbolTable symbols;
+  ASSERT_TRUE(symbols.Add("executor_main", 0x1000, 0x40).ok());
+  EXPECT_FALSE(symbols.Add("executor_main", 0x2000, 0x40).ok());
+  EXPECT_FALSE(symbols.Add("overlap", 0x1020, 0x40).ok());
+  EXPECT_EQ(symbols.AddressOf("executor_main").value(), 0x1000u);
+  EXPECT_FALSE(symbols.AddressOf("missing").ok());
+  EXPECT_EQ(symbols.Containing(0x1008), "executor_main");
+  EXPECT_EQ(symbols.Containing(0x2000), "");
+}
+
+TEST(ImageTest, PayloadRoundTripAndCorruptionDetection) {
+  std::vector<uint8_t> payload = FirmwareImage::MakePayload("kernel", 1, 512);
+  EXPECT_TRUE(FirmwareImage::VerifyPayload(payload).ok());
+  payload[40] ^= 0xff;
+  EXPECT_FALSE(FirmwareImage::VerifyPayload(payload).ok());
+}
+
+TEST(ImageTest, FlashVerification) {
+  FirmwareImage image;
+  ASSERT_TRUE(image.AddPartition("kernel", 0x100, 0x1000, 256, 5).ok());
+  ASSERT_TRUE(image.AddRawPartition("nvs", 0x2000, 0x100).ok());
+  Flash flash(16384);
+  EXPECT_FALSE(image.VerifyFlash(flash).ok());  // nothing flashed
+  ASSERT_TRUE(flash.Write(0x100, image.PayloadOf("kernel").value()).ok());
+  EXPECT_TRUE(image.VerifyFlash(flash).ok());
+  // nvs is a raw partition: scribbling there must NOT fail validation.
+  ASSERT_TRUE(flash.Write(0x2000, {0xaa, 0xbb}).ok());
+  EXPECT_TRUE(image.VerifyFlash(flash).ok());
+  // kernel corruption must.
+  ASSERT_TRUE(flash.Write(0x120, {0x00}).ok());
+  EXPECT_FALSE(image.VerifyFlash(flash).ok());
+}
+
+TEST(ImageTest, ModuleLayoutsAndCodeSpace) {
+  FirmwareImage image;
+  image.set_code_base(0x10000);
+  auto http = image.AddModule("apps/http", 64);
+  ASSERT_TRUE(http.ok());
+  auto json = image.AddModule("apps/json", 32);
+  ASSERT_TRUE(json.ok());
+  EXPECT_FALSE(image.AddModule("apps/http", 8).ok());
+  EXPECT_EQ(http.value().base, 0x10000u);
+  EXPECT_EQ(json.value().base, 0x10000u + 64 * kBasicBlockStride);
+  EXPECT_TRUE(image.InCodeSpace(http.value().base + 8));
+  EXPECT_FALSE(image.InCodeSpace(0x10000 + 96 * kBasicBlockStride));
+  uint64_t bb = FirmwareImage::BasicBlockAddress(http.value(), 12345);
+  EXPECT_TRUE(image.InCodeSpace(bb));
+}
+
+TEST(InstrumentationOptionsTest, ModuleFilter) {
+  InstrumentationOptions options;
+  EXPECT_TRUE(options.Covers("freertos/queue"));
+  options.module_filter = {"apps/"};
+  EXPECT_TRUE(options.Covers("apps/json"));
+  EXPECT_FALSE(options.Covers("freertos/queue"));
+  options.enabled = false;
+  EXPECT_FALSE(options.Covers("apps/json"));
+}
+
+TEST(BoardCatalogTest, KnownBoards) {
+  EXPECT_GE(KnownBoardNames().size(), 6u);
+  auto esp32 = BoardSpecByName("esp32-devkitc");
+  ASSERT_TRUE(esp32.ok());
+  EXPECT_EQ(esp32.value().arch, Arch::kXtensa);
+  EXPECT_EQ(esp32.value().max_hw_breakpoints, 2);
+  EXPECT_FALSE(esp32.value().emulated);
+  auto qemu = BoardSpecByName("qemu-virt-arm");
+  ASSERT_TRUE(qemu.ok());
+  EXPECT_TRUE(qemu.value().emulated);
+  EXPECT_TRUE(qemu.value().peripherals.empty());
+  EXPECT_FALSE(BoardSpecByName("imaginary").ok());
+}
+
+class BoardTest : public ::testing::Test {
+ protected:
+  BoardTest() : board_(BoardSpecByName("stm32f407-disco").value()) {}
+  Board board_;
+};
+
+TEST_F(BoardTest, RamAccessAndBounds) {
+  ASSERT_TRUE(board_.RamWrite(0x100, {9, 8, 7}).ok());
+  EXPECT_EQ(board_.RamRead(0x100, 3).value(), (std::vector<uint8_t>{9, 8, 7}));
+  EXPECT_FALSE(board_.RamRead(board_.spec().ram_bytes - 1, 2).ok());
+  ASSERT_TRUE(board_.RamWriteU32(0x200, 0xcafef00d).ok());
+  EXPECT_EQ(board_.RamReadU32(0x200).value(), 0xcafef00du);
+}
+
+TEST_F(BoardTest, ResetWithoutImageIsOff) {
+  board_.Reset();
+  EXPECT_EQ(board_.power_state(), PowerState::kOff);
+  EXPECT_EQ(board_.Continue().reason, HaltReason::kPoweredOff);
+}
+
+TEST_F(BoardTest, FaultLatchFreezesPc) {
+  board_.LatchFault(0xdead00, "test fault");
+  EXPECT_EQ(board_.power_state(), PowerState::kFaulted);
+  uint64_t pc1 = board_.ReadPC();
+  StopInfo stop = board_.Continue();
+  EXPECT_EQ(stop.reason, HaltReason::kQuantumExpired);
+  EXPECT_EQ(board_.ReadPC(), pc1);  // frozen
+  EXPECT_TRUE(board_.uart().frozen());
+}
+
+TEST_F(BoardTest, HardwareBreakpointBudget) {
+  // bb-space breakpoints need an installed image; program-point (sw) ones do not.
+  auto image = std::make_shared<FirmwareImage>();
+  image->set_code_base(0x20000);
+  (void)image->AddModule("m", 64);
+  board_.InstallImage(image);
+  int budget = board_.spec().max_hw_breakpoints;
+  for (int i = 0; i < budget; ++i) {
+    EXPECT_TRUE(board_.AddBreakpoint(0x20000 + static_cast<uint64_t>(i) * 16).ok());
+  }
+  EXPECT_FALSE(board_.AddBreakpoint(0x20000 + 1000 * 16 % (64 * 16)).ok());
+  // Software breakpoints remain unlimited.
+  for (uint64_t i = 0; i < 20; ++i) {
+    EXPECT_TRUE(board_.AddBreakpoint(0x900000 + i * 4).ok());
+  }
+}
+
+TEST(DebugPortTest, RequiresAttachAndTimesOutWhenSevered) {
+  Board board(BoardSpecByName("stm32f407-disco").value());
+  DebugPort port(&board);
+  EXPECT_FALSE(port.ReadPC().ok());  // not attached
+  ASSERT_TRUE(port.Connect().ok());
+
+  port.InjectLinkFailure(true);
+  VirtualTime before = port.Now();
+  auto pc = port.ReadPC();
+  EXPECT_FALSE(pc.ok());
+  EXPECT_EQ(pc.status().code(), ErrorCode::kTimeout);
+  EXPECT_GE(port.Now() - before, kLinkTimeout);  // the timeout burns link-timeout time
+  EXPECT_EQ(port.stats().timeouts, 1u);
+
+  port.InjectLinkFailure(false);
+  // Run-control still times out (the core never booted), but link-level operations
+  // (breakpoint units) are serviced again.
+  EXPECT_TRUE(port.SetBreakpoint(0x1000).ok());
+}
+
+TEST(DebugPortTest, MemoryWindowsAndCosts) {
+  Board board(BoardSpecByName("stm32f407-disco").value());
+  // Give the core a live state so memory ops are serviced.
+  DebugPort port(&board);
+  ASSERT_TRUE(port.Connect().ok());
+  // Never-booted board: run-control and memory requests time out (watchdog #1 surface).
+  EXPECT_FALSE(port.ReadMem(board.spec().ram_base, 16).ok());
+}
+
+TEST(DebugPortTest, NoDebugPortBoardRefusesConnection) {
+  BoardSpec spec = BoardSpecByName("stm32f407-disco").value();
+  spec.has_debug_port = false;
+  Board board(spec);
+  DebugPort port(&board);
+  EXPECT_EQ(port.Connect().code(), ErrorCode::kUnavailable);
+}
+
+}  // namespace
+}  // namespace eof

@@ -1,0 +1,78 @@
+// Model-based property test: HandleTable against a reference std::map under long random
+// operation sequences — inserts, removes, stale lookups, capacity pressure, iteration.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/common/rng.h"
+#include "src/kernel/handle_table.h"
+
+namespace eof {
+namespace {
+
+TEST(HandleTableModelTest, MatchesReferenceModelUnderRandomOps) {
+  HandleTable<uint64_t> table(32);
+  std::map<int64_t, uint64_t> model;  // live handle -> value
+  std::vector<int64_t> dead_handles;
+  Rng rng(0xdecafbad);
+  uint64_t next_value = 1;
+
+  for (int step = 0; step < 20000; ++step) {
+    switch (rng.Below(5)) {
+      case 0:
+      case 1: {  // insert
+        int64_t handle = table.Insert(next_value);
+        if (model.size() < 32) {
+          ASSERT_NE(handle, 0) << "table refused below capacity at step " << step;
+          ASSERT_EQ(model.count(handle), 0u) << "handle reuse while live";
+          model[handle] = next_value;
+        } else {
+          ASSERT_EQ(handle, 0) << "table exceeded capacity";
+        }
+        ++next_value;
+        break;
+      }
+      case 2: {  // remove a live handle
+        if (model.empty()) {
+          break;
+        }
+        auto it = model.begin();
+        std::advance(it, static_cast<long>(rng.Index(model.size())));
+        ASSERT_TRUE(table.Remove(it->first));
+        dead_handles.push_back(it->first);
+        model.erase(it);
+        break;
+      }
+      case 3: {  // lookup a live handle
+        if (model.empty()) {
+          break;
+        }
+        auto it = model.begin();
+        std::advance(it, static_cast<long>(rng.Index(model.size())));
+        uint64_t* value = table.Find(it->first);
+        ASSERT_NE(value, nullptr);
+        ASSERT_EQ(*value, it->second);
+        break;
+      }
+      default: {  // lookup a dead (stale) handle
+        if (dead_handles.empty()) {
+          break;
+        }
+        int64_t handle = dead_handles[rng.Index(dead_handles.size())];
+        ASSERT_EQ(table.Find(handle), nullptr) << "stale handle resolved";
+        ASSERT_FALSE(table.Remove(handle));
+        break;
+      }
+    }
+    ASSERT_EQ(table.live(), model.size());
+  }
+
+  // Iteration sees exactly the live set.
+  std::map<int64_t, uint64_t> seen;
+  table.ForEach([&](int64_t handle, uint64_t& value) { seen[handle] = value; });
+  EXPECT_EQ(seen, model);
+}
+
+}  // namespace
+}  // namespace eof

@@ -1,0 +1,97 @@
+// Fidelity tests of the emit→parse→compile round trip at the argument level: ranges,
+// flag sets (including extended-tier values), string sets, buffer bounds, resource
+// optionality, and tier attributes must survive the trip bit-exact.
+
+#include <gtest/gtest.h>
+
+#include "src/kernel/os.h"
+#include "src/os/all_oses.h"
+#include "src/spec/emitter.h"
+#include "src/spec/parser.h"
+#include "src/spec/spec_miner.h"
+
+namespace eof {
+namespace spec {
+namespace {
+
+class EmitterFidelity : public ::testing::TestWithParam<const char*> {
+ protected:
+  static void SetUpTestSuite() { ASSERT_TRUE(RegisterAllOses().ok()); }
+};
+
+TEST_P(EmitterFidelity, ArgumentModelSurvivesRoundTrip) {
+  auto os = OsRegistry::Instance().Find(GetParam()).value().factory();
+  const ApiRegistry& registry = os->registry();
+  auto mined = MineValidatedSpecs(registry);
+  ASSERT_TRUE(mined.ok());
+  const CompiledSpecs& specs = mined.value().specs;
+
+  for (const ApiSpec& api : registry.all()) {
+    const CompiledCall* compiled = specs.FindByName(api.name);
+    ASSERT_NE(compiled, nullptr) << api.name;
+    EXPECT_EQ(compiled->api_id, api.id);
+    EXPECT_EQ(compiled->produces, api.produces) << api.name;
+    EXPECT_EQ(compiled->is_pseudo, api.is_pseudo) << api.name;
+    EXPECT_EQ(compiled->extended, api.extended_spec) << api.name;
+    ASSERT_EQ(compiled->args.size(), api.args.size()) << api.name;
+    for (size_t i = 0; i < api.args.size(); ++i) {
+      const ArgSpec& original = api.args[i];
+      const ArgSpec& round = compiled->args[i];
+      SCOPED_TRACE(api.name + "/" + original.name);
+      EXPECT_EQ(round.kind, original.kind);
+      switch (original.kind) {
+        case ArgKind::kScalar: {
+          uint64_t cap = original.bits >= 64 ? UINT64_MAX : (1ULL << original.bits) - 1;
+          EXPECT_EQ(round.min, original.min);
+          EXPECT_EQ(round.max, std::min(original.max, cap));
+          break;
+        }
+        case ArgKind::kFlags:
+          EXPECT_EQ(round.flag_values, original.flag_values);
+          EXPECT_EQ(round.extended_flag_values, original.extended_flag_values);
+          break;
+        case ArgKind::kResource:
+          EXPECT_EQ(round.resource_kind, original.resource_kind);
+          EXPECT_EQ(round.optional_null, original.optional_null);
+          break;
+        case ArgKind::kBuffer:
+          EXPECT_EQ(round.buf_min, original.buf_min);
+          EXPECT_EQ(round.buf_max, original.buf_max);
+          break;
+        case ArgKind::kString:
+          EXPECT_EQ(round.string_set, original.string_set);
+          break;
+        case ArgKind::kLen:
+          EXPECT_EQ(round.len_of, original.len_of);
+          break;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOses, EmitterFidelity,
+                         ::testing::Values("freertos", "rtthread", "nuttx", "zephyr",
+                                           "pokos"));
+
+TEST(EmitterFidelityExtras, ExtendedFlagValuesEmitNamedSets) {
+  ASSERT_TRUE(RegisterAllOses().ok());
+  auto os = OsRegistry::Instance().Find("nuttx").value().factory();
+  std::string source = EmitSyzlang(os->registry());
+  // clock_getres carries header-only ids 6/7 in the extended tier.
+  EXPECT_NE(source.find("clock_getres_clockid_flags ="), std::string::npos) << source;
+  EXPECT_NE(source.find("extended:"), std::string::npos);
+
+  EmitOptions base_only;
+  base_only.include_extended = false;
+  std::string base = EmitSyzlang(os->registry(), base_only);
+  auto parsed = ParseSpec(base);
+  ASSERT_TRUE(parsed.ok());
+  for (const auto& [name, decl] : parsed.value().flag_sets) {
+    EXPECT_TRUE(decl.extended_values.empty())
+        << name << " leaked extended values into the base tier";
+  }
+}
+
+}  // namespace
+}  // namespace spec
+}  // namespace eof

@@ -1,0 +1,152 @@
+// Tests of the Syzlang pipeline: lexing, parsing, emission round-trips, post-validation,
+// and the miner's noise-repair loop.
+
+#include <gtest/gtest.h>
+
+#include "src/kernel/os.h"
+#include "src/os/all_oses.h"
+#include "src/spec/emitter.h"
+#include "src/spec/lexer.h"
+#include "src/spec/parser.h"
+#include "src/spec/spec_miner.h"
+
+namespace eof {
+namespace spec {
+namespace {
+
+TEST(LexerTest, TokenizesDeclaration) {
+  auto tokens = Tokenize("resource task[int32]\nfoo(a int32[0:5]) task # comment\n");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens.value()[0].text, "resource");
+  bool found_five = false;
+  for (const Token& token : tokens.value()) {
+    if (token.kind == TokenKind::kNumber && token.number == 5) {
+      found_five = true;
+    }
+  }
+  EXPECT_TRUE(found_five);
+  EXPECT_EQ(tokens.value().back().kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, HexNumbersAndStrings) {
+  auto tokens = Tokenize("f = 0x40, 2\ng(n string[\"uart0\", \"pin\"])\n");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens.value()[2].number, 0x40u);
+  bool found = false;
+  for (const Token& token : tokens.value()) {
+    if (token.kind == TokenKind::kString && token.text == "uart0") {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(LexerTest, RejectsUnterminatedString) {
+  EXPECT_FALSE(Tokenize("g(n string[\"oops)\n").ok());
+}
+
+TEST(ParserTest, ParsesFullFile) {
+  const char* source = R"(
+# a queue API
+resource q[int32]
+opts = 0, 1, 2 extended: 7
+make_q(len int32[1:64]) q
+send(dst q, data buffer[0:128], n len[data], mode flags[opts])
+del(dst q[opt]) (extended)
+pipeline(w int32[0:8]) (pseudo, extended)
+)";
+  auto parsed = ParseSpec(source);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const SpecFile& file = parsed.value();
+  EXPECT_EQ(file.resources.count("q"), 1u);
+  ASSERT_EQ(file.calls.size(), 4u);
+  EXPECT_EQ(file.calls[1].args.size(), 4u);
+  EXPECT_EQ(file.calls[1].args[2].type.kind, TypeKind::kLen);
+  EXPECT_EQ(file.calls[1].args[2].type.len_target, "data");
+  EXPECT_TRUE(file.calls[2].extended);
+  EXPECT_TRUE(file.calls[3].pseudo);
+  EXPECT_EQ(file.flag_sets.at("opts").extended_values.size(), 1u);
+}
+
+TEST(ParserTest, RejectsMalformedRange) {
+  EXPECT_FALSE(ParseSpec("f(a int32[0:])\n").ok());
+  EXPECT_FALSE(ParseSpec("f(a int32[0 5])\n").ok());
+  EXPECT_FALSE(ParseSpec("resource r\n").ok());
+}
+
+class RegistryRoundTrip : public ::testing::TestWithParam<const char*> {
+ protected:
+  static void SetUpTestSuite() { ASSERT_TRUE(RegisterAllOses().ok()); }
+};
+
+TEST_P(RegistryRoundTrip, EmitParseCompile) {
+  auto info = OsRegistry::Instance().Find(GetParam());
+  ASSERT_TRUE(info.ok());
+  std::unique_ptr<Os> os = info.value().factory();
+  std::string source = EmitSyzlang(os->registry());
+  auto parsed = ParseSpec(source);
+  ASSERT_TRUE(parsed.ok()) << GetParam() << ": " << parsed.status().ToString() << "\n"
+                           << source;
+  std::vector<std::string> rejected;
+  auto compiled = CompileSpec(parsed.value(), os->registry(), &rejected);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  // Every registered API must survive the round trip.
+  EXPECT_EQ(compiled.value().calls.size(), os->registry().size())
+      << "rejected: " << (rejected.empty() ? "" : rejected[0]);
+}
+
+TEST_P(RegistryRoundTrip, BaseTierExcludesExtended) {
+  auto info = OsRegistry::Instance().Find(GetParam());
+  ASSERT_TRUE(info.ok());
+  std::unique_ptr<Os> os = info.value().factory();
+  EmitOptions options;
+  options.include_extended = false;
+  std::string source = EmitSyzlang(os->registry(), options);
+  auto parsed = ParseSpec(source);
+  ASSERT_TRUE(parsed.ok());
+  size_t extended = 0;
+  for (const ApiSpec& api : os->registry().all()) {
+    if (api.extended_spec) {
+      ++extended;
+    }
+  }
+  EXPECT_EQ(parsed.value().calls.size(), os->registry().size() - extended);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOses, RegistryRoundTrip,
+                         ::testing::Values("freertos", "rtthread", "nuttx", "zephyr",
+                                           "pokos"));
+
+TEST(SpecMinerTest, NoisyOutputIsRepairedAndValidated) {
+  ASSERT_TRUE(RegisterAllOses().ok());
+  auto info = OsRegistry::Instance().Find("rtthread");
+  ASSERT_TRUE(info.ok());
+  std::unique_ptr<Os> os = info.value().factory();
+  MinerOptions options;
+  options.noise_per_mille = 150;  // heavy corruption
+  options.seed = 7;
+  auto mined = MineValidatedSpecs(os->registry(), options);
+  ASSERT_TRUE(mined.ok()) << mined.status().ToString();
+  // Something was admitted, something was rejected, and nothing invalid slipped through.
+  EXPECT_GT(mined.value().specs.calls.size(), 0u);
+  EXPECT_GT(mined.value().rejected.size() + static_cast<size_t>(mined.value().repair_rounds),
+            0u);
+  for (const CompiledCall& call : mined.value().specs.calls) {
+    EXPECT_NE(os->registry().FindByName(call.name), nullptr);
+  }
+}
+
+TEST(SpecMinerTest, CleanMiningAdmitsEverything) {
+  ASSERT_TRUE(RegisterAllOses().ok());
+  auto info = OsRegistry::Instance().Find("zephyr");
+  ASSERT_TRUE(info.ok());
+  std::unique_ptr<Os> os = info.value().factory();
+  auto mined = MineValidatedSpecs(os->registry());
+  ASSERT_TRUE(mined.ok());
+  EXPECT_EQ(mined.value().specs.calls.size(), os->registry().size());
+  EXPECT_EQ(mined.value().repair_rounds, 0);
+}
+
+}  // namespace
+}  // namespace spec
+}  // namespace eof

@@ -1,0 +1,207 @@
+// eof — command-line front end, the operator's entry point (the role of the Golang engine
+// binary in the paper's released tool).
+//
+//   eof list-targets                          supported OSs, boards, and API counts
+//   eof mine-specs <os>                       print the validated Syzlang for a target
+//   eof fuzz <os> [minutes] [seed] [board]    run a campaign, print live-ish summary
+//   eof repro <os> <bug-id>                   run a catalog bug's reproducer
+//   eof bugs                                  print the bug catalog
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/agent/wire.h"
+#include "src/core/bug_catalog.h"
+#include "src/core/deployment.h"
+#include "src/core/fuzzer.h"
+#include "src/core/monitors.h"
+#include "src/core/replay.h"
+#include "src/hw/board_catalog.h"
+#include "src/kernel/os.h"
+#include "src/os/all_oses.h"
+#include "src/spec/spec_miner.h"
+
+using namespace eof;
+
+namespace {
+
+int Usage() {
+  fprintf(stderr,
+          "usage:\n"
+          "  eof list-targets\n"
+          "  eof mine-specs <os>\n"
+          "  eof fuzz <os> [minutes=60] [seed=1] [board=default]\n"
+          "  eof repro <os> <bug-id>\n"
+          "  eof replay <os> <reproducer-file>\n"
+          "  eof bugs\n");
+  return 2;
+}
+
+int ListTargets() {
+  printf("%-10s %-18s %-6s %s\n", "OS", "default board", "APIs", "description");
+  for (const std::string& name : OsRegistry::Instance().Names()) {
+    OsInfo info = OsRegistry::Instance().Find(name).value();
+    std::unique_ptr<Os> os = info.factory();
+    printf("%-10s %-18s %-6zu %s\n", name.c_str(), info.default_board.c_str(),
+           os->registry().size(), info.description.c_str());
+  }
+  printf("\nboards:\n");
+  for (const std::string& board : KnownBoardNames()) {
+    BoardSpec spec = BoardSpecByName(board).value();
+    printf("  %-18s %-8s %4u MHz  %4llu KiB RAM  %2d hw-bp%s\n", board.c_str(),
+           ArchName(spec.arch), spec.clock_mhz,
+           static_cast<unsigned long long>(spec.ram_bytes / 1024), spec.max_hw_breakpoints,
+           spec.emulated ? "  (emulated)" : "");
+  }
+  return 0;
+}
+
+int MineSpecs(const std::string& os_name) {
+  auto info = OsRegistry::Instance().Find(os_name);
+  if (!info.ok()) {
+    fprintf(stderr, "unknown OS '%s'\n", os_name.c_str());
+    return 1;
+  }
+  std::unique_ptr<Os> os = info.value().factory();
+  auto mined = spec::MineValidatedSpecs(os->registry());
+  if (!mined.ok()) {
+    fprintf(stderr, "%s\n", mined.status().ToString().c_str());
+    return 1;
+  }
+  fputs(mined.value().source.c_str(), stdout);
+  fprintf(stderr, "# %zu specifications validated\n", mined.value().specs.calls.size());
+  return 0;
+}
+
+int Fuzz(const std::string& os_name, uint64_t minutes, uint64_t seed,
+         const std::string& board) {
+  FuzzerConfig config;
+  config.os_name = os_name;
+  config.board_name = board;
+  config.seed = seed;
+  config.budget = minutes * kVirtualMinute;
+  config.sample_points = 12;
+  printf("fuzzing %s for %llu virtual minutes (seed %llu)...\n", os_name.c_str(),
+         static_cast<unsigned long long>(minutes), static_cast<unsigned long long>(seed));
+  EofFuzzer fuzzer(config);
+  auto result = fuzzer.Run();
+  if (!result.ok()) {
+    fprintf(stderr, "campaign failed: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  const CampaignResult& campaign = result.value();
+  for (const CampaignSample& sample : campaign.series) {
+    printf("  t=%5llum  coverage=%llu\n",
+           static_cast<unsigned long long>(sample.time / kVirtualMinute),
+           static_cast<unsigned long long>(sample.coverage));
+  }
+  printf("execs=%llu coverage=%llu crashes=%llu stalls=%llu restores=%llu corpus=%llu\n",
+         static_cast<unsigned long long>(campaign.execs),
+         static_cast<unsigned long long>(campaign.final_coverage),
+         static_cast<unsigned long long>(campaign.crashes),
+         static_cast<unsigned long long>(campaign.stalls),
+         static_cast<unsigned long long>(campaign.restores),
+         static_cast<unsigned long long>(campaign.corpus_size));
+  for (const BugReport& bug : campaign.bugs) {
+    const BugInfo* info = FindBug(bug.catalog_id);
+    printf("\nBUG #%d %s [%s monitor]\n%s\nreproducer:\n%s", bug.catalog_id,
+           info != nullptr ? info->operation.c_str() : "(unknown)", bug.detector.c_str(),
+           bug.excerpt.c_str(), bug.program_text.c_str());
+  }
+  return 0;
+}
+
+int Replay(const std::string& os_name, const std::string& path) {
+  FILE* file = fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::string text;
+  char buffer[4096];
+  size_t got;
+  while ((got = fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    text.append(buffer, got);
+  }
+  fclose(file);
+  auto outcome = ReplayReproducer(os_name, text);
+  if (!outcome.ok()) {
+    fprintf(stderr, "replay failed: %s\n", outcome.status().ToString().c_str());
+    return 1;
+  }
+  if (!outcome.value().crashed) {
+    printf("no crash: the reproducer ran to completion\n");
+    return 0;
+  }
+  printf("CRASH [%s monitor]", outcome.value().detector.c_str());
+  if (outcome.value().catalog_id != 0) {
+    const BugInfo* info = FindBug(outcome.value().catalog_id);
+    printf(" -> bug #%d (%s)", outcome.value().catalog_id,
+           info != nullptr ? info->operation.c_str() : "?");
+  }
+  printf("\n%s\n", outcome.value().crash_text.c_str());
+  return 0;
+}
+
+int Bugs() {
+  printf("%-3s %-10s %-10s %-17s %-22s %s\n", "#", "OS", "Scope", "Type", "Operation",
+         "Status");
+  for (const BugInfo& bug : BugCatalog()) {
+    printf("%-3d %-10s %-10s %-17s %-22s %s\n", bug.id, bug.os.c_str(), bug.scope.c_str(),
+           bug.bug_type.c_str(), bug.operation.c_str(), bug.confirmed ? "confirmed" : "");
+  }
+  return 0;
+}
+
+int Repro(const std::string& os_name, int bug_id) {
+  const BugInfo* bug = FindBug(bug_id);
+  if (bug == nullptr || bug->os != os_name) {
+    fprintf(stderr, "bug #%d is not a %s bug (see `eof bugs`)\n", bug_id, os_name.c_str());
+    return 1;
+  }
+  printf("note: reproducer sequences live in tests/os/bug_trigger_test.cc; running the\n"
+         "gtest filter for bug #%d:\n  ./build/tests/bug_trigger_test "
+         "--gtest_filter='*Bug%02d*'\n",
+         bug_id, bug_id);
+  printf("\n#%d %s / %s / %s — signature: \"%s\", detector: %s\n", bug->id, bug->os.c_str(),
+         bug->scope.c_str(), bug->operation.c_str(), bug->signature.c_str(),
+         bug->expected_detector.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (!RegisterAllOses().ok()) {
+    fprintf(stderr, "OS registration failed\n");
+    return 1;
+  }
+  if (argc < 2) {
+    return Usage();
+  }
+  std::string command = argv[1];
+  if (command == "list-targets") {
+    return ListTargets();
+  }
+  if (command == "mine-specs" && argc >= 3) {
+    return MineSpecs(argv[2]);
+  }
+  if (command == "fuzz" && argc >= 3) {
+    uint64_t minutes = argc >= 4 ? strtoull(argv[3], nullptr, 10) : 60;
+    uint64_t seed = argc >= 5 ? strtoull(argv[4], nullptr, 10) : 1;
+    std::string board = argc >= 6 ? argv[5] : "";
+    return Fuzz(argv[2], minutes == 0 ? 60 : minutes, seed, board);
+  }
+  if (command == "repro" && argc >= 4) {
+    return Repro(argv[2], atoi(argv[3]));
+  }
+  if (command == "replay" && argc >= 4) {
+    return Replay(argv[2], argv[3]);
+  }
+  if (command == "bugs") {
+    return Bugs();
+  }
+  return Usage();
+}
