@@ -1,0 +1,98 @@
+// Board-farm scaling bench: one FreeRTOS campaign fanned out over 1/2/4 simulated
+// boards. Since every board burns the same virtual budget concurrently — exactly as
+// racked physical boards would — campaign throughput (execs per virtual campaign
+// hour) must rise monotonically with the worker count; host-side wall throughput is
+// reported alongside to expose the engine's own parallel efficiency.
+//
+// Also verifies the layering refactor's determinism contract: a --jobs 1 farm
+// campaign must bit-match the legacy single-threaded EofFuzzer::Run() series.
+
+#include <chrono>
+#include <cstdio>
+
+#include "src/common/logging.h"
+#include "src/core/board_farm.h"
+#include "src/core/campaign.h"
+#include "src/os/all_oses.h"
+
+using namespace eof;
+
+namespace {
+
+bool SeriesMatch(const CampaignResult& a, const CampaignResult& b) {
+  if (a.series.size() != b.series.size() || a.final_coverage != b.final_coverage ||
+      a.execs != b.execs) {
+    return false;
+  }
+  for (size_t i = 0; i < a.series.size(); ++i) {
+    if (a.series[i].time != b.series[i].time ||
+        a.series[i].coverage != b.series[i].coverage) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  if (!RegisterAllOses().ok()) {
+    fprintf(stderr, "OS registration failed\n");
+    return 1;
+  }
+  SetMinLogSeverity(LogSeverity::kError);
+
+  FuzzerConfig config;
+  config.os_name = "freertos";  // default evaluation board
+  config.seed = 1;
+  config.budget = ScaledCampaignBudget() / 4;
+  config.sample_points = 24;
+
+  printf("== Board-farm scaling: FreeRTOS, %llu virtual minutes per board ==\n",
+         static_cast<unsigned long long>(config.budget / kVirtualMinute));
+  printf("%-8s %12s %16s %14s %12s\n", "workers", "execs", "execs/v-hour", "wall-sec",
+         "coverage");
+
+  uint64_t previous_rate = 0;
+  bool monotone = true;
+  CampaignResult farm_one;
+  for (int jobs : {1, 2, 4}) {
+    BoardFarm farm(config, jobs);
+    auto start = std::chrono::steady_clock::now();
+    auto result = farm.Run();
+    auto wall = std::chrono::duration<double>(std::chrono::steady_clock::now() - start);
+    if (!result.ok()) {
+      fprintf(stderr, "farm(%d) failed: %s\n", jobs, result.status().ToString().c_str());
+      return 1;
+    }
+    const CampaignResult& campaign = result.value();
+    if (jobs == 1) {
+      farm_one = campaign;
+    }
+    // Campaign throughput: payloads executed per virtual hour of the (parallel)
+    // campaign window. This is the metric a physical board farm buys.
+    uint64_t window = campaign.elapsed > 0 ? campaign.elapsed : 1;
+    uint64_t rate = campaign.execs * kVirtualHour / window;
+    printf("%-8d %12llu %16llu %14.2f %12llu\n", jobs,
+           static_cast<unsigned long long>(campaign.execs),
+           static_cast<unsigned long long>(rate), wall.count(),
+           static_cast<unsigned long long>(campaign.final_coverage));
+    if (rate < previous_rate) {
+      monotone = false;
+    }
+    previous_rate = rate;
+  }
+  printf("scaling 1 -> 4 workers: %s\n", monotone ? "monotone" : "NOT MONOTONE");
+
+  EofFuzzer legacy(config);
+  auto single = legacy.Run();
+  if (!single.ok()) {
+    fprintf(stderr, "single-threaded run failed: %s\n",
+            single.status().ToString().c_str());
+    return 1;
+  }
+  bool match = SeriesMatch(single.value(), farm_one);
+  printf("--jobs 1 vs single-threaded engine: %s\n",
+         match ? "bit-identical series" : "MISMATCH");
+  return (monotone && match) ? 0 : 1;
+}

@@ -107,8 +107,7 @@ Status ByteFuzzer::Setup() {
 
   SeedCorpus();
   start_time_ = deployment_->port().Now();
-  sample_interval_ = config_.budget / std::max<uint32_t>(config_.sample_points, 1);
-  next_sample_ = start_time_ + sample_interval_;
+  sampler_.emplace(config_.budget, config_.sample_points);
   return OkStatus();
 }
 
@@ -348,12 +347,8 @@ Result<uint64_t> ByteFuzzer::ExecuteOne(const WireProgram& program) {
 }
 
 void ByteFuzzer::MaybeSample() {
-  VirtualTime now = deployment_->port().Now();
-  while (now >= next_sample_ && result_.series.size() < config_.sample_points) {
-    result_.series.push_back(
-        CampaignSample{next_sample_ - start_time_, CoverageCount()});
-    next_sample_ += sample_interval_;
-  }
+  sampler_->Advance(deployment_->port().Now() - start_time_, CoverageCount(),
+                    &result_.series);
 }
 
 Result<CampaignResult> ByteFuzzer::Run() {
@@ -390,11 +385,7 @@ Result<CampaignResult> ByteFuzzer::Run() {
     }
     MaybeSample();
   }
-  while (result_.series.size() < config_.sample_points) {
-    result_.series.push_back(CampaignSample{
-        config_.budget * (result_.series.size() + 1) / config_.sample_points,
-        CoverageCount()});
-  }
+  sampler_->Finish(CoverageCount(), &result_.series);
   result_.final_coverage = CoverageCount();
   result_.corpus_size = corpus_.size();
   result_.elapsed = port.Now() - start_time_;

@@ -14,6 +14,7 @@
 #define SRC_BASELINES_BYTE_FUZZER_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -21,6 +22,7 @@
 #include "src/common/status.h"
 #include "src/core/deployment.h"
 #include "src/core/fuzzer.h"
+#include "src/core/scheduler.h"
 #include "src/fuzz/byte_mutator.h"
 
 namespace eof {
@@ -96,8 +98,7 @@ class ByteFuzzer {
   CampaignResult result_;
   uint64_t executor_main_addr_ = 0;
   VirtualTime start_time_ = 0;
-  VirtualTime next_sample_ = 0;
-  VirtualDuration sample_interval_ = 0;
+  std::optional<SeriesSampler> sampler_;  // shared series recorder (scheduler.h)
 
   uint64_t CoverageCount() const {
     return config_.mode == ByteFuzzerMode::kGdbFuzz ? bb_hit_.size() : coverage_.Count();

@@ -33,6 +33,23 @@ class CoverageMap {
     return fresh;
   }
 
+  // Folds a batch in and appends each first-seen ID to `fresh_out` in encounter
+  // order; returns how many were new. Board-farm workers use this as a local
+  // pre-filter: only locally-fresh IDs travel to the shared map, shrinking the
+  // batch merged under the campaign lock without changing the global fresh count
+  // (everything a worker drained before was already merged globally).
+  size_t AddBatchFiltered(const std::vector<uint64_t>& edge_ids,
+                          std::vector<uint64_t>* fresh_out) {
+    size_t fresh = 0;
+    for (uint64_t id : edge_ids) {
+      if (Add(id)) {
+        ++fresh;
+        fresh_out->push_back(id);
+      }
+    }
+    return fresh;
+  }
+
   bool Contains(uint64_t edge_id) const { return edges_.count(edge_id) != 0; }
 
   // Number of distinct edges observed ("branches found" in Tables 3 and 4).

@@ -43,6 +43,15 @@ constexpr uint64_t HashCombine(uint64_t hash, uint64_t value) {
   return hash;
 }
 
+// Derives an independent RNG seed for stream `stream` of a campaign seeded with
+// `base_seed` (repetition indices, farm worker lanes). Hashing both words avoids
+// the collisions of additive schemes, where adjacent base seeds and strides land
+// on the same derived value (e.g. base+rep*K collides base b, rep r with base
+// b+K, rep r-1).
+constexpr uint64_t DeriveSeedStream(uint64_t base_seed, uint64_t stream) {
+  return HashCombine(HashCombine(kFnvOffsetBasis, base_seed), stream);
+}
+
 }  // namespace eof
 
 #endif  // SRC_COMMON_HASH_H_

@@ -1,0 +1,109 @@
+#include "src/core/board_farm.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "src/common/coverage_map.h"
+#include "src/common/hash.h"
+
+namespace eof {
+
+uint64_t FarmWorkerSeed(uint64_t base_seed, int worker) {
+  if (worker == 0) {
+    return base_seed;
+  }
+  return DeriveSeedStream(base_seed, static_cast<uint64_t>(worker));
+}
+
+BoardFarm::BoardFarm(FuzzerConfig config, int jobs)
+    : config_(std::move(config)), jobs_(std::max(jobs, 1)) {}
+
+namespace {
+
+// One board session: executor + generator + RNG stream + a local coverage map that
+// pre-filters already-seen edges so the global merge holds the campaign lock only
+// for genuinely new material. Locally-old edges are a subset of globally-old ones
+// (everything a worker drained was merged), so filtering never changes the global
+// fresh count — which keeps --jobs 1 bit-identical to the single-threaded engine.
+struct FarmWorker {
+  std::unique_ptr<TargetExecutor> executor;
+  std::unique_ptr<fuzz::Generator> generator;
+  std::unique_ptr<Rng> rng;
+  CoverageMap local_coverage;
+  Status status = OkStatus();
+};
+
+void RunWorker(FarmWorker* worker, int index, CampaignScheduler* scheduler,
+               const spec::CompiledSpecs* specs, VirtualDuration budget,
+               std::atomic<bool>* stop) {
+  while (worker->executor->Elapsed() < budget && !stop->load(std::memory_order_relaxed)) {
+    fuzz::Program program = scheduler->NextProgram(*worker->generator, *worker->rng);
+    std::vector<uint8_t> encoded;
+    if (!EncodeForMailbox(*specs, &program, &encoded)) {
+      continue;
+    }
+    auto outcome_or = worker->executor->ExecuteOne(encoded);
+    if (!outcome_or.ok()) {
+      worker->status = outcome_or.status();
+      stop->store(true, std::memory_order_relaxed);
+      break;
+    }
+    ExecOutcome outcome = std::move(outcome_or).value();
+    std::vector<uint64_t> fresh_here;
+    worker->local_coverage.AddBatchFiltered(outcome.edges, &fresh_here);
+    outcome.edges = std::move(fresh_here);
+    scheduler->OnOutcome(program, outcome, *worker->generator,
+                         worker->executor->Elapsed(), index);
+  }
+  scheduler->OnWorkerDone(index);
+}
+
+}  // namespace
+
+Result<CampaignResult> BoardFarm::Run() {
+  ASSIGN_OR_RETURN(CampaignPlan plan, PrepareCampaign(config_));
+  CampaignScheduler scheduler(plan.specs, MakeSchedulerOptions(config_, jobs_));
+  scheduler.SeedCorpus(config_.seed_programs);
+
+  // Deploy the farm serially so each board's image build and boot stay on the
+  // deterministic per-worker seed, then fuzz concurrently.
+  std::vector<FarmWorker> workers(static_cast<size_t>(jobs_));
+  for (int i = 0; i < jobs_; ++i) {
+    FarmWorker& worker = workers[static_cast<size_t>(i)];
+    uint64_t seed = FarmWorkerSeed(config_.seed, i);
+    fuzz::GeneratorOptions gen = config_.gen;
+    gen.use_extended = config_.use_extended_specs;
+    worker.generator = std::make_unique<fuzz::Generator>(plan.specs, gen, seed);
+    worker.rng = std::make_unique<Rng>(seed ^ 0x5eedf00dULL);
+    ASSIGN_OR_RETURN(
+        worker.executor,
+        TargetExecutor::Create(MakeExecutorOptions(config_, seed, plan.exception_symbol),
+                               worker.rng.get()));
+  }
+
+  std::atomic<bool> stop(false);
+  std::vector<std::thread> threads;
+  threads.reserve(workers.size());
+  for (int i = 0; i < jobs_; ++i) {
+    threads.emplace_back(RunWorker, &workers[static_cast<size_t>(i)], i, &scheduler,
+                         &plan.specs, config_.budget, &stop);
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+
+  for (const FarmWorker& worker : workers) {
+    RETURN_IF_ERROR(worker.status);
+  }
+
+  ExecStats stats;
+  VirtualTime elapsed = 0;
+  for (FarmWorker& worker : workers) {
+    stats.Accumulate(worker.executor->stats());
+    elapsed = std::max(elapsed, worker.executor->Elapsed());
+  }
+  return scheduler.Finalize(stats, elapsed);
+}
+
+}  // namespace eof

@@ -1,0 +1,45 @@
+// BoardFarm: one campaign fanned out over a farm of boards (§5.1's per-pair
+// campaigns, run wide). N worker threads each own a full board session — their own
+// Deployment, TargetExecutor, Generator, and RNG stream — and share one
+// CampaignScheduler: seeds are pulled from the shared corpus and per-worker edge
+// sets merge into the global coverage map under the scheduler's lock.
+//
+// Time: every worker burns the same virtual budget on its own board clock, exactly
+// as N physical boards racked side by side would; the scheduler aggregates the
+// per-worker clocks into one campaign timeline by sampling at the slowest active
+// session's elapsed time. Campaign `elapsed` is the longest session.
+//
+// Determinism: worker 0 reuses the base seed and the engine's historical RNG
+// streams, so a --jobs 1 farm campaign reproduces EofFuzzer::Run() bit-for-bit.
+// Workers 1..N-1 derive independent streams by hashing (seed, worker).
+
+#ifndef SRC_CORE_BOARD_FARM_H_
+#define SRC_CORE_BOARD_FARM_H_
+
+#include "src/core/fuzzer.h"
+
+namespace eof {
+
+// Seed for worker `worker`'s streams: worker 0 keeps `base_seed` (single-threaded
+// reproducibility); others get an FNV-derived independent stream.
+uint64_t FarmWorkerSeed(uint64_t base_seed, int worker);
+
+class BoardFarm {
+ public:
+  // `jobs` < 1 is clamped to 1.
+  BoardFarm(FuzzerConfig config, int jobs);
+
+  // Deploys `jobs` boards, fuzzes them concurrently until every session exhausts
+  // the virtual budget, and reports the merged campaign.
+  Result<CampaignResult> Run();
+
+  int jobs() const { return jobs_; }
+
+ private:
+  FuzzerConfig config_;
+  int jobs_;
+};
+
+}  // namespace eof
+
+#endif  // SRC_CORE_BOARD_FARM_H_

@@ -1,7 +1,11 @@
 #include "src/core/campaign.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
+#include <thread>
+
+#include "src/common/hash.h"
 
 namespace eof {
 
@@ -63,14 +67,59 @@ uint64_t RepeatedResult::TotalExecs() const {
   return total;
 }
 
-Result<RepeatedResult> RunRepeated(const FuzzerConfig& base, int repetitions) {
+uint64_t RepetitionSeed(uint64_t base_seed, int rep) {
+  // Stream ids offset past the farm's worker lanes so a repetition never shares a
+  // derived stream with a worker of the same base seed.
+  return DeriveSeedStream(base_seed, 0x5e9a0000ULL + static_cast<uint64_t>(rep));
+}
+
+Result<RepeatedResult> RunRepeated(const FuzzerConfig& base, int repetitions,
+                                   int parallelism) {
   RepeatedResult repeated;
-  for (int rep = 0; rep < repetitions; ++rep) {
-    FuzzerConfig config = base;
-    config.seed = base.seed + static_cast<uint64_t>(rep) * 7919;
-    EofFuzzer fuzzer(config);
-    ASSIGN_OR_RETURN(CampaignResult run, fuzzer.Run());
-    repeated.runs.push_back(std::move(run));
+  if (repetitions <= 0) {
+    return repeated;
+  }
+  repeated.runs.resize(static_cast<size_t>(repetitions));
+
+  if (parallelism <= 1) {
+    for (int rep = 0; rep < repetitions; ++rep) {
+      FuzzerConfig config = base;
+      config.seed = RepetitionSeed(base.seed, rep);
+      EofFuzzer fuzzer(config);
+      ASSIGN_OR_RETURN(repeated.runs[static_cast<size_t>(rep)], fuzzer.Run());
+    }
+    return repeated;
+  }
+
+  // Parallel mode: each repetition is an independent seeded campaign on its own
+  // simulated board, so running them concurrently reproduces the serial results
+  // run-for-run. A shared counter hands out repetition indices.
+  std::atomic<int> next_rep(0);
+  std::vector<Status> statuses(static_cast<size_t>(repetitions), OkStatus());
+  auto run_reps = [&]() {
+    for (int rep = next_rep.fetch_add(1); rep < repetitions; rep = next_rep.fetch_add(1)) {
+      FuzzerConfig config = base;
+      config.seed = RepetitionSeed(base.seed, rep);
+      EofFuzzer fuzzer(config);
+      auto run = fuzzer.Run();
+      if (run.ok()) {
+        repeated.runs[static_cast<size_t>(rep)] = std::move(run).value();
+      } else {
+        statuses[static_cast<size_t>(rep)] = run.status();
+      }
+    }
+  };
+  std::vector<std::thread> threads;
+  int thread_count = std::min(parallelism, repetitions);
+  threads.reserve(static_cast<size_t>(thread_count));
+  for (int i = 0; i < thread_count; ++i) {
+    threads.emplace_back(run_reps);
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  for (const Status& status : statuses) {
+    RETURN_IF_ERROR(status);
   }
   return repeated;
 }

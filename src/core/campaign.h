@@ -30,14 +30,24 @@ struct RepeatedResult {
   // Union of catalog bug ids found in any run.
   std::set<int> UnionBugs() const;
 
-  // Aggregated coverage-over-time band (series must have equal lengths).
+  // Aggregated coverage-over-time band. Runs whose series lengths differ are
+  // truncated to the shortest series (point i is only aggregated when every run
+  // has a point i).
   SeriesBand Band() const;
 
   uint64_t TotalExecs() const;
 };
 
-// Runs `repetitions` campaigns of the EOF engine with seeds base.seed, base.seed+1, ...
-Result<RepeatedResult> RunRepeated(const FuzzerConfig& base, int repetitions);
+// Seed for repetition `rep` of a campaign seeded with base_seed: FNV-derived so the
+// repetitions of nearby base seeds never share a stream (an additive stride like
+// base + rep*K collides base b, rep r with base b+K, rep r-1).
+uint64_t RepetitionSeed(uint64_t base_seed, int rep);
+
+// Runs `repetitions` campaigns of the EOF engine with seeds RepetitionSeed(base.seed, 0..).
+// `parallelism` > 1 runs that many repetitions concurrently (each on its own board);
+// results are identical to the serial order regardless of parallelism.
+Result<RepeatedResult> RunRepeated(const FuzzerConfig& base, int repetitions,
+                                   int parallelism = 1);
 
 // The paper's campaigns run 24 hours; benches scale that down via the EOF_BENCH_SCALE
 // environment variable (virtual budget = 24 h / scale; default scale 24 -> 1 virtual

@@ -1,0 +1,265 @@
+#include "src/core/executor.h"
+
+#include "src/common/logging.h"
+
+namespace eof {
+namespace {
+
+// Rounds of exec-continue the executor tolerates before consulting the watchdogs.
+constexpr int kMaxContinueRounds = 6;
+
+// Virtual cost of a human walking over to a bricked board when watchdogs are disabled
+// (the ablation's "manual intervention").
+constexpr VirtualDuration kManualInterventionCost = 30 * kVirtualMinute;
+
+}  // namespace
+
+Result<std::unique_ptr<TargetExecutor>> TargetExecutor::Create(const ExecutorOptions& options,
+                                                               Rng* session_rng) {
+  std::unique_ptr<TargetExecutor> executor(new TargetExecutor(options, session_rng));
+  RETURN_IF_ERROR(executor->Setup());
+  return executor;
+}
+
+Status TargetExecutor::Setup() {
+  DeployOptions deploy;
+  deploy.os_name = options_.os_name;
+  deploy.board_name = options_.board_name;
+  deploy.instrumentation = options_.instrumentation;
+  deploy.seed = options_.seed;
+  ASSIGN_OR_RETURN(deployment_, Deployment::Create(deploy));
+
+  ASSIGN_OR_RETURN(executor_main_addr_, deployment_->SymbolAddress("executor_main"));
+  ASSIGN_OR_RETURN(cov_full_addr_, deployment_->SymbolAddress("_kcmp_buf_full"));
+  RETURN_IF_ERROR(ArmBreakpoints());
+
+  if (options_.power_probe) {
+    watchdog_.EnablePowerProbe();
+  }
+  start_time_ = deployment_->port().Now();
+  return OkStatus();
+}
+
+Status TargetExecutor::ArmBreakpoints() {
+  RETURN_IF_ERROR(deployment_->port().SetBreakpoint(executor_main_addr_));
+  if (options_.coverage_feedback) {
+    RETURN_IF_ERROR(deployment_->port().SetBreakpoint(cov_full_addr_));
+  }
+  if (options_.exception_monitor) {
+    RETURN_IF_ERROR(exception_monitor_.Arm(*deployment_, options_.exception_symbol));
+  }
+  return OkStatus();
+}
+
+Status TargetExecutor::Restore() {
+  ++stats_.restores;
+  execs_since_reset_ = 0;
+  watchdog_.Reset();
+  if (options_.restore_mode == RestoreMode::kReflash) {
+    RETURN_IF_ERROR(StateRestoration(*deployment_));
+  } else {
+    RETURN_IF_ERROR(deployment_->port().ResetTarget());
+    if (deployment_->board().power_state() != PowerState::kRunning) {
+      // Reboot alone did not bring the target back (damaged image). A human reflashes
+      // eventually; until then the campaign pays the walk-over cost.
+      deployment_->board().clock().Advance(kManualInterventionCost);
+      RETURN_IF_ERROR(StateRestoration(*deployment_));
+    }
+  }
+  return ArmBreakpoints();
+}
+
+void TargetExecutor::HarvestCoverage(ExecOutcome* outcome) {
+  auto entries = deployment_->DrainCoverage();
+  if (!entries.ok()) {
+    return;
+  }
+  outcome->edges.insert(outcome->edges.end(), entries.value().begin(),
+                        entries.value().end());
+}
+
+Result<ExecOutcome> TargetExecutor::ExecuteOne(const std::vector<uint8_t>& encoded) {
+  ExecOutcome outcome;
+  DebugPort& port = deployment_->port();
+
+  if (options_.inject_peripheral_events) {
+    // Bench signal generator: a small burst of events rides along with each test case.
+    uint64_t burst = session_rng_->Below(4);
+    for (uint64_t i = 0; i < burst; ++i) {
+      PeripheralEvent event;
+      event.kind = static_cast<PeripheralEventKind>(session_rng_->Below(4));
+      event.value = static_cast<uint32_t>(session_rng_->Next());
+      (void)port.InjectPeripheralEvent(event);
+    }
+  }
+  // Publish the test case; the agent picks it up when it passes executor_main.
+  Status write = deployment_->WriteTestCase(encoded);
+  if (!write.ok()) {
+    // Link or target trouble: run the liveness protocol.
+    ++stats_.timeouts;
+    outcome.status = ExecStatus::kLinkLost;
+    RETURN_IF_ERROR(Restore());
+    return outcome;
+  }
+
+  int stall_strikes = 0;
+  int cov_drains = 0;
+  bool done = false;
+  for (int round = 0; !done && round < kMaxContinueRounds;) {
+    auto stop_or = port.Continue();
+    if (!stop_or.ok()) {
+      // Watchdog #1: connection timeout.
+      ++stats_.timeouts;
+      if (!options_.watchdogs) {
+        deployment_->board().clock().Advance(kManualInterventionCost);
+      }
+      outcome.status = ExecStatus::kLinkLost;
+      RETURN_IF_ERROR(Restore());
+      return outcome;
+    }
+    const StopInfo& stop = stop_or.value();
+
+    if (options_.exception_monitor && exception_monitor_.IsExceptionStop(stop)) {
+      // Crash observed at the OS exception function.
+      std::string uart = port.DrainUart();
+      BugSignature signature;
+      signature.detector = "exception";
+      signature.kind = "panic";
+      signature.excerpt = uart.empty() ? ("stopped at " + stop.symbol) : uart;
+      outcome.status = ExecStatus::kCrashed;
+      outcome.signature = signature;
+      HarvestCoverage(&outcome);
+      RETURN_IF_ERROR(Restore());
+      return outcome;
+    }
+
+    if (stop.reason == HaltReason::kBreakpoint && stop.symbol == "_kcmp_buf_full") {
+      // Coverage ring full mid-program: drain and resume (Figure 4). Drains do not count
+      // against the continue-round budget, but cap them against runaway loops.
+      HarvestCoverage(&outcome);
+      if (++cov_drains > 64) {
+        ++round;
+      }
+      continue;
+    }
+
+    if (stop.reason == HaltReason::kBreakpoint && stop.symbol == "executor_main") {
+      // Back at the top of the loop. The first pass just means "test case accepted, about
+      // to run" (the agent pauses before reading the mailbox); the program has completed
+      // once the agent consumed the mailbox, which we see as a second stop here.
+      auto status = deployment_->ReadAgentStatus();
+      if (status.ok() && status.value().state == AgentState::kWaiting) {
+        ++round;
+        continue;  // first stop: resume into the program
+      }
+      outcome.status = ExecStatus::kCompleted;
+      done = true;
+      break;
+    }
+
+    if (stop.reason == HaltReason::kIdle) {
+      outcome.status = ExecStatus::kCompleted;
+      done = true;
+      break;
+    }
+
+    // Quantum expired (or an unexpected stop): consult watchdog #2.
+    ++round;
+    if (!options_.watchdogs) {
+      if (round >= kMaxContinueRounds) {
+        // No watchdog: the operator eventually notices the wedged board.
+        deployment_->board().clock().Advance(kManualInterventionCost);
+        outcome.status = ExecStatus::kStalled;
+        ++stats_.stalls;
+        std::string uart = port.DrainUart();
+        auto log_hit = log_monitor_.Scan(uart);
+        if (options_.log_monitor && log_hit.has_value()) {
+          outcome.status = ExecStatus::kCrashed;
+          outcome.signature = log_hit;
+        }
+        HarvestCoverage(&outcome);
+        RETURN_IF_ERROR(Restore());
+        return outcome;
+      }
+      continue;
+    }
+    LivenessVerdict verdict = watchdog_.Check(port);
+    if (verdict == LivenessVerdict::kAlive) {
+      continue;  // still making progress; keep running
+    }
+    if (verdict == LivenessVerdict::kPowerPlateau) {
+      // Ammeter plateau: the core spins flat-out; skip the PC re-check round.
+      ++stats_.stalls;
+      outcome.status = ExecStatus::kStalled;
+      std::string uart_text = port.DrainUart();
+      auto log_hit = log_monitor_.Scan(uart_text);
+      if (options_.log_monitor && log_hit.has_value()) {
+        outcome.status = ExecStatus::kCrashed;
+        outcome.signature = log_hit;
+      }
+      HarvestCoverage(&outcome);
+      RETURN_IF_ERROR(Restore());
+      return outcome;
+    }
+    if (verdict == LivenessVerdict::kPcStall) {
+      ++stall_strikes;
+      if (stall_strikes < 2) {
+        continue;  // one more continue to confirm (Algorithm 1 re-check)
+      }
+      ++stats_.stalls;
+      outcome.status = ExecStatus::kStalled;
+      // The log monitor reads the wedge's last words — this is how assertion bugs
+      // (log + parked core) are detected.
+      std::string uart = port.DrainUart();
+      auto log_hit = log_monitor_.Scan(uart);
+      if (options_.log_monitor && log_hit.has_value()) {
+        outcome.status = ExecStatus::kCrashed;
+        outcome.signature = log_hit;
+      }
+      HarvestCoverage(&outcome);
+      RETURN_IF_ERROR(Restore());
+      return outcome;
+    }
+    // Connection timeout mid-protocol.
+    ++stats_.timeouts;
+    outcome.status = ExecStatus::kLinkLost;
+    RETURN_IF_ERROR(Restore());
+    return outcome;
+  }
+
+  // Completed path: scan the log for crash text that did not wedge the core, then
+  // harvest coverage.
+  std::string uart = port.DrainUart();
+  if (options_.log_monitor) {
+    auto log_hit = log_monitor_.Scan(uart);
+    if (log_hit.has_value()) {
+      outcome.status = ExecStatus::kCrashed;
+      outcome.signature = log_hit;
+      HarvestCoverage(&outcome);
+      RETURN_IF_ERROR(Restore());
+      return outcome;
+    }
+  }
+  HarvestCoverage(&outcome);
+
+  auto status = deployment_->ReadAgentStatus();
+  if (status.ok() && status.value().last_error != AgentError::kNone) {
+    ++stats_.rejected;
+  }
+  ++execs_since_reset_;
+  if (execs_since_reset_ >= options_.periodic_reset_execs) {
+    // Routine state shedding: a plain reboot is enough (nothing is damaged), so the
+    // campaign does not pay the reflash cost here.
+    execs_since_reset_ = 0;
+    watchdog_.Reset();
+    RETURN_IF_ERROR(port.ResetTarget());
+    if (deployment_->board().power_state() != PowerState::kRunning) {
+      RETURN_IF_ERROR(Restore());
+    } else {
+      RETURN_IF_ERROR(ArmBreakpoints());
+    }
+  }
+  return outcome;
+}
+
+}  // namespace eof

@@ -1,0 +1,127 @@
+// TargetExecutor: one fuzzing session against one attached board. It owns the
+// Deployment, arms the breakpoints, drives the Figure-4 breakpoint-synchronised
+// execution of a single test case, drains the coverage ring, and keeps the target
+// alive with the Algorithm-1 watchdogs and restoration protocol.
+//
+// The executor is deliberately policy-free: it neither schedules inputs nor decides
+// what counts as interesting. That is the CampaignScheduler's job (scheduler.h).
+// EofFuzzer wires one executor to one scheduler; BoardFarm wires N executors (one
+// per worker thread) to a shared scheduler. An executor instance is confined to a
+// single thread — cross-worker coordination happens in the scheduler.
+
+#ifndef SRC_CORE_EXECUTOR_H_
+#define SRC_CORE_EXECUTOR_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/rng.h"
+#include "src/common/vclock.h"
+#include "src/core/deployment.h"
+#include "src/core/liveness.h"
+#include "src/core/monitors.h"
+
+namespace eof {
+
+// How a downed target gets recovered.
+enum class RestoreMode {
+  kReflash,     // EOF: full image reflash + reboot (works after flash damage)
+  kRebootOnly,  // plain reset; a damaged image stays damaged (repeated timeouts)
+};
+
+enum class ExecStatus { kCompleted, kCrashed, kStalled, kLinkLost };
+
+// What one test-case execution produced. Edge IDs are raw drain order (duplicates
+// possible across the in-flight ring drains); the scheduler folds them into the
+// global coverage map and decides how many were new.
+struct ExecOutcome {
+  ExecStatus status = ExecStatus::kCompleted;
+  std::optional<BugSignature> signature;
+  std::vector<uint64_t> edges;
+};
+
+// Per-session liveness/health counters, accumulated across ExecuteOne calls and
+// summed over workers by the campaign runners.
+struct ExecStats {
+  uint64_t rejected = 0;
+  uint64_t stalls = 0;
+  uint64_t timeouts = 0;
+  uint64_t restores = 0;
+
+  void Accumulate(const ExecStats& other) {
+    rejected += other.rejected;
+    stalls += other.stalls;
+    timeouts += other.timeouts;
+    restores += other.restores;
+  }
+};
+
+// Board-session configuration: the slice of FuzzerConfig the executor needs, plus
+// the OS exception symbol resolved by campaign setup.
+struct ExecutorOptions {
+  std::string os_name;
+  std::string board_name;
+  InstrumentationOptions instrumentation;
+  uint64_t seed = 1;
+
+  RestoreMode restore_mode = RestoreMode::kReflash;
+  bool coverage_feedback = true;
+  bool log_monitor = true;
+  bool exception_monitor = true;
+  bool watchdogs = true;
+  bool power_probe = false;
+  bool inject_peripheral_events = false;
+  uint32_t periodic_reset_execs = 24;
+
+  std::string exception_symbol;
+};
+
+class TargetExecutor {
+ public:
+  // Deploys (build image, attach port, flash, boot to the agent), resolves the
+  // workflow symbols, and arms breakpoints. `session_rng` drives the peripheral
+  // event bursts and must outlive the executor (the single-threaded engine shares
+  // the scheduling RNG here to preserve its historical stream; farm workers pass
+  // their own per-worker stream).
+  static Result<std::unique_ptr<TargetExecutor>> Create(const ExecutorOptions& options,
+                                                        Rng* session_rng);
+
+  // Publishes one encoded test case and runs it to completion / crash / stall /
+  // link loss, restoring the target as needed (Algorithm 1).
+  Result<ExecOutcome> ExecuteOne(const std::vector<uint8_t>& encoded);
+
+  // Virtual board time spent in this session so far.
+  VirtualTime Elapsed() { return deployment_->port().Now() - start_time_; }
+
+  const ExecStats& stats() const { return stats_; }
+  Deployment& deployment() { return *deployment_; }
+
+ private:
+  TargetExecutor(ExecutorOptions options, Rng* session_rng)
+      : options_(std::move(options)), session_rng_(session_rng) {}
+
+  Status Setup();
+  Status ArmBreakpoints();
+  Status Restore();
+  void HarvestCoverage(ExecOutcome* outcome);
+
+  ExecutorOptions options_;
+  Rng* session_rng_;
+  std::unique_ptr<Deployment> deployment_;
+  LogMonitor log_monitor_;
+  ExceptionMonitor exception_monitor_;
+  LivenessWatchdog watchdog_;
+  ExecStats stats_;
+
+  uint64_t executor_main_addr_ = 0;
+  uint64_t cov_full_addr_ = 0;
+  VirtualTime start_time_ = 0;
+  uint64_t execs_since_reset_ = 0;
+};
+
+}  // namespace eof
+
+#endif  // SRC_CORE_EXECUTOR_H_

@@ -1,379 +1,80 @@
 #include "src/core/fuzzer.h"
 
-#include "src/common/logging.h"
-#include "src/fuzz/program_text.h"
-#include "src/common/strings.h"
 #include "src/kernel/os.h"
 
 namespace eof {
-namespace {
 
-// Rounds of exec-continue the engine tolerates before consulting the watchdogs.
-constexpr int kMaxContinueRounds = 6;
-
-// Virtual cost of a human walking over to a bricked board when watchdogs are disabled
-// (the ablation's "manual intervention").
-constexpr VirtualDuration kManualInterventionCost = 30 * kVirtualMinute;
-
-}  // namespace
-
-Status EofFuzzer::Setup() {
-  DeployOptions deploy;
-  deploy.os_name = config_.os_name;
-  deploy.board_name = config_.board_name;
-  deploy.instrumentation = config_.instrumentation;
-  deploy.seed = config_.seed;
-  ASSIGN_OR_RETURN(deployment_, Deployment::Create(deploy));
-
-  // Mine + post-validate the API specifications (Figure 3 step ②).
-  ASSIGN_OR_RETURN(OsInfo info, OsRegistry::Instance().Find(config_.os_name));
+Result<CampaignPlan> PrepareCampaign(const FuzzerConfig& config) {
+  CampaignPlan plan;
+  ASSIGN_OR_RETURN(OsInfo info, OsRegistry::Instance().Find(config.os_name));
   std::unique_ptr<Os> scratch_os = info.factory();
-  exception_symbol_ = scratch_os->exception_symbol();
+  plan.exception_symbol = scratch_os->exception_symbol();
   spec::MinerOptions miner;
-  miner.include_extended = config_.use_extended_specs;
-  miner.seed = config_.seed;
-  ASSIGN_OR_RETURN(spec::MinedSpecs mined, spec::MineValidatedSpecs(scratch_os->registry(),
-                                                                    miner));
-  specs_ = std::move(mined.specs);
-
-  fuzz::GeneratorOptions gen = config_.gen;
-  gen.use_extended = config_.use_extended_specs;
-  generator_ = std::make_unique<fuzz::Generator>(specs_, gen, config_.seed);
-  schedule_rng_ = std::make_unique<Rng>(config_.seed ^ 0x5eedf00dULL);
-
-  for (const std::string& text : config_.seed_programs) {
-    auto parsed = fuzz::ParseProgramText(specs_, text);
-    if (parsed.ok() && config_.coverage_feedback) {
-      corpus_.Add(std::move(parsed.value()), 1);
-    }
-  }
-
-  ASSIGN_OR_RETURN(executor_main_addr_, deployment_->SymbolAddress("executor_main"));
-  ASSIGN_OR_RETURN(cov_full_addr_, deployment_->SymbolAddress("_kcmp_buf_full"));
-  RETURN_IF_ERROR(ArmBreakpoints());
-
-  if (config_.power_probe) {
-    watchdog_.EnablePowerProbe();
-  }
-
-  start_time_ = deployment_->port().Now();
-  sample_interval_ = config_.budget / std::max<uint32_t>(config_.sample_points, 1);
-  next_sample_ = start_time_ + sample_interval_;
-  return OkStatus();
+  miner.include_extended = config.use_extended_specs;
+  miner.seed = config.seed;
+  ASSIGN_OR_RETURN(spec::MinedSpecs mined,
+                   spec::MineValidatedSpecs(scratch_os->registry(), miner));
+  plan.specs = std::move(mined.specs);
+  return plan;
 }
 
-Status EofFuzzer::ArmBreakpoints() {
-  RETURN_IF_ERROR(deployment_->port().SetBreakpoint(executor_main_addr_));
-  if (config_.coverage_feedback) {
-    RETURN_IF_ERROR(deployment_->port().SetBreakpoint(cov_full_addr_));
-  }
-  if (config_.exception_monitor) {
-    RETURN_IF_ERROR(exception_monitor_.Arm(*deployment_, exception_symbol_));
-  }
-  return OkStatus();
+ExecutorOptions MakeExecutorOptions(const FuzzerConfig& config, uint64_t seed,
+                                    const std::string& exception_symbol) {
+  ExecutorOptions options;
+  options.os_name = config.os_name;
+  options.board_name = config.board_name;
+  options.instrumentation = config.instrumentation;
+  options.seed = seed;
+  options.restore_mode = config.restore_mode;
+  options.coverage_feedback = config.coverage_feedback;
+  options.log_monitor = config.log_monitor;
+  options.exception_monitor = config.exception_monitor;
+  options.watchdogs = config.watchdogs;
+  options.power_probe = config.power_probe;
+  options.inject_peripheral_events = config.inject_peripheral_events;
+  options.periodic_reset_execs = config.periodic_reset_execs;
+  options.exception_symbol = exception_symbol;
+  return options;
 }
 
-Status EofFuzzer::Restore() {
-  ++result_.restores;
-  execs_since_reset_ = 0;
-  watchdog_.Reset();
-  if (config_.restore_mode == RestoreMode::kReflash) {
-    RETURN_IF_ERROR(StateRestoration(*deployment_));
-  } else {
-    RETURN_IF_ERROR(deployment_->port().ResetTarget());
-    if (deployment_->board().power_state() != PowerState::kRunning) {
-      // Reboot alone did not bring the target back (damaged image). A human reflashes
-      // eventually; until then the campaign pays the walk-over cost.
-      deployment_->board().clock().Advance(kManualInterventionCost);
-      RETURN_IF_ERROR(StateRestoration(*deployment_));
-    }
-  }
-  return ArmBreakpoints();
-}
-
-void EofFuzzer::HarvestCoverage(ExecOutcome* outcome) {
-  auto entries = deployment_->DrainCoverage();
-  if (!entries.ok()) {
-    return;
-  }
-  size_t fresh = coverage_.AddBatch(entries.value());
-  outcome->new_edges += fresh;
-}
-
-void EofFuzzer::RecordBug(const BugSignature& signature, const fuzz::Program& program) {
-  ++result_.crashes;
-  int catalog_id = AttributeBug(config_.os_name, signature.excerpt);
-  // Deduplicate: one report per catalog id (or per excerpt for unknowns).
-  for (const BugReport& existing : result_.bugs) {
-    if (catalog_id != 0 ? existing.catalog_id == catalog_id
-                        : existing.excerpt == signature.excerpt) {
-      return;
-    }
-  }
-  BugReport report;
-  report.catalog_id = catalog_id;
-  report.detector = signature.detector;
-  report.kind = signature.kind;
-  report.excerpt = signature.excerpt;
-  report.at = deployment_->port().Now() - start_time_;
-  report.program_text = fuzz::SerializeProgramText(specs_, program);
-  result_.bugs.push_back(std::move(report));
-  EOF_LOG(kDebug) << config_.os_name << ": bug #" << catalog_id << " via "
-                  << signature.detector << ": " << signature.excerpt;
-}
-
-Result<EofFuzzer::ExecOutcome> EofFuzzer::ExecuteOne(const fuzz::Program& program,
-                                                     const std::vector<uint8_t>& encoded) {
-  ExecOutcome outcome;
-  DebugPort& port = deployment_->port();
-
-  if (config_.inject_peripheral_events) {
-    // Bench signal generator: a small burst of events rides along with each test case.
-    uint64_t burst = schedule_rng_->Below(4);
-    for (uint64_t i = 0; i < burst; ++i) {
-      PeripheralEvent event;
-      event.kind = static_cast<PeripheralEventKind>(schedule_rng_->Below(4));
-      event.value = static_cast<uint32_t>(schedule_rng_->Next());
-      (void)port.InjectPeripheralEvent(event);
-    }
-  }
-  // Publish the test case; the agent picks it up when it passes executor_main.
-  Status write = deployment_->WriteTestCase(encoded);
-  if (!write.ok()) {
-    // Link or target trouble: run the liveness protocol.
-    ++result_.timeouts;
-    outcome.status = ExecStatus::kLinkLost;
-    RETURN_IF_ERROR(Restore());
-    return outcome;
-  }
-
-  int stall_strikes = 0;
-  int cov_drains = 0;
-  bool done = false;
-  for (int round = 0; !done && round < kMaxContinueRounds;) {
-    auto stop_or = port.Continue();
-    if (!stop_or.ok()) {
-      // Watchdog #1: connection timeout.
-      ++result_.timeouts;
-      if (!config_.watchdogs) {
-        deployment_->board().clock().Advance(kManualInterventionCost);
-      }
-      outcome.status = ExecStatus::kLinkLost;
-      RETURN_IF_ERROR(Restore());
-      return outcome;
-    }
-    const StopInfo& stop = stop_or.value();
-
-    if (config_.exception_monitor && exception_monitor_.IsExceptionStop(stop)) {
-      // Crash observed at the OS exception function.
-      std::string uart = port.DrainUart();
-      BugSignature signature;
-      signature.detector = "exception";
-      signature.kind = "panic";
-      signature.excerpt = uart.empty() ? ("stopped at " + stop.symbol) : uart;
-      outcome.status = ExecStatus::kCrashed;
-      outcome.signature = signature;
-      HarvestCoverage(&outcome);
-      RETURN_IF_ERROR(Restore());
-      return outcome;
-    }
-
-    if (stop.reason == HaltReason::kBreakpoint && stop.symbol == "_kcmp_buf_full") {
-      // Coverage ring full mid-program: drain and resume (Figure 4). Drains do not count
-      // against the continue-round budget, but cap them against runaway loops.
-      HarvestCoverage(&outcome);
-      if (++cov_drains > 64) {
-        ++round;
-      }
-      continue;
-    }
-
-    if (stop.reason == HaltReason::kBreakpoint && stop.symbol == "executor_main") {
-      // Back at the top of the loop. The first pass just means "test case accepted, about
-      // to run" (the agent pauses before reading the mailbox); the program has completed
-      // once the agent consumed the mailbox, which we see as a second stop here.
-      auto status = deployment_->ReadAgentStatus();
-      if (status.ok() && status.value().state == AgentState::kWaiting) {
-        ++round;
-        continue;  // first stop: resume into the program
-      }
-      outcome.status = ExecStatus::kCompleted;
-      done = true;
-      break;
-    }
-
-    if (stop.reason == HaltReason::kIdle) {
-      outcome.status = ExecStatus::kCompleted;
-      done = true;
-      break;
-    }
-
-    // Quantum expired (or an unexpected stop): consult watchdog #2.
-    ++round;
-    if (!config_.watchdogs) {
-      if (round >= kMaxContinueRounds) {
-        // No watchdog: the operator eventually notices the wedged board.
-        deployment_->board().clock().Advance(kManualInterventionCost);
-        outcome.status = ExecStatus::kStalled;
-        ++result_.stalls;
-        std::string uart = port.DrainUart();
-        auto log_hit = log_monitor_.Scan(uart);
-        if (config_.log_monitor && log_hit.has_value()) {
-          outcome.status = ExecStatus::kCrashed;
-          outcome.signature = log_hit;
-        }
-        HarvestCoverage(&outcome);
-        RETURN_IF_ERROR(Restore());
-        return outcome;
-      }
-      continue;
-    }
-    LivenessVerdict verdict = watchdog_.Check(port);
-    if (verdict == LivenessVerdict::kAlive) {
-      continue;  // still making progress; keep running
-    }
-    if (verdict == LivenessVerdict::kPowerPlateau) {
-      // Ammeter plateau: the core spins flat-out; skip the PC re-check round.
-      ++result_.stalls;
-      outcome.status = ExecStatus::kStalled;
-      std::string uart_text = port.DrainUart();
-      auto log_hit = log_monitor_.Scan(uart_text);
-      if (config_.log_monitor && log_hit.has_value()) {
-        outcome.status = ExecStatus::kCrashed;
-        outcome.signature = log_hit;
-      }
-      HarvestCoverage(&outcome);
-      RETURN_IF_ERROR(Restore());
-      return outcome;
-    }
-    if (verdict == LivenessVerdict::kPcStall) {
-      ++stall_strikes;
-      if (stall_strikes < 2) {
-        continue;  // one more continue to confirm (Algorithm 1 re-check)
-      }
-      ++result_.stalls;
-      outcome.status = ExecStatus::kStalled;
-      // The log monitor reads the wedge's last words — this is how assertion bugs
-      // (log + parked core) are detected.
-      std::string uart = port.DrainUart();
-      auto log_hit = log_monitor_.Scan(uart);
-      if (config_.log_monitor && log_hit.has_value()) {
-        outcome.status = ExecStatus::kCrashed;
-        outcome.signature = log_hit;
-      }
-      HarvestCoverage(&outcome);
-      RETURN_IF_ERROR(Restore());
-      return outcome;
-    }
-    // Connection timeout mid-protocol.
-    ++result_.timeouts;
-    outcome.status = ExecStatus::kLinkLost;
-    RETURN_IF_ERROR(Restore());
-    return outcome;
-  }
-
-  // Completed path: scan the log for crash text that did not wedge the core, then
-  // harvest coverage.
-  std::string uart = port.DrainUart();
-  if (config_.log_monitor) {
-    auto log_hit = log_monitor_.Scan(uart);
-    if (log_hit.has_value()) {
-      outcome.status = ExecStatus::kCrashed;
-      outcome.signature = log_hit;
-      HarvestCoverage(&outcome);
-      RETURN_IF_ERROR(Restore());
-      return outcome;
-    }
-  }
-  HarvestCoverage(&outcome);
-
-  auto status = deployment_->ReadAgentStatus();
-  if (status.ok() && status.value().last_error != AgentError::kNone) {
-    ++result_.rejected;
-  }
-  ++execs_since_reset_;
-  if (execs_since_reset_ >= config_.periodic_reset_execs) {
-    // Routine state shedding: a plain reboot is enough (nothing is damaged), so the
-    // campaign does not pay the reflash cost here.
-    execs_since_reset_ = 0;
-    watchdog_.Reset();
-    RETURN_IF_ERROR(port.ResetTarget());
-    if (deployment_->board().power_state() != PowerState::kRunning) {
-      RETURN_IF_ERROR(Restore());
-    } else {
-      RETURN_IF_ERROR(ArmBreakpoints());
-    }
-  }
-  return outcome;
-}
-
-fuzz::Program EofFuzzer::NextProgram() {
-  if (config_.coverage_feedback && !corpus_.empty()) {
-    uint64_t roll = schedule_rng_->Below(100);
-    if (roll < 70) {
-      const fuzz::Program* seed = corpus_.PickSeed(*schedule_rng_);
-      return generator_->Mutate(*seed);
-    }
-    if (roll < 80 && corpus_.size() >= 2) {
-      const fuzz::Program* a = corpus_.PickSeed(*schedule_rng_);
-      const fuzz::Program* b = corpus_.PickSeed(*schedule_rng_);
-      return generator_->Splice(*a, *b);
-    }
-  }
-  return generator_->Generate();
-}
-
-void EofFuzzer::MaybeSample() {
-  VirtualTime now = deployment_->port().Now();
-  while (now >= next_sample_ &&
-         result_.series.size() < config_.sample_points) {
-    result_.series.push_back(CampaignSample{next_sample_ - start_time_, coverage_.Count()});
-    next_sample_ += sample_interval_;
-  }
+CampaignScheduler::Options MakeSchedulerOptions(const FuzzerConfig& config, int workers) {
+  CampaignScheduler::Options options;
+  options.os_name = config.os_name;
+  options.coverage_feedback = config.coverage_feedback;
+  options.budget = config.budget;
+  options.sample_points = config.sample_points;
+  options.workers = workers;
+  return options;
 }
 
 Result<CampaignResult> EofFuzzer::Run() {
-  RETURN_IF_ERROR(Setup());
-  DebugPort& port = deployment_->port();
+  ASSIGN_OR_RETURN(CampaignPlan plan, PrepareCampaign(config_));
 
-  while (port.Now() - start_time_ < config_.budget) {
-    fuzz::Program program = NextProgram();
-    std::vector<uint8_t> encoded = EncodeProgram(program.ToWire(specs_));
-    if (encoded.size() > kMailboxMaxBytes) {
-      // Oversized program: trim calls until it fits the mailbox.
-      while (!program.calls.empty() && encoded.size() > kMailboxMaxBytes) {
-        program.calls.pop_back();
-        encoded = EncodeProgram(program.ToWire(specs_));
-      }
-      if (program.calls.empty()) {
-        continue;
-      }
-    }
+  fuzz::GeneratorOptions gen = config_.gen;
+  gen.use_extended = config_.use_extended_specs;
+  fuzz::Generator generator(plan.specs, gen, config_.seed);
+  Rng schedule_rng(config_.seed ^ 0x5eedf00dULL);
 
-    ASSIGN_OR_RETURN(ExecOutcome outcome, ExecuteOne(program, encoded));
-    ++result_.execs;
+  // The executor shares the scheduling RNG as its session stream, preserving the
+  // historical single-threaded stream (peripheral-event bursts and scheduling rolls
+  // interleave on one sequence, as the monolithic engine did).
+  ASSIGN_OR_RETURN(
+      std::unique_ptr<TargetExecutor> executor,
+      TargetExecutor::Create(MakeExecutorOptions(config_, config_.seed, plan.exception_symbol),
+                             &schedule_rng));
+  CampaignScheduler scheduler(plan.specs, MakeSchedulerOptions(config_, /*workers=*/1));
+  scheduler.SeedCorpus(config_.seed_programs);
 
-    if (outcome.signature.has_value()) {
-      RecordBug(*outcome.signature, program);
+  while (executor->Elapsed() < config_.budget) {
+    fuzz::Program program = scheduler.NextProgram(generator, schedule_rng);
+    std::vector<uint8_t> encoded;
+    if (!EncodeForMailbox(plan.specs, &program, &encoded)) {
+      continue;
     }
-    if (config_.coverage_feedback && outcome.new_edges > 0) {
-      if (corpus_.Add(program, outcome.new_edges)) {
-        generator_->NotifyNewCoverage(program);
-      }
-    }
-    MaybeSample();
+    ASSIGN_OR_RETURN(ExecOutcome outcome, executor->ExecuteOne(encoded));
+    scheduler.OnOutcome(program, outcome, generator, executor->Elapsed(), /*worker=*/0);
   }
-
-  // Pad the series to its full length so repetitions align.
-  while (result_.series.size() < config_.sample_points) {
-    result_.series.push_back(
-        CampaignSample{config_.budget * (result_.series.size() + 1) / config_.sample_points,
-                       coverage_.Count()});
-  }
-  result_.final_coverage = coverage_.Count();
-  result_.corpus_size = corpus_.size();
-  result_.elapsed = port.Now() - start_time_;
-  return result_;
+  return scheduler.Finalize(executor->stats(), executor->Elapsed());
 }
 
 }  // namespace eof

@@ -1,9 +1,15 @@
-// The EOF fuzzing engine (Figure 3): deploys the target, mines + validates specs, drives
-// the Figure-4 breakpoint-synchronised execution loop, collects coverage/log/exception
-// feedback, maintains liveness with the Algorithm-1 watchdogs, and schedules the corpus.
+// The EOF fuzzing engine (Figure 3), wired from two layers:
 //
-// The baselines in src/baselines configure this same engine where their design matches
-// (EOF-nf = feedback off) and provide their own loops where it does not.
+//   TargetExecutor   (executor.h)  — one board session: deployment, breakpoint-
+//                                    synchronised execution, coverage drain,
+//                                    Algorithm-1 watchdogs and restoration.
+//   CampaignScheduler (scheduler.h) — campaign state: corpus, global coverage map,
+//                                    bug dedup, input scheduling, sampled series.
+//
+// EofFuzzer itself is thin glue running one executor against one scheduler on a
+// single thread; BoardFarm (board_farm.h) runs N executors against one scheduler.
+// The baselines in src/baselines configure this same engine where their design
+// matches (EOF-nf = feedback off) and compose the shared pieces where it does not.
 
 #ifndef SRC_CORE_FUZZER_H_
 #define SRC_CORE_FUZZER_H_
@@ -12,24 +18,16 @@
 #include <string>
 #include <vector>
 
-#include "src/common/coverage_map.h"
 #include "src/common/status.h"
 #include "src/common/vclock.h"
 #include "src/core/bug_catalog.h"
 #include "src/core/deployment.h"
-#include "src/core/liveness.h"
-#include "src/core/monitors.h"
-#include "src/fuzz/corpus.h"
+#include "src/core/executor.h"
+#include "src/core/scheduler.h"
 #include "src/fuzz/generator.h"
 #include "src/spec/spec_miner.h"
 
 namespace eof {
-
-// How a downed target gets recovered.
-enum class RestoreMode {
-  kReflash,     // EOF: full image reflash + reboot (works after flash damage)
-  kRebootOnly,  // plain reset; a damaged image stays damaged (repeated timeouts)
-};
 
 struct FuzzerConfig {
   std::string os_name;
@@ -64,42 +62,22 @@ struct FuzzerConfig {
   uint32_t periodic_reset_execs = 24;  // reboot cadence to shed piled-up kernel state
 };
 
-struct CampaignSample {
-  VirtualTime time = 0;
-  uint64_t coverage = 0;
+// Shared campaign setup (Figure 3 step ②): mines + post-validates the target's API
+// specifications and resolves the OS exception symbol. Board-independent, so farms
+// run it once and share the result across workers.
+struct CampaignPlan {
+  spec::CompiledSpecs specs;
+  std::string exception_symbol;
 };
+Result<CampaignPlan> PrepareCampaign(const FuzzerConfig& config);
 
-struct BugReport {
-  int catalog_id = 0;          // 0 = signature did not match the catalog
-  std::string detector;        // "exception" | "log" | "timeout"
-  std::string kind;            // "panic" | "assertion" | "unresponsive"
-  std::string excerpt;         // crash text
-  VirtualTime at = 0;
-  std::string program_text;    // the triggering program, formatted
-};
+// The board-session slice of `config` (plus the resolved exception symbol), for
+// constructing executors. `seed` seeds the image build and the deployment.
+ExecutorOptions MakeExecutorOptions(const FuzzerConfig& config, uint64_t seed,
+                                    const std::string& exception_symbol);
 
-struct CampaignResult {
-  uint64_t final_coverage = 0;
-  std::vector<CampaignSample> series;
-  std::vector<BugReport> bugs;  // first sighting of each distinct catalog id / signature
-  uint64_t execs = 0;
-  uint64_t rejected = 0;
-  uint64_t crashes = 0;
-  uint64_t stalls = 0;
-  uint64_t timeouts = 0;
-  uint64_t restores = 0;
-  uint64_t corpus_size = 0;
-  VirtualTime elapsed = 0;
-
-  bool FoundBug(int catalog_id) const {
-    for (const BugReport& bug : bugs) {
-      if (bug.catalog_id == catalog_id) {
-        return true;
-      }
-    }
-    return false;
-  }
-};
+// The campaign-state slice of `config`, for constructing schedulers.
+CampaignScheduler::Options MakeSchedulerOptions(const FuzzerConfig& config, int workers);
 
 class EofFuzzer {
  public:
@@ -109,43 +87,7 @@ class EofFuzzer {
   Result<CampaignResult> Run();
 
  private:
-  enum class ExecStatus { kCompleted, kCrashed, kStalled, kLinkLost };
-
-  struct ExecOutcome {
-    ExecStatus status = ExecStatus::kCompleted;
-    std::optional<BugSignature> signature;
-    uint64_t new_edges = 0;
-  };
-
-  Status Setup();
-  Status ArmBreakpoints();
-  Status Restore();
-  Result<ExecOutcome> ExecuteOne(const fuzz::Program& program,
-                                 const std::vector<uint8_t>& encoded);
-  void HarvestCoverage(ExecOutcome* outcome);
-  void RecordBug(const BugSignature& signature, const fuzz::Program& program);
-  void MaybeSample();
-  fuzz::Program NextProgram();
-
   FuzzerConfig config_;
-  std::unique_ptr<Deployment> deployment_;
-  spec::CompiledSpecs specs_;
-  std::unique_ptr<fuzz::Generator> generator_;
-  std::unique_ptr<Rng> schedule_rng_;
-  fuzz::Corpus corpus_;
-  CoverageMap coverage_;
-  LogMonitor log_monitor_;
-  ExceptionMonitor exception_monitor_;
-  LivenessWatchdog watchdog_;
-  CampaignResult result_;
-
-  uint64_t executor_main_addr_ = 0;
-  uint64_t cov_full_addr_ = 0;
-  std::string exception_symbol_;
-  VirtualTime start_time_ = 0;
-  VirtualTime next_sample_ = 0;
-  VirtualDuration sample_interval_ = 0;
-  uint64_t execs_since_reset_ = 0;
 };
 
 }  // namespace eof

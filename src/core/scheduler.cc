@@ -1,0 +1,165 @@
+#include "src/core/scheduler.h"
+
+#include <algorithm>
+
+#include "src/agent/agent_layout.h"
+#include "src/agent/wire.h"
+#include "src/common/logging.h"
+#include "src/core/bug_catalog.h"
+#include "src/fuzz/program_text.h"
+
+namespace eof {
+
+CampaignScheduler::CampaignScheduler(const spec::CompiledSpecs& specs, Options options)
+    : specs_(specs),
+      options_(options),
+      sampler_(options.budget, options.sample_points),
+      worker_elapsed_(static_cast<size_t>(std::max(options.workers, 1)), 0),
+      worker_done_(static_cast<size_t>(std::max(options.workers, 1)), false) {}
+
+void CampaignScheduler::SeedCorpus(const std::vector<std::string>& seed_programs) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const std::string& text : seed_programs) {
+    auto parsed = fuzz::ParseProgramText(specs_, text);
+    if (parsed.ok() && options_.coverage_feedback) {
+      corpus_.Add(std::move(parsed.value()), 1);
+    }
+  }
+}
+
+fuzz::Program CampaignScheduler::NextProgram(fuzz::Generator& generator, Rng& rng) {
+  if (options_.coverage_feedback) {
+    fuzz::Program seed_a;
+    fuzz::Program seed_b;
+    enum { kGenerate, kMutate, kSplice } action = kGenerate;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!corpus_.empty()) {
+        uint64_t roll = rng.Below(100);
+        if (roll < 70) {
+          if (corpus_.PickSeedCopy(rng, &seed_a)) {
+            action = kMutate;
+          }
+        } else if (roll < 80 && corpus_.size() >= 2) {
+          if (corpus_.PickSeedCopy(rng, &seed_a) && corpus_.PickSeedCopy(rng, &seed_b)) {
+            action = kSplice;
+          }
+        }
+      }
+    }
+    if (action == kMutate) {
+      return generator.Mutate(seed_a);
+    }
+    if (action == kSplice) {
+      return generator.Splice(seed_a, seed_b);
+    }
+  }
+  return generator.Generate();
+}
+
+void CampaignScheduler::RecordBugLocked(const BugSignature& signature,
+                                        const fuzz::Program& program,
+                                        VirtualTime elapsed) {
+  ++result_.crashes;
+  int catalog_id = AttributeBug(options_.os_name, signature.excerpt);
+  // Deduplicate: one report per catalog id (or per excerpt for unknowns).
+  for (const BugReport& existing : result_.bugs) {
+    if (catalog_id != 0 ? existing.catalog_id == catalog_id
+                        : existing.excerpt == signature.excerpt) {
+      return;
+    }
+  }
+  BugReport report;
+  report.catalog_id = catalog_id;
+  report.detector = signature.detector;
+  report.kind = signature.kind;
+  report.excerpt = signature.excerpt;
+  report.at = elapsed;
+  report.program_text = fuzz::SerializeProgramText(specs_, program);
+  result_.bugs.push_back(std::move(report));
+  EOF_LOG(kDebug) << options_.os_name << ": bug #" << catalog_id << " via "
+                  << signature.detector << ": " << signature.excerpt;
+}
+
+void CampaignScheduler::AdvanceFrontierLocked(int worker, VirtualTime elapsed) {
+  size_t slot = static_cast<size_t>(worker);
+  if (slot < worker_elapsed_.size()) {
+    worker_elapsed_[slot] = std::max(worker_elapsed_[slot], elapsed);
+  }
+  // The campaign timeline advances to the slowest active session: a sample at time
+  // t is recorded once every board has lived through t, so the merged series never
+  // credits coverage to a moment some board has not reached yet.
+  VirtualTime frontier = options_.budget;
+  for (size_t i = 0; i < worker_elapsed_.size(); ++i) {
+    if (!worker_done_[i]) {
+      frontier = std::min(frontier, worker_elapsed_[i]);
+    }
+  }
+  sampler_.Advance(frontier, coverage_.Count(), &result_.series);
+}
+
+void CampaignScheduler::OnOutcome(const fuzz::Program& program, const ExecOutcome& outcome,
+                                  fuzz::Generator& generator, VirtualTime elapsed,
+                                  int worker) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t fresh = coverage_.AddBatch(outcome.edges);
+  ++result_.execs;
+  if (outcome.signature.has_value()) {
+    RecordBugLocked(*outcome.signature, program, elapsed);
+  }
+  if (options_.coverage_feedback && fresh > 0) {
+    if (corpus_.Add(program, fresh)) {
+      generator.NotifyNewCoverage(program);
+    }
+  }
+  AdvanceFrontierLocked(worker, elapsed);
+}
+
+void CampaignScheduler::OnWorkerDone(int worker) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t slot = static_cast<size_t>(worker);
+  if (slot >= worker_done_.size()) {
+    return;
+  }
+  worker_done_[slot] = true;
+  AdvanceFrontierLocked(worker, worker_elapsed_[slot]);
+}
+
+CampaignResult CampaignScheduler::Finalize(const ExecStats& stats, VirtualTime elapsed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sampler_.Finish(coverage_.Count(), &result_.series);
+  result_.final_coverage = coverage_.Count();
+  result_.corpus_size = corpus_.size();
+  result_.elapsed = elapsed;
+  result_.rejected = stats.rejected;
+  result_.stalls = stats.stalls;
+  result_.timeouts = stats.timeouts;
+  result_.restores = stats.restores;
+  return result_;
+}
+
+uint64_t CampaignScheduler::CoverageCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return coverage_.Count();
+}
+
+size_t CampaignScheduler::CorpusSize() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return corpus_.size();
+}
+
+bool EncodeForMailbox(const spec::CompiledSpecs& specs, fuzz::Program* program,
+                      std::vector<uint8_t>* encoded) {
+  *encoded = EncodeProgram(program->ToWire(specs));
+  if (encoded->size() <= kMailboxMaxBytes) {
+    return true;
+  }
+  // Oversized program: trim calls until it fits the mailbox.
+  while (!program->calls.empty() && encoded->size() > kMailboxMaxBytes) {
+    program->calls.pop_back();
+    *encoded = EncodeProgram(program->ToWire(specs));
+  }
+  return !program->calls.empty();
+}
+
+}  // namespace eof

@@ -1,0 +1,165 @@
+// CampaignScheduler: the campaign-wide half of the engine. It owns everything that
+// is shared across board sessions — the corpus, the global coverage map, bug
+// deduplication, campaign counters, and the coverage-over-time series — and decides
+// which program each executor runs next (mutate / splice / generate against the
+// shared corpus, §4.5).
+//
+// All public methods are thread-safe: the single-threaded EofFuzzer calls them from
+// one thread, the BoardFarm from N worker threads. Program construction (the actual
+// Mutate/Splice/Generate work) happens outside the lock on the caller's own
+// Generator so workers only serialise on corpus picks and outcome merging.
+
+#ifndef SRC_CORE_SCHEDULER_H_
+#define SRC_CORE_SCHEDULER_H_
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/coverage_map.h"
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/common/vclock.h"
+#include "src/core/executor.h"
+#include "src/fuzz/corpus.h"
+#include "src/fuzz/generator.h"
+#include "src/spec/compiler.h"
+
+namespace eof {
+
+struct CampaignSample {
+  VirtualTime time = 0;
+  uint64_t coverage = 0;
+};
+
+struct BugReport {
+  int catalog_id = 0;          // 0 = signature did not match the catalog
+  std::string detector;        // "exception" | "log" | "timeout"
+  std::string kind;            // "panic" | "assertion" | "unresponsive"
+  std::string excerpt;         // crash text
+  VirtualTime at = 0;
+  std::string program_text;    // the triggering program, formatted
+};
+
+struct CampaignResult {
+  uint64_t final_coverage = 0;
+  std::vector<CampaignSample> series;
+  std::vector<BugReport> bugs;  // first sighting of each distinct catalog id / signature
+  uint64_t execs = 0;
+  uint64_t rejected = 0;
+  uint64_t crashes = 0;
+  uint64_t stalls = 0;
+  uint64_t timeouts = 0;
+  uint64_t restores = 0;
+  uint64_t corpus_size = 0;
+  VirtualTime elapsed = 0;
+
+  bool FoundBug(int catalog_id) const {
+    for (const BugReport& bug : bugs) {
+      if (bug.catalog_id == catalog_id) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+// Fixed-resolution coverage time-series recorder shared by every campaign loop
+// (EOF engine, board farm, byte-buffer baselines): records the coverage count at
+// each elapsed sample boundary and pads unreached points at campaign end.
+class SeriesSampler {
+ public:
+  SeriesSampler(VirtualDuration budget, uint32_t sample_points)
+      : budget_(budget),
+        points_(sample_points),
+        interval_(budget / std::max<uint32_t>(sample_points, 1)),
+        next_(interval_) {}
+
+  // Appends one sample per boundary the campaign has passed.
+  void Advance(VirtualTime elapsed, uint64_t coverage, std::vector<CampaignSample>* series) {
+    while (elapsed >= next_ && series->size() < points_) {
+      series->push_back(CampaignSample{next_, coverage});
+      next_ += interval_;
+    }
+  }
+
+  // Pads the series to its full length so repetitions align.
+  void Finish(uint64_t coverage, std::vector<CampaignSample>* series) {
+    while (series->size() < points_) {
+      series->push_back(
+          CampaignSample{budget_ * (series->size() + 1) / points_, coverage});
+    }
+  }
+
+ private:
+  VirtualDuration budget_;
+  uint32_t points_;
+  VirtualDuration interval_;
+  VirtualTime next_;
+};
+
+class CampaignScheduler {
+ public:
+  struct Options {
+    std::string os_name;              // bug attribution (catalog is per-OS)
+    bool coverage_feedback = true;    // corpus + generator credit
+    VirtualDuration budget = 0;
+    uint32_t sample_points = 96;
+    int workers = 1;
+  };
+
+  CampaignScheduler(const spec::CompiledSpecs& specs, Options options);
+
+  // Parses the initial corpus (reproducer-text programs, §4.5) against the specs;
+  // entries that fail to parse are skipped. Admission only with feedback on.
+  void SeedCorpus(const std::vector<std::string>& seed_programs);
+
+  // Picks the next input for a worker: 70% mutate a corpus seed, 10% splice two,
+  // else generate fresh (only generate while the corpus is empty or feedback is
+  // off). The roll and the seed picks consume `rng` under the campaign lock; the
+  // program is built outside it on the caller's generator.
+  fuzz::Program NextProgram(fuzz::Generator& generator, Rng& rng);
+
+  // Folds one execution outcome into the campaign: merges drained edges into the
+  // global coverage map, records/dedups bugs, admits the program to the corpus
+  // when it found new edges (crediting the submitting worker's generator), bumps
+  // the exec counter, and advances the sampled series to the campaign frontier.
+  // `elapsed` is the submitting worker's session time after the execution.
+  void OnOutcome(const fuzz::Program& program, const ExecOutcome& outcome,
+                 fuzz::Generator& generator, VirtualTime elapsed, int worker);
+
+  // Marks a worker's session finished so it no longer holds back the sample
+  // frontier (its clock stops at the budget).
+  void OnWorkerDone(int worker);
+
+  // Pads the series, folds the summed executor stats in, and returns the result.
+  CampaignResult Finalize(const ExecStats& stats, VirtualTime elapsed);
+
+  uint64_t CoverageCount() const;
+  size_t CorpusSize() const;
+
+ private:
+  void RecordBugLocked(const BugSignature& signature, const fuzz::Program& program,
+                       VirtualTime elapsed);
+  void AdvanceFrontierLocked(int worker, VirtualTime elapsed);
+
+  const spec::CompiledSpecs& specs_;
+  Options options_;
+
+  mutable std::mutex mu_;
+  fuzz::Corpus corpus_;
+  CoverageMap coverage_;
+  SeriesSampler sampler_;
+  CampaignResult result_;
+  std::vector<VirtualTime> worker_elapsed_;
+  std::vector<bool> worker_done_;
+};
+
+// Shared loop glue: encodes `program` for the agent mailbox, trimming tail calls
+// until it fits. Returns false when nothing is left to run (caller skips the case).
+bool EncodeForMailbox(const spec::CompiledSpecs& specs, fuzz::Program* program,
+                      std::vector<uint8_t>* encoded);
+
+}  // namespace eof
+
+#endif  // SRC_CORE_SCHEDULER_H_

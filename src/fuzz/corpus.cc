@@ -9,6 +9,11 @@ namespace eof {
 namespace fuzz {
 
 bool Corpus::Add(Program program, uint64_t new_edges) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return AddLocked(std::move(program), new_edges);
+}
+
+bool Corpus::AddLocked(Program program, uint64_t new_edges) {
   uint64_t hash = program.Hash();
   if (!seen_hashes_.insert(hash).second) {
     return false;
@@ -18,18 +23,16 @@ bool Corpus::Add(Program program, uint64_t new_edges) {
   entry.new_edges = new_edges;
   entry.added_seq = next_seq_++;
   entries_.push_back(std::move(entry));
-  TrimIfNeeded();
+  TrimIfNeededLocked();
   return true;
 }
 
 bool Corpus::Seen(const Program& program) {
+  std::lock_guard<std::mutex> lock(mu_);
   return !seen_hashes_.insert(program.Hash()).second;
 }
 
-const Program* Corpus::PickSeed(Rng& rng) {
-  if (entries_.empty()) {
-    return nullptr;
-  }
+size_t Corpus::PickIndexLocked(Rng& rng) {
   std::vector<uint64_t> weights(entries_.size());
   uint64_t newest = entries_.back().added_seq;
   for (size_t i = 0; i < entries_.size(); ++i) {
@@ -45,10 +48,28 @@ const Program* Corpus::PickSeed(Rng& rng) {
   }
   size_t pick = rng.WeightedIndex(weights);
   ++entries_[pick].picks;
-  return &entries_[pick].program;
+  return pick;
+}
+
+const Program* Corpus::PickSeed(Rng& rng) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entries_.empty()) {
+    return nullptr;
+  }
+  return &entries_[PickIndexLocked(rng)].program;
+}
+
+bool Corpus::PickSeedCopy(Rng& rng, Program* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entries_.empty()) {
+    return false;
+  }
+  *out = entries_[PickIndexLocked(rng)].program;
+  return true;
 }
 
 std::string Corpus::SaveText(const spec::CompiledSpecs& specs) const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::string out;
   for (const CorpusEntry& entry : entries_) {
     out += StrFormat("# new_edges=%llu\n",
@@ -60,6 +81,7 @@ std::string Corpus::SaveText(const spec::CompiledSpecs& specs) const {
 }
 
 Result<size_t> Corpus::LoadText(const spec::CompiledSpecs& specs, const std::string& text) {
+  std::lock_guard<std::mutex> lock(mu_);
   size_t admitted = 0;
   uint64_t new_edges = 1;
   std::string block;
@@ -68,7 +90,7 @@ Result<size_t> Corpus::LoadText(const spec::CompiledSpecs& specs, const std::str
       return;
     }
     auto parsed = ParseProgramText(specs, block);
-    if (parsed.ok() && Add(std::move(parsed.value()), new_edges)) {
+    if (parsed.ok() && AddLocked(std::move(parsed.value()), new_edges)) {
       ++admitted;
     }
     block.clear();
@@ -93,7 +115,7 @@ Result<size_t> Corpus::LoadText(const spec::CompiledSpecs& specs, const std::str
   return admitted;
 }
 
-void Corpus::TrimIfNeeded() {
+void Corpus::TrimIfNeededLocked() {
   if (entries_.size() <= max_entries_) {
     return;
   }

@@ -2,11 +2,18 @@
 // scheduled for further mutation, weighted by how much new coverage they brought and how
 // recently they were added (§4.5: "If so, EOF saves the case to the corpus for further
 // mutation ... otherwise it discards the case").
+//
+// Thread safety: all public methods are internally synchronised, so a board farm's
+// workers may Add/Seen/PickSeedCopy on one shared corpus concurrently. PickSeed
+// returns a pointer into the entry store and is only safe while the caller is the
+// sole mutator (the single-threaded engine); concurrent schedulers must use
+// PickSeedCopy, which copies the chosen program out under the lock.
 
 #ifndef SRC_FUZZ_CORPUS_H_
 #define SRC_FUZZ_CORPUS_H_
 
 #include <cstdint>
+#include <mutex>
 #include <unordered_set>
 #include <vector>
 
@@ -37,8 +44,13 @@ class Corpus {
   bool Seen(const Program& program);
 
   // Weighted seed choice: more new edges and fresher entries are favoured; heavily
-  // re-picked entries decay. Returns nullptr while empty.
+  // re-picked entries decay. Returns nullptr while empty. Single-threaded callers
+  // only — the pointer is invalidated by any concurrent Add/trim.
   const Program* PickSeed(Rng& rng);
+
+  // Same schedule (identical RNG consumption), but copies the pick into `out` under
+  // the lock. Returns false while empty. Safe under concurrent mutation.
+  bool PickSeedCopy(Rng& rng, Program* out);
 
   // Serializes the whole corpus as reproducer texts separated by blank lines (campaign
   // checkpointing); LoadText re-admits every program that still parses against `specs`
@@ -46,14 +58,22 @@ class Corpus {
   std::string SaveText(const spec::CompiledSpecs& specs) const;
   Result<size_t> LoadText(const spec::CompiledSpecs& specs, const std::string& text);
 
-  size_t size() const { return entries_.size(); }
-  bool empty() const { return entries_.empty(); }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
+  bool empty() const { return size() == 0; }
+
+  // Snapshot of the entry store. Single-threaded callers only (tests, checkpointing).
   const std::vector<CorpusEntry>& entries() const { return entries_; }
 
  private:
-  void TrimIfNeeded();
+  bool AddLocked(Program program, uint64_t new_edges);
+  size_t PickIndexLocked(Rng& rng);
+  void TrimIfNeededLocked();
 
   size_t max_entries_;
+  mutable std::mutex mu_;
   uint64_t next_seq_ = 0;
   std::vector<CorpusEntry> entries_;
   std::unordered_set<uint64_t> seen_hashes_;

@@ -1,0 +1,133 @@
+// Corpus checkpointing and concurrency: SaveText/LoadText round-trips preserve the
+// corpus, and the thread-safe access path (Add / PickSeedCopy / Seen from many
+// threads) holds its invariants — run under -fsanitize=thread in CI to catch races.
+
+#include "src/fuzz/corpus.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "src/fuzz/generator.h"
+#include "src/fuzz/program_text.h"
+#include "src/kernel/os.h"
+#include "src/os/all_oses.h"
+#include "src/spec/spec_miner.h"
+
+namespace eof {
+namespace fuzz {
+namespace {
+
+const spec::CompiledSpecs& Specs() {
+  static const spec::CompiledSpecs* specs = [] {
+    (void)RegisterAllOses();
+    auto os = OsRegistry::Instance().Find("freertos").value().factory();
+    auto mined = spec::MineValidatedSpecs(os->registry());
+    return new spec::CompiledSpecs(std::move(mined.value().specs));
+  }();
+  return *specs;
+}
+
+TEST(CorpusCheckpointTest, SaveLoadRoundTripPreservesEntryCountAndTexts) {
+  Generator generator(Specs(), GeneratorOptions{}, 7);
+  Corpus original;
+  for (int i = 0; i < 24; ++i) {
+    original.Add(generator.Generate(), static_cast<uint64_t>(i % 5 + 1));
+  }
+  ASSERT_GT(original.size(), 0u);
+
+  std::string text = original.SaveText(Specs());
+
+  Corpus restored;
+  auto admitted = restored.LoadText(Specs(), text);
+  ASSERT_TRUE(admitted.ok()) << admitted.status().ToString();
+  EXPECT_EQ(admitted.value(), original.size());
+  EXPECT_EQ(restored.size(), original.size());
+
+  // Same programs, same order, same recorded discovery value.
+  for (size_t i = 0; i < original.entries().size(); ++i) {
+    EXPECT_EQ(SerializeProgramText(Specs(), restored.entries()[i].program),
+              SerializeProgramText(Specs(), original.entries()[i].program))
+        << "entry " << i;
+    EXPECT_EQ(restored.entries()[i].new_edges, original.entries()[i].new_edges);
+  }
+
+  // A second save of the restored corpus is byte-identical (stable fixed point).
+  EXPECT_EQ(restored.SaveText(Specs()), text);
+}
+
+TEST(CorpusCheckpointTest, LoadSkipsGarbageBlocksKeepsValidOnes) {
+  Generator generator(Specs(), GeneratorOptions{}, 9);
+  Corpus original;
+  for (int i = 0; i < 4; ++i) {
+    original.Add(generator.Generate(), 1);
+  }
+  std::string text = original.SaveText(Specs());
+  text += "\nthis_is_not_an_api(1, 2, 3)\n\n";
+
+  Corpus restored;
+  auto admitted = restored.LoadText(Specs(), text);
+  ASSERT_TRUE(admitted.ok());
+  EXPECT_EQ(admitted.value(), original.size());
+}
+
+TEST(CorpusConcurrencyTest, ParallelAddPickSeenKeepsInvariants) {
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 400;
+  constexpr size_t kMaxEntries = 256;
+
+  Corpus corpus(kMaxEntries);
+  std::atomic<uint64_t> added{0};
+  std::atomic<uint64_t> picked{0};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Per-thread generator and RNG: only the corpus itself is shared.
+      Generator generator(Specs(), GeneratorOptions{}, 1000 + static_cast<uint64_t>(t));
+      Rng rng(2000 + static_cast<uint64_t>(t));
+      Program scratch;
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        switch (i % 4) {
+          case 0:
+          case 1: {
+            Program program = generator.Generate();
+            if (corpus.Add(std::move(program), rng.Range(1, 16))) {
+              added.fetch_add(1, std::memory_order_relaxed);
+            }
+            break;
+          }
+          case 2:
+            if (corpus.PickSeedCopy(rng, &scratch)) {
+              picked.fetch_add(1, std::memory_order_relaxed);
+              EXPECT_FALSE(scratch.calls.empty());
+            }
+            break;
+          default:
+            (void)corpus.Seen(generator.Generate());
+            break;
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+
+  EXPECT_GT(added.load(), 0u);
+  EXPECT_GT(picked.load(), 0u);
+  EXPECT_LE(corpus.size(), kMaxEntries);
+  EXPECT_GT(corpus.size(), 0u);
+  // Post-condition sanity on the (now quiescent) store: sequence numbers unique.
+  std::set<uint64_t> seqs;
+  for (const CorpusEntry& entry : corpus.entries()) {
+    EXPECT_TRUE(seqs.insert(entry.added_seq).second);
+  }
+}
+
+}  // namespace
+}  // namespace fuzz
+}  // namespace eof

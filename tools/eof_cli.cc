@@ -13,6 +13,7 @@
 #include <string>
 
 #include "src/agent/wire.h"
+#include "src/core/board_farm.h"
 #include "src/core/bug_catalog.h"
 #include "src/core/deployment.h"
 #include "src/core/fuzzer.h"
@@ -32,7 +33,7 @@ int Usage() {
           "usage:\n"
           "  eof list-targets\n"
           "  eof mine-specs <os>\n"
-          "  eof fuzz <os> [minutes=60] [seed=1] [board=default]\n"
+          "  eof fuzz <os> [minutes=60] [seed=1] [board=default] [--jobs N]\n"
           "  eof repro <os> <bug-id>\n"
           "  eof replay <os> <reproducer-file>\n"
           "  eof bugs\n");
@@ -76,17 +77,24 @@ int MineSpecs(const std::string& os_name) {
 }
 
 int Fuzz(const std::string& os_name, uint64_t minutes, uint64_t seed,
-         const std::string& board) {
+         const std::string& board, int jobs) {
   FuzzerConfig config;
   config.os_name = os_name;
   config.board_name = board;
   config.seed = seed;
   config.budget = minutes * kVirtualMinute;
   config.sample_points = 12;
-  printf("fuzzing %s for %llu virtual minutes (seed %llu)...\n", os_name.c_str(),
-         static_cast<unsigned long long>(minutes), static_cast<unsigned long long>(seed));
-  EofFuzzer fuzzer(config);
-  auto result = fuzzer.Run();
+  printf("fuzzing %s for %llu virtual minutes (seed %llu, %d board%s)...\n",
+         os_name.c_str(), static_cast<unsigned long long>(minutes),
+         static_cast<unsigned long long>(seed), jobs, jobs == 1 ? "" : "s");
+  Result<CampaignResult> result = [&] {
+    if (jobs > 1) {
+      BoardFarm farm(config, jobs);
+      return farm.Run();
+    }
+    EofFuzzer fuzzer(config);
+    return fuzzer.Run();
+  }();
   if (!result.ok()) {
     fprintf(stderr, "campaign failed: %s\n", result.status().ToString().c_str());
     return 1;
@@ -181,6 +189,26 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     return Usage();
   }
+  // Extract `--jobs N` wherever it appears so the positional arguments keep their
+  // slots; `--jobs=N` also works.
+  int jobs = 1;
+  {
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg == "--jobs" && i + 1 < argc) {
+        jobs = atoi(argv[++i]);
+      } else if (arg.rfind("--jobs=", 0) == 0) {
+        jobs = atoi(arg.c_str() + 7);
+      } else {
+        argv[out++] = argv[i];
+      }
+    }
+    argc = out;
+    if (jobs < 1) {
+      jobs = 1;
+    }
+  }
   std::string command = argv[1];
   if (command == "list-targets") {
     return ListTargets();
@@ -192,7 +220,7 @@ int main(int argc, char** argv) {
     uint64_t minutes = argc >= 4 ? strtoull(argv[3], nullptr, 10) : 60;
     uint64_t seed = argc >= 5 ? strtoull(argv[4], nullptr, 10) : 1;
     std::string board = argc >= 6 ? argv[5] : "";
-    return Fuzz(argv[2], minutes == 0 ? 60 : minutes, seed, board);
+    return Fuzz(argv[2], minutes == 0 ? 60 : minutes, seed, board, jobs);
   }
   if (command == "repro" && argc >= 4) {
     return Repro(argv[2], atoi(argv[3]));
