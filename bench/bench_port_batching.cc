@@ -1,0 +1,161 @@
+// Debug-link batching bench (§5.5 link overhead): two otherwise identical FreeRTOS
+// campaigns, one on the vectored/batched debug link (mailbox publish, stop+status
+// coalescing, one-round-trip coverage drain, delta reflash) and one on the legacy
+// one-command-per-operation link. Reports debug-port transactions and virtual time
+// per execution for both, plus a deployment-level delta-reflash probe, and emits the
+// machine-readable BENCH_port_batching.json for CI.
+//
+// The batched link must cut per-execution link transactions by at least 2x, and a
+// no-corruption restore must checksum-skip every pristine partition.
+
+#include <chrono>
+#include <cstdio>
+
+#include "src/common/logging.h"
+#include "src/core/campaign.h"
+#include "src/core/deployment.h"
+#include "src/core/fuzzer.h"
+#include "src/os/all_oses.h"
+
+using namespace eof;
+
+namespace {
+
+struct LinkRun {
+  uint64_t execs = 0;
+  uint64_t transactions = 0;
+  uint64_t batches = 0;
+  uint64_t coverage = 0;
+  VirtualTime elapsed = 0;
+  double wall_sec = 0;
+
+  double TransPerExec() const { return execs == 0 ? 0 : double(transactions) / execs; }
+  double VtimePerExecUs() const { return execs == 0 ? 0 : double(elapsed) / execs; }
+};
+
+bool RunCampaign(bool batched, VirtualDuration budget, LinkRun* out) {
+  FuzzerConfig config;
+  config.os_name = "freertos";
+  config.seed = 1;
+  config.budget = budget;
+  config.sample_points = 24;
+  config.batched_link = batched;
+
+  EofFuzzer fuzzer(config);
+  auto start = std::chrono::steady_clock::now();
+  auto result = fuzzer.Run();
+  out->wall_sec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  if (!result.ok()) {
+    fprintf(stderr, "campaign(%s) failed: %s\n", batched ? "batched" : "legacy",
+            result.status().ToString().c_str());
+    return false;
+  }
+  const CampaignResult& campaign = result.value();
+  out->execs = campaign.execs;
+  out->transactions = campaign.link.transactions;
+  out->batches = campaign.link.batches;
+  out->coverage = campaign.final_coverage;
+  out->elapsed = campaign.elapsed;
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  if (!RegisterAllOses().ok()) {
+    fprintf(stderr, "OS registration failed\n");
+    return 1;
+  }
+  SetMinLogSeverity(LogSeverity::kError);
+
+  // ~5-6 virtual minutes at the default EOF_BENCH_SCALE: long enough for thousands
+  // of executions, short enough for a CI smoke run.
+  VirtualDuration budget = ScaledCampaignBudget() / 32;
+  printf("== Debug-link batching: FreeRTOS, %llu virtual seconds per campaign ==\n",
+         static_cast<unsigned long long>(budget / kVirtualSecond));
+
+  LinkRun batched;
+  LinkRun legacy;
+  if (!RunCampaign(true, budget, &batched) || !RunCampaign(false, budget, &legacy)) {
+    return 1;
+  }
+
+  printf("%-10s %10s %14s %12s %16s %10s\n", "link", "execs", "transactions",
+         "trans/exec", "v-usec/exec", "coverage");
+  for (const auto* run : {&batched, &legacy}) {
+    printf("%-10s %10llu %14llu %12.2f %16.1f %10llu\n",
+           run == &batched ? "batched" : "legacy",
+           static_cast<unsigned long long>(run->execs),
+           static_cast<unsigned long long>(run->transactions), run->TransPerExec(),
+           run->VtimePerExecUs(), static_cast<unsigned long long>(run->coverage));
+  }
+
+  double ratio = batched.TransPerExec() > 0
+                     ? legacy.TransPerExec() / batched.TransPerExec()
+                     : 0;
+  double throughput_gain = legacy.execs > 0 ? double(batched.execs) / legacy.execs : 0;
+  printf("transactions/exec: legacy/batched = %.2fx, executions in equal budget: %.2fx\n",
+         ratio, throughput_gain);
+
+  // Delta-reflash probe: restore an uncorrupted deployment. Every payload partition
+  // must be proven pristine by on-target checksum and skipped.
+  DeployOptions deploy;
+  deploy.os_name = "freertos";
+  auto deployment_or = Deployment::Create(deploy);
+  if (!deployment_or.ok()) {
+    fprintf(stderr, "deployment failed: %s\n",
+            deployment_or.status().ToString().c_str());
+    return 1;
+  }
+  Deployment& deployment = *deployment_or.value();
+  DebugPortStats before = deployment.port().stats();
+  if (!deployment.ReflashAndReboot().ok()) {
+    fprintf(stderr, "restore failed\n");
+    return 1;
+  }
+  uint64_t skipped = deployment.port().stats().flash_skipped_bytes -
+                     before.flash_skipped_bytes;
+  uint64_t programmed = deployment.port().stats().flash_bytes - before.flash_bytes;
+  printf("no-corruption restore: %llu flash bytes skipped, %llu reprogrammed\n",
+         static_cast<unsigned long long>(skipped),
+         static_cast<unsigned long long>(programmed));
+
+  FILE* json = fopen("BENCH_port_batching.json", "w");
+  if (json != nullptr) {
+    fprintf(json, "{\n");
+    for (const auto* run : {&batched, &legacy}) {
+      fprintf(json,
+              "  \"%s\": {\"execs\": %llu, \"transactions\": %llu, \"batches\": %llu,"
+              " \"trans_per_exec\": %.4f, \"vtime_per_exec_us\": %.4f,"
+              " \"coverage\": %llu, \"wall_sec\": %.3f},\n",
+              run == &batched ? "batched" : "legacy",
+              static_cast<unsigned long long>(run->execs),
+              static_cast<unsigned long long>(run->transactions),
+              static_cast<unsigned long long>(run->batches), run->TransPerExec(),
+              run->VtimePerExecUs(), static_cast<unsigned long long>(run->coverage),
+              run->wall_sec);
+    }
+    fprintf(json,
+            "  \"transactions_per_exec_ratio\": %.4f,\n"
+            "  \"throughput_gain\": %.4f,\n"
+            "  \"delta_reflash\": {\"flash_skipped_bytes\": %llu,"
+            " \"flash_bytes_programmed\": %llu}\n}\n",
+            ratio, throughput_gain, static_cast<unsigned long long>(skipped),
+            static_cast<unsigned long long>(programmed));
+    fclose(json);
+    printf("wrote BENCH_port_batching.json\n");
+  }
+
+  bool ok = true;
+  if (ratio < 2.0) {
+    fprintf(stderr, "FAIL: batched link saves only %.2fx transactions/exec (need 2x)\n",
+            ratio);
+    ok = false;
+  }
+  if (skipped == 0) {
+    fprintf(stderr, "FAIL: delta reflash skipped nothing on a pristine restore\n");
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}

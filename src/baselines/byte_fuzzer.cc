@@ -29,6 +29,9 @@ Status ByteFuzzer::Setup() {
   deploy.os_name = config_.os_name;
   deploy.board_name = config_.board_name;
   deploy.seed = config_.seed;
+  // The published baseline tools issue one GDB/OpenOCD command per operation; EOF's
+  // vectored link batching and delta reflash are not part of their designs.
+  deploy.batched_link = false;
   switch (config_.mode) {
     case ByteFuzzerMode::kGdbFuzz:
       // No target instrumentation at all: coverage comes from hardware breakpoints.

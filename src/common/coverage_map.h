@@ -1,26 +1,51 @@
 // Host-side edge-coverage accumulator.
 //
 // Target instrumentation emits 64-bit edge IDs into a RAM ring buffer (src/kernel/coverage.h);
-// the host drains that ring over the debug port and folds the IDs into this map. The map
-// hashes IDs into a fixed bitmap (AFL-style) so membership tests are O(1), and additionally
-// keeps the exact distinct-edge count, which is what the paper's tables report
-// ("average number of branches found").
+// the host drains that ring over the debug port and folds the IDs into this map.
+//
+// Two-tier design, false-positive free:
+//   * A fixed 64 Ki-bit bitmap (AFL-style) indexed by a mixed hash of the ID. A clear
+//     bit proves the ID was never seen, so the overwhelmingly common "old edge" /
+//     "definitely new edge" cases are one cache-line touch, no probing.
+//   * An open-addressed flat table of the exact 64-bit IDs resolves the rare bitmap
+//     collisions, so — unlike AFL's lossy bitmap — membership answers and Count() are
+//     exact. Count() is what the paper's tables report ("average number of branches
+//     found"), so false positives there would silently deflate the reported coverage.
+// The bitmap is the fast path, the table is the truth; both agree by construction.
 
 #ifndef SRC_COMMON_COVERAGE_MAP_H_
 #define SRC_COMMON_COVERAGE_MAP_H_
 
+#include <cstddef>
 #include <cstdint>
-#include <unordered_set>
 #include <vector>
 
 namespace eof {
 
 class CoverageMap {
  public:
-  CoverageMap() = default;
+  CoverageMap()
+      : bitmap_(kBitmapBits / 64, 0), slots_(kInitialSlots, kEmptySlot) {}
 
   // Records one edge. Returns true when the edge was not seen before.
-  bool Add(uint64_t edge_id) { return edges_.insert(edge_id).second; }
+  bool Add(uint64_t edge_id) {
+    uint64_t& word = bitmap_[BitIndex(edge_id) / 64];
+    uint64_t mask = 1ULL << (BitIndex(edge_id) % 64);
+    if ((word & mask) == 0) {
+      // Clear bit: definitely unseen. Set it and record the ID without probing first.
+      word |= mask;
+      InsertId(edge_id);
+      ++count_;
+      return true;
+    }
+    // Bit already set: either a duplicate or a bitmap collision — the exact table decides.
+    if (TableContains(edge_id)) {
+      return false;
+    }
+    InsertId(edge_id);
+    ++count_;
+    return true;
+  }
 
   // Folds a batch in; returns how many were new.
   size_t AddBatch(const std::vector<uint64_t>& edge_ids) {
@@ -50,28 +75,119 @@ class CoverageMap {
     return fresh;
   }
 
-  bool Contains(uint64_t edge_id) const { return edges_.count(edge_id) != 0; }
+  bool Contains(uint64_t edge_id) const {
+    if ((bitmap_[BitIndex(edge_id) / 64] & (1ULL << (BitIndex(edge_id) % 64))) == 0) {
+      return false;  // bitmap miss: provably unseen
+    }
+    return TableContains(edge_id);
+  }
 
-  // Number of distinct edges observed ("branches found" in Tables 3 and 4).
-  size_t Count() const { return edges_.size(); }
+  // Number of distinct edges observed ("branches found" in Tables 3 and 4). Exact.
+  size_t Count() const { return count_; }
 
   // Merges `other` into this map; returns the number of edges that were new here.
   size_t Merge(const CoverageMap& other) {
     size_t fresh = 0;
-    for (uint64_t id : other.edges_) {
-      if (Add(id)) {
+    if (other.has_zero_ && Add(0)) {
+      ++fresh;
+    }
+    for (uint64_t id : other.slots_) {
+      if (id != kEmptySlot && Add(id)) {
         ++fresh;
       }
     }
     return fresh;
   }
 
-  void Clear() { edges_.clear(); }
+  // Invokes `fn(edge_id)` for every distinct edge (unspecified order).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    if (has_zero_) {
+      fn(kEmptySlot);
+    }
+    for (uint64_t id : slots_) {
+      if (id != kEmptySlot) {
+        fn(id);
+      }
+    }
+  }
 
-  const std::unordered_set<uint64_t>& edges() const { return edges_; }
+  void Clear() {
+    bitmap_.assign(kBitmapBits / 64, 0);
+    slots_.assign(kInitialSlots, kEmptySlot);
+    has_zero_ = false;
+    count_ = 0;
+  }
 
  private:
-  std::unordered_set<uint64_t> edges_;
+  // 64 Ki bits = 8 KiB: comfortably covers the synthetic edge space while staying
+  // resident in L1/L2 for the per-execution drain fold.
+  static constexpr size_t kBitmapBits = 1 << 16;
+  static constexpr size_t kInitialSlots = 1 << 10;
+  static constexpr uint64_t kEmptySlot = 0;  // ID 0 is tracked via has_zero_
+
+  // Fibonacci multiplicative mix so clustered edge IDs (consecutive synthetic
+  // basic-block addresses) spread over the bitmap and the probe sequence.
+  static uint64_t Mix(uint64_t id) {
+    uint64_t h = id * 0x9e3779b97f4a7c15ULL;
+    return h ^ (h >> 29);
+  }
+  static size_t BitIndex(uint64_t id) { return Mix(id) & (kBitmapBits - 1); }
+
+  bool TableContains(uint64_t id) const {
+    if (id == kEmptySlot) {
+      return has_zero_;
+    }
+    size_t mask = slots_.size() - 1;
+    for (size_t probe = Mix(id) & mask;; probe = (probe + 1) & mask) {
+      if (slots_[probe] == id) {
+        return true;
+      }
+      if (slots_[probe] == kEmptySlot) {
+        return false;
+      }
+    }
+  }
+
+  // Places a known-absent ID (callers bump count_).
+  void InsertId(uint64_t id) {
+    if (id == kEmptySlot) {
+      has_zero_ = true;
+      return;
+    }
+    if ((table_used_ + 1) * 10 >= slots_.size() * 7) {  // keep load factor under 0.7
+      Grow();
+    }
+    size_t mask = slots_.size() - 1;
+    size_t probe = Mix(id) & mask;
+    while (slots_[probe] != kEmptySlot) {
+      probe = (probe + 1) & mask;
+    }
+    slots_[probe] = id;
+    ++table_used_;
+  }
+
+  void Grow() {
+    std::vector<uint64_t> old = std::move(slots_);
+    slots_.assign(old.size() * 2, kEmptySlot);
+    size_t mask = slots_.size() - 1;
+    for (uint64_t id : old) {
+      if (id == kEmptySlot) {
+        continue;
+      }
+      size_t probe = Mix(id) & mask;
+      while (slots_[probe] != kEmptySlot) {
+        probe = (probe + 1) & mask;
+      }
+      slots_[probe] = id;
+    }
+  }
+
+  std::vector<uint64_t> bitmap_;
+  std::vector<uint64_t> slots_;
+  size_t table_used_ = 0;
+  bool has_zero_ = false;
+  size_t count_ = 0;
 };
 
 }  // namespace eof

@@ -98,12 +98,14 @@ Result<CampaignResult> BoardFarm::Run() {
   }
 
   ExecStats stats;
+  DebugPortStats link;
   VirtualTime elapsed = 0;
   for (FarmWorker& worker : workers) {
     stats.Accumulate(worker.executor->stats());
+    link.Accumulate(worker.executor->port_stats());
     elapsed = std::max(elapsed, worker.executor->Elapsed());
   }
-  return scheduler.Finalize(stats, elapsed);
+  return scheduler.Finalize(stats, elapsed, link);
 }
 
 }  // namespace eof

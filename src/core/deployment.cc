@@ -1,6 +1,9 @@
 #include "src/core/deployment.h"
 
+#include <algorithm>
+
 #include "src/common/byteio.h"
+#include "src/common/hash.h"
 #include "src/common/strings.h"
 #include "src/kernel/os.h"
 
@@ -22,6 +25,7 @@ Result<std::unique_ptr<Deployment>> Deployment::Create(const DeployOptions& opti
   deployment->ram_base_ = spec.ram_base;
   deployment->ring_.ram_offset = kCovRingOffset;
   deployment->ring_.capacity = CovRingCapacityFor(spec.ram_bytes);
+  deployment->batched_ = options.batched_link;
   deployment->board_ = std::make_unique<Board>(spec);
   deployment->board_->InstallImage(image);
   deployment->port_ = std::make_unique<DebugPort>(deployment->board_.get());
@@ -31,13 +35,51 @@ Result<std::unique_ptr<Deployment>> Deployment::Create(const DeployOptions& opti
   return deployment;
 }
 
-Status Deployment::ReflashAndReboot() {
+uint64_t Deployment::PayloadHash(const std::string& partition,
+                                 const std::vector<uint8_t>& payload) {
+  auto it = payload_hash_.find(partition);
+  if (it != payload_hash_.end()) {
+    return it->second;
+  }
+  uint64_t hash = Fnv1aBytes(payload.data(), payload.size());
+  payload_hash_.emplace(partition, hash);
+  return hash;
+}
+
+Status Deployment::ReflashAndRebootLegacy() {
   for (const Partition& part : image_->partition_table().partitions) {
     auto payload = image_->PayloadOf(part.name);
     if (!payload.ok()) {
       continue;  // raw partitions (nvs) carry no payload
     }
     RETURN_IF_ERROR(port_->FlashPartition(part.offset, payload.value()));
+  }
+  return port_->ResetTarget();
+}
+
+Status Deployment::ReflashAndReboot() {
+  if (!batched_) {
+    return ReflashAndRebootLegacy();
+  }
+  uint64_t flash_base = board_->spec().flash_base;
+  for (const Partition& part : image_->partition_table().partitions) {
+    auto payload = image_->PayloadOf(part.name);
+    if (!payload.ok()) {
+      continue;  // raw partitions (nvs) carry no payload
+    }
+    const std::vector<uint8_t>& bytes = payload.value();
+    // Delta reflash: prove the partition's on-flash content unchanged with a
+    // target-assisted checksum (~KB/s-free: only the digest crosses the link) and
+    // skip the 5 us/byte reprogram when it matches the payload hash. A checksum
+    // failure (severed link) aborts the restore like a failed flash write would —
+    // retrying with a blind reflash would only burn a second link timeout.
+    ASSIGN_OR_RETURN(uint64_t on_flash,
+                     port_->ChecksumMem(flash_base + part.offset, bytes.size()));
+    if (on_flash == PayloadHash(part.name, bytes)) {
+      port_->NoteFlashSkipped(bytes.size());
+      continue;
+    }
+    RETURN_IF_ERROR(port_->FlashPartition(part.offset, bytes));
   }
   return port_->ResetTarget();
 }
@@ -52,17 +94,23 @@ Status Deployment::WriteTestCase(const std::vector<uint8_t>& encoded) {
                                           encoded.size()));
   }
   uint64_t base = ram_base_ + kMailboxOffset;
-  // Payload first, then length, then the ready flag — the flag write publishes the case.
-  RETURN_IF_ERROR(port_->WriteMem(base + kMailboxDataOffset, encoded));
   ByteWriter header;
   header.PutU32(1);  // flag
   header.PutU32(static_cast<uint32_t>(encoded.size()));
-  return port_->WriteMem(base + kMailboxFlagOffset, header.bytes());
+  if (!batched_) {
+    // Payload first, then length, then the ready flag — the flag write publishes the case.
+    RETURN_IF_ERROR(port_->WriteMem(base + kMailboxDataOffset, encoded));
+    return port_->WriteMem(base + kMailboxFlagOffset, header.bytes());
+  }
+  // Same publish order inside one round trip: batch ops commit in queue order, so the
+  // flag still lands after the payload.
+  std::vector<PortOp> ops;
+  ops.push_back(PortOp::Write(base + kMailboxDataOffset, encoded));
+  ops.push_back(PortOp::Write(base + kMailboxFlagOffset, header.bytes()));
+  return port_->RunBatch(&ops);
 }
 
-Result<AgentStatusView> Deployment::ReadAgentStatus() {
-  ASSIGN_OR_RETURN(std::vector<uint8_t> raw,
-                   port_->ReadMem(ram_base_ + kStatusBlockOffset, kStatusBlockSize));
+AgentStatusView Deployment::ParseStatusBlock(const std::vector<uint8_t>& raw) {
   ByteReader reader(raw);
   AgentStatusView view;
   view.state = static_cast<AgentState>(reader.GetU32());
@@ -73,34 +121,105 @@ Result<AgentStatusView> Deployment::ReadAgentStatus() {
   return view;
 }
 
-Result<std::vector<uint64_t>> Deployment::DrainCoverage(uint32_t* dropped) {
+Result<AgentStatusView> Deployment::ReadAgentStatus() {
+  ASSIGN_OR_RETURN(std::vector<uint8_t> raw,
+                   port_->ReadMem(status_address(), kStatusBlockSize));
+  return ParseStatusBlock(raw);
+}
+
+Result<std::vector<uint64_t>> Deployment::DrainCoverage(uint32_t* dropped,
+                                                        AgentStatusView* status) {
   uint64_t ring_base = ram_base_ + ring_.ram_offset;
-  ASSIGN_OR_RETURN(std::vector<uint8_t> header, port_->ReadMem(ring_base, 8));
-  ByteReader reader(header);
+  if (!batched_) {
+    // Legacy protocol: header read, entries read, blind 0/0 header write — three round
+    // trips, and entries appended between the reads and the reset are lost (the window
+    // the batched protocol's read-then-subtract closes).
+    ASSIGN_OR_RETURN(std::vector<uint8_t> header, port_->ReadMem(ring_base, 8));
+    ByteReader reader(header);
+    uint32_t count = reader.GetU32();
+    uint32_t drop_count = reader.GetU32();
+    if (dropped != nullptr) {
+      *dropped = drop_count;
+    }
+    std::vector<uint64_t> entries;
+    if (count > ring_.capacity) {
+      count = ring_.capacity;  // a scribbled header must not drive a huge read
+    }
+    if (count > 0) {
+      ASSIGN_OR_RETURN(std::vector<uint8_t> raw,
+                       port_->ReadMem(ring_base + CovRingLayout::kEntriesOffset,
+                                      static_cast<uint64_t>(count) * 8));
+      ByteReader entry_reader(raw);
+      entries.reserve(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        entries.push_back(entry_reader.GetU64());
+      }
+    }
+    ByteWriter zero;
+    zero.PutU32(0);
+    zero.PutU32(0);
+    RETURN_IF_ERROR(port_->WriteMem(ring_base, zero.bytes()));
+    if (status != nullptr) {
+      ASSIGN_OR_RETURN(*status, ReadAgentStatus());
+    }
+    return entries;
+  }
+
+  // Batched protocol, one round trip in the common case:
+  //   op0  read header + `prefetch` speculative entries (contiguous with the header)
+  //   op1  count   -= the count op0 read   (adapter-side read-modify-write)
+  //   op2  dropped -= the drops op0 read
+  //   op3  (optional) read the agent status block
+  // The subtracts land target-side after the read, so entries the target appends in
+  // between are preserved: the header keeps exactly the not-yet-drained tail.
+  uint32_t prefetch = std::min(prefetch_hint_, ring_.capacity);
+  std::vector<PortOp> ops;
+  ops.push_back(PortOp::Read(ring_base, 8 + static_cast<uint64_t>(prefetch) * 8));
+  ops.push_back(PortOp::SubU32(ring_base + CovRingLayout::kCountOffset, /*operand_op=*/0,
+                               /*operand_offset=*/0));
+  ops.push_back(PortOp::SubU32(ring_base + CovRingLayout::kDroppedOffset, /*operand_op=*/0,
+                               /*operand_offset=*/4));
+  if (status != nullptr) {
+    ops.push_back(PortOp::Read(status_address(), kStatusBlockSize));
+  }
+  RETURN_IF_ERROR(port_->RunBatch(&ops));
+
+  ByteReader reader(ops[0].result);
   uint32_t count = reader.GetU32();
   uint32_t drop_count = reader.GetU32();
   if (dropped != nullptr) {
     *dropped = drop_count;
   }
-  std::vector<uint64_t> entries;
   if (count > ring_.capacity) {
     count = ring_.capacity;  // a scribbled header must not drive a huge read
   }
-  if (count > 0) {
+  std::vector<uint64_t> entries;
+  entries.reserve(count);
+  uint32_t from_prefetch = std::min(count, prefetch);
+  for (uint32_t i = 0; i < from_prefetch; ++i) {
+    entries.push_back(reader.GetU64());
+  }
+  if (count > from_prefetch) {
+    // The speculative window undershot: fetch the tail in one follow-up read.
     ASSIGN_OR_RETURN(std::vector<uint8_t> raw,
-                     port_->ReadMem(ring_base + CovRingLayout::kEntriesOffset,
-                                    static_cast<uint64_t>(count) * 8));
-    ByteReader entry_reader(raw);
-    entries.reserve(count);
-    for (uint32_t i = 0; i < count; ++i) {
-      entries.push_back(entry_reader.GetU64());
+                     port_->ReadMem(ring_base + CovRingLayout::kEntriesOffset +
+                                        static_cast<uint64_t>(from_prefetch) * 8,
+                                    static_cast<uint64_t>(count - from_prefetch) * 8));
+    ByteReader tail(raw);
+    for (uint32_t i = from_prefetch; i < count; ++i) {
+      entries.push_back(tail.GetU64());
     }
   }
-  // Reset the header (count and dropped).
-  ByteWriter zero;
-  zero.PutU32(0);
-  zero.PutU32(0);
-  RETURN_IF_ERROR(port_->WriteMem(ring_base, zero.bytes()));
+  // Adapt the window: grow fast on an undershoot, decay gently toward recent counts so
+  // alternating full/empty drains do not thrash the speculative read size.
+  if (count > prefetch) {
+    prefetch_hint_ = std::min(ring_.capacity, std::max<uint32_t>(16, count * 2));
+  } else {
+    prefetch_hint_ = std::max<uint32_t>(16, (prefetch_hint_ + count) / 2);
+  }
+  if (status != nullptr) {
+    *status = ParseStatusBlock(ops.back().result);
+  }
   return entries;
 }
 

@@ -10,6 +10,7 @@
 
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/agent/agent_layout.h"
@@ -27,6 +28,12 @@ struct DeployOptions {
   std::string board_name;  // "" = the OS's default evaluation board
   InstrumentationOptions instrumentation;
   uint64_t seed = 1;
+
+  // Default: coalesce the per-execution link traffic into vectored batches and
+  // delta-reflash on restore. false = the legacy per-op protocol (one round trip per
+  // read/write, unconditional full reflash) kept for baseline fidelity and for the
+  // batched-vs-legacy comparison in bench_port_batching.
+  bool batched_link = true;
 };
 
 // Snapshot of the agent status block.
@@ -49,33 +56,65 @@ class Deployment {
   const FirmwareImage& image() const { return *image_; }
   const BoardSpec& board_spec() const { return board_->spec(); }
 
-  // Reflash every partition payload at its table offset and reboot — the StateRestoration
-  // body of Algorithm 1 (lines 15-18).
+  // Restore every partition payload at its table offset and reboot — the StateRestoration
+  // body of Algorithm 1 (lines 15-18). On the batched link this is a DELTA reflash: each
+  // partition's payload hash (FNV, cached per partition) is compared against a
+  // target-assisted flash checksum, and only partitions whose on-flash bytes actually
+  // changed since the last flash are reprogrammed; proven-clean bytes are counted in
+  // DebugPortStats::flash_skipped_bytes. The legacy link reflashes unconditionally.
   Status ReflashAndReboot();
 
   // Absolute address of `symbol`, resolved from the image.
   Result<uint64_t> SymbolAddress(const std::string& symbol) const;
 
-  // Writes an encoded program into the mailbox and raises the ready flag.
+  // Writes an encoded program into the mailbox and raises the ready flag. Batched link:
+  // payload and header travel in one round trip (the header write still publishes last,
+  // so the flag-after-payload order the agent depends on is preserved).
   Status WriteTestCase(const std::vector<uint8_t>& encoded);
 
   Result<AgentStatusView> ReadAgentStatus();
 
-  // Reads the coverage ring, resets its header, and returns the drained entries
-  // (synthetic basic-block addresses). Also returns entries dropped since last drain via
-  // `dropped` when non-null.
-  Result<std::vector<uint64_t>> DrainCoverage(uint32_t* dropped = nullptr);
+  // Parses a raw status block (as read from status_address()) into a view.
+  static AgentStatusView ParseStatusBlock(const std::vector<uint8_t>& raw);
+
+  // Absolute address of the agent status block.
+  uint64_t status_address() const { return ram_base_ + kStatusBlockOffset; }
+
+  // Drains the coverage ring and returns the entries (synthetic basic-block addresses).
+  // Also returns entries dropped since last drain via `dropped` when non-null; when
+  // `status` is non-null the agent status block is read in the SAME round trip (batched
+  // link) or with one extra read (legacy link).
+  //
+  // Batched link: header and a capacity-bounded entry prefetch are read speculatively in
+  // one contiguous op, and the header is updated with an adapter-side read-then-subtract
+  // (count -= drained, dropped -= reported) instead of a blind 0/0 write — entries the
+  // target appends between the read and the header update survive for the next drain.
+  // The legacy link keeps the historical 3-round-trip read/read/zero protocol.
+  Result<std::vector<uint64_t>> DrainCoverage(uint32_t* dropped = nullptr,
+                                              AgentStatusView* status = nullptr);
 
   CovRingLayout cov_ring() const { return ring_; }
 
+  bool batched_link() const { return batched_; }
+  // Escape hatch for tests and benches comparing the two link protocols.
+  void set_batched_link(bool batched) { batched_ = batched; }
+
  private:
   Deployment() = default;
+
+  Status ReflashAndRebootLegacy();
+  // Payload hash for the delta-reflash cache, computed once per partition (payloads are
+  // immutable for the lifetime of the image).
+  uint64_t PayloadHash(const std::string& partition, const std::vector<uint8_t>& payload);
 
   std::shared_ptr<FirmwareImage> image_;
   std::unique_ptr<Board> board_;
   std::unique_ptr<DebugPort> port_;
   CovRingLayout ring_;
   uint64_t ram_base_ = 0;
+  bool batched_ = true;
+  uint32_t prefetch_hint_ = 64;  // adaptive entry prefetch for the batched drain
+  std::unordered_map<std::string, uint64_t> payload_hash_;
 };
 
 }  // namespace eof

@@ -27,10 +27,17 @@ Status TargetExecutor::Setup() {
   deploy.board_name = options_.board_name;
   deploy.instrumentation = options_.instrumentation;
   deploy.seed = options_.seed;
+  deploy.batched_link = options_.batched_link;
   ASSIGN_OR_RETURN(deployment_, Deployment::Create(deploy));
 
   ASSIGN_OR_RETURN(executor_main_addr_, deployment_->SymbolAddress("executor_main"));
   ASSIGN_OR_RETURN(cov_full_addr_, deployment_->SymbolAddress("_kcmp_buf_full"));
+  if (options_.exception_monitor) {
+    // Resolution is host-side (symbol table); the breakpoint itself is planted by
+    // ArmBreakpoints so re-arming after a restore stays one link batch.
+    ASSIGN_OR_RETURN(exception_addr_,
+                     exception_monitor_.Resolve(*deployment_, options_.exception_symbol));
+  }
   RETURN_IF_ERROR(ArmBreakpoints());
 
   if (options_.power_probe) {
@@ -41,12 +48,24 @@ Status TargetExecutor::Setup() {
 }
 
 Status TargetExecutor::ArmBreakpoints() {
+  if (deployment_->batched_link()) {
+    // All workflow breakpoints travel in one link round trip.
+    std::vector<PortOp> ops;
+    ops.push_back(PortOp::SetBp(executor_main_addr_));
+    if (options_.coverage_feedback) {
+      ops.push_back(PortOp::SetBp(cov_full_addr_));
+    }
+    if (options_.exception_monitor) {
+      ops.push_back(PortOp::SetBp(exception_addr_));
+    }
+    return deployment_->port().RunBatch(&ops);
+  }
   RETURN_IF_ERROR(deployment_->port().SetBreakpoint(executor_main_addr_));
   if (options_.coverage_feedback) {
     RETURN_IF_ERROR(deployment_->port().SetBreakpoint(cov_full_addr_));
   }
   if (options_.exception_monitor) {
-    RETURN_IF_ERROR(exception_monitor_.Arm(*deployment_, options_.exception_symbol));
+    RETURN_IF_ERROR(deployment_->port().SetBreakpoint(exception_addr_));
   }
   return OkStatus();
 }
@@ -69,8 +88,12 @@ Status TargetExecutor::Restore() {
   return ArmBreakpoints();
 }
 
-void TargetExecutor::HarvestCoverage(ExecOutcome* outcome) {
-  auto entries = deployment_->DrainCoverage();
+void TargetExecutor::HarvestCoverage(ExecOutcome* outcome, AgentStatusView* status_out,
+                                     bool* status_ok) {
+  auto entries = deployment_->DrainCoverage(/*dropped=*/nullptr, status_out);
+  if (status_ok != nullptr) {
+    *status_ok = entries.ok() && status_out != nullptr;
+  }
   if (!entries.ok()) {
     return;
   }
@@ -105,8 +128,15 @@ Result<ExecOutcome> TargetExecutor::ExecuteOne(const std::vector<uint8_t>& encod
   int stall_strikes = 0;
   int cov_drains = 0;
   bool done = false;
+  const bool batched = deployment_->batched_link();
+  std::vector<uint8_t> status_raw;
   for (int round = 0; !done && round < kMaxContinueRounds;) {
-    auto stop_or = port.Continue();
+    // Batched link: the agent status block rides in the stop reply (GDB/MI-style
+    // stop-event coalescing), so executor_main stops need no follow-up read.
+    auto stop_or = batched
+                       ? port.ContinueWithRead(deployment_->status_address(),
+                                               kStatusBlockSize, &status_raw)
+                       : port.Continue();
     if (!stop_or.ok()) {
       // Watchdog #1: connection timeout.
       ++stats_.timeouts;
@@ -147,8 +177,14 @@ Result<ExecOutcome> TargetExecutor::ExecuteOne(const std::vector<uint8_t>& encod
       // Back at the top of the loop. The first pass just means "test case accepted, about
       // to run" (the agent pauses before reading the mailbox); the program has completed
       // once the agent consumed the mailbox, which we see as a second stop here.
-      auto status = deployment_->ReadAgentStatus();
-      if (status.ok() && status.value().state == AgentState::kWaiting) {
+      bool waiting;
+      if (batched) {
+        waiting = Deployment::ParseStatusBlock(status_raw).state == AgentState::kWaiting;
+      } else {
+        auto status = deployment_->ReadAgentStatus();
+        waiting = status.ok() && status.value().state == AgentState::kWaiting;
+      }
+      if (waiting) {
         ++round;
         continue;  // first stop: resume into the program
       }
@@ -240,10 +276,11 @@ Result<ExecOutcome> TargetExecutor::ExecuteOne(const std::vector<uint8_t>& encod
       return outcome;
     }
   }
-  HarvestCoverage(&outcome);
-
-  auto status = deployment_->ReadAgentStatus();
-  if (status.ok() && status.value().last_error != AgentError::kNone) {
+  // The post-execution status read shares the drain's round trip on the batched link.
+  AgentStatusView status_view;
+  bool status_read = false;
+  HarvestCoverage(&outcome, &status_view, &status_read);
+  if (status_read && status_view.last_error != AgentError::kNone) {
     ++stats_.rejected;
   }
   ++execs_since_reset_;

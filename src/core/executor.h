@@ -74,6 +74,7 @@ struct ExecutorOptions {
   bool watchdogs = true;
   bool power_probe = false;
   bool inject_peripheral_events = false;
+  bool batched_link = true;  // vectored link batches + delta reflash (see DeployOptions)
   uint32_t periodic_reset_execs = 24;
 
   std::string exception_symbol;
@@ -97,6 +98,9 @@ class TargetExecutor {
   VirtualTime Elapsed() { return deployment_->port().Now() - start_time_; }
 
   const ExecStats& stats() const { return stats_; }
+  // Debug-link traffic counters for this session's board (round trips, batches,
+  // flash bytes programmed vs. skipped) — campaign runners sum these per worker.
+  const DebugPortStats& port_stats() { return deployment_->port().stats(); }
   Deployment& deployment() { return *deployment_; }
 
  private:
@@ -106,7 +110,11 @@ class TargetExecutor {
   Status Setup();
   Status ArmBreakpoints();
   Status Restore();
-  void HarvestCoverage(ExecOutcome* outcome);
+  // Drains the coverage ring into `outcome`. When `status_out` is non-null the agent
+  // status block is fetched too — in the drain's own round trip on the batched link —
+  // and `*status_ok` reports whether it arrived.
+  void HarvestCoverage(ExecOutcome* outcome, AgentStatusView* status_out = nullptr,
+                       bool* status_ok = nullptr);
 
   ExecutorOptions options_;
   Rng* session_rng_;
@@ -118,6 +126,7 @@ class TargetExecutor {
 
   uint64_t executor_main_addr_ = 0;
   uint64_t cov_full_addr_ = 0;
+  uint64_t exception_addr_ = 0;
   VirtualTime start_time_ = 0;
   uint64_t execs_since_reset_ = 0;
 };

@@ -32,6 +32,7 @@ ExecutorOptions MakeExecutorOptions(const FuzzerConfig& config, uint64_t seed,
   options.watchdogs = config.watchdogs;
   options.power_probe = config.power_probe;
   options.inject_peripheral_events = config.inject_peripheral_events;
+  options.batched_link = config.batched_link;
   options.periodic_reset_execs = config.periodic_reset_execs;
   options.exception_symbol = exception_symbol;
   return options;
@@ -74,7 +75,8 @@ Result<CampaignResult> EofFuzzer::Run() {
     ASSIGN_OR_RETURN(ExecOutcome outcome, executor->ExecuteOne(encoded));
     scheduler.OnOutcome(program, outcome, generator, executor->Elapsed(), /*worker=*/0);
   }
-  return scheduler.Finalize(executor->stats(), executor->Elapsed());
+  return scheduler.Finalize(executor->stats(), executor->Elapsed(),
+                            executor->port_stats());
 }
 
 }  // namespace eof

@@ -56,6 +56,11 @@ struct FuzzerConfig {
   // alongside each test case, driving interrupt paths. Off by default (the base paper).
   bool inject_peripheral_events = false;
 
+  // Vectored debug-link batches + delta reflash (§5.5 link-overhead optimisation).
+  // false = legacy one-round-trip-per-op protocol, kept for baseline fidelity and the
+  // batched-vs-legacy comparison bench.
+  bool batched_link = true;
+
   uint64_t seed = 1;
   VirtualDuration budget = 10 * kVirtualMinute;
   uint32_t sample_points = 96;         // coverage time-series resolution

@@ -54,10 +54,15 @@ std::optional<BugSignature> LogMonitor::Scan(const std::string& uart_text) const
 }
 
 Status ExceptionMonitor::Arm(Deployment& deployment, const std::string& exception_symbol) {
+  ASSIGN_OR_RETURN(uint64_t address, Resolve(deployment, exception_symbol));
+  return deployment.port().SetBreakpoint(address);
+}
+
+Result<uint64_t> ExceptionMonitor::Resolve(Deployment& deployment,
+                                           const std::string& exception_symbol) {
   ASSIGN_OR_RETURN(uint64_t address, deployment.SymbolAddress(exception_symbol));
-  RETURN_IF_ERROR(deployment.port().SetBreakpoint(address));
   symbol_ = exception_symbol;
-  return OkStatus();
+  return address;
 }
 
 bool ExceptionMonitor::IsExceptionStop(const StopInfo& stop) const {

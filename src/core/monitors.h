@@ -46,6 +46,11 @@ class ExceptionMonitor {
   // Plants a breakpoint on the OS exception function named by the image.
   Status Arm(Deployment& deployment, const std::string& exception_symbol);
 
+  // Resolves the exception symbol and records it for IsExceptionStop without arming —
+  // callers that coalesce breakpoint programming into one vectored batch (the executor's
+  // batched ArmBreakpoints) plant the returned address themselves.
+  Result<uint64_t> Resolve(Deployment& deployment, const std::string& exception_symbol);
+
   // True when `stop` is a breakpoint hit on the armed exception function.
   bool IsExceptionStop(const StopInfo& stop) const;
 

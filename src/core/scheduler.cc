@@ -125,7 +125,8 @@ void CampaignScheduler::OnWorkerDone(int worker) {
   AdvanceFrontierLocked(worker, worker_elapsed_[slot]);
 }
 
-CampaignResult CampaignScheduler::Finalize(const ExecStats& stats, VirtualTime elapsed) {
+CampaignResult CampaignScheduler::Finalize(const ExecStats& stats, VirtualTime elapsed,
+                                           const DebugPortStats& link) {
   std::lock_guard<std::mutex> lock(mu_);
   sampler_.Finish(coverage_.Count(), &result_.series);
   result_.final_coverage = coverage_.Count();
@@ -135,6 +136,7 @@ CampaignResult CampaignScheduler::Finalize(const ExecStats& stats, VirtualTime e
   result_.stalls = stats.stalls;
   result_.timeouts = stats.timeouts;
   result_.restores = stats.restores;
+  result_.link = link;
   return result_;
 }
 

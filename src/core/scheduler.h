@@ -53,6 +53,9 @@ struct CampaignResult {
   uint64_t restores = 0;
   uint64_t corpus_size = 0;
   VirtualTime elapsed = 0;
+  // Summed debug-link traffic across the campaign's board sessions (round trips,
+  // batches, flash bytes programmed vs. skipped by the delta-reflash cache).
+  DebugPortStats link;
 
   bool FoundBug(int catalog_id) const {
     for (const BugReport& bug : bugs) {
@@ -133,7 +136,9 @@ class CampaignScheduler {
   void OnWorkerDone(int worker);
 
   // Pads the series, folds the summed executor stats in, and returns the result.
-  CampaignResult Finalize(const ExecStats& stats, VirtualTime elapsed);
+  // `link` is the campaign's summed per-board debug-port traffic.
+  CampaignResult Finalize(const ExecStats& stats, VirtualTime elapsed,
+                          const DebugPortStats& link = DebugPortStats());
 
   uint64_t CoverageCount() const;
   size_t CorpusSize() const;

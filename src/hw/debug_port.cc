@@ -1,5 +1,6 @@
 #include "src/hw/debug_port.h"
 
+#include "src/common/hash.h"
 #include "src/common/strings.h"
 #include "src/hw/timing.h"
 
@@ -41,11 +42,7 @@ Status DebugPort::CheckResponsive(bool needs_core) {
   return OkStatus();
 }
 
-Result<std::vector<uint8_t>> DebugPort::ReadMem(uint64_t address, uint64_t size) {
-  RETURN_IF_ERROR(CheckResponsive(/*needs_core=*/true));
-  board_->clock().Advance(DebugMemCost(size));
-  ++stats_.transactions;
-  stats_.bytes_read += size;
+Result<std::vector<uint8_t>> DebugPort::ReadWindow(uint64_t address, uint64_t size) const {
   const BoardSpec& spec = board_->spec();
   if (address >= spec.ram_base && address + size <= spec.ram_base + spec.ram_bytes) {
     return board_->RamRead(address - spec.ram_base, size);
@@ -57,17 +54,120 @@ Result<std::vector<uint8_t>> DebugPort::ReadMem(uint64_t address, uint64_t size)
                                    static_cast<unsigned long long>(address)));
 }
 
-Status DebugPort::WriteMem(uint64_t address, const std::vector<uint8_t>& data) {
-  RETURN_IF_ERROR(CheckResponsive(/*needs_core=*/true));
-  board_->clock().Advance(DebugMemCost(data.size()));
-  ++stats_.transactions;
-  stats_.bytes_written += data.size();
+Status DebugPort::WriteWindow(uint64_t address, const std::vector<uint8_t>& data) {
   const BoardSpec& spec = board_->spec();
   if (address >= spec.ram_base && address + data.size() <= spec.ram_base + spec.ram_bytes) {
     return board_->RamWrite(address - spec.ram_base, data);
   }
   return OutOfRangeError(StrFormat("address 0x%llx not writable over the link",
                                    static_cast<unsigned long long>(address)));
+}
+
+Result<std::vector<uint8_t>> DebugPort::ReadMem(uint64_t address, uint64_t size) {
+  RETURN_IF_ERROR(CheckResponsive(/*needs_core=*/true));
+  board_->clock().Advance(DebugMemCost(size));
+  ++stats_.transactions;
+  stats_.bytes_read += size;
+  return ReadWindow(address, size);
+}
+
+Status DebugPort::WriteMem(uint64_t address, const std::vector<uint8_t>& data) {
+  RETURN_IF_ERROR(CheckResponsive(/*needs_core=*/true));
+  board_->clock().Advance(DebugMemCost(data.size()));
+  ++stats_.transactions;
+  stats_.bytes_written += data.size();
+  return WriteWindow(address, data);
+}
+
+Status DebugPort::RunBatch(std::vector<PortOp>* ops) {
+  if (ops == nullptr || ops->empty()) {
+    return OkStatus();  // nothing queued: no round trip, no charge
+  }
+  bool needs_core = false;
+  uint64_t total_bytes = 0;
+  for (const PortOp& op : *ops) {
+    switch (op.kind) {
+      case PortOp::Kind::kRead:
+        needs_core = true;
+        total_bytes += op.size;
+        break;
+      case PortOp::Kind::kWrite:
+        needs_core = true;
+        total_bytes += op.data.size();
+        break;
+      case PortOp::Kind::kSubU32:
+        needs_core = true;
+        total_bytes += 8;  // the RMW helper moves a u32 each way
+        break;
+      case PortOp::Kind::kSetBreakpoint:
+        total_bytes += 8;  // comparator programming word
+        break;
+    }
+  }
+  // One responsiveness gate for the whole batch: a severed link burns a single
+  // timeout and applies nothing.
+  RETURN_IF_ERROR(CheckResponsive(needs_core));
+  board_->clock().Advance(DebugBatchCost(total_bytes));
+  ++stats_.transactions;
+  ++stats_.batches;
+  stats_.batched_ops += ops->size();
+
+  for (size_t i = 0; i < ops->size(); ++i) {
+    PortOp& op = (*ops)[i];
+    switch (op.kind) {
+      case PortOp::Kind::kRead: {
+        ASSIGN_OR_RETURN(op.result, ReadWindow(op.address, op.size));
+        stats_.bytes_read += op.size;
+        break;
+      }
+      case PortOp::Kind::kWrite: {
+        RETURN_IF_ERROR(WriteWindow(op.address, op.data));
+        stats_.bytes_written += op.data.size();
+        break;
+      }
+      case PortOp::Kind::kSubU32: {
+        if (op.operand_op < 0 || static_cast<size_t>(op.operand_op) >= i ||
+            (*ops)[static_cast<size_t>(op.operand_op)].kind != PortOp::Kind::kRead) {
+          return InvalidArgumentError("kSubU32 operand must reference an earlier kRead op");
+        }
+        const std::vector<uint8_t>& src = (*ops)[static_cast<size_t>(op.operand_op)].result;
+        if (op.operand_offset + 4 > src.size()) {
+          return InvalidArgumentError("kSubU32 operand offset out of the read's bounds");
+        }
+        uint32_t minuend = static_cast<uint32_t>(src[op.operand_offset]) |
+                           static_cast<uint32_t>(src[op.operand_offset + 1]) << 8 |
+                           static_cast<uint32_t>(src[op.operand_offset + 2]) << 16 |
+                           static_cast<uint32_t>(src[op.operand_offset + 3]) << 24;
+        const BoardSpec& spec = board_->spec();
+        if (op.address < spec.ram_base || op.address + 4 > spec.ram_base + spec.ram_bytes) {
+          return OutOfRangeError("kSubU32 target not in the RAM window");
+        }
+        uint64_t offset = op.address - spec.ram_base;
+        ASSIGN_OR_RETURN(uint32_t current, board_->RamReadU32(offset));
+        uint32_t updated = current >= minuend ? current - minuend : 0;
+        RETURN_IF_ERROR(board_->RamWriteU32(offset, updated));
+        stats_.bytes_read += 4;
+        stats_.bytes_written += 4;
+        break;
+      }
+      case PortOp::Kind::kSetBreakpoint: {
+        RETURN_IF_ERROR(board_->AddBreakpoint(op.address));
+        break;
+      }
+    }
+  }
+  return OkStatus();
+}
+
+Result<uint64_t> DebugPort::ChecksumMem(uint64_t address, uint64_t size) {
+  // needs_core=false: the checksum runs through the debug unit's memory AP / flash
+  // controller, so it is serviced even on a core that never booted (like FlashPartition).
+  RETURN_IF_ERROR(CheckResponsive(/*needs_core=*/false));
+  board_->clock().Advance(ChecksumCost(size));
+  ++stats_.transactions;
+  ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ReadWindow(address, size));
+  stats_.bytes_read += 8;  // only the digest crosses the link
+  return Fnv1aBytes(bytes.data(), bytes.size());
 }
 
 Result<uint64_t> DebugPort::ReadPC() {
@@ -82,6 +182,20 @@ Result<StopInfo> DebugPort::Continue(uint64_t max_steps) {
   board_->clock().Advance(kDebugTransactionCost);
   ++stats_.transactions;
   return board_->Continue(max_steps);
+}
+
+Result<StopInfo> DebugPort::ContinueWithRead(uint64_t address, uint64_t size,
+                                             std::vector<uint8_t>* out,
+                                             uint64_t max_steps) {
+  RETURN_IF_ERROR(CheckResponsive(/*needs_core=*/true));
+  board_->clock().Advance(DebugBatchCost(size));
+  ++stats_.transactions;
+  ++stats_.batches;
+  stats_.batched_ops += 2;
+  StopInfo stop = board_->Continue(max_steps);
+  ASSIGN_OR_RETURN(*out, ReadWindow(address, size));
+  stats_.bytes_read += size;
+  return stop;
 }
 
 Status DebugPort::SetBreakpoint(uint64_t address) {

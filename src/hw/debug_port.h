@@ -19,12 +19,77 @@
 namespace eof {
 
 struct DebugPortStats {
-  uint64_t transactions = 0;
+  uint64_t transactions = 0;  // link round trips (a committed batch counts once)
+  uint64_t batches = 0;       // committed RunBatch / ContinueWithRead round trips
+  uint64_t batched_ops = 0;   // ops carried inside those batches
   uint64_t bytes_read = 0;
   uint64_t bytes_written = 0;
   uint64_t timeouts = 0;
-  uint64_t flash_bytes = 0;
+  uint64_t flash_bytes = 0;          // bytes actually programmed
+  uint64_t flash_skipped_bytes = 0;  // bytes the delta-reflash cache proved unchanged
   uint64_t resets = 0;
+
+  void Accumulate(const DebugPortStats& other) {
+    transactions += other.transactions;
+    batches += other.batches;
+    batched_ops += other.batched_ops;
+    bytes_read += other.bytes_read;
+    bytes_written += other.bytes_written;
+    timeouts += other.timeouts;
+    flash_bytes += other.flash_bytes;
+    flash_skipped_bytes += other.flash_skipped_bytes;
+    resets += other.resets;
+  }
+};
+
+// One queued operation of a vectored debug-link batch (DebugPort::RunBatch). Ops are
+// queued host-side and committed in one link round trip, like OpenOCD's queued JTAG
+// transfers; read results land back in the op records on commit.
+struct PortOp {
+  enum class Kind : uint8_t {
+    kRead,           // read `size` bytes at `address` (RAM or flash window) into `result`
+    kWrite,          // write `data` at `address` (RAM window)
+    kSubU32,         // saturating mem[address] -= LE u32 taken from an earlier read op's
+                     // result (adapter-side read-modify-write; atomic w.r.t. the target)
+    kSetBreakpoint,  // arm a breakpoint at `address`
+  };
+
+  Kind kind = Kind::kRead;
+  uint64_t address = 0;
+  uint64_t size = 0;            // kRead: byte count
+  std::vector<uint8_t> data;    // kWrite: payload
+  int operand_op = -1;          // kSubU32: index of the earlier kRead op in this batch
+  uint64_t operand_offset = 0;  // kSubU32: byte offset of the LE u32 minuend in that read
+  std::vector<uint8_t> result;  // kRead: filled on commit
+
+  static PortOp Read(uint64_t address, uint64_t size) {
+    PortOp op;
+    op.kind = Kind::kRead;
+    op.address = address;
+    op.size = size;
+    return op;
+  }
+  static PortOp Write(uint64_t address, std::vector<uint8_t> data) {
+    PortOp op;
+    op.kind = Kind::kWrite;
+    op.address = address;
+    op.data = std::move(data);
+    return op;
+  }
+  static PortOp SubU32(uint64_t address, int operand_op, uint64_t operand_offset) {
+    PortOp op;
+    op.kind = Kind::kSubU32;
+    op.address = address;
+    op.operand_op = operand_op;
+    op.operand_offset = operand_offset;
+    return op;
+  }
+  static PortOp SetBp(uint64_t address) {
+    PortOp op;
+    op.kind = Kind::kSetBreakpoint;
+    op.address = address;
+    return op;
+  }
 };
 
 class DebugPort {
@@ -41,11 +106,35 @@ class DebugPort {
   Result<std::vector<uint8_t>> ReadMem(uint64_t address, uint64_t size);
   Status WriteMem(uint64_t address, const std::vector<uint8_t>& data);
 
+  // Commits a vectored batch: every queued op executes in order against the target in
+  // ONE link round trip (a single fixed-latency charge plus the per-byte cost of all
+  // payloads — see DebugBatchCost in src/hw/timing.h). An empty batch is free. On a
+  // severed or unresponsive link the whole batch fails with one timeout and NO op is
+  // applied; once committing, an op error (bad window, breakpoint budget) stops the
+  // batch with earlier ops already applied, like a partially-drained JTAG queue.
+  Status RunBatch(std::vector<PortOp>* ops);
+
+  // Target-assisted content checksum (FNV-1a over the flash or RAM window), computed
+  // on the target side so only the digest crosses the link — the delta-reflash cache
+  // uses this to prove a partition's on-flash bytes unchanged without reading them.
+  Result<uint64_t> ChecksumMem(uint64_t address, uint64_t size);
+
+  // Records `bytes` of flash programming skipped by the delta-reflash cache. Pure
+  // host-side accounting: no link traffic, no virtual-time charge.
+  void NoteFlashSkipped(uint64_t bytes) { stats_.flash_skipped_bytes += bytes; }
+
   // Current program counter (watchdog #2 probes this around exec-continue).
   Result<uint64_t> ReadPC();
 
   // exec-continue: run the target until a stop condition.
   Result<StopInfo> Continue(uint64_t max_steps = Board::kDefaultQuantum);
+
+  // exec-continue with a piggybacked post-stop memory read in the same round trip
+  // (GDB/MI-style stop-event coalescing: the stop reply carries the frame). `out`
+  // receives the window's bytes as they are after the stop condition latched.
+  Result<StopInfo> ContinueWithRead(uint64_t address, uint64_t size,
+                                    std::vector<uint8_t>* out,
+                                    uint64_t max_steps = Board::kDefaultQuantum);
 
   Status SetBreakpoint(uint64_t address);
   Status ClearBreakpoint(uint64_t address);
@@ -88,6 +177,11 @@ class DebugPort {
   // Returns a TimeoutError (burning kLinkTimeout) when the link is severed or the target's
   // debug unit is unresponsive (never-booted cores hold the DAP in reset on our boards).
   Status CheckResponsive(bool needs_core);
+
+  // Window-resolved access without cost/stat accounting (shared by single ops and
+  // batch commit). Reads resolve against RAM or flash; writes only against RAM.
+  Result<std::vector<uint8_t>> ReadWindow(uint64_t address, uint64_t size) const;
+  Status WriteWindow(uint64_t address, const std::vector<uint8_t>& data);
 
   Board* board_;
   bool attached_ = false;

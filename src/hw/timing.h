@@ -31,8 +31,24 @@ inline constexpr VirtualDuration kLinkTimeout = 2 * kVirtualSecond;
 // Semihosting trap cost (SHIFT baseline): each instrumentation event traps to the host.
 inline constexpr VirtualDuration kSemihostTrapCost = 9000;  // ~9 ms per debugger-serviced BKPT
 
+// Target-assisted flash checksum (OpenOCD `flash verify_bank` style): the adapter runs a
+// CRC routine on the target's flash controller and only the digest crosses the link, so
+// the cost is one round trip plus target-side compute at ~85 MB/s.
+inline constexpr VirtualDuration kChecksumPerKbCost = 12;  // 12 us per KiB hashed on-target
+
 inline constexpr VirtualDuration DebugMemCost(uint64_t bytes) {
   return kDebugTransactionCost + bytes / 16 * kDebugPerByteCost16;
+}
+
+// One vectored batch (DebugPort::RunBatch): the queued ops share a single link round
+// trip, mirroring OpenOCD's queued JTAG transfers — the fixed latency is charged once
+// per batch and the payloads of every op pay only the per-byte transfer cost.
+inline constexpr VirtualDuration DebugBatchCost(uint64_t total_bytes) {
+  return kDebugTransactionCost + total_bytes / 16 * kDebugPerByteCost16;
+}
+
+inline constexpr VirtualDuration ChecksumCost(uint64_t bytes) {
+  return kDebugTransactionCost + bytes / 1024 * kChecksumPerKbCost;
 }
 
 inline constexpr VirtualDuration FlashProgramCost(uint64_t bytes) {

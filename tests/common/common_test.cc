@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <set>
 
 #include "src/common/byteio.h"
 #include "src/common/coverage_map.h"
@@ -164,6 +165,70 @@ TEST(CoverageMapTest, AddMergeCount) {
   other.AddBatch({3, 4});
   EXPECT_EQ(map.Merge(other), 1u);
   EXPECT_EQ(map.Count(), 4u);
+}
+
+TEST(CoverageMapTest, ExactCountAgainstReferenceSet) {
+  // The bitmap fast path may alias (two edge IDs sharing a low-16-bit slot); the
+  // exact table behind it must still report set-accurate membership and counts.
+  CoverageMap map;
+  std::set<uint64_t> reference;
+  Rng rng(0x5eed);
+  for (int i = 0; i < 5000; ++i) {
+    // A narrow range forces heavy bitmap aliasing and table growth past the
+    // initial slot count.
+    uint64_t id = rng.Below(1 << 20) * 0x10001ULL;
+    EXPECT_EQ(map.Add(id), reference.insert(id).second);
+  }
+  EXPECT_EQ(map.Count(), reference.size());
+  for (uint64_t id : reference) {
+    EXPECT_TRUE(map.Contains(id));
+  }
+  // IDs one off every stored value: aliasing must not fabricate membership.
+  for (uint64_t id : reference) {
+    if (reference.count(id + 1) == 0) {
+      EXPECT_FALSE(map.Contains(id + 1));
+    }
+  }
+}
+
+TEST(CoverageMapTest, IdZeroIsAFirstClassEdge) {
+  // Edge ID 0 collides with the open-addressed table's empty-slot marker and needs
+  // its dedicated flag: it must count once and survive merge/clear like any other.
+  CoverageMap map;
+  EXPECT_FALSE(map.Contains(0));
+  EXPECT_TRUE(map.Add(0));
+  EXPECT_FALSE(map.Add(0));
+  EXPECT_TRUE(map.Contains(0));
+  EXPECT_EQ(map.Count(), 1u);
+
+  CoverageMap other;
+  other.AddBatch({0, 1});
+  EXPECT_EQ(map.Merge(other), 1u);
+  EXPECT_EQ(map.Count(), 2u);
+
+  map.Clear();
+  EXPECT_FALSE(map.Contains(0));
+  EXPECT_EQ(map.Count(), 0u);
+  EXPECT_TRUE(map.Add(0));
+}
+
+TEST(CoverageMapTest, AddBatchFilteredKeepsOrderAndFirstSighting) {
+  CoverageMap map;
+  map.AddBatch({10, 20});
+  std::vector<uint64_t> fresh;
+  EXPECT_EQ(map.AddBatchFiltered({30, 10, 40, 30, 20, 50}, &fresh), 3u);
+  // Fresh edges come back in drain order, duplicates and already-known IDs removed.
+  EXPECT_EQ(fresh, (std::vector<uint64_t>{30, 40, 50}));
+  EXPECT_EQ(map.Count(), 5u);
+}
+
+TEST(CoverageMapTest, ForEachVisitsEveryEdgeOnce) {
+  CoverageMap map;
+  std::vector<uint64_t> ids = {0, 1, 0x10001, 0x20002, 77};
+  map.AddBatch(ids);
+  std::set<uint64_t> seen;
+  map.ForEach([&](uint64_t id) { EXPECT_TRUE(seen.insert(id).second); });
+  EXPECT_EQ(seen, std::set<uint64_t>(ids.begin(), ids.end()));
 }
 
 TEST(VClockTest, AdvanceAndUnits) {

@@ -81,8 +81,12 @@ TEST_F(DeploymentDetailsTest, DebugPortStatsAccumulate) {
 }
 
 TEST_F(DeploymentDetailsTest, ReflashCostScalesWithImageSize) {
+  // Measures the full-reprogram cost model, so pin the legacy link: the batched
+  // link's delta reflash would skip every (still pristine) partition.
   auto small = Deploy("zephyr");    // ~0.9 MB image
   auto large = Deploy("nuttx");     // ~3.6 MB image
+  small->set_batched_link(false);
+  large->set_batched_link(false);
   VirtualTime t0 = small->port().Now();
   ASSERT_TRUE(small->ReflashAndReboot().ok());
   VirtualDuration small_cost = small->port().Now() - t0;
@@ -93,6 +97,99 @@ TEST_F(DeploymentDetailsTest, ReflashCostScalesWithImageSize) {
 
   EXPECT_GT(large_cost, small_cost * 2);
   EXPECT_GT(small_cost, kRebootCost);  // flash programming dominates a bare reboot
+}
+
+TEST_F(DeploymentDetailsTest, DeltaReflashSkipsCleanPartitions) {
+  auto deployment = Deploy("zephyr");
+  const DebugPortStats before = deployment->port().stats();
+  VirtualTime t0 = deployment->port().Now();
+  ASSERT_TRUE(deployment->ReflashAndReboot().ok());
+  const DebugPortStats after = deployment->port().stats();
+
+  // Nothing was corrupted, so no byte is reprogrammed; every payload partition is
+  // proven unchanged by checksum and skipped.
+  EXPECT_EQ(after.flash_bytes, before.flash_bytes);
+  EXPECT_GT(after.flash_skipped_bytes, before.flash_skipped_bytes);
+  // The whole restore costs reboot + a few checksum round trips, far below the
+  // 5 us/byte full reprogram (~4.5 virtual seconds for this image).
+  EXPECT_LT(deployment->port().Now() - t0, kRebootCost * 4);
+}
+
+TEST_F(DeploymentDetailsTest, DeltaReflashReprogramsOnlyCorruptedPartition) {
+  auto deployment = Deploy("zephyr");
+  // Pick a payload-backed partition and corrupt one byte of its flash region.
+  const Partition* victim = nullptr;
+  uint64_t victim_bytes = 0;
+  uint64_t payload_total = 0;
+  for (const Partition& part : deployment->image().partition_table().partitions) {
+    auto payload = deployment->image().PayloadOf(part.name);
+    if (!payload.ok()) {
+      continue;
+    }
+    payload_total += payload.value().size();
+    if (victim == nullptr) {
+      victim = &part;
+      victim_bytes = payload.value().size();
+    }
+  }
+  ASSERT_NE(victim, nullptr);
+  auto byte = deployment->board().flash().Read(victim->offset, 1);
+  ASSERT_TRUE(byte.ok());
+  ASSERT_TRUE(deployment->board()
+                  .FlashWrite(victim->offset, {static_cast<uint8_t>(~byte.value()[0])})
+                  .ok());
+
+  const DebugPortStats before = deployment->port().stats();
+  ASSERT_TRUE(deployment->ReflashAndReboot().ok());
+  const DebugPortStats after = deployment->port().stats();
+
+  // Exactly the damaged partition is reprogrammed; the rest are checksum-skipped.
+  EXPECT_EQ(after.flash_bytes - before.flash_bytes, victim_bytes);
+  EXPECT_EQ(after.flash_skipped_bytes - before.flash_skipped_bytes,
+            payload_total - victim_bytes);
+}
+
+TEST_F(DeploymentDetailsTest, BatchedDrainIsOneRoundTrip) {
+  auto deployment = Deploy("pokos");
+  Board& board = deployment->board();
+  CovRingLayout ring = deployment->cov_ring();
+  auto fill = [&](uint32_t count) {
+    for (uint32_t i = 0; i < count; ++i) {
+      ASSERT_TRUE(board.RamWriteU64(ring.EntryOffset(i), 0x2000 + i).ok());
+    }
+    ASSERT_TRUE(
+        board.RamWriteU32(ring.ram_offset + CovRingLayout::kCountOffset, count).ok());
+  };
+
+  fill(8);
+  uint64_t t0 = deployment->port().stats().transactions;
+  auto entries = deployment->DrainCoverage();
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries.value().size(), 8u);
+  // Header read, entries prefetch, and both header subtracts fold into one batch.
+  EXPECT_EQ(deployment->port().stats().transactions - t0, 1u);
+
+  // The legacy protocol pays three round trips for the identical drain.
+  deployment->set_batched_link(false);
+  fill(8);
+  t0 = deployment->port().stats().transactions;
+  entries = deployment->DrainCoverage();
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries.value().size(), 8u);
+  EXPECT_EQ(deployment->port().stats().transactions - t0, 3u);
+}
+
+TEST_F(DeploymentDetailsTest, WriteTestCaseIsOneRoundTrip) {
+  auto deployment = Deploy("pokos");
+  std::vector<uint8_t> encoded(64, 0xcd);
+  uint64_t t0 = deployment->port().stats().transactions;
+  ASSERT_TRUE(deployment->WriteTestCase(encoded).ok());
+  EXPECT_EQ(deployment->port().stats().transactions - t0, 1u);
+
+  deployment->set_batched_link(false);
+  t0 = deployment->port().stats().transactions;
+  ASSERT_TRUE(deployment->WriteTestCase(encoded).ok());
+  EXPECT_EQ(deployment->port().stats().transactions - t0, 2u);
 }
 
 }  // namespace
