@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation.cc" "bench/CMakeFiles/bench_ablation.dir/bench_ablation.cc.o" "gcc" "bench/CMakeFiles/bench_ablation.dir/bench_ablation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/baselines/CMakeFiles/eof_baselines.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/core/CMakeFiles/eof_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/fuzz/CMakeFiles/eof_fuzz.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/spec/CMakeFiles/eof_spec.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/agent/CMakeFiles/eof_agent.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/os/CMakeFiles/eof_os.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/apps/CMakeFiles/eof_apps.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/kernel/CMakeFiles/eof_kernel.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/hw/CMakeFiles/eof_hw.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/eof_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

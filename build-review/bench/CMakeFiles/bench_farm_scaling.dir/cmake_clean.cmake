@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_farm_scaling.dir/bench_farm_scaling.cc.o"
+  "CMakeFiles/bench_farm_scaling.dir/bench_farm_scaling.cc.o.d"
+  "bench_farm_scaling"
+  "bench_farm_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_farm_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_port_batching.dir/bench_port_batching.cc.o"
+  "CMakeFiles/bench_port_batching.dir/bench_port_batching.cc.o.d"
+  "bench_port_batching"
+  "bench_port_batching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_port_batching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

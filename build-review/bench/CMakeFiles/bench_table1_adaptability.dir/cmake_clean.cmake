@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_adaptability.dir/bench_table1_adaptability.cc.o"
+  "CMakeFiles/bench_table1_adaptability.dir/bench_table1_adaptability.cc.o.d"
+  "bench_table1_adaptability"
+  "bench_table1_adaptability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_adaptability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

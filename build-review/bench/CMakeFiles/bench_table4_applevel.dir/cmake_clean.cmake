@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_applevel.dir/bench_table4_applevel.cc.o"
+  "CMakeFiles/bench_table4_applevel.dir/bench_table4_applevel.cc.o.d"
+  "bench_table4_applevel"
+  "bench_table4_applevel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_applevel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crash_triage.dir/crash_triage.cpp.o"
+  "CMakeFiles/crash_triage.dir/crash_triage.cpp.o.d"
+  "crash_triage"
+  "crash_triage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crash_triage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/industrial_campaign.dir/industrial_campaign.cpp.o"
+  "CMakeFiles/industrial_campaign.dir/industrial_campaign.cpp.o.d"
+  "industrial_campaign"
+  "industrial_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/industrial_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spec_tour.dir/spec_tour.cpp.o"
+  "CMakeFiles/spec_tour.dir/spec_tour.cpp.o.d"
+  "spec_tour"
+  "spec_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spec_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-review/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("hw")
+subdirs("kernel")
+subdirs("os")
+subdirs("apps")
+subdirs("agent")
+subdirs("spec")
+subdirs("fuzz")
+subdirs("core")
+subdirs("baselines")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eof_agent.dir/agent.cc.o"
+  "CMakeFiles/eof_agent.dir/agent.cc.o.d"
+  "CMakeFiles/eof_agent.dir/wire.cc.o"
+  "CMakeFiles/eof_agent.dir/wire.cc.o.d"
+  "libeof_agent.a"
+  "libeof_agent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eof_agent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/http_server.cc" "src/apps/CMakeFiles/eof_apps.dir/http_server.cc.o" "gcc" "src/apps/CMakeFiles/eof_apps.dir/http_server.cc.o.d"
+  "/root/repo/src/apps/json_component.cc" "src/apps/CMakeFiles/eof_apps.dir/json_component.cc.o" "gcc" "src/apps/CMakeFiles/eof_apps.dir/json_component.cc.o.d"
+  "/root/repo/src/apps/register.cc" "src/apps/CMakeFiles/eof_apps.dir/register.cc.o" "gcc" "src/apps/CMakeFiles/eof_apps.dir/register.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/kernel/CMakeFiles/eof_kernel.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/eof_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/hw/CMakeFiles/eof_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

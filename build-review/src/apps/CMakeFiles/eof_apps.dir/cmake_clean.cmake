@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eof_apps.dir/http_server.cc.o"
+  "CMakeFiles/eof_apps.dir/http_server.cc.o.d"
+  "CMakeFiles/eof_apps.dir/json_component.cc.o"
+  "CMakeFiles/eof_apps.dir/json_component.cc.o.d"
+  "CMakeFiles/eof_apps.dir/register.cc.o"
+  "CMakeFiles/eof_apps.dir/register.cc.o.d"
+  "libeof_apps.a"
+  "libeof_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eof_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eof_baselines.dir/baselines.cc.o"
+  "CMakeFiles/eof_baselines.dir/baselines.cc.o.d"
+  "CMakeFiles/eof_baselines.dir/byte_fuzzer.cc.o"
+  "CMakeFiles/eof_baselines.dir/byte_fuzzer.cc.o.d"
+  "libeof_baselines.a"
+  "libeof_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eof_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eof_common.dir/logging.cc.o"
+  "CMakeFiles/eof_common.dir/logging.cc.o.d"
+  "CMakeFiles/eof_common.dir/rng.cc.o"
+  "CMakeFiles/eof_common.dir/rng.cc.o.d"
+  "CMakeFiles/eof_common.dir/status.cc.o"
+  "CMakeFiles/eof_common.dir/status.cc.o.d"
+  "CMakeFiles/eof_common.dir/strings.cc.o"
+  "CMakeFiles/eof_common.dir/strings.cc.o.d"
+  "libeof_common.a"
+  "libeof_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eof_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

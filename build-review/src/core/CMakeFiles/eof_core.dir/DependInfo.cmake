@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/board_farm.cc" "src/core/CMakeFiles/eof_core.dir/board_farm.cc.o" "gcc" "src/core/CMakeFiles/eof_core.dir/board_farm.cc.o.d"
+  "/root/repo/src/core/bug_catalog.cc" "src/core/CMakeFiles/eof_core.dir/bug_catalog.cc.o" "gcc" "src/core/CMakeFiles/eof_core.dir/bug_catalog.cc.o.d"
+  "/root/repo/src/core/campaign.cc" "src/core/CMakeFiles/eof_core.dir/campaign.cc.o" "gcc" "src/core/CMakeFiles/eof_core.dir/campaign.cc.o.d"
+  "/root/repo/src/core/deployment.cc" "src/core/CMakeFiles/eof_core.dir/deployment.cc.o" "gcc" "src/core/CMakeFiles/eof_core.dir/deployment.cc.o.d"
+  "/root/repo/src/core/executor.cc" "src/core/CMakeFiles/eof_core.dir/executor.cc.o" "gcc" "src/core/CMakeFiles/eof_core.dir/executor.cc.o.d"
+  "/root/repo/src/core/fuzzer.cc" "src/core/CMakeFiles/eof_core.dir/fuzzer.cc.o" "gcc" "src/core/CMakeFiles/eof_core.dir/fuzzer.cc.o.d"
+  "/root/repo/src/core/image_builder.cc" "src/core/CMakeFiles/eof_core.dir/image_builder.cc.o" "gcc" "src/core/CMakeFiles/eof_core.dir/image_builder.cc.o.d"
+  "/root/repo/src/core/liveness.cc" "src/core/CMakeFiles/eof_core.dir/liveness.cc.o" "gcc" "src/core/CMakeFiles/eof_core.dir/liveness.cc.o.d"
+  "/root/repo/src/core/monitors.cc" "src/core/CMakeFiles/eof_core.dir/monitors.cc.o" "gcc" "src/core/CMakeFiles/eof_core.dir/monitors.cc.o.d"
+  "/root/repo/src/core/replay.cc" "src/core/CMakeFiles/eof_core.dir/replay.cc.o" "gcc" "src/core/CMakeFiles/eof_core.dir/replay.cc.o.d"
+  "/root/repo/src/core/scheduler.cc" "src/core/CMakeFiles/eof_core.dir/scheduler.cc.o" "gcc" "src/core/CMakeFiles/eof_core.dir/scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/fuzz/CMakeFiles/eof_fuzz.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/spec/CMakeFiles/eof_spec.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/agent/CMakeFiles/eof_agent.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/os/CMakeFiles/eof_os.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/kernel/CMakeFiles/eof_kernel.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/hw/CMakeFiles/eof_hw.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/eof_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/apps/CMakeFiles/eof_apps.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eof_core.dir/board_farm.cc.o"
+  "CMakeFiles/eof_core.dir/board_farm.cc.o.d"
+  "CMakeFiles/eof_core.dir/bug_catalog.cc.o"
+  "CMakeFiles/eof_core.dir/bug_catalog.cc.o.d"
+  "CMakeFiles/eof_core.dir/campaign.cc.o"
+  "CMakeFiles/eof_core.dir/campaign.cc.o.d"
+  "CMakeFiles/eof_core.dir/deployment.cc.o"
+  "CMakeFiles/eof_core.dir/deployment.cc.o.d"
+  "CMakeFiles/eof_core.dir/executor.cc.o"
+  "CMakeFiles/eof_core.dir/executor.cc.o.d"
+  "CMakeFiles/eof_core.dir/fuzzer.cc.o"
+  "CMakeFiles/eof_core.dir/fuzzer.cc.o.d"
+  "CMakeFiles/eof_core.dir/image_builder.cc.o"
+  "CMakeFiles/eof_core.dir/image_builder.cc.o.d"
+  "CMakeFiles/eof_core.dir/liveness.cc.o"
+  "CMakeFiles/eof_core.dir/liveness.cc.o.d"
+  "CMakeFiles/eof_core.dir/monitors.cc.o"
+  "CMakeFiles/eof_core.dir/monitors.cc.o.d"
+  "CMakeFiles/eof_core.dir/replay.cc.o"
+  "CMakeFiles/eof_core.dir/replay.cc.o.d"
+  "CMakeFiles/eof_core.dir/scheduler.cc.o"
+  "CMakeFiles/eof_core.dir/scheduler.cc.o.d"
+  "libeof_core.a"
+  "libeof_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eof_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fuzz/byte_mutator.cc" "src/fuzz/CMakeFiles/eof_fuzz.dir/byte_mutator.cc.o" "gcc" "src/fuzz/CMakeFiles/eof_fuzz.dir/byte_mutator.cc.o.d"
+  "/root/repo/src/fuzz/corpus.cc" "src/fuzz/CMakeFiles/eof_fuzz.dir/corpus.cc.o" "gcc" "src/fuzz/CMakeFiles/eof_fuzz.dir/corpus.cc.o.d"
+  "/root/repo/src/fuzz/generator.cc" "src/fuzz/CMakeFiles/eof_fuzz.dir/generator.cc.o" "gcc" "src/fuzz/CMakeFiles/eof_fuzz.dir/generator.cc.o.d"
+  "/root/repo/src/fuzz/program.cc" "src/fuzz/CMakeFiles/eof_fuzz.dir/program.cc.o" "gcc" "src/fuzz/CMakeFiles/eof_fuzz.dir/program.cc.o.d"
+  "/root/repo/src/fuzz/program_text.cc" "src/fuzz/CMakeFiles/eof_fuzz.dir/program_text.cc.o" "gcc" "src/fuzz/CMakeFiles/eof_fuzz.dir/program_text.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/spec/CMakeFiles/eof_spec.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/agent/CMakeFiles/eof_agent.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/kernel/CMakeFiles/eof_kernel.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/eof_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/hw/CMakeFiles/eof_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

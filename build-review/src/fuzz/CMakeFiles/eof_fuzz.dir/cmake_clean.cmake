@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eof_fuzz.dir/byte_mutator.cc.o"
+  "CMakeFiles/eof_fuzz.dir/byte_mutator.cc.o.d"
+  "CMakeFiles/eof_fuzz.dir/corpus.cc.o"
+  "CMakeFiles/eof_fuzz.dir/corpus.cc.o.d"
+  "CMakeFiles/eof_fuzz.dir/generator.cc.o"
+  "CMakeFiles/eof_fuzz.dir/generator.cc.o.d"
+  "CMakeFiles/eof_fuzz.dir/program.cc.o"
+  "CMakeFiles/eof_fuzz.dir/program.cc.o.d"
+  "CMakeFiles/eof_fuzz.dir/program_text.cc.o"
+  "CMakeFiles/eof_fuzz.dir/program_text.cc.o.d"
+  "libeof_fuzz.a"
+  "libeof_fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eof_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/board.cc" "src/hw/CMakeFiles/eof_hw.dir/board.cc.o" "gcc" "src/hw/CMakeFiles/eof_hw.dir/board.cc.o.d"
+  "/root/repo/src/hw/board_catalog.cc" "src/hw/CMakeFiles/eof_hw.dir/board_catalog.cc.o" "gcc" "src/hw/CMakeFiles/eof_hw.dir/board_catalog.cc.o.d"
+  "/root/repo/src/hw/debug_port.cc" "src/hw/CMakeFiles/eof_hw.dir/debug_port.cc.o" "gcc" "src/hw/CMakeFiles/eof_hw.dir/debug_port.cc.o.d"
+  "/root/repo/src/hw/flash.cc" "src/hw/CMakeFiles/eof_hw.dir/flash.cc.o" "gcc" "src/hw/CMakeFiles/eof_hw.dir/flash.cc.o.d"
+  "/root/repo/src/hw/image.cc" "src/hw/CMakeFiles/eof_hw.dir/image.cc.o" "gcc" "src/hw/CMakeFiles/eof_hw.dir/image.cc.o.d"
+  "/root/repo/src/hw/stop_info.cc" "src/hw/CMakeFiles/eof_hw.dir/stop_info.cc.o" "gcc" "src/hw/CMakeFiles/eof_hw.dir/stop_info.cc.o.d"
+  "/root/repo/src/hw/symbols.cc" "src/hw/CMakeFiles/eof_hw.dir/symbols.cc.o" "gcc" "src/hw/CMakeFiles/eof_hw.dir/symbols.cc.o.d"
+  "/root/repo/src/hw/uart.cc" "src/hw/CMakeFiles/eof_hw.dir/uart.cc.o" "gcc" "src/hw/CMakeFiles/eof_hw.dir/uart.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/eof_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

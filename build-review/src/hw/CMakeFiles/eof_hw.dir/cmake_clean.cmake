@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eof_hw.dir/board.cc.o"
+  "CMakeFiles/eof_hw.dir/board.cc.o.d"
+  "CMakeFiles/eof_hw.dir/board_catalog.cc.o"
+  "CMakeFiles/eof_hw.dir/board_catalog.cc.o.d"
+  "CMakeFiles/eof_hw.dir/debug_port.cc.o"
+  "CMakeFiles/eof_hw.dir/debug_port.cc.o.d"
+  "CMakeFiles/eof_hw.dir/flash.cc.o"
+  "CMakeFiles/eof_hw.dir/flash.cc.o.d"
+  "CMakeFiles/eof_hw.dir/image.cc.o"
+  "CMakeFiles/eof_hw.dir/image.cc.o.d"
+  "CMakeFiles/eof_hw.dir/stop_info.cc.o"
+  "CMakeFiles/eof_hw.dir/stop_info.cc.o.d"
+  "CMakeFiles/eof_hw.dir/symbols.cc.o"
+  "CMakeFiles/eof_hw.dir/symbols.cc.o.d"
+  "CMakeFiles/eof_hw.dir/uart.cc.o"
+  "CMakeFiles/eof_hw.dir/uart.cc.o.d"
+  "libeof_hw.a"
+  "libeof_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eof_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

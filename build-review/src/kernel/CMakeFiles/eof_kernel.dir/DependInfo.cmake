@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/api.cc" "src/kernel/CMakeFiles/eof_kernel.dir/api.cc.o" "gcc" "src/kernel/CMakeFiles/eof_kernel.dir/api.cc.o.d"
+  "/root/repo/src/kernel/kernel_context.cc" "src/kernel/CMakeFiles/eof_kernel.dir/kernel_context.cc.o" "gcc" "src/kernel/CMakeFiles/eof_kernel.dir/kernel_context.cc.o.d"
+  "/root/repo/src/kernel/os.cc" "src/kernel/CMakeFiles/eof_kernel.dir/os.cc.o" "gcc" "src/kernel/CMakeFiles/eof_kernel.dir/os.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/hw/CMakeFiles/eof_hw.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/eof_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

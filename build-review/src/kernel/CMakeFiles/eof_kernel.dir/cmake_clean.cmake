@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eof_kernel.dir/api.cc.o"
+  "CMakeFiles/eof_kernel.dir/api.cc.o.d"
+  "CMakeFiles/eof_kernel.dir/kernel_context.cc.o"
+  "CMakeFiles/eof_kernel.dir/kernel_context.cc.o.d"
+  "CMakeFiles/eof_kernel.dir/os.cc.o"
+  "CMakeFiles/eof_kernel.dir/os.cc.o.d"
+  "libeof_kernel.a"
+  "libeof_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eof_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/all_oses.cc" "src/os/CMakeFiles/eof_os.dir/all_oses.cc.o" "gcc" "src/os/CMakeFiles/eof_os.dir/all_oses.cc.o.d"
+  "/root/repo/src/os/freertos/event_groups.cc" "src/os/CMakeFiles/eof_os.dir/freertos/event_groups.cc.o" "gcc" "src/os/CMakeFiles/eof_os.dir/freertos/event_groups.cc.o.d"
+  "/root/repo/src/os/freertos/freertos.cc" "src/os/CMakeFiles/eof_os.dir/freertos/freertos.cc.o" "gcc" "src/os/CMakeFiles/eof_os.dir/freertos/freertos.cc.o.d"
+  "/root/repo/src/os/freertos/heap4.cc" "src/os/CMakeFiles/eof_os.dir/freertos/heap4.cc.o" "gcc" "src/os/CMakeFiles/eof_os.dir/freertos/heap4.cc.o.d"
+  "/root/repo/src/os/freertos/partitions.cc" "src/os/CMakeFiles/eof_os.dir/freertos/partitions.cc.o" "gcc" "src/os/CMakeFiles/eof_os.dir/freertos/partitions.cc.o.d"
+  "/root/repo/src/os/freertos/pseudo.cc" "src/os/CMakeFiles/eof_os.dir/freertos/pseudo.cc.o" "gcc" "src/os/CMakeFiles/eof_os.dir/freertos/pseudo.cc.o.d"
+  "/root/repo/src/os/freertos/queue.cc" "src/os/CMakeFiles/eof_os.dir/freertos/queue.cc.o" "gcc" "src/os/CMakeFiles/eof_os.dir/freertos/queue.cc.o.d"
+  "/root/repo/src/os/freertos/stream_buffer.cc" "src/os/CMakeFiles/eof_os.dir/freertos/stream_buffer.cc.o" "gcc" "src/os/CMakeFiles/eof_os.dir/freertos/stream_buffer.cc.o.d"
+  "/root/repo/src/os/freertos/tasks.cc" "src/os/CMakeFiles/eof_os.dir/freertos/tasks.cc.o" "gcc" "src/os/CMakeFiles/eof_os.dir/freertos/tasks.cc.o.d"
+  "/root/repo/src/os/freertos/timers.cc" "src/os/CMakeFiles/eof_os.dir/freertos/timers.cc.o" "gcc" "src/os/CMakeFiles/eof_os.dir/freertos/timers.cc.o.d"
+  "/root/repo/src/os/nuttx/env.cc" "src/os/CMakeFiles/eof_os.dir/nuttx/env.cc.o" "gcc" "src/os/CMakeFiles/eof_os.dir/nuttx/env.cc.o.d"
+  "/root/repo/src/os/nuttx/mqueue.cc" "src/os/CMakeFiles/eof_os.dir/nuttx/mqueue.cc.o" "gcc" "src/os/CMakeFiles/eof_os.dir/nuttx/mqueue.cc.o.d"
+  "/root/repo/src/os/nuttx/nuttx.cc" "src/os/CMakeFiles/eof_os.dir/nuttx/nuttx.cc.o" "gcc" "src/os/CMakeFiles/eof_os.dir/nuttx/nuttx.cc.o.d"
+  "/root/repo/src/os/nuttx/sem.cc" "src/os/CMakeFiles/eof_os.dir/nuttx/sem.cc.o" "gcc" "src/os/CMakeFiles/eof_os.dir/nuttx/sem.cc.o.d"
+  "/root/repo/src/os/nuttx/task.cc" "src/os/CMakeFiles/eof_os.dir/nuttx/task.cc.o" "gcc" "src/os/CMakeFiles/eof_os.dir/nuttx/task.cc.o.d"
+  "/root/repo/src/os/nuttx/time.cc" "src/os/CMakeFiles/eof_os.dir/nuttx/time.cc.o" "gcc" "src/os/CMakeFiles/eof_os.dir/nuttx/time.cc.o.d"
+  "/root/repo/src/os/nuttx/timer.cc" "src/os/CMakeFiles/eof_os.dir/nuttx/timer.cc.o" "gcc" "src/os/CMakeFiles/eof_os.dir/nuttx/timer.cc.o.d"
+  "/root/repo/src/os/pokos/pokos.cc" "src/os/CMakeFiles/eof_os.dir/pokos/pokos.cc.o" "gcc" "src/os/CMakeFiles/eof_os.dir/pokos/pokos.cc.o.d"
+  "/root/repo/src/os/rtthread/device.cc" "src/os/CMakeFiles/eof_os.dir/rtthread/device.cc.o" "gcc" "src/os/CMakeFiles/eof_os.dir/rtthread/device.cc.o.d"
+  "/root/repo/src/os/rtthread/ipc.cc" "src/os/CMakeFiles/eof_os.dir/rtthread/ipc.cc.o" "gcc" "src/os/CMakeFiles/eof_os.dir/rtthread/ipc.cc.o.d"
+  "/root/repo/src/os/rtthread/mempool.cc" "src/os/CMakeFiles/eof_os.dir/rtthread/mempool.cc.o" "gcc" "src/os/CMakeFiles/eof_os.dir/rtthread/mempool.cc.o.d"
+  "/root/repo/src/os/rtthread/object.cc" "src/os/CMakeFiles/eof_os.dir/rtthread/object.cc.o" "gcc" "src/os/CMakeFiles/eof_os.dir/rtthread/object.cc.o.d"
+  "/root/repo/src/os/rtthread/rtthread.cc" "src/os/CMakeFiles/eof_os.dir/rtthread/rtthread.cc.o" "gcc" "src/os/CMakeFiles/eof_os.dir/rtthread/rtthread.cc.o.d"
+  "/root/repo/src/os/rtthread/service.cc" "src/os/CMakeFiles/eof_os.dir/rtthread/service.cc.o" "gcc" "src/os/CMakeFiles/eof_os.dir/rtthread/service.cc.o.d"
+  "/root/repo/src/os/rtthread/smem.cc" "src/os/CMakeFiles/eof_os.dir/rtthread/smem.cc.o" "gcc" "src/os/CMakeFiles/eof_os.dir/rtthread/smem.cc.o.d"
+  "/root/repo/src/os/rtthread/socket.cc" "src/os/CMakeFiles/eof_os.dir/rtthread/socket.cc.o" "gcc" "src/os/CMakeFiles/eof_os.dir/rtthread/socket.cc.o.d"
+  "/root/repo/src/os/rtthread/thread.cc" "src/os/CMakeFiles/eof_os.dir/rtthread/thread.cc.o" "gcc" "src/os/CMakeFiles/eof_os.dir/rtthread/thread.cc.o.d"
+  "/root/repo/src/os/zephyr/fifo.cc" "src/os/CMakeFiles/eof_os.dir/zephyr/fifo.cc.o" "gcc" "src/os/CMakeFiles/eof_os.dir/zephyr/fifo.cc.o.d"
+  "/root/repo/src/os/zephyr/json.cc" "src/os/CMakeFiles/eof_os.dir/zephyr/json.cc.o" "gcc" "src/os/CMakeFiles/eof_os.dir/zephyr/json.cc.o.d"
+  "/root/repo/src/os/zephyr/kheap.cc" "src/os/CMakeFiles/eof_os.dir/zephyr/kheap.cc.o" "gcc" "src/os/CMakeFiles/eof_os.dir/zephyr/kheap.cc.o.d"
+  "/root/repo/src/os/zephyr/msgq.cc" "src/os/CMakeFiles/eof_os.dir/zephyr/msgq.cc.o" "gcc" "src/os/CMakeFiles/eof_os.dir/zephyr/msgq.cc.o.d"
+  "/root/repo/src/os/zephyr/sys_heap.cc" "src/os/CMakeFiles/eof_os.dir/zephyr/sys_heap.cc.o" "gcc" "src/os/CMakeFiles/eof_os.dir/zephyr/sys_heap.cc.o.d"
+  "/root/repo/src/os/zephyr/thread.cc" "src/os/CMakeFiles/eof_os.dir/zephyr/thread.cc.o" "gcc" "src/os/CMakeFiles/eof_os.dir/zephyr/thread.cc.o.d"
+  "/root/repo/src/os/zephyr/zephyr.cc" "src/os/CMakeFiles/eof_os.dir/zephyr/zephyr.cc.o" "gcc" "src/os/CMakeFiles/eof_os.dir/zephyr/zephyr.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/apps/CMakeFiles/eof_apps.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/kernel/CMakeFiles/eof_kernel.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/hw/CMakeFiles/eof_hw.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/eof_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spec/compiler.cc" "src/spec/CMakeFiles/eof_spec.dir/compiler.cc.o" "gcc" "src/spec/CMakeFiles/eof_spec.dir/compiler.cc.o.d"
+  "/root/repo/src/spec/emitter.cc" "src/spec/CMakeFiles/eof_spec.dir/emitter.cc.o" "gcc" "src/spec/CMakeFiles/eof_spec.dir/emitter.cc.o.d"
+  "/root/repo/src/spec/lexer.cc" "src/spec/CMakeFiles/eof_spec.dir/lexer.cc.o" "gcc" "src/spec/CMakeFiles/eof_spec.dir/lexer.cc.o.d"
+  "/root/repo/src/spec/parser.cc" "src/spec/CMakeFiles/eof_spec.dir/parser.cc.o" "gcc" "src/spec/CMakeFiles/eof_spec.dir/parser.cc.o.d"
+  "/root/repo/src/spec/spec_miner.cc" "src/spec/CMakeFiles/eof_spec.dir/spec_miner.cc.o" "gcc" "src/spec/CMakeFiles/eof_spec.dir/spec_miner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/kernel/CMakeFiles/eof_kernel.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/eof_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/hw/CMakeFiles/eof_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eof_spec.dir/compiler.cc.o"
+  "CMakeFiles/eof_spec.dir/compiler.cc.o.d"
+  "CMakeFiles/eof_spec.dir/emitter.cc.o"
+  "CMakeFiles/eof_spec.dir/emitter.cc.o.d"
+  "CMakeFiles/eof_spec.dir/lexer.cc.o"
+  "CMakeFiles/eof_spec.dir/lexer.cc.o.d"
+  "CMakeFiles/eof_spec.dir/parser.cc.o"
+  "CMakeFiles/eof_spec.dir/parser.cc.o.d"
+  "CMakeFiles/eof_spec.dir/spec_miner.cc.o"
+  "CMakeFiles/eof_spec.dir/spec_miner.cc.o.d"
+  "libeof_spec.a"
+  "libeof_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eof_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libeof_spec.a"
+)

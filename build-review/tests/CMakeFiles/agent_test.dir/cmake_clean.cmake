@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agent_test.dir/agent/agent_test.cc.o"
+  "CMakeFiles/agent_test.dir/agent/agent_test.cc.o.d"
+  "agent_test"
+  "agent_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agent_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

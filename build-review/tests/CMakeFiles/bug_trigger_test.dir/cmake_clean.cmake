@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bug_trigger_test.dir/os/bug_trigger_test.cc.o"
+  "CMakeFiles/bug_trigger_test.dir/os/bug_trigger_test.cc.o.d"
+  "bug_trigger_test"
+  "bug_trigger_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bug_trigger_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

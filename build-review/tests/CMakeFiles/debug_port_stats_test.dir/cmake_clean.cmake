@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_port_stats_test.dir/hw/debug_port_stats_test.cc.o"
+  "CMakeFiles/debug_port_stats_test.dir/hw/debug_port_stats_test.cc.o.d"
+  "debug_port_stats_test"
+  "debug_port_stats_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_port_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

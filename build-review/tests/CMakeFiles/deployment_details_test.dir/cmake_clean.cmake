@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deployment_details_test.dir/core/deployment_details_test.cc.o"
+  "CMakeFiles/deployment_details_test.dir/core/deployment_details_test.cc.o.d"
+  "deployment_details_test"
+  "deployment_details_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deployment_details_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emitter_fidelity_test.dir/spec/emitter_fidelity_test.cc.o"
+  "CMakeFiles/emitter_fidelity_test.dir/spec/emitter_fidelity_test.cc.o.d"
+  "emitter_fidelity_test"
+  "emitter_fidelity_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emitter_fidelity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

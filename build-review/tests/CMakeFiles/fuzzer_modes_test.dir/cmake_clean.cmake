@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzzer_modes_test.dir/core/fuzzer_modes_test.cc.o"
+  "CMakeFiles/fuzzer_modes_test.dir/core/fuzzer_modes_test.cc.o.d"
+  "fuzzer_modes_test"
+  "fuzzer_modes_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzzer_modes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzzer_smoke_test.dir/core/fuzzer_smoke_test.cc.o"
+  "CMakeFiles/fuzzer_smoke_test.dir/core/fuzzer_smoke_test.cc.o.d"
+  "fuzzer_smoke_test"
+  "fuzzer_smoke_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzzer_smoke_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/handle_table_model_test.dir/kernel/handle_table_model_test.cc.o"
+  "CMakeFiles/handle_table_model_test.dir/kernel/handle_table_model_test.cc.o.d"
+  "handle_table_model_test"
+  "handle_table_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/handle_table_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

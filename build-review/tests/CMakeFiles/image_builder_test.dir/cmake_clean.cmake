@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/image_builder_test.dir/core/image_builder_test.cc.o"
+  "CMakeFiles/image_builder_test.dir/core/image_builder_test.cc.o.d"
+  "image_builder_test"
+  "image_builder_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/image_builder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

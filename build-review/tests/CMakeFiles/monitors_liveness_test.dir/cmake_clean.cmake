@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monitors_liveness_test.dir/core/monitors_liveness_test.cc.o"
+  "CMakeFiles/monitors_liveness_test.dir/core/monitors_liveness_test.cc.o.d"
+  "monitors_liveness_test"
+  "monitors_liveness_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitors_liveness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/os_behavior_test.dir/os/os_behavior_test.cc.o"
+  "CMakeFiles/os_behavior_test.dir/os/os_behavior_test.cc.o.d"
+  "os_behavior_test"
+  "os_behavior_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/os_behavior_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

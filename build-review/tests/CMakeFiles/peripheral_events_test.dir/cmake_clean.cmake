@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peripheral_events_test.dir/hw/peripheral_events_test.cc.o"
+  "CMakeFiles/peripheral_events_test.dir/hw/peripheral_events_test.cc.o.d"
+  "peripheral_events_test"
+  "peripheral_events_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peripheral_events_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_probe_test.dir/core/power_probe_test.cc.o"
+  "CMakeFiles/power_probe_test.dir/core/power_probe_test.cc.o.d"
+  "power_probe_test"
+  "power_probe_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_probe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

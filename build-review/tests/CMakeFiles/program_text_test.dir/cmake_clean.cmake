@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/program_text_test.dir/fuzz/program_text_test.cc.o"
+  "CMakeFiles/program_text_test.dir/fuzz/program_text_test.cc.o.d"
+  "program_text_test"
+  "program_text_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/program_text_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

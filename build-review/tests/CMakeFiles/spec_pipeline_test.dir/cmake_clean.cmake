@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spec_pipeline_test.dir/spec/spec_pipeline_test.cc.o"
+  "CMakeFiles/spec_pipeline_test.dir/spec/spec_pipeline_test.cc.o.d"
+  "spec_pipeline_test"
+  "spec_pipeline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spec_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eof.dir/eof_cli.cc.o"
+  "CMakeFiles/eof.dir/eof_cli.cc.o.d"
+  "eof"
+  "eof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
