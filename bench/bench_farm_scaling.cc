@@ -6,9 +6,14 @@
 //
 // Also verifies the layering refactor's determinism contract: a --jobs 1 farm
 // campaign must bit-match the legacy single-threaded EofFuzzer::Run() series.
+//
+// With --metrics-out=PATH, each worker-count run streams its telemetry journal to
+// PATH with ".jobsN" spliced in before the extension (farm.jsonl -> farm.jobs2.jsonl),
+// so CI archives one JSONL per point of the scaling curve.
 
 #include <chrono>
 #include <cstdio>
+#include <string>
 
 #include "src/common/logging.h"
 #include "src/core/board_farm.h"
@@ -18,6 +23,16 @@
 using namespace eof;
 
 namespace {
+
+// farm.jsonl + 2 -> farm.jobs2.jsonl (no extension: appended).
+std::string MetricsPathForJobs(const std::string& base, int jobs) {
+  std::string suffix = ".jobs" + std::to_string(jobs);
+  size_t dot = base.rfind('.');
+  if (dot == std::string::npos || dot == 0) {
+    return base + suffix;
+  }
+  return base.substr(0, dot) + suffix + base.substr(dot);
+}
 
 bool SeriesMatch(const CampaignResult& a, const CampaignResult& b) {
   if (a.series.size() != b.series.size() || a.final_coverage != b.final_coverage ||
@@ -35,12 +50,22 @@ bool SeriesMatch(const CampaignResult& a, const CampaignResult& b) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   if (!RegisterAllOses().ok()) {
     fprintf(stderr, "OS registration failed\n");
     return 1;
   }
   SetMinLogSeverity(LogSeverity::kError);
+
+  std::string metrics_out;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--metrics-out=", 0) == 0) {
+      metrics_out = arg.substr(14);
+    } else if (arg == "--metrics-out" && i + 1 < argc) {
+      metrics_out = argv[++i];
+    }
+  }
 
   FuzzerConfig config;
   config.os_name = "freertos";  // default evaluation board
@@ -57,6 +82,8 @@ int main() {
   bool monotone = true;
   CampaignResult farm_one;
   for (int jobs : {1, 2, 4}) {
+    config.metrics_out =
+        metrics_out.empty() ? "" : MetricsPathForJobs(metrics_out, jobs);
     BoardFarm farm(config, jobs);
     auto start = std::chrono::steady_clock::now();
     auto result = farm.Run();
@@ -84,6 +111,7 @@ int main() {
   }
   printf("scaling 1 -> 4 workers: %s\n", monotone ? "monotone" : "NOT MONOTONE");
 
+  config.metrics_out.clear();  // the reference run needs no journal
   EofFuzzer legacy(config);
   auto single = legacy.Run();
   if (!single.ok()) {

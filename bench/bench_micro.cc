@@ -6,8 +6,10 @@
 
 #include "src/common/coverage_map.h"
 #include "src/core/deployment.h"
+#include "src/core/executor.h"
 #include "src/fuzz/corpus.h"
 #include "src/fuzz/generator.h"
+#include "src/agent/wire.h"
 #include "src/kernel/os.h"
 #include "src/os/all_oses.h"
 #include "src/spec/spec_miner.h"
@@ -82,6 +84,33 @@ void BM_DebugPortMemRead(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DebugPortMemRead);
+
+void BM_ExecLoop(benchmark::State& state) {
+  // The full per-payload hot path: mailbox publish, breakpoint-synchronised
+  // execution, coverage drain. This is the loop the telemetry fast path must not
+  // slow down (<5% is the budget).
+  (void)RegisterAllOses();
+  static Rng* rng = new Rng(11);
+  static TargetExecutor* executor = [] {
+    ExecutorOptions options;
+    options.os_name = "freertos";
+    options.exception_symbol = "panic_handler";
+    return TargetExecutor::Create(options, rng).value().release();
+  }();
+  static const spec::CompiledSpecs* specs = [] {
+    auto os = OsRegistry::Instance().Find("freertos").value().factory();
+    return new spec::CompiledSpecs(
+        std::move(spec::MineValidatedSpecs(os->registry()).value().specs));
+  }();
+  fuzz::Generator generator(*specs, fuzz::GeneratorOptions{}, 3);
+  fuzz::Program program = generator.Generate();
+  std::vector<uint8_t> encoded = EncodeProgram(program.ToWire(*specs));
+  for (auto _ : state) {
+    auto outcome = executor->ExecuteOne(encoded);
+    benchmark::DoNotOptimize(outcome.ok());
+  }
+}
+BENCHMARK(BM_ExecLoop);
 
 void BM_FullDeployBoot(benchmark::State& state) {
   (void)RegisterAllOses();

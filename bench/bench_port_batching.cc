@@ -109,14 +109,18 @@ int main() {
     return 1;
   }
   Deployment& deployment = *deployment_or.value();
-  DebugPortStats before = deployment.port().stats();
+  // Probe the restore through registry snapshots: Diff(before, after) isolates
+  // exactly the link traffic of this one restore.
+  telemetry::MetricsSnapshot before = deployment.port().registry().Snapshot();
   if (!deployment.ReflashAndReboot().ok()) {
     fprintf(stderr, "restore failed\n");
     return 1;
   }
-  uint64_t skipped = deployment.port().stats().flash_skipped_bytes -
-                     before.flash_skipped_bytes;
-  uint64_t programmed = deployment.port().stats().flash_bytes - before.flash_bytes;
+  telemetry::MetricsSnapshot restore_delta =
+      deployment.port().registry().Snapshot().Diff(before);
+  DebugPortStats window = DebugPortStatsFromSnapshot(restore_delta);
+  uint64_t skipped = window.flash_skipped_bytes;
+  uint64_t programmed = window.flash_bytes;
   printf("no-corruption restore: %llu flash bytes skipped, %llu reprogrammed\n",
          static_cast<unsigned long long>(skipped),
          static_cast<unsigned long long>(programmed));

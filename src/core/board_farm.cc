@@ -36,7 +36,7 @@ struct FarmWorker {
 
 void RunWorker(FarmWorker* worker, int index, CampaignScheduler* scheduler,
                const spec::CompiledSpecs* specs, VirtualDuration budget,
-               std::atomic<bool>* stop) {
+               std::atomic<bool>* stop, telemetry::SnapshotEmitter* emitter) {
   while (worker->executor->Elapsed() < budget && !stop->load(std::memory_order_relaxed)) {
     fuzz::Program program = scheduler->NextProgram(*worker->generator, *worker->rng);
     std::vector<uint8_t> encoded;
@@ -55,15 +55,30 @@ void RunWorker(FarmWorker* worker, int index, CampaignScheduler* scheduler,
     outcome.edges = std::move(fresh_here);
     scheduler->OnOutcome(program, outcome, *worker->generator,
                          worker->executor->Elapsed(), index);
+    if (emitter != nullptr) {
+      worker->executor->SetCoverageGauge(worker->local_coverage.Count());
+      emitter->MaybeEmit(index, worker->executor->Elapsed());
+    }
   }
+  worker->executor->SetCoverageGauge(worker->local_coverage.Count());
   scheduler->OnWorkerDone(index);
+  if (emitter != nullptr) {
+    emitter->WorkerDone(index);
+  }
 }
 
 }  // namespace
 
 Result<CampaignResult> BoardFarm::Run() {
   ASSIGN_OR_RETURN(CampaignPlan plan, PrepareCampaign(config_));
-  CampaignScheduler scheduler(plan.specs, MakeSchedulerOptions(config_, jobs_));
+  ASSIGN_OR_RETURN(
+      std::unique_ptr<telemetry::CampaignTelemetry> telemetry,
+      telemetry::CampaignTelemetry::Create(MakeTelemetryOptions(config_, jobs_)));
+
+  CampaignScheduler::Options scheduler_options = MakeSchedulerOptions(config_, jobs_);
+  scheduler_options.registry = &telemetry->campaign_registry();
+  scheduler_options.sink = telemetry->sink();
+  CampaignScheduler scheduler(plan.specs, scheduler_options);
   scheduler.SeedCorpus(config_.seed_programs);
 
   // Deploy the farm serially so each board's image build and boot stay on the
@@ -76,18 +91,22 @@ Result<CampaignResult> BoardFarm::Run() {
     gen.use_extended = config_.use_extended_specs;
     worker.generator = std::make_unique<fuzz::Generator>(plan.specs, gen, seed);
     worker.rng = std::make_unique<Rng>(seed ^ 0x5eedf00dULL);
-    ASSIGN_OR_RETURN(
-        worker.executor,
-        TargetExecutor::Create(MakeExecutorOptions(config_, seed, plan.exception_symbol),
-                               worker.rng.get()));
+    ExecutorOptions executor_options =
+        MakeExecutorOptions(config_, seed, plan.exception_symbol);
+    executor_options.telemetry = telemetry->board(i);
+    ASSIGN_OR_RETURN(worker.executor,
+                     TargetExecutor::Create(executor_options, worker.rng.get()));
   }
+
+  telemetry->CampaignStart(config_.os_name, config_.board_name);
+  telemetry->StartEmitter([&scheduler] { return scheduler.View(); });
 
   std::atomic<bool> stop(false);
   std::vector<std::thread> threads;
   threads.reserve(workers.size());
   for (int i = 0; i < jobs_; ++i) {
     threads.emplace_back(RunWorker, &workers[static_cast<size_t>(i)], i, &scheduler,
-                         &plan.specs, config_.budget, &stop);
+                         &plan.specs, config_.budget, &stop, telemetry->emitter());
   }
   for (std::thread& thread : threads) {
     thread.join();
@@ -97,15 +116,18 @@ Result<CampaignResult> BoardFarm::Run() {
     RETURN_IF_ERROR(worker.status);
   }
 
-  ExecStats stats;
-  DebugPortStats link;
+  // Farm-wide aggregation is one snapshot merge over the per-board registries —
+  // every instrument any layer registered rides along, not just the fields some
+  // hand-written summation loop remembered to copy.
+  telemetry::MetricsSnapshot merged = telemetry->MergedBoardSnapshot();
   VirtualTime elapsed = 0;
   for (FarmWorker& worker : workers) {
-    stats.Accumulate(worker.executor->stats());
-    link.Accumulate(worker.executor->port_stats());
     elapsed = std::max(elapsed, worker.executor->Elapsed());
   }
-  return scheduler.Finalize(stats, elapsed, link);
+  CampaignResult result = scheduler.Finalize(
+      ExecStatsFromSnapshot(merged), elapsed, DebugPortStatsFromSnapshot(merged));
+  telemetry->CampaignEnd(elapsed);
+  return result;
 }
 
 }  // namespace eof

@@ -28,7 +28,10 @@ Result<std::unique_ptr<Deployment>> Deployment::Create(const DeployOptions& opti
   deployment->batched_ = options.batched_link;
   deployment->board_ = std::make_unique<Board>(spec);
   deployment->board_->InstallImage(image);
-  deployment->port_ = std::make_unique<DebugPort>(deployment->board_.get());
+  deployment->telemetry_ = options.telemetry;
+  deployment->port_ = std::make_unique<DebugPort>(
+      deployment->board_.get(),
+      options.telemetry != nullptr ? &options.telemetry->registry() : nullptr);
 
   RETURN_IF_ERROR(deployment->port_->Connect());
   RETURN_IF_ERROR(deployment->ReflashAndReboot());
@@ -46,21 +49,39 @@ uint64_t Deployment::PayloadHash(const std::string& partition,
   return hash;
 }
 
-Status Deployment::ReflashAndRebootLegacy() {
+Status Deployment::ReflashAndRebootLegacy(uint64_t* programmed) {
   for (const Partition& part : image_->partition_table().partitions) {
     auto payload = image_->PayloadOf(part.name);
     if (!payload.ok()) {
       continue;  // raw partitions (nvs) carry no payload
     }
     RETURN_IF_ERROR(port_->FlashPartition(part.offset, payload.value()));
+    *programmed += payload.value().size();
   }
   return port_->ResetTarget();
 }
 
 Status Deployment::ReflashAndReboot() {
-  if (!batched_) {
-    return ReflashAndRebootLegacy();
+  telemetry::Tracer::Span span;
+  if (telemetry_ != nullptr) {
+    span = telemetry_->tracer().Begin("reflash", port_->Now());
   }
+  uint64_t programmed = 0;
+  uint64_t skipped = 0;
+  Status status = batched_ ? ReflashAndRebootBatched(&programmed, &skipped)
+                           : ReflashAndRebootLegacy(&programmed);
+  if (telemetry_ != nullptr) {
+    telemetry_->tracer().End(span, port_->Now(), /*journal=*/true);
+    if (status.ok() && batched_) {
+      telemetry_->EmitEvent(port_->Now(), "delta_reflash",
+                            {telemetry::EventField::Uint("programmed_bytes", programmed),
+                             telemetry::EventField::Uint("skipped_bytes", skipped)});
+    }
+  }
+  return status;
+}
+
+Status Deployment::ReflashAndRebootBatched(uint64_t* programmed, uint64_t* skipped) {
   uint64_t flash_base = board_->spec().flash_base;
   for (const Partition& part : image_->partition_table().partitions) {
     auto payload = image_->PayloadOf(part.name);
@@ -77,9 +98,11 @@ Status Deployment::ReflashAndReboot() {
                      port_->ChecksumMem(flash_base + part.offset, bytes.size()));
     if (on_flash == PayloadHash(part.name, bytes)) {
       port_->NoteFlashSkipped(bytes.size());
+      *skipped += bytes.size();
       continue;
     }
     RETURN_IF_ERROR(port_->FlashPartition(part.offset, bytes));
+    *programmed += bytes.size();
   }
   return port_->ResetTarget();
 }

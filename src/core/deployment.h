@@ -20,6 +20,7 @@
 #include "src/hw/board.h"
 #include "src/hw/board_catalog.h"
 #include "src/hw/debug_port.h"
+#include "src/telemetry/telemetry.h"
 
 namespace eof {
 
@@ -34,6 +35,12 @@ struct DeployOptions {
   // read/write, unconditional full reflash) kept for baseline fidelity and for the
   // batched-vs-legacy comparison in bench_port_batching.
   bool batched_link = true;
+
+  // The board session's telemetry; when set, the debug port registers its `link.*`
+  // counters there, reflashes are traced as "reflash" spans, and delta-reflash
+  // savings are journaled. nullptr = the port keeps a private registry (tests,
+  // standalone deployments). Must outlive the deployment.
+  telemetry::BoardTelemetry* telemetry = nullptr;
 };
 
 // Snapshot of the agent status block.
@@ -102,7 +109,9 @@ class Deployment {
  private:
   Deployment() = default;
 
-  Status ReflashAndRebootLegacy();
+  // `programmed`/`skipped` report flash bytes reprogrammed vs. proven clean.
+  Status ReflashAndRebootLegacy(uint64_t* programmed);
+  Status ReflashAndRebootBatched(uint64_t* programmed, uint64_t* skipped);
   // Payload hash for the delta-reflash cache, computed once per partition (payloads are
   // immutable for the lifetime of the image).
   uint64_t PayloadHash(const std::string& partition, const std::vector<uint8_t>& payload);
@@ -110,6 +119,7 @@ class Deployment {
   std::shared_ptr<FirmwareImage> image_;
   std::unique_ptr<Board> board_;
   std::unique_ptr<DebugPort> port_;
+  telemetry::BoardTelemetry* telemetry_ = nullptr;
   CovRingLayout ring_;
   uint64_t ram_base_ = 0;
   bool batched_ = true;

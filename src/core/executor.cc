@@ -14,6 +14,24 @@ constexpr VirtualDuration kManualInterventionCost = 30 * kVirtualMinute;
 
 }  // namespace
 
+ExecStats ExecStatsFromSnapshot(const telemetry::MetricsSnapshot& snapshot) {
+  ExecStats stats;
+  stats.rejected = snapshot.CounterValue("exec.rejected");
+  stats.stalls = snapshot.CounterValue("exec.stalls");
+  stats.timeouts = snapshot.CounterValue("exec.timeouts");
+  stats.restores = snapshot.CounterValue("exec.restores");
+  return stats;
+}
+
+ExecStats TargetExecutor::stats() const {
+  ExecStats stats;
+  stats.rejected = rejected_->Value();
+  stats.stalls = stalls_->Value();
+  stats.timeouts = timeouts_->Value();
+  stats.restores = restores_->Value();
+  return stats;
+}
+
 Result<std::unique_ptr<TargetExecutor>> TargetExecutor::Create(const ExecutorOptions& options,
                                                                Rng* session_rng) {
   std::unique_ptr<TargetExecutor> executor(new TargetExecutor(options, session_rng));
@@ -22,12 +40,34 @@ Result<std::unique_ptr<TargetExecutor>> TargetExecutor::Create(const ExecutorOpt
 }
 
 Status TargetExecutor::Setup() {
+  telemetry_ = options_.telemetry;
+  if (telemetry_ == nullptr) {
+    // Standalone session (tests, repro, single-board tools): instrumentation stays
+    // live against a private, journal-less registry.
+    owned_telemetry_ = std::make_unique<telemetry::BoardTelemetry>(
+        /*worker=*/0, options_.seed, /*sink=*/nullptr);
+    telemetry_ = owned_telemetry_.get();
+  }
+  telemetry::MetricsRegistry& registry = telemetry_->registry();
+  execs_ = registry.RegisterCounter("exec.execs");
+  rejected_ = registry.RegisterCounter("exec.rejected");
+  stalls_ = registry.RegisterCounter("exec.stalls");
+  timeouts_ = registry.RegisterCounter("exec.timeouts");
+  restores_ = registry.RegisterCounter("exec.restores");
+  edges_drained_ = registry.RegisterCounter("exec.edges_drained");
+  local_coverage_ = registry.RegisterGauge("exec.local_coverage");
+
+  // The deploy span runs from power-on (virtual time 0 on a fresh board) to the
+  // target parked at executor_main with breakpoints armed.
+  telemetry::Tracer::Span deploy_span = telemetry_->tracer().Begin("deploy", 0);
+
   DeployOptions deploy;
   deploy.os_name = options_.os_name;
   deploy.board_name = options_.board_name;
   deploy.instrumentation = options_.instrumentation;
   deploy.seed = options_.seed;
   deploy.batched_link = options_.batched_link;
+  deploy.telemetry = telemetry_;
   ASSIGN_OR_RETURN(deployment_, Deployment::Create(deploy));
 
   ASSIGN_OR_RETURN(executor_main_addr_, deployment_->SymbolAddress("executor_main"));
@@ -44,6 +84,7 @@ Status TargetExecutor::Setup() {
     watchdog_.EnablePowerProbe();
   }
   start_time_ = deployment_->port().Now();
+  telemetry_->tracer().End(deploy_span, deployment_->port().Now(), /*journal=*/true);
   return OkStatus();
 }
 
@@ -70,10 +111,15 @@ Status TargetExecutor::ArmBreakpoints() {
   return OkStatus();
 }
 
-Status TargetExecutor::Restore() {
-  ++stats_.restores;
+Status TargetExecutor::Restore(const char* reason) {
+  restores_->Increment();
   execs_since_reset_ = 0;
   watchdog_.Reset();
+  telemetry::Tracer::Span span =
+      telemetry_->tracer().Begin("watchdog_recovery", deployment_->port().Now());
+  telemetry_->EmitEvent(deployment_->port().Now(), "liveness_reset",
+                        {telemetry::EventField::Text("reason", reason),
+                         telemetry::EventField::Uint("restores", restores_->Value())});
   if (options_.restore_mode == RestoreMode::kReflash) {
     RETURN_IF_ERROR(StateRestoration(*deployment_));
   } else {
@@ -85,18 +131,24 @@ Status TargetExecutor::Restore() {
       RETURN_IF_ERROR(StateRestoration(*deployment_));
     }
   }
-  return ArmBreakpoints();
+  Status status = ArmBreakpoints();
+  telemetry_->tracer().End(span, deployment_->port().Now(), /*journal=*/true);
+  return status;
 }
 
 void TargetExecutor::HarvestCoverage(ExecOutcome* outcome, AgentStatusView* status_out,
                                      bool* status_ok) {
+  telemetry::Tracer::Span span =
+      telemetry_->tracer().Begin("coverage_drain", deployment_->port().Now());
   auto entries = deployment_->DrainCoverage(/*dropped=*/nullptr, status_out);
+  telemetry_->tracer().End(span, deployment_->port().Now());
   if (status_ok != nullptr) {
     *status_ok = entries.ok() && status_out != nullptr;
   }
   if (!entries.ok()) {
     return;
   }
+  edges_drained_->Add(entries.value().size());
   outcome->edges.insert(outcome->edges.end(), entries.value().begin(),
                         entries.value().end());
 }
@@ -104,6 +156,7 @@ void TargetExecutor::HarvestCoverage(ExecOutcome* outcome, AgentStatusView* stat
 Result<ExecOutcome> TargetExecutor::ExecuteOne(const std::vector<uint8_t>& encoded) {
   ExecOutcome outcome;
   DebugPort& port = deployment_->port();
+  execs_->Increment();
 
   if (options_.inject_peripheral_events) {
     // Bench signal generator: a small burst of events rides along with each test case.
@@ -119,9 +172,9 @@ Result<ExecOutcome> TargetExecutor::ExecuteOne(const std::vector<uint8_t>& encod
   Status write = deployment_->WriteTestCase(encoded);
   if (!write.ok()) {
     // Link or target trouble: run the liveness protocol.
-    ++stats_.timeouts;
+    timeouts_->Increment();
     outcome.status = ExecStatus::kLinkLost;
-    RETURN_IF_ERROR(Restore());
+    RETURN_IF_ERROR(Restore("write_failed"));
     return outcome;
   }
 
@@ -130,6 +183,10 @@ Result<ExecOutcome> TargetExecutor::ExecuteOne(const std::vector<uint8_t>& encod
   bool done = false;
   const bool batched = deployment_->batched_link();
   std::vector<uint8_t> status_raw;
+  // One exec_continue span covers the whole breakpoint-synchronised run of this test
+  // case (all continue rounds and mid-run coverage drains); recovery time is not
+  // included — it gets its own watchdog_recovery span inside Restore.
+  telemetry::Tracer::Span exec_span = telemetry_->tracer().Begin("exec_continue", port.Now());
   for (int round = 0; !done && round < kMaxContinueRounds;) {
     // Batched link: the agent status block rides in the stop reply (GDB/MI-style
     // stop-event coalescing), so executor_main stops need no follow-up read.
@@ -139,12 +196,13 @@ Result<ExecOutcome> TargetExecutor::ExecuteOne(const std::vector<uint8_t>& encod
                        : port.Continue();
     if (!stop_or.ok()) {
       // Watchdog #1: connection timeout.
-      ++stats_.timeouts;
+      timeouts_->Increment();
       if (!options_.watchdogs) {
         deployment_->board().clock().Advance(kManualInterventionCost);
       }
       outcome.status = ExecStatus::kLinkLost;
-      RETURN_IF_ERROR(Restore());
+      telemetry_->tracer().End(exec_span, port.Now());
+      RETURN_IF_ERROR(Restore("link_lost"));
       return outcome;
     }
     const StopInfo& stop = stop_or.value();
@@ -158,8 +216,9 @@ Result<ExecOutcome> TargetExecutor::ExecuteOne(const std::vector<uint8_t>& encod
       signature.excerpt = uart.empty() ? ("stopped at " + stop.symbol) : uart;
       outcome.status = ExecStatus::kCrashed;
       outcome.signature = signature;
+      telemetry_->tracer().End(exec_span, port.Now());
       HarvestCoverage(&outcome);
-      RETURN_IF_ERROR(Restore());
+      RETURN_IF_ERROR(Restore("crash"));
       return outcome;
     }
 
@@ -206,15 +265,16 @@ Result<ExecOutcome> TargetExecutor::ExecuteOne(const std::vector<uint8_t>& encod
         // No watchdog: the operator eventually notices the wedged board.
         deployment_->board().clock().Advance(kManualInterventionCost);
         outcome.status = ExecStatus::kStalled;
-        ++stats_.stalls;
+        stalls_->Increment();
         std::string uart = port.DrainUart();
         auto log_hit = log_monitor_.Scan(uart);
         if (options_.log_monitor && log_hit.has_value()) {
           outcome.status = ExecStatus::kCrashed;
           outcome.signature = log_hit;
         }
+        telemetry_->tracer().End(exec_span, port.Now());
         HarvestCoverage(&outcome);
-        RETURN_IF_ERROR(Restore());
+        RETURN_IF_ERROR(Restore("stall"));
         return outcome;
       }
       continue;
@@ -225,7 +285,7 @@ Result<ExecOutcome> TargetExecutor::ExecuteOne(const std::vector<uint8_t>& encod
     }
     if (verdict == LivenessVerdict::kPowerPlateau) {
       // Ammeter plateau: the core spins flat-out; skip the PC re-check round.
-      ++stats_.stalls;
+      stalls_->Increment();
       outcome.status = ExecStatus::kStalled;
       std::string uart_text = port.DrainUart();
       auto log_hit = log_monitor_.Scan(uart_text);
@@ -233,8 +293,9 @@ Result<ExecOutcome> TargetExecutor::ExecuteOne(const std::vector<uint8_t>& encod
         outcome.status = ExecStatus::kCrashed;
         outcome.signature = log_hit;
       }
+      telemetry_->tracer().End(exec_span, port.Now());
       HarvestCoverage(&outcome);
-      RETURN_IF_ERROR(Restore());
+      RETURN_IF_ERROR(Restore("power_plateau"));
       return outcome;
     }
     if (verdict == LivenessVerdict::kPcStall) {
@@ -242,7 +303,7 @@ Result<ExecOutcome> TargetExecutor::ExecuteOne(const std::vector<uint8_t>& encod
       if (stall_strikes < 2) {
         continue;  // one more continue to confirm (Algorithm 1 re-check)
       }
-      ++stats_.stalls;
+      stalls_->Increment();
       outcome.status = ExecStatus::kStalled;
       // The log monitor reads the wedge's last words — this is how assertion bugs
       // (log + parked core) are detected.
@@ -252,16 +313,20 @@ Result<ExecOutcome> TargetExecutor::ExecuteOne(const std::vector<uint8_t>& encod
         outcome.status = ExecStatus::kCrashed;
         outcome.signature = log_hit;
       }
+      telemetry_->tracer().End(exec_span, port.Now());
       HarvestCoverage(&outcome);
-      RETURN_IF_ERROR(Restore());
+      RETURN_IF_ERROR(Restore("pc_stall"));
       return outcome;
     }
     // Connection timeout mid-protocol.
-    ++stats_.timeouts;
+    timeouts_->Increment();
     outcome.status = ExecStatus::kLinkLost;
-    RETURN_IF_ERROR(Restore());
+    telemetry_->tracer().End(exec_span, port.Now());
+    RETURN_IF_ERROR(Restore("link_lost"));
     return outcome;
   }
+
+  telemetry_->tracer().End(exec_span, port.Now());
 
   // Completed path: scan the log for crash text that did not wedge the core, then
   // harvest coverage.
@@ -272,7 +337,7 @@ Result<ExecOutcome> TargetExecutor::ExecuteOne(const std::vector<uint8_t>& encod
       outcome.status = ExecStatus::kCrashed;
       outcome.signature = log_hit;
       HarvestCoverage(&outcome);
-      RETURN_IF_ERROR(Restore());
+      RETURN_IF_ERROR(Restore("crash"));
       return outcome;
     }
   }
@@ -281,7 +346,7 @@ Result<ExecOutcome> TargetExecutor::ExecuteOne(const std::vector<uint8_t>& encod
   bool status_read = false;
   HarvestCoverage(&outcome, &status_view, &status_read);
   if (status_read && status_view.last_error != AgentError::kNone) {
-    ++stats_.rejected;
+    rejected_->Increment();
   }
   ++execs_since_reset_;
   if (execs_since_reset_ >= options_.periodic_reset_execs) {
@@ -291,7 +356,7 @@ Result<ExecOutcome> TargetExecutor::ExecuteOne(const std::vector<uint8_t>& encod
     watchdog_.Reset();
     RETURN_IF_ERROR(port.ResetTarget());
     if (deployment_->board().power_state() != PowerState::kRunning) {
-      RETURN_IF_ERROR(Restore());
+      RETURN_IF_ERROR(Restore("periodic_reset_failed"));
     } else {
       RETURN_IF_ERROR(ArmBreakpoints());
     }

@@ -23,6 +23,7 @@
 #include "src/core/deployment.h"
 #include "src/core/liveness.h"
 #include "src/core/monitors.h"
+#include "src/telemetry/telemetry.h"
 
 namespace eof {
 
@@ -43,21 +44,18 @@ struct ExecOutcome {
   std::vector<uint64_t> edges;
 };
 
-// Per-session liveness/health counters, accumulated across ExecuteOne calls and
-// summed over workers by the campaign runners.
+// Per-session liveness/health counters — a point-in-time view over the session's
+// `exec.*` telemetry counters. The registry is the source of truth; campaign runners
+// aggregate workers by merging registry snapshots, not by summing these structs.
 struct ExecStats {
   uint64_t rejected = 0;
   uint64_t stalls = 0;
   uint64_t timeouts = 0;
   uint64_t restores = 0;
-
-  void Accumulate(const ExecStats& other) {
-    rejected += other.rejected;
-    stalls += other.stalls;
-    timeouts += other.timeouts;
-    restores += other.restores;
-  }
 };
+
+// Reads the `exec.*` counters out of a registry snapshot (per-board or farm-merged).
+ExecStats ExecStatsFromSnapshot(const telemetry::MetricsSnapshot& snapshot);
 
 // Board-session configuration: the slice of FuzzerConfig the executor needs, plus
 // the OS exception symbol resolved by campaign setup.
@@ -78,6 +76,13 @@ struct ExecutorOptions {
   uint32_t periodic_reset_execs = 24;
 
   std::string exception_symbol;
+
+  // The board session's telemetry (registry + tracer + journal). nullptr = the
+  // executor owns a private, journal-less BoardTelemetry, so instrumentation is
+  // always live (the counters are relaxed atomics and never touch the virtual
+  // clock or any RNG — fuzzing results are identical with or without a consumer).
+  // Must outlive the executor when set.
+  telemetry::BoardTelemetry* telemetry = nullptr;
 };
 
 class TargetExecutor {
@@ -97,11 +102,20 @@ class TargetExecutor {
   // Virtual board time spent in this session so far.
   VirtualTime Elapsed() { return deployment_->port().Now() - start_time_; }
 
-  const ExecStats& stats() const { return stats_; }
+  // Current values of the session's `exec.*` counters, materialized on demand.
+  ExecStats stats() const;
   // Debug-link traffic counters for this session's board (round trips, batches,
-  // flash bytes programmed vs. skipped) — campaign runners sum these per worker.
-  const DebugPortStats& port_stats() { return deployment_->port().stats(); }
+  // flash bytes programmed vs. skipped).
+  DebugPortStats port_stats() { return deployment_->port().stats(); }
   Deployment& deployment() { return *deployment_; }
+
+  // The session's telemetry: every instrument this executor, its deployment, and its
+  // debug port registered lives in telemetry()->registry().
+  telemetry::BoardTelemetry* telemetry() { return telemetry_; }
+
+  // Publishes the session's current coverage-map population into the
+  // `exec.local_coverage` gauge (the campaign runner owns the map, so it reports).
+  void SetCoverageGauge(uint64_t edges) { local_coverage_->Set(edges); }
 
  private:
   TargetExecutor(ExecutorOptions options, Rng* session_rng)
@@ -109,7 +123,8 @@ class TargetExecutor {
 
   Status Setup();
   Status ArmBreakpoints();
-  Status Restore();
+  // `reason` labels the journal's liveness_reset event ("link_lost", "stall", ...).
+  Status Restore(const char* reason);
   // Drains the coverage ring into `outcome`. When `status_out` is non-null the agent
   // status block is fetched too — in the drain's own round trip on the batched link —
   // and `*status_ok` reports whether it arrived.
@@ -122,7 +137,16 @@ class TargetExecutor {
   LogMonitor log_monitor_;
   ExceptionMonitor exception_monitor_;
   LivenessWatchdog watchdog_;
-  ExecStats stats_;
+
+  std::unique_ptr<telemetry::BoardTelemetry> owned_telemetry_;  // set iff none was passed
+  telemetry::BoardTelemetry* telemetry_ = nullptr;
+  telemetry::Counter* execs_ = nullptr;
+  telemetry::Counter* rejected_ = nullptr;
+  telemetry::Counter* stalls_ = nullptr;
+  telemetry::Counter* timeouts_ = nullptr;
+  telemetry::Counter* restores_ = nullptr;
+  telemetry::Counter* edges_drained_ = nullptr;
+  telemetry::Gauge* local_coverage_ = nullptr;
 
   uint64_t executor_main_addr_ = 0;
   uint64_t cov_full_addr_ = 0;

@@ -48,8 +48,22 @@ CampaignScheduler::Options MakeSchedulerOptions(const FuzzerConfig& config, int 
   return options;
 }
 
+telemetry::CampaignTelemetry::Options MakeTelemetryOptions(const FuzzerConfig& config,
+                                                           int workers) {
+  telemetry::CampaignTelemetry::Options options;
+  options.metrics_out = config.metrics_out;
+  options.snapshot_interval = config.metrics_interval;
+  options.budget = config.budget;
+  options.seed = config.seed;
+  options.workers = workers;
+  return options;
+}
+
 Result<CampaignResult> EofFuzzer::Run() {
   ASSIGN_OR_RETURN(CampaignPlan plan, PrepareCampaign(config_));
+  ASSIGN_OR_RETURN(std::unique_ptr<telemetry::CampaignTelemetry> telemetry,
+                   telemetry::CampaignTelemetry::Create(
+                       MakeTelemetryOptions(config_, /*workers=*/1)));
 
   fuzz::GeneratorOptions gen = config_.gen;
   gen.use_extended = config_.use_extended_specs;
@@ -59,12 +73,21 @@ Result<CampaignResult> EofFuzzer::Run() {
   // The executor shares the scheduling RNG as its session stream, preserving the
   // historical single-threaded stream (peripheral-event bursts and scheduling rolls
   // interleave on one sequence, as the monolithic engine did).
-  ASSIGN_OR_RETURN(
-      std::unique_ptr<TargetExecutor> executor,
-      TargetExecutor::Create(MakeExecutorOptions(config_, config_.seed, plan.exception_symbol),
-                             &schedule_rng));
-  CampaignScheduler scheduler(plan.specs, MakeSchedulerOptions(config_, /*workers=*/1));
+  ExecutorOptions executor_options =
+      MakeExecutorOptions(config_, config_.seed, plan.exception_symbol);
+  executor_options.telemetry = telemetry->board(0);
+  ASSIGN_OR_RETURN(std::unique_ptr<TargetExecutor> executor,
+                   TargetExecutor::Create(executor_options, &schedule_rng));
+
+  CampaignScheduler::Options scheduler_options =
+      MakeSchedulerOptions(config_, /*workers=*/1);
+  scheduler_options.registry = &telemetry->campaign_registry();
+  scheduler_options.sink = telemetry->sink();
+  CampaignScheduler scheduler(plan.specs, scheduler_options);
   scheduler.SeedCorpus(config_.seed_programs);
+
+  telemetry->CampaignStart(config_.os_name, config_.board_name);
+  telemetry->StartEmitter([&scheduler] { return scheduler.View(); });
 
   while (executor->Elapsed() < config_.budget) {
     fuzz::Program program = scheduler.NextProgram(generator, schedule_rng);
@@ -74,9 +97,20 @@ Result<CampaignResult> EofFuzzer::Run() {
     }
     ASSIGN_OR_RETURN(ExecOutcome outcome, executor->ExecuteOne(encoded));
     scheduler.OnOutcome(program, outcome, generator, executor->Elapsed(), /*worker=*/0);
+    if (telemetry->emitter() != nullptr) {
+      executor->SetCoverageGauge(scheduler.CoverageCount());
+      telemetry->emitter()->MaybeEmit(/*worker=*/0, executor->Elapsed());
+    }
   }
-  return scheduler.Finalize(executor->stats(), executor->Elapsed(),
-                            executor->port_stats());
+  VirtualTime elapsed = executor->Elapsed();
+  executor->SetCoverageGauge(scheduler.CoverageCount());
+  if (telemetry->emitter() != nullptr) {
+    telemetry->emitter()->WorkerDone(0);
+  }
+  CampaignResult result =
+      scheduler.Finalize(executor->stats(), elapsed, executor->port_stats());
+  telemetry->CampaignEnd(elapsed);
+  return result;
 }
 
 }  // namespace eof

@@ -65,6 +65,13 @@ struct FuzzerConfig {
   VirtualDuration budget = 10 * kVirtualMinute;
   uint32_t sample_points = 96;         // coverage time-series resolution
   uint32_t periodic_reset_execs = 24;  // reboot cadence to shed piled-up kernel state
+
+  // Telemetry journal: when `metrics_out` is a path, campaign events and periodic
+  // per-board / farm-wide metric snapshots stream there as JSONL, one snapshot row
+  // per `metrics_interval` of virtual time. "" = counters only, no journal. The
+  // journal is an observer: fuzzing results are bit-identical either way.
+  std::string metrics_out;
+  VirtualDuration metrics_interval = 30 * kVirtualSecond;
 };
 
 // Shared campaign setup (Figure 3 step ②): mines + post-validates the target's API
@@ -83,6 +90,10 @@ ExecutorOptions MakeExecutorOptions(const FuzzerConfig& config, uint64_t seed,
 
 // The campaign-state slice of `config`, for constructing schedulers.
 CampaignScheduler::Options MakeSchedulerOptions(const FuzzerConfig& config, int workers);
+
+// The telemetry slice of `config`, for constructing the campaign's CampaignTelemetry.
+telemetry::CampaignTelemetry::Options MakeTelemetryOptions(const FuzzerConfig& config,
+                                                           int workers);
 
 class EofFuzzer {
  public:

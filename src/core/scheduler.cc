@@ -15,7 +15,35 @@ CampaignScheduler::CampaignScheduler(const spec::CompiledSpecs& specs, Options o
       options_(options),
       sampler_(options.budget, options.sample_points),
       worker_elapsed_(static_cast<size_t>(std::max(options.workers, 1)), 0),
-      worker_done_(static_cast<size_t>(std::max(options.workers, 1)), false) {}
+      worker_done_(static_cast<size_t>(std::max(options.workers, 1)), false) {
+  telemetry::MetricsRegistry* registry = options_.registry;
+  if (registry == nullptr) {
+    owned_registry_ = std::make_unique<telemetry::MetricsRegistry>();
+    registry = owned_registry_.get();
+  }
+  sink_ = options_.sink;
+  execs_ = registry->RegisterCounter("campaign.execs");
+  crashes_ = registry->RegisterCounter("campaign.crashes");
+  bugs_found_ = registry->RegisterCounter("campaign.bugs");
+  bug_dedup_hits_ = registry->RegisterCounter("campaign.bug_dedup_hits");
+  fresh_edges_ = registry->RegisterCounter("campaign.fresh_edges");
+  corpus_adds_ = registry->RegisterCounter("campaign.corpus_adds");
+  coverage_gauge_ = registry->RegisterGauge("campaign.coverage");
+  corpus_gauge_ = registry->RegisterGauge("campaign.corpus");
+}
+
+void CampaignScheduler::EmitEventLocked(VirtualTime at, const char* type, int worker,
+                                        std::vector<telemetry::EventField> fields) {
+  if (sink_ == nullptr) {
+    return;
+  }
+  telemetry::Event event;
+  event.at = at;
+  event.type = type;
+  event.worker = worker;
+  event.fields = std::move(fields);
+  sink_->Emit(event);
+}
 
 void CampaignScheduler::SeedCorpus(const std::vector<std::string>& seed_programs) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -59,13 +87,18 @@ fuzz::Program CampaignScheduler::NextProgram(fuzz::Generator& generator, Rng& rn
 
 void CampaignScheduler::RecordBugLocked(const BugSignature& signature,
                                         const fuzz::Program& program,
-                                        VirtualTime elapsed) {
-  ++result_.crashes;
+                                        VirtualTime elapsed, int worker) {
+  crashes_->Increment();
   int catalog_id = AttributeBug(options_.os_name, signature.excerpt);
   // Deduplicate: one report per catalog id (or per excerpt for unknowns).
   for (const BugReport& existing : result_.bugs) {
     if (catalog_id != 0 ? existing.catalog_id == catalog_id
                         : existing.excerpt == signature.excerpt) {
+      bug_dedup_hits_->Increment();
+      EmitEventLocked(elapsed, "bug_dedup", worker,
+                      {telemetry::EventField::Uint(
+                           "catalog_id", static_cast<uint64_t>(catalog_id)),
+                       telemetry::EventField::Text("detector", signature.detector)});
       return;
     }
   }
@@ -77,6 +110,12 @@ void CampaignScheduler::RecordBugLocked(const BugSignature& signature,
   report.at = elapsed;
   report.program_text = fuzz::SerializeProgramText(specs_, program);
   result_.bugs.push_back(std::move(report));
+  bugs_found_->Increment();
+  EmitEventLocked(elapsed, "bug", worker,
+                  {telemetry::EventField::Uint("catalog_id",
+                                               static_cast<uint64_t>(catalog_id)),
+                   telemetry::EventField::Text("detector", signature.detector),
+                   telemetry::EventField::Text("kind", signature.kind)});
   EOF_LOG(kDebug) << options_.os_name << ": bug #" << catalog_id << " via "
                   << signature.detector << ": " << signature.excerpt;
 }
@@ -103,12 +142,21 @@ void CampaignScheduler::OnOutcome(const fuzz::Program& program, const ExecOutcom
                                   int worker) {
   std::lock_guard<std::mutex> lock(mu_);
   uint64_t fresh = coverage_.AddBatch(outcome.edges);
-  ++result_.execs;
+  execs_->Increment();
   if (outcome.signature.has_value()) {
-    RecordBugLocked(*outcome.signature, program, elapsed);
+    RecordBugLocked(*outcome.signature, program, elapsed, worker);
+  }
+  if (fresh > 0) {
+    fresh_edges_->Add(fresh);
+    coverage_gauge_->Set(coverage_.Count());
+    EmitEventLocked(elapsed, "new_coverage", worker,
+                    {telemetry::EventField::Uint("fresh", fresh),
+                     telemetry::EventField::Uint("total", coverage_.Count())});
   }
   if (options_.coverage_feedback && fresh > 0) {
     if (corpus_.Add(program, fresh)) {
+      corpus_adds_->Increment();
+      corpus_gauge_->Set(corpus_.size());
       generator.NotifyNewCoverage(program);
     }
   }
@@ -132,6 +180,8 @@ CampaignResult CampaignScheduler::Finalize(const ExecStats& stats, VirtualTime e
   result_.final_coverage = coverage_.Count();
   result_.corpus_size = corpus_.size();
   result_.elapsed = elapsed;
+  result_.execs = execs_->Value();
+  result_.crashes = crashes_->Value();
   result_.rejected = stats.rejected;
   result_.stalls = stats.stalls;
   result_.timeouts = stats.timeouts;
@@ -148,6 +198,17 @@ uint64_t CampaignScheduler::CoverageCount() const {
 size_t CampaignScheduler::CorpusSize() const {
   std::lock_guard<std::mutex> lock(mu_);
   return corpus_.size();
+}
+
+telemetry::CampaignView CampaignScheduler::View() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  telemetry::CampaignView view;
+  view.coverage = coverage_.Count();
+  view.corpus = corpus_.size();
+  view.execs = execs_->Value();
+  view.crashes = crashes_->Value();
+  view.bugs = result_.bugs.size();
+  return view;
 }
 
 bool EncodeForMailbox(const spec::CompiledSpecs& specs, fuzz::Program* program,

@@ -24,6 +24,7 @@
 #include "src/fuzz/corpus.h"
 #include "src/fuzz/generator.h"
 #include "src/spec/compiler.h"
+#include "src/telemetry/telemetry.h"
 
 namespace eof {
 
@@ -109,6 +110,13 @@ class CampaignScheduler {
     VirtualDuration budget = 0;
     uint32_t sample_points = 96;
     int workers = 1;
+
+    // Campaign-scope telemetry: `registry` takes the campaign.* counters (nullptr =
+    // the scheduler owns a private registry); `sink` receives new_coverage / bug /
+    // bug_dedup journal events (nullptr = no journal). Both must outlive the
+    // scheduler when set.
+    telemetry::MetricsRegistry* registry = nullptr;
+    telemetry::EventSink* sink = nullptr;
   };
 
   CampaignScheduler(const spec::CompiledSpecs& specs, Options options);
@@ -143,13 +151,29 @@ class CampaignScheduler {
   uint64_t CoverageCount() const;
   size_t CorpusSize() const;
 
+  // The campaign-global numbers for a farm_snapshot row, read under the lock.
+  telemetry::CampaignView View() const;
+
  private:
   void RecordBugLocked(const BugSignature& signature, const fuzz::Program& program,
-                       VirtualTime elapsed);
+                       VirtualTime elapsed, int worker);
   void AdvanceFrontierLocked(int worker, VirtualTime elapsed);
+  void EmitEventLocked(VirtualTime at, const char* type, int worker,
+                       std::vector<telemetry::EventField> fields);
 
   const spec::CompiledSpecs& specs_;
   Options options_;
+
+  std::unique_ptr<telemetry::MetricsRegistry> owned_registry_;  // set iff none was passed
+  telemetry::EventSink* sink_ = nullptr;
+  telemetry::Counter* execs_ = nullptr;
+  telemetry::Counter* crashes_ = nullptr;
+  telemetry::Counter* bugs_found_ = nullptr;
+  telemetry::Counter* bug_dedup_hits_ = nullptr;
+  telemetry::Counter* fresh_edges_ = nullptr;
+  telemetry::Counter* corpus_adds_ = nullptr;
+  telemetry::Gauge* coverage_gauge_ = nullptr;
+  telemetry::Gauge* corpus_gauge_ = nullptr;
 
   mutable std::mutex mu_;
   fuzz::Corpus corpus_;

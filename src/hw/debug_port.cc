@@ -6,6 +6,51 @@
 
 namespace eof {
 
+DebugPortStats DebugPortStatsFromSnapshot(const telemetry::MetricsSnapshot& snapshot) {
+  DebugPortStats stats;
+  stats.transactions = snapshot.CounterValue("link.transactions");
+  stats.batches = snapshot.CounterValue("link.batches");
+  stats.batched_ops = snapshot.CounterValue("link.batched_ops");
+  stats.bytes_read = snapshot.CounterValue("link.bytes_read");
+  stats.bytes_written = snapshot.CounterValue("link.bytes_written");
+  stats.timeouts = snapshot.CounterValue("link.timeouts");
+  stats.flash_bytes = snapshot.CounterValue("link.flash_bytes");
+  stats.flash_skipped_bytes = snapshot.CounterValue("link.flash_skipped_bytes");
+  stats.resets = snapshot.CounterValue("link.resets");
+  return stats;
+}
+
+DebugPort::DebugPort(Board* board, telemetry::MetricsRegistry* registry) : board_(board) {
+  if (registry == nullptr) {
+    owned_registry_ = std::make_unique<telemetry::MetricsRegistry>();
+    registry = owned_registry_.get();
+  }
+  registry_ = registry;
+  transactions_ = registry_->RegisterCounter("link.transactions");
+  batches_ = registry_->RegisterCounter("link.batches");
+  batched_ops_ = registry_->RegisterCounter("link.batched_ops");
+  bytes_read_ = registry_->RegisterCounter("link.bytes_read");
+  bytes_written_ = registry_->RegisterCounter("link.bytes_written");
+  timeouts_ = registry_->RegisterCounter("link.timeouts");
+  flash_bytes_ = registry_->RegisterCounter("link.flash_bytes");
+  flash_skipped_bytes_ = registry_->RegisterCounter("link.flash_skipped_bytes");
+  resets_ = registry_->RegisterCounter("link.resets");
+}
+
+DebugPortStats DebugPort::stats() const {
+  DebugPortStats stats;
+  stats.transactions = transactions_->Value();
+  stats.batches = batches_->Value();
+  stats.batched_ops = batched_ops_->Value();
+  stats.bytes_read = bytes_read_->Value();
+  stats.bytes_written = bytes_written_->Value();
+  stats.timeouts = timeouts_->Value();
+  stats.flash_bytes = flash_bytes_->Value();
+  stats.flash_skipped_bytes = flash_skipped_bytes_->Value();
+  stats.resets = resets_->Value();
+  return stats;
+}
+
 Status DebugPort::Connect() {
   if (!board_->spec().has_debug_port) {
     return UnavailableError(
@@ -13,11 +58,11 @@ Status DebugPort::Connect() {
   }
   if (link_severed_) {
     board_->clock().Advance(kLinkTimeout);
-    ++stats_.timeouts;
+    timeouts_->Increment();
     return TimeoutError("debug link severed");
   }
   board_->clock().Advance(kDebugTransactionCost);
-  ++stats_.transactions;
+  transactions_->Increment();
   attached_ = true;
   return OkStatus();
 }
@@ -28,14 +73,14 @@ Status DebugPort::CheckResponsive(bool needs_core) {
   }
   if (link_severed_) {
     board_->clock().Advance(kLinkTimeout);
-    ++stats_.timeouts;
+    timeouts_->Increment();
     return TimeoutError("debug link severed");
   }
   if (needs_core && (board_->power_state() == PowerState::kOff ||
                      board_->power_state() == PowerState::kBootFailed)) {
     // A core that never left the boot ROM does not service run-control requests.
     board_->clock().Advance(kLinkTimeout);
-    ++stats_.timeouts;
+    timeouts_->Increment();
     return TimeoutError(StrFormat("target unresponsive (state: %s)",
                                   PowerStateName(board_->power_state())));
   }
@@ -66,16 +111,16 @@ Status DebugPort::WriteWindow(uint64_t address, const std::vector<uint8_t>& data
 Result<std::vector<uint8_t>> DebugPort::ReadMem(uint64_t address, uint64_t size) {
   RETURN_IF_ERROR(CheckResponsive(/*needs_core=*/true));
   board_->clock().Advance(DebugMemCost(size));
-  ++stats_.transactions;
-  stats_.bytes_read += size;
+  transactions_->Increment();
+  bytes_read_->Add(size);
   return ReadWindow(address, size);
 }
 
 Status DebugPort::WriteMem(uint64_t address, const std::vector<uint8_t>& data) {
   RETURN_IF_ERROR(CheckResponsive(/*needs_core=*/true));
   board_->clock().Advance(DebugMemCost(data.size()));
-  ++stats_.transactions;
-  stats_.bytes_written += data.size();
+  transactions_->Increment();
+  bytes_written_->Add(data.size());
   return WriteWindow(address, data);
 }
 
@@ -108,21 +153,21 @@ Status DebugPort::RunBatch(std::vector<PortOp>* ops) {
   // timeout and applies nothing.
   RETURN_IF_ERROR(CheckResponsive(needs_core));
   board_->clock().Advance(DebugBatchCost(total_bytes));
-  ++stats_.transactions;
-  ++stats_.batches;
-  stats_.batched_ops += ops->size();
+  transactions_->Increment();
+  batches_->Increment();
+  batched_ops_->Add(ops->size());
 
   for (size_t i = 0; i < ops->size(); ++i) {
     PortOp& op = (*ops)[i];
     switch (op.kind) {
       case PortOp::Kind::kRead: {
         ASSIGN_OR_RETURN(op.result, ReadWindow(op.address, op.size));
-        stats_.bytes_read += op.size;
+        bytes_read_->Add(op.size);
         break;
       }
       case PortOp::Kind::kWrite: {
         RETURN_IF_ERROR(WriteWindow(op.address, op.data));
-        stats_.bytes_written += op.data.size();
+        bytes_written_->Add(op.data.size());
         break;
       }
       case PortOp::Kind::kSubU32: {
@@ -146,8 +191,8 @@ Status DebugPort::RunBatch(std::vector<PortOp>* ops) {
         ASSIGN_OR_RETURN(uint32_t current, board_->RamReadU32(offset));
         uint32_t updated = current >= minuend ? current - minuend : 0;
         RETURN_IF_ERROR(board_->RamWriteU32(offset, updated));
-        stats_.bytes_read += 4;
-        stats_.bytes_written += 4;
+        bytes_read_->Add(4);
+        bytes_written_->Add(4);
         break;
       }
       case PortOp::Kind::kSetBreakpoint: {
@@ -164,23 +209,23 @@ Result<uint64_t> DebugPort::ChecksumMem(uint64_t address, uint64_t size) {
   // controller, so it is serviced even on a core that never booted (like FlashPartition).
   RETURN_IF_ERROR(CheckResponsive(/*needs_core=*/false));
   board_->clock().Advance(ChecksumCost(size));
-  ++stats_.transactions;
+  transactions_->Increment();
   ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ReadWindow(address, size));
-  stats_.bytes_read += 8;  // only the digest crosses the link
+  bytes_read_->Add(8);  // only the digest crosses the link
   return Fnv1aBytes(bytes.data(), bytes.size());
 }
 
 Result<uint64_t> DebugPort::ReadPC() {
   RETURN_IF_ERROR(CheckResponsive(/*needs_core=*/true));
   board_->clock().Advance(kDebugTransactionCost);
-  ++stats_.transactions;
+  transactions_->Increment();
   return board_->ReadPC();
 }
 
 Result<StopInfo> DebugPort::Continue(uint64_t max_steps) {
   RETURN_IF_ERROR(CheckResponsive(/*needs_core=*/true));
   board_->clock().Advance(kDebugTransactionCost);
-  ++stats_.transactions;
+  transactions_->Increment();
   return board_->Continue(max_steps);
 }
 
@@ -189,48 +234,48 @@ Result<StopInfo> DebugPort::ContinueWithRead(uint64_t address, uint64_t size,
                                              uint64_t max_steps) {
   RETURN_IF_ERROR(CheckResponsive(/*needs_core=*/true));
   board_->clock().Advance(DebugBatchCost(size));
-  ++stats_.transactions;
-  ++stats_.batches;
-  stats_.batched_ops += 2;
+  transactions_->Increment();
+  batches_->Increment();
+  batched_ops_->Add(2);
   StopInfo stop = board_->Continue(max_steps);
   ASSIGN_OR_RETURN(*out, ReadWindow(address, size));
-  stats_.bytes_read += size;
+  bytes_read_->Add(size);
   return stop;
 }
 
 Status DebugPort::SetBreakpoint(uint64_t address) {
   RETURN_IF_ERROR(CheckResponsive(/*needs_core=*/false));
   board_->clock().Advance(kDebugTransactionCost);
-  ++stats_.transactions;
+  transactions_->Increment();
   return board_->AddBreakpoint(address);
 }
 
 Status DebugPort::ClearBreakpoint(uint64_t address) {
   RETURN_IF_ERROR(CheckResponsive(/*needs_core=*/false));
   board_->clock().Advance(kDebugTransactionCost);
-  ++stats_.transactions;
+  transactions_->Increment();
   board_->RemoveBreakpoint(address);
   return OkStatus();
 }
 
 void DebugPort::ClearAllBreakpoints() {
   board_->clock().Advance(kDebugTransactionCost);
-  ++stats_.transactions;
+  transactions_->Increment();
   board_->ClearBreakpoints();
 }
 
 Status DebugPort::FlashPartition(uint64_t offset, const std::vector<uint8_t>& data) {
   RETURN_IF_ERROR(CheckResponsive(/*needs_core=*/false));
   board_->clock().Advance(FlashProgramCost(data.size()));
-  ++stats_.transactions;
-  stats_.flash_bytes += data.size();
+  transactions_->Increment();
+  flash_bytes_->Add(data.size());
   return board_->FlashWrite(offset, data);
 }
 
 Status DebugPort::ResetTarget() {
   RETURN_IF_ERROR(CheckResponsive(/*needs_core=*/false));
-  ++stats_.transactions;
-  ++stats_.resets;
+  transactions_->Increment();
+  resets_->Increment();
   board_->Reset();  // charges kRebootCost internally
   return OkStatus();
 }
@@ -238,7 +283,7 @@ Status DebugPort::ResetTarget() {
 Status DebugPort::InjectPeripheralEvent(const PeripheralEvent& event) {
   RETURN_IF_ERROR(CheckResponsive(/*needs_core=*/false));
   board_->clock().Advance(kDebugTransactionCost);
-  ++stats_.transactions;
+  transactions_->Increment();
   if (!board_->InjectPeripheralEvent(event)) {
     return ResourceExhaustedError("peripheral event queue saturated");
   }

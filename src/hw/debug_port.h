@@ -8,6 +8,7 @@
 #define SRC_HW_DEBUG_PORT_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -15,9 +16,13 @@
 #include "src/common/vclock.h"
 #include "src/hw/board.h"
 #include "src/hw/stop_info.h"
+#include "src/telemetry/metrics.h"
 
 namespace eof {
 
+// A point-in-time view over the port's `link.*` telemetry counters. The counters in
+// the MetricsRegistry are the single source of truth; this struct only exists so
+// callers can read the link ledger without naming metric strings.
 struct DebugPortStats {
   uint64_t transactions = 0;  // link round trips (a committed batch counts once)
   uint64_t batches = 0;       // committed RunBatch / ContinueWithRead round trips
@@ -28,19 +33,12 @@ struct DebugPortStats {
   uint64_t flash_bytes = 0;          // bytes actually programmed
   uint64_t flash_skipped_bytes = 0;  // bytes the delta-reflash cache proved unchanged
   uint64_t resets = 0;
-
-  void Accumulate(const DebugPortStats& other) {
-    transactions += other.transactions;
-    batches += other.batches;
-    batched_ops += other.batched_ops;
-    bytes_read += other.bytes_read;
-    bytes_written += other.bytes_written;
-    timeouts += other.timeouts;
-    flash_bytes += other.flash_bytes;
-    flash_skipped_bytes += other.flash_skipped_bytes;
-    resets += other.resets;
-  }
 };
+
+// Reads the `link.*` counters out of a registry snapshot (per-board, diffed, or
+// farm-merged — snapshots compose with Diff/Merge, so this replaces the old
+// field-by-field Accumulate()).
+DebugPortStats DebugPortStatsFromSnapshot(const telemetry::MetricsSnapshot& snapshot);
 
 // One queued operation of a vectored debug-link batch (DebugPort::RunBatch). Ops are
 // queued host-side and committed in one link round trip, like OpenOCD's queued JTAG
@@ -94,8 +92,10 @@ struct PortOp {
 
 class DebugPort {
  public:
-  // The board must outlive the port.
-  explicit DebugPort(Board* board) : board_(board) {}
+  // The board must outlive the port. `registry` is where the port registers its
+  // `link.*` counters; pass the board session's registry to fold link traffic into
+  // that board's telemetry, or nullptr to let the port own a private registry.
+  explicit DebugPort(Board* board, telemetry::MetricsRegistry* registry = nullptr);
 
   // Attaches to the target's debug unit; fails for boards without one (Table 1 boundary).
   Status Connect();
@@ -121,7 +121,7 @@ class DebugPort {
 
   // Records `bytes` of flash programming skipped by the delta-reflash cache. Pure
   // host-side accounting: no link traffic, no virtual-time charge.
-  void NoteFlashSkipped(uint64_t bytes) { stats_.flash_skipped_bytes += bytes; }
+  void NoteFlashSkipped(uint64_t bytes) { flash_skipped_bytes_->Add(bytes); }
 
   // Current program counter (watchdog #2 probes this around exec-continue).
   Result<uint64_t> ReadPC();
@@ -168,7 +168,12 @@ class DebugPort {
   void InjectLinkFailure(bool severed) { link_severed_ = severed; }
   bool link_severed() const { return link_severed_; }
 
-  const DebugPortStats& stats() const { return stats_; }
+  // Current values of the port's `link.*` counters, materialized on demand.
+  DebugPortStats stats() const;
+
+  // The registry this port's counters live in (the board session's, or the private
+  // fallback). Snapshot it to diff link traffic across a probe window.
+  const telemetry::MetricsRegistry& registry() const { return *registry_; }
 
   // Escape hatch for tests and the campaign harness; production fuzzer code must not use.
   Board& board_for_test() { return *board_; }
@@ -186,7 +191,18 @@ class DebugPort {
   Board* board_;
   bool attached_ = false;
   bool link_severed_ = false;
-  DebugPortStats stats_;
+
+  std::unique_ptr<telemetry::MetricsRegistry> owned_registry_;  // set iff none was passed
+  telemetry::MetricsRegistry* registry_;
+  telemetry::Counter* transactions_;
+  telemetry::Counter* batches_;
+  telemetry::Counter* batched_ops_;
+  telemetry::Counter* bytes_read_;
+  telemetry::Counter* bytes_written_;
+  telemetry::Counter* timeouts_;
+  telemetry::Counter* flash_bytes_;
+  telemetry::Counter* flash_skipped_bytes_;
+  telemetry::Counter* resets_;
 };
 
 }  // namespace eof

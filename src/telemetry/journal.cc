@@ -1,0 +1,143 @@
+#include "src/telemetry/journal.h"
+
+#include "src/common/strings.h"
+
+namespace eof {
+namespace telemetry {
+
+EventField EventField::Uint(std::string key, uint64_t value) {
+  EventField field;
+  field.key = std::move(key);
+  field.kind = Kind::kUint;
+  field.uint_value = value;
+  return field;
+}
+
+EventField EventField::Real(std::string key, double value) {
+  EventField field;
+  field.key = std::move(key);
+  field.kind = Kind::kReal;
+  field.real_value = value;
+  return field;
+}
+
+EventField EventField::Text(std::string key, std::string value) {
+  EventField field;
+  field.key = std::move(key);
+  field.kind = Kind::kText;
+  field.text_value = std::move(value);
+  return field;
+}
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<uint8_t>(c) < 0x20) {
+          out += StrFormat("\\u%04x", static_cast<int>(static_cast<uint8_t>(c)));
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string Event::ToJsonLine() const {
+  std::string line = StrFormat("{\"type\":\"%s\",\"t_us\":%llu", JsonEscape(type).c_str(),
+                               static_cast<unsigned long long>(at));
+  if (worker >= 0) {
+    line += StrFormat(",\"worker\":%d", worker);
+  }
+  for (const EventField& field : fields) {
+    line += StrFormat(",\"%s\":", JsonEscape(field.key).c_str());
+    switch (field.kind) {
+      case EventField::Kind::kUint:
+        line += StrFormat("%llu", static_cast<unsigned long long>(field.uint_value));
+        break;
+      case EventField::Kind::kReal:
+        line += StrFormat("%.4f", field.real_value);
+        break;
+      case EventField::Kind::kText:
+        line += StrFormat("\"%s\"", JsonEscape(field.text_value).c_str());
+        break;
+    }
+  }
+  line += "}";
+  return line;
+}
+
+bool MemoryEventSink::Emit(const Event& event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= capacity_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  events_.push_back(event);
+  return true;
+}
+
+std::vector<Event> MemoryEventSink::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+Result<std::unique_ptr<FileEventSink>> FileEventSink::Open(const std::string& path,
+                                                           size_t buffer_lines) {
+  FILE* file = fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return UnavailableError(StrFormat("cannot open metrics journal '%s'", path.c_str()));
+  }
+  return std::unique_ptr<FileEventSink>(
+      new FileEventSink(file, std::max<size_t>(buffer_lines, 1)));
+}
+
+FileEventSink::~FileEventSink() {
+  Flush();
+  fclose(file_);
+}
+
+bool FileEventSink::Emit(const Event& event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  buffer_.push_back(event.ToJsonLine());
+  if (buffer_.size() >= buffer_lines_) {
+    FlushLocked();
+  }
+  return true;
+}
+
+void FileEventSink::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  FlushLocked();
+  fflush(file_);
+}
+
+void FileEventSink::FlushLocked() {
+  for (const std::string& line : buffer_) {
+    if (fprintf(file_, "%s\n", line.c_str()) < 0) {
+      // Count this line and every remaining one: a full disk drops visibly.
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  buffer_.clear();
+}
+
+}  // namespace telemetry
+}  // namespace eof

@@ -1,0 +1,118 @@
+// Campaign event journal: a JSONL stream of discrete campaign-lifecycle events —
+// new coverage, bug dedup hits, liveness resets, delta-reflash savings, trace spans,
+// periodic metric snapshots. Events are stamped with VIRTUAL time only (the same
+// clock the boards burn), so a journal is bit-reproducible across hosts and runs.
+//
+// Sinks buffer with a hard bound and an explicit drop counter: when a sink cannot
+// take an event (memory cap reached, file write failed) the event is dropped and
+// counted — never silently lost, never an unbounded queue.
+
+#ifndef SRC_TELEMETRY_JOURNAL_H_
+#define SRC_TELEMETRY_JOURNAL_H_
+
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/vclock.h"
+
+namespace eof {
+namespace telemetry {
+
+// One typed key/value of an event: an unsigned integer, a real (for rates), or a
+// string. Kept as a tagged struct rather than std::variant so rendering stays a
+// straight-line switch.
+struct EventField {
+  enum class Kind : uint8_t { kUint, kReal, kText };
+
+  std::string key;
+  Kind kind = Kind::kUint;
+  uint64_t uint_value = 0;
+  double real_value = 0;
+  std::string text_value;
+
+  static EventField Uint(std::string key, uint64_t value);
+  static EventField Real(std::string key, double value);
+  static EventField Text(std::string key, std::string value);
+};
+
+struct Event {
+  VirtualTime at = 0;  // virtual microseconds; the only timestamp an event carries
+  std::string type;    // "new_coverage", "bug", "liveness_reset", "board_snapshot", ...
+  int worker = -1;     // board index; -1 = campaign scope
+  std::vector<EventField> fields;
+
+  // One JSON object, no trailing newline:
+  //   {"type":"bug","t_us":12000,"worker":0,"catalog_id":7,...}
+  std::string ToJsonLine() const;
+};
+
+// Escapes `text` for embedding inside a JSON string literal (quotes, backslashes,
+// control characters; crash excerpts routinely contain newlines).
+std::string JsonEscape(std::string_view text);
+
+// Where journal events go. Implementations must be thread-safe: the farm emits from
+// every worker thread plus the scheduler's campaign lock.
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+
+  // Returns false when the event was dropped (also counted in dropped()).
+  virtual bool Emit(const Event& event) = 0;
+  virtual void Flush() {}
+  virtual uint64_t dropped() const = 0;
+};
+
+// Keeps up to `capacity` events in memory; the overflow is dropped and counted.
+// The journal of choice for tests and for in-process inspection.
+class MemoryEventSink : public EventSink {
+ public:
+  explicit MemoryEventSink(size_t capacity = 4096) : capacity_(capacity) {}
+
+  bool Emit(const Event& event) override;
+  uint64_t dropped() const override { return dropped_.load(std::memory_order_relaxed); }
+
+  std::vector<Event> Events() const;  // copy, so callers need no lock discipline
+
+ private:
+  mutable std::mutex mu_;
+  size_t capacity_;
+  std::vector<Event> events_;
+  std::atomic<uint64_t> dropped_{0};
+};
+
+// Appends JSONL lines to a file, buffering up to `buffer_lines` rendered lines
+// between writes so the hot path does not syscall per event. Buffered lines are
+// flushed on overflow, Flush(), and destruction; a failed write drops the buffered
+// lines and counts every one of them.
+class FileEventSink : public EventSink {
+ public:
+  static Result<std::unique_ptr<FileEventSink>> Open(const std::string& path,
+                                                     size_t buffer_lines = 256);
+  ~FileEventSink() override;
+
+  bool Emit(const Event& event) override;
+  void Flush() override;
+  uint64_t dropped() const override { return dropped_.load(std::memory_order_relaxed); }
+
+ private:
+  FileEventSink(FILE* file, size_t buffer_lines)
+      : file_(file), buffer_lines_(buffer_lines) {}
+  void FlushLocked();
+
+  std::mutex mu_;
+  FILE* file_;
+  size_t buffer_lines_;
+  std::vector<std::string> buffer_;
+  std::atomic<uint64_t> dropped_{0};
+};
+
+}  // namespace telemetry
+}  // namespace eof
+
+#endif  // SRC_TELEMETRY_JOURNAL_H_

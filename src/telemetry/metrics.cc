@@ -1,0 +1,143 @@
+#include "src/telemetry/metrics.h"
+
+#include <algorithm>
+
+namespace eof {
+namespace telemetry {
+
+Histogram::Histogram(std::vector<uint64_t> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  buckets_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::Observe(uint64_t value) {
+  size_t bucket =
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) - bounds_.begin();
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snapshot;
+  snapshot.bounds = bounds_;
+  snapshot.buckets.reserve(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    snapshot.buckets.push_back(buckets_[i].load(std::memory_order_relaxed));
+  }
+  snapshot.count = count_.load(std::memory_order_relaxed);
+  snapshot.sum = sum_.load(std::memory_order_relaxed);
+  return snapshot;
+}
+
+const std::vector<uint64_t>& DefaultLatencyBoundsUs() {
+  static const std::vector<uint64_t> bounds = {100,     1000,     10000,    100000,
+                                               1000000, 10000000, 100000000};
+  return bounds;
+}
+
+uint64_t MetricsSnapshot::CounterValue(const std::string& name) const {
+  auto it = counters.find(name);
+  return it == counters.end() ? 0 : it->second;
+}
+
+uint64_t MetricsSnapshot::GaugeValue(const std::string& name) const {
+  auto it = gauges.find(name);
+  return it == gauges.end() ? 0 : it->second;
+}
+
+MetricsSnapshot MetricsSnapshot::Diff(const MetricsSnapshot& earlier) const {
+  MetricsSnapshot diff = *this;
+  for (auto& [name, value] : diff.counters) {
+    uint64_t base = earlier.CounterValue(name);
+    value = value >= base ? value - base : 0;
+  }
+  for (auto& [name, histogram] : diff.histograms) {
+    auto it = earlier.histograms.find(name);
+    if (it == earlier.histograms.end() || it->second.bounds != histogram.bounds) {
+      continue;
+    }
+    const HistogramSnapshot& base = it->second;
+    for (size_t i = 0; i < histogram.buckets.size() && i < base.buckets.size(); ++i) {
+      uint64_t b = base.buckets[i];
+      histogram.buckets[i] = histogram.buckets[i] >= b ? histogram.buckets[i] - b : 0;
+    }
+    histogram.count = histogram.count >= base.count ? histogram.count - base.count : 0;
+    histogram.sum = histogram.sum >= base.sum ? histogram.sum - base.sum : 0;
+  }
+  return diff;
+}
+
+void MetricsSnapshot::Merge(const MetricsSnapshot& other) {
+  for (const auto& [name, value] : other.counters) {
+    counters[name] += value;
+  }
+  for (const auto& [name, value] : other.gauges) {
+    auto [it, inserted] = gauges.emplace(name, value);
+    if (!inserted) {
+      it->second = std::max(it->second, value);
+    }
+  }
+  for (const auto& [name, histogram] : other.histograms) {
+    auto [it, inserted] = histograms.emplace(name, histogram);
+    if (inserted || it->second.bounds != histogram.bounds) {
+      continue;
+    }
+    HistogramSnapshot& mine = it->second;
+    for (size_t i = 0; i < mine.buckets.size() && i < histogram.buckets.size(); ++i) {
+      mine.buckets[i] += histogram.buckets[i];
+    }
+    mine.count += histogram.count;
+    mine.sum += histogram.sum;
+  }
+}
+
+Counter* MetricsRegistry::RegisterCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = counters_.emplace(name, nullptr);
+  if (inserted) {
+    it->second = std::make_unique<Counter>();
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::RegisterGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = gauges_.emplace(name, nullptr);
+  if (inserted) {
+    it->second = std::make_unique<Gauge>();
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::RegisterHistogram(const std::string& name,
+                                              std::vector<uint64_t> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = histograms_.emplace(name, nullptr);
+  if (inserted) {
+    it->second = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return it->second.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snapshot;
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.emplace(name, counter->Value());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.emplace(name, gauge->Value());
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    snapshot.histograms.emplace(name, histogram->Snapshot());
+  }
+  return snapshot;
+}
+
+}  // namespace telemetry
+}  // namespace eof

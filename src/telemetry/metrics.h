@@ -1,0 +1,124 @@
+// MetricsRegistry — the per-board (and campaign-wide) metric store of the telemetry
+// subsystem. Writers hold typed handles (Counter/Gauge/Histogram) registered once at
+// construction; every handle mutation is a single relaxed std::atomic op, so the
+// fuzzing hot path never takes a lock. Readers call Snapshot(), which walks the
+// registered instruments under the registry mutex (held only against concurrent
+// registration — never against writers) and returns a plain-value MetricsSnapshot.
+//
+// Snapshots subtract (Diff, for before/after probes) and sum (Merge, for the farm-wide
+// view over per-board registries), which is how the campaign runners aggregate link
+// and executor counters without per-field summation code.
+
+#ifndef SRC_TELEMETRY_METRICS_H_
+#define SRC_TELEMETRY_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace eof {
+namespace telemetry {
+
+// Monotone event count. Add/Value are lock-free; totals across threads are exact
+// (fetch_add), only the ordering between distinct counters is relaxed.
+class Counter {
+ public:
+  void Add(uint64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Last-write-wins level (corpus size, session elapsed, local coverage count).
+class Gauge {
+ public:
+  void Set(uint64_t value) { value_.store(value, std::memory_order_relaxed); }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+struct HistogramSnapshot {
+  std::vector<uint64_t> bounds;   // ascending inclusive upper bounds; +inf is implicit
+  std::vector<uint64_t> buckets;  // bounds.size() + 1 entries (last = overflow)
+  uint64_t count = 0;
+  uint64_t sum = 0;
+
+  double Mean() const { return count == 0 ? 0.0 : static_cast<double>(sum) / count; }
+};
+
+// Fixed-bucket histogram: bucket bounds are chosen at registration and never change,
+// so Observe is a binary search plus two relaxed atomic adds. A concurrent snapshot
+// may see an observation's bucket before its count/sum (or vice versa) — tolerated,
+// as telemetry reads are advisory by design.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<uint64_t> bounds);
+
+  void Observe(uint64_t value);
+  HistogramSnapshot Snapshot() const;
+
+ private:
+  std::vector<uint64_t> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+// Virtual-microsecond latency bounds spanning a debug transaction (~100 us) up to a
+// full reflash+reboot (~seconds) — the default for trace-span histograms.
+const std::vector<uint64_t>& DefaultLatencyBoundsUs();
+
+// Point-in-time, plain-value copy of a registry (or a combination of several).
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, uint64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  // Missing names read as zero, so probes can diff across registration boundaries.
+  uint64_t CounterValue(const std::string& name) const;
+  uint64_t GaugeValue(const std::string& name) const;
+
+  // this - earlier, per counter and histogram bucket (saturating at 0); gauges keep
+  // this snapshot's value (levels have no meaningful difference).
+  MetricsSnapshot Diff(const MetricsSnapshot& earlier) const;
+
+  // Accumulates `other` into this snapshot: counters and histogram buckets sum,
+  // gauges take the max (so farm-wide elapsed is the slowest board, not a sum of
+  // clocks). This is the farm-wide aggregation over per-board registries.
+  void Merge(const MetricsSnapshot& other);
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Registration is idempotent: re-registering a name returns the existing handle
+  // (for a histogram, the existing bounds win). Handles are stable for the registry's
+  // lifetime and safe to mutate from any thread.
+  Counter* RegisterCounter(const std::string& name);
+  Gauge* RegisterGauge(const std::string& name);
+  Histogram* RegisterHistogram(const std::string& name, std::vector<uint64_t> bounds);
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;  // guards the maps, not the instruments
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace telemetry
+}  // namespace eof
+
+#endif  // SRC_TELEMETRY_METRICS_H_

@@ -1,0 +1,156 @@
+#include "src/telemetry/snapshot.h"
+
+#include <algorithm>
+
+namespace eof {
+namespace telemetry {
+
+namespace {
+
+// Rate per virtual second, guarded against a zero window.
+double PerVirtualSecond(uint64_t count, VirtualTime window) {
+  if (window == 0) {
+    return 0;
+  }
+  return static_cast<double>(count) * kVirtualSecond / static_cast<double>(window);
+}
+
+// The per-board columns of a snapshot row. The registry is sampled at emission
+// time, which can run marginally ahead of the boundary stamp `at` — snapshots are
+// "state as of crossing the boundary", not an exact integral.
+void AppendBoardColumns(const MetricsSnapshot& snapshot, VirtualTime at, Event* event) {
+  uint64_t execs = snapshot.CounterValue("exec.execs");
+  event->fields.push_back(EventField::Uint("execs", execs));
+  event->fields.push_back(EventField::Real("execs_per_vsec", PerVirtualSecond(execs, at)));
+  event->fields.push_back(
+      EventField::Uint("coverage", snapshot.GaugeValue("exec.local_coverage")));
+  event->fields.push_back(
+      EventField::Uint("edges_drained", snapshot.CounterValue("exec.edges_drained")));
+  event->fields.push_back(
+      EventField::Uint("rejected", snapshot.CounterValue("exec.rejected")));
+  event->fields.push_back(EventField::Uint("stalls", snapshot.CounterValue("exec.stalls")));
+  event->fields.push_back(
+      EventField::Uint("timeouts", snapshot.CounterValue("exec.timeouts")));
+  event->fields.push_back(
+      EventField::Uint("restores", snapshot.CounterValue("exec.restores")));
+  event->fields.push_back(EventField::Uint("resets", snapshot.CounterValue("link.resets")));
+  event->fields.push_back(
+      EventField::Uint("link_transactions", snapshot.CounterValue("link.transactions")));
+  event->fields.push_back(
+      EventField::Uint("link_batches", snapshot.CounterValue("link.batches")));
+  event->fields.push_back(
+      EventField::Uint("link_timeouts", snapshot.CounterValue("link.timeouts")));
+  event->fields.push_back(
+      EventField::Uint("flash_bytes", snapshot.CounterValue("link.flash_bytes")));
+  event->fields.push_back(EventField::Uint(
+      "flash_skipped_bytes", snapshot.CounterValue("link.flash_skipped_bytes")));
+}
+
+}  // namespace
+
+SnapshotEmitter::SnapshotEmitter(std::vector<const MetricsRegistry*> boards,
+                                 std::function<CampaignView()> view, EventSink* sink,
+                                 VirtualDuration interval, VirtualDuration budget)
+    : boards_(std::move(boards)),
+      view_(std::move(view)),
+      sink_(sink),
+      interval_(interval),
+      budget_(budget),
+      elapsed_(boards_.size(), 0),
+      next_board_(boards_.size(), interval),
+      done_(boards_.size(), false),
+      next_farm_(interval) {}
+
+void SnapshotEmitter::MaybeEmit(int worker, VirtualTime elapsed) {
+  if (sink_ == nullptr || interval_ == 0) {
+    return;
+  }
+  size_t slot = static_cast<size_t>(worker);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (slot >= boards_.size()) {
+    return;
+  }
+  elapsed_[slot] = std::max(elapsed_[slot], elapsed);
+  while (next_board_[slot] <= budget_ && elapsed_[slot] >= next_board_[slot]) {
+    EmitBoardLocked(worker, next_board_[slot]);
+    next_board_[slot] += interval_;
+  }
+  VirtualTime frontier = FrontierLocked();
+  while (next_farm_ <= budget_ && frontier >= next_farm_) {
+    EmitFarmLocked(next_farm_);
+    next_farm_ += interval_;
+  }
+}
+
+void SnapshotEmitter::WorkerDone(int worker) {
+  if (sink_ == nullptr || interval_ == 0) {
+    return;
+  }
+  size_t slot = static_cast<size_t>(worker);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (slot >= boards_.size()) {
+    return;
+  }
+  done_[slot] = true;
+  VirtualTime frontier = FrontierLocked();
+  while (next_farm_ <= budget_ && frontier >= next_farm_) {
+    EmitFarmLocked(next_farm_);
+    next_farm_ += interval_;
+  }
+}
+
+void SnapshotEmitter::Finish(VirtualTime elapsed) {
+  if (sink_ == nullptr) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    EmitFarmLocked(elapsed);
+  }
+  sink_->Flush();
+}
+
+VirtualTime SnapshotEmitter::FrontierLocked() const {
+  VirtualTime frontier = budget_;
+  for (size_t i = 0; i < elapsed_.size(); ++i) {
+    if (!done_[i]) {
+      frontier = std::min(frontier, elapsed_[i]);
+    }
+  }
+  return frontier;
+}
+
+void SnapshotEmitter::EmitBoardLocked(int worker, VirtualTime at) {
+  Event event;
+  event.at = at;
+  event.type = "board_snapshot";
+  event.worker = worker;
+  AppendBoardColumns(boards_[static_cast<size_t>(worker)]->Snapshot(), at, &event);
+  sink_->Emit(event);
+}
+
+void SnapshotEmitter::EmitFarmLocked(VirtualTime at) {
+  MetricsSnapshot merged;
+  for (const MetricsRegistry* board : boards_) {
+    merged.Merge(board->Snapshot());
+  }
+  Event event;
+  event.at = at;
+  event.type = "farm_snapshot";
+  event.fields.push_back(EventField::Uint("boards", boards_.size()));
+  AppendBoardColumns(merged, at, &event);
+  if (view_) {
+    CampaignView view = view_();
+    // Campaign-global truths override the merged per-board approximations.
+    event.fields.push_back(EventField::Uint("campaign_coverage", view.coverage));
+    event.fields.push_back(EventField::Uint("corpus", view.corpus));
+    event.fields.push_back(EventField::Uint("campaign_execs", view.execs));
+    event.fields.push_back(EventField::Uint("crashes", view.crashes));
+    event.fields.push_back(EventField::Uint("bugs", view.bugs));
+  }
+  event.fields.push_back(EventField::Uint("journal_dropped", sink_->dropped()));
+  sink_->Emit(event);
+}
+
+}  // namespace telemetry
+}  // namespace eof

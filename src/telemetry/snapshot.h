@@ -1,0 +1,75 @@
+// CampaignSnapshot emission: the periodic per-board / farm-wide metric rows behind
+// `eof fuzz --metrics-out`. Workers report their session clock after every execution;
+// whenever a board crosses an interval boundary its registry is snapshotted into a
+// "board_snapshot" JSONL row, and whenever the campaign frontier (the slowest active
+// board's clock — the same rule the coverage series uses) crosses a boundary the
+// merged per-board registries plus the scheduler's campaign view become one
+// "farm_snapshot" row. Emission is driven purely by virtual time and never touches
+// campaign state, so metrics-on and metrics-off runs are bit-identical.
+
+#ifndef SRC_TELEMETRY_SNAPSHOT_H_
+#define SRC_TELEMETRY_SNAPSHOT_H_
+
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "src/common/vclock.h"
+#include "src/telemetry/journal.h"
+#include "src/telemetry/metrics.h"
+
+namespace eof {
+namespace telemetry {
+
+// The campaign-global numbers only the scheduler knows (its coverage map, corpus,
+// and bug ledger); polled at each farm-row boundary.
+struct CampaignView {
+  uint64_t coverage = 0;
+  uint64_t corpus = 0;
+  uint64_t execs = 0;
+  uint64_t crashes = 0;
+  uint64_t bugs = 0;
+};
+
+class SnapshotEmitter {
+ public:
+  // `boards[i]` is worker i's registry; registries and `sink` must outlive the
+  // emitter. `interval` <= 0 disables periodic rows (Finish still emits a final
+  // farm row). `view` is called outside any campaign lock the caller holds.
+  SnapshotEmitter(std::vector<const MetricsRegistry*> boards,
+                  std::function<CampaignView()> view, EventSink* sink,
+                  VirtualDuration interval, VirtualDuration budget);
+
+  // Worker `worker` has lived to `elapsed` on its own board clock. Emits every
+  // board row the worker newly crossed and every farm row the frontier newly
+  // crossed. Cheap when no boundary was crossed: one mutex + two compares.
+  void MaybeEmit(int worker, VirtualTime elapsed);
+
+  // The worker's session ended; it no longer holds the frontier back.
+  void WorkerDone(int worker);
+
+  // Emits the final farm row at campaign end and flushes the sink.
+  void Finish(VirtualTime elapsed);
+
+ private:
+  void EmitBoardLocked(int worker, VirtualTime at);
+  void EmitFarmLocked(VirtualTime at);
+  VirtualTime FrontierLocked() const;
+
+  std::vector<const MetricsRegistry*> boards_;
+  std::function<CampaignView()> view_;
+  EventSink* sink_;
+  VirtualDuration interval_;
+  VirtualDuration budget_;
+
+  std::mutex mu_;
+  std::vector<VirtualTime> elapsed_;
+  std::vector<VirtualTime> next_board_;
+  std::vector<bool> done_;
+  VirtualTime next_farm_;
+};
+
+}  // namespace telemetry
+}  // namespace eof
+
+#endif  // SRC_TELEMETRY_SNAPSHOT_H_

@@ -1,0 +1,99 @@
+#include "src/telemetry/telemetry.h"
+
+#include "src/common/hash.h"
+
+namespace eof {
+namespace telemetry {
+
+void BoardTelemetry::EmitEvent(VirtualTime at, std::string type,
+                               std::vector<EventField> fields) {
+  if (sink_ == nullptr) {
+    return;
+  }
+  Event event;
+  event.at = at;
+  event.type = std::move(type);
+  event.worker = worker_;
+  event.fields = std::move(fields);
+  sink_->Emit(event);
+}
+
+CampaignTelemetry::CampaignTelemetry(const Options& options) : options_(options) {}
+
+Result<std::unique_ptr<CampaignTelemetry>> CampaignTelemetry::Create(
+    const Options& options) {
+  auto telemetry = std::unique_ptr<CampaignTelemetry>(new CampaignTelemetry(options));
+  if (!options.metrics_out.empty()) {
+    ASSIGN_OR_RETURN(telemetry->sink_, FileEventSink::Open(options.metrics_out));
+  }
+  int workers = std::max(options.workers, 1);
+  telemetry->boards_.reserve(static_cast<size_t>(workers));
+  for (int worker = 0; worker < workers; ++worker) {
+    // Worker 0 keeps the base seed, others an FNV-derived stream — the same lane
+    // rule the farm uses for its RNGs, so span ids line up with worker seeds.
+    uint64_t seed = worker == 0 ? options.seed
+                                : DeriveSeedStream(options.seed,
+                                                   static_cast<uint64_t>(worker));
+    telemetry->boards_.push_back(
+        std::make_unique<BoardTelemetry>(worker, seed, telemetry->sink_.get()));
+  }
+  return telemetry;
+}
+
+void CampaignTelemetry::StartEmitter(std::function<CampaignView()> view) {
+  if (sink_ == nullptr || emitter_ != nullptr) {
+    return;
+  }
+  std::vector<const MetricsRegistry*> registries;
+  registries.reserve(boards_.size());
+  for (const auto& board : boards_) {
+    registries.push_back(&board->registry());
+  }
+  emitter_ = std::make_unique<SnapshotEmitter>(std::move(registries), std::move(view),
+                                               sink_.get(), options_.snapshot_interval,
+                                               options_.budget);
+}
+
+MetricsSnapshot CampaignTelemetry::MergedBoardSnapshot() const {
+  MetricsSnapshot merged;
+  for (const auto& board : boards_) {
+    merged.Merge(board->registry().Snapshot());
+  }
+  return merged;
+}
+
+void CampaignTelemetry::CampaignStart(const std::string& os_name,
+                                      const std::string& board_name) {
+  if (sink_ == nullptr) {
+    return;
+  }
+  Event event;
+  event.at = 0;
+  event.type = "campaign_start";
+  event.fields.push_back(EventField::Text("os", os_name));
+  event.fields.push_back(
+      EventField::Text("board", board_name.empty() ? "default" : board_name));
+  event.fields.push_back(EventField::Uint("workers", boards_.size()));
+  event.fields.push_back(EventField::Uint("seed", options_.seed));
+  event.fields.push_back(EventField::Uint("budget_us", options_.budget));
+  event.fields.push_back(EventField::Uint("interval_us", options_.snapshot_interval));
+  sink_->Emit(event);
+}
+
+void CampaignTelemetry::CampaignEnd(VirtualTime elapsed) {
+  if (emitter_ != nullptr) {
+    emitter_->Finish(elapsed);
+  }
+  if (sink_ == nullptr) {
+    return;
+  }
+  Event event;
+  event.at = elapsed;
+  event.type = "campaign_end";
+  event.fields.push_back(EventField::Uint("journal_dropped", sink_->dropped()));
+  sink_->Emit(event);
+  sink_->Flush();
+}
+
+}  // namespace telemetry
+}  // namespace eof

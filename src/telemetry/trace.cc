@@ -1,0 +1,48 @@
+#include "src/telemetry/trace.h"
+
+#include "src/common/hash.h"
+
+namespace eof {
+namespace telemetry {
+
+Tracer::Tracer(MetricsRegistry* registry, uint64_t session_seed, int worker,
+               EventSink* sink)
+    : registry_(registry), sink_(sink), seed_(session_seed), worker_(worker) {}
+
+Tracer::Span Tracer::Begin(const char* name, VirtualTime now) {
+  Span span;
+  span.id = DeriveSeedStream(seed_, ++sequence_);
+  span.name = name;
+  span.begin = now;
+  return span;
+}
+
+void Tracer::End(const Span& span, VirtualTime now, bool journal) {
+  VirtualDuration duration = now >= span.begin ? now - span.begin : 0;
+  HistogramFor(span.name)->Observe(duration);
+  if (journal && sink_ != nullptr) {
+    Event event;
+    event.at = now;
+    event.type = "span";
+    event.worker = worker_;
+    event.fields.push_back(EventField::Text("span", span.name));
+    event.fields.push_back(EventField::Uint("span_id", span.id));
+    event.fields.push_back(EventField::Uint("begin_us", span.begin));
+    event.fields.push_back(EventField::Uint("dur_us", duration));
+    sink_->Emit(event);
+  }
+}
+
+Histogram* Tracer::HistogramFor(const char* name) {
+  auto it = histograms_.find(name);
+  if (it != histograms_.end()) {
+    return it->second;
+  }
+  Histogram* histogram = registry_->RegisterHistogram(
+      std::string("span.") + name + "_us", DefaultLatencyBoundsUs());
+  histograms_.emplace(name, histogram);
+  return histogram;
+}
+
+}  // namespace telemetry
+}  // namespace eof

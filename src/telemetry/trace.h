@@ -1,0 +1,60 @@
+// Trace spans for the executor phases (deploy, exec-continue, coverage drain,
+// reflash, watchdog recovery). A span is a VirtualTime begin/end pair: the begin and
+// end stamps come from the board's own clock, never from the host's wall clock, so a
+// trace is bit-identical across runs and hosts. Span ids derive from the session seed
+// and a per-tracer sequence number via DeriveSeedStream — stable, collision-resistant,
+// and free of global state.
+//
+// Every ended span lands in a registry histogram ("span.<name>_us"). High-frequency
+// phases stay histogram-only; rare, diagnostic phases (deploy, reflash, watchdog
+// recovery) are additionally journaled as "span" events when a sink is attached.
+
+#ifndef SRC_TELEMETRY_TRACE_H_
+#define SRC_TELEMETRY_TRACE_H_
+
+#include <map>
+#include <string>
+
+#include "src/common/vclock.h"
+#include "src/telemetry/journal.h"
+#include "src/telemetry/metrics.h"
+
+namespace eof {
+namespace telemetry {
+
+// One tracer per board session, used from that session's thread only (its registry
+// handles are thread-safe; its span-handle bookkeeping is not).
+class Tracer {
+ public:
+  struct Span {
+    uint64_t id = 0;
+    const char* name = nullptr;
+    VirtualTime begin = 0;
+  };
+
+  // `registry` must outlive the tracer; `sink` may be null (spans then only feed
+  // histograms).
+  Tracer(MetricsRegistry* registry, uint64_t session_seed, int worker, EventSink* sink);
+
+  Span Begin(const char* name, VirtualTime now);
+
+  // Records end-begin into the span's duration histogram; with `journal` set and a
+  // sink attached, also emits {"type":"span","span":name,"span_id":...,"begin_us":...,
+  // "dur_us":...}.
+  void End(const Span& span, VirtualTime now, bool journal = false);
+
+ private:
+  Histogram* HistogramFor(const char* name);
+
+  MetricsRegistry* registry_;
+  EventSink* sink_;
+  uint64_t seed_;
+  int worker_;
+  uint64_t sequence_ = 0;
+  std::map<std::string, Histogram*> histograms_;
+};
+
+}  // namespace telemetry
+}  // namespace eof
+
+#endif  // SRC_TELEMETRY_TRACE_H_

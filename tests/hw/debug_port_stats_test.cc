@@ -201,28 +201,50 @@ TEST_F(DebugPortBatchTest, FlashSkippedBytesAccounting) {
   EXPECT_EQ(port_.stats().transactions, before.transactions);
 }
 
-TEST(DebugPortStatsTest, AccumulateSumsEveryField) {
-  DebugPortStats a;
-  a.transactions = 1;
-  a.batches = 2;
-  a.batched_ops = 3;
-  a.bytes_read = 4;
-  a.bytes_written = 5;
-  a.flash_bytes = 6;
-  a.flash_skipped_bytes = 7;
-  a.resets = 8;
-  a.timeouts = 9;
-  DebugPortStats b = a;
-  b.Accumulate(a);
-  EXPECT_EQ(b.transactions, 2u);
-  EXPECT_EQ(b.batches, 4u);
-  EXPECT_EQ(b.batched_ops, 6u);
-  EXPECT_EQ(b.bytes_read, 8u);
-  EXPECT_EQ(b.bytes_written, 10u);
-  EXPECT_EQ(b.flash_bytes, 12u);
-  EXPECT_EQ(b.flash_skipped_bytes, 14u);
-  EXPECT_EQ(b.resets, 16u);
-  EXPECT_EQ(b.timeouts, 18u);
+// Farm aggregation goes through registry snapshot merges now: two boards' link
+// ledgers merged must sum every `link.*` counter, and the stats view built from the
+// merged snapshot must report those sums field for field.
+TEST(DebugPortStatsTest, SnapshotMergeSumsEveryLinkCounter) {
+  telemetry::MetricsRegistry reg_a;
+  telemetry::MetricsRegistry reg_b;
+  const char* names[] = {"link.transactions",        "link.batches",
+                         "link.batched_ops",         "link.bytes_read",
+                         "link.bytes_written",       "link.timeouts",
+                         "link.flash_bytes",         "link.flash_skipped_bytes",
+                         "link.resets"};
+  uint64_t value = 1;
+  for (const char* name : names) {
+    reg_a.RegisterCounter(name)->Add(value);
+    reg_b.RegisterCounter(name)->Add(value * 10);
+    ++value;
+  }
+  telemetry::MetricsSnapshot merged = reg_a.Snapshot();
+  merged.Merge(reg_b.Snapshot());
+
+  DebugPortStats stats = DebugPortStatsFromSnapshot(merged);
+  EXPECT_EQ(stats.transactions, 11u);
+  EXPECT_EQ(stats.batches, 22u);
+  EXPECT_EQ(stats.batched_ops, 33u);
+  EXPECT_EQ(stats.bytes_read, 44u);
+  EXPECT_EQ(stats.bytes_written, 55u);
+  EXPECT_EQ(stats.timeouts, 66u);
+  EXPECT_EQ(stats.flash_bytes, 77u);
+  EXPECT_EQ(stats.flash_skipped_bytes, 88u);
+  EXPECT_EQ(stats.resets, 99u);
+}
+
+// A port's live counters and a snapshot of its registry must agree: stats() is a
+// view, not a second ledger.
+TEST(DebugPortStatsTest, StatsMatchesRegistrySnapshot) {
+  auto spec_or = BoardSpecByName("stm32f407-disco");
+  ASSERT_TRUE(spec_or.ok());
+  Board board(spec_or.value());
+  DebugPort port(&board);
+  port.NoteFlashSkipped(4096);
+  DebugPortStats from_snapshot = DebugPortStatsFromSnapshot(port.registry().Snapshot());
+  EXPECT_EQ(from_snapshot.flash_skipped_bytes, port.stats().flash_skipped_bytes);
+  EXPECT_EQ(from_snapshot.transactions, port.stats().transactions);
+  EXPECT_EQ(from_snapshot.timeouts, port.stats().timeouts);
 }
 
 }  // namespace

@@ -1,0 +1,347 @@
+// Telemetry subsystem tests: registry semantics (idempotent registration, snapshot
+// Diff/Merge), concurrent writers against a snapshotting reader (the TSan target),
+// journal drop accounting under a tiny buffer, deterministic span ids, the snapshot
+// emitter's interval/frontier rules, and the campaign-level contract that a
+// telemetry-consuming run is bit-identical to a telemetry-off run.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+
+#include "src/core/fuzzer.h"
+#include "src/os/all_oses.h"
+#include "src/telemetry/journal.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/snapshot.h"
+#include "src/telemetry/telemetry.h"
+#include "src/telemetry/trace.h"
+
+namespace eof {
+namespace telemetry {
+namespace {
+
+TEST(MetricsRegistryTest, RegistrationIsIdempotentWithStableHandles) {
+  MetricsRegistry registry;
+  Counter* a = registry.RegisterCounter("link.transactions");
+  Counter* b = registry.RegisterCounter("link.transactions");
+  EXPECT_EQ(a, b);
+  a->Add(3);
+  EXPECT_EQ(b->Value(), 3u);
+
+  Gauge* g1 = registry.RegisterGauge("exec.local_coverage");
+  Gauge* g2 = registry.RegisterGauge("exec.local_coverage");
+  EXPECT_EQ(g1, g2);
+
+  Histogram* h1 = registry.RegisterHistogram("span.reflash_us", {10, 100});
+  Histogram* h2 = registry.RegisterHistogram("span.reflash_us", {99999});
+  EXPECT_EQ(h1, h2);  // existing bounds win
+}
+
+TEST(MetricsRegistryTest, SnapshotCapturesAllInstrumentKinds) {
+  MetricsRegistry registry;
+  registry.RegisterCounter("c")->Add(7);
+  registry.RegisterGauge("g")->Set(42);
+  Histogram* h = registry.RegisterHistogram("h", {10, 100});
+  h->Observe(5);
+  h->Observe(50);
+  h->Observe(5000);
+
+  MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.CounterValue("c"), 7u);
+  EXPECT_EQ(snapshot.GaugeValue("g"), 42u);
+  EXPECT_EQ(snapshot.CounterValue("missing"), 0u);
+  const HistogramSnapshot& hist = snapshot.histograms.at("h");
+  EXPECT_EQ(hist.count, 3u);
+  EXPECT_EQ(hist.sum, 5055u);
+  ASSERT_EQ(hist.buckets.size(), 3u);
+  EXPECT_EQ(hist.buckets[0], 1u);  // <= 10
+  EXPECT_EQ(hist.buckets[1], 1u);  // <= 100
+  EXPECT_EQ(hist.buckets[2], 1u);  // overflow
+}
+
+TEST(MetricsSnapshotTest, DiffIsolatesAProbeWindow) {
+  MetricsRegistry registry;
+  Counter* c = registry.RegisterCounter("c");
+  Gauge* g = registry.RegisterGauge("g");
+  c->Add(10);
+  g->Set(1);
+  MetricsSnapshot before = registry.Snapshot();
+  c->Add(5);
+  g->Set(9);
+  MetricsSnapshot delta = registry.Snapshot().Diff(before);
+  EXPECT_EQ(delta.CounterValue("c"), 5u);
+  EXPECT_EQ(delta.GaugeValue("g"), 9u);  // gauges keep the later level
+}
+
+TEST(MetricsSnapshotTest, MergeSumsCountersAndMaxesGauges) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  a.RegisterCounter("c")->Add(2);
+  b.RegisterCounter("c")->Add(40);
+  b.RegisterCounter("only_b")->Add(1);
+  a.RegisterGauge("g")->Set(7);
+  b.RegisterGauge("g")->Set(3);
+  a.RegisterHistogram("h", {10})->Observe(4);
+  b.RegisterHistogram("h", {10})->Observe(400);
+
+  MetricsSnapshot merged = a.Snapshot();
+  merged.Merge(b.Snapshot());
+  EXPECT_EQ(merged.CounterValue("c"), 42u);
+  EXPECT_EQ(merged.CounterValue("only_b"), 1u);
+  EXPECT_EQ(merged.GaugeValue("g"), 7u);
+  EXPECT_EQ(merged.histograms.at("h").count, 2u);
+  EXPECT_EQ(merged.histograms.at("h").sum, 404u);
+}
+
+// The TSan target: hammer one registry from several writer threads while a reader
+// snapshots concurrently. Counter totals must be exact; snapshots must be torn-free
+// enough to never exceed the final total.
+TEST(MetricsRegistryTest, ConcurrentWritersAndSnapshotReader) {
+  constexpr int kWriters = 4;
+  constexpr uint64_t kPerWriter = 20000;
+  MetricsRegistry registry;
+  Counter* counter = registry.RegisterCounter("exec.execs");
+  Histogram* histogram = registry.RegisterHistogram("span.exec_us", {100, 1000});
+  std::atomic<bool> stop(false);
+
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      MetricsSnapshot snapshot = registry.Snapshot();
+      EXPECT_LE(snapshot.CounterValue("exec.execs"), kWriters * kPerWriter);
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&registry, counter, histogram, w] {
+      // Concurrent registration of the same and of distinct names must be safe too.
+      Gauge* gauge =
+          registry.RegisterGauge("exec.worker" + std::to_string(w) + ".gauge");
+      for (uint64_t i = 0; i < kPerWriter; ++i) {
+        counter->Increment();
+        histogram->Observe(i % 2000);
+        gauge->Set(i);
+      }
+    });
+  }
+  for (std::thread& t : writers) {
+    t.join();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  MetricsSnapshot final_snapshot = registry.Snapshot();
+  EXPECT_EQ(final_snapshot.CounterValue("exec.execs"), kWriters * kPerWriter);
+  EXPECT_EQ(final_snapshot.histograms.at("span.exec_us").count, kWriters * kPerWriter);
+}
+
+TEST(JournalTest, MemorySinkDropsAndCountsBeyondCapacity) {
+  MemoryEventSink sink(/*capacity=*/2);
+  Event event;
+  event.type = "new_coverage";
+  EXPECT_TRUE(sink.Emit(event));
+  EXPECT_TRUE(sink.Emit(event));
+  EXPECT_FALSE(sink.Emit(event));
+  EXPECT_FALSE(sink.Emit(event));
+  EXPECT_EQ(sink.dropped(), 2u);
+  EXPECT_EQ(sink.Events().size(), 2u);
+}
+
+TEST(JournalTest, ConcurrentEmittersNeverLoseTheCount) {
+  // Tiny capacity forces the drop path under contention; kept + dropped must equal
+  // the number of Emit calls exactly.
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  MemoryEventSink sink(/*capacity=*/64);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&sink] {
+      Event event;
+      event.type = "liveness_reset";
+      for (int i = 0; i < kPerThread; ++i) {
+        sink.Emit(event);
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(sink.Events().size() + sink.dropped(),
+            static_cast<size_t>(kThreads * kPerThread));
+  EXPECT_EQ(sink.Events().size(), 64u);
+}
+
+TEST(JournalTest, EventRendersAsOneJsonObject) {
+  Event event;
+  event.at = 1500;
+  event.type = "bug";
+  event.worker = 2;
+  event.fields.push_back(EventField::Uint("catalog_id", 7));
+  event.fields.push_back(EventField::Real("rate", 2.5));
+  event.fields.push_back(EventField::Text("detector", "log\"mon\""));
+  EXPECT_EQ(event.ToJsonLine(),
+            "{\"type\":\"bug\",\"t_us\":1500,\"worker\":2,\"catalog_id\":7,"
+            "\"rate\":2.5000,\"detector\":\"log\\\"mon\\\"\"}");
+}
+
+TEST(JournalTest, FileSinkWritesParseableLinesAndFlushes) {
+  std::string path = ::testing::TempDir() + "/telemetry_file_sink.jsonl";
+  auto sink_or = FileEventSink::Open(path, /*buffer_lines=*/4);
+  ASSERT_TRUE(sink_or.ok());
+  std::unique_ptr<FileEventSink> sink = std::move(sink_or).value();
+  Event event;
+  event.type = "campaign_start";
+  for (int i = 0; i < 10; ++i) {
+    event.at = static_cast<VirtualTime>(i);
+    EXPECT_TRUE(sink->Emit(event));
+  }
+  sink->Flush();
+  FILE* file = fopen(path.c_str(), "rb");
+  ASSERT_NE(file, nullptr);
+  int lines = 0;
+  int c;
+  while ((c = fgetc(file)) != EOF) {
+    if (c == '\n') {
+      ++lines;
+    }
+  }
+  fclose(file);
+  EXPECT_EQ(lines, 10);
+  EXPECT_EQ(sink->dropped(), 0u);
+  remove(path.c_str());
+}
+
+TEST(TracerTest, SpanIdsAreSeedDeterministicAndDurationsLand) {
+  MetricsRegistry reg_a;
+  MetricsRegistry reg_b;
+  Tracer tracer_a(&reg_a, /*session_seed=*/11, /*worker=*/0, nullptr);
+  Tracer tracer_b(&reg_b, /*session_seed=*/11, /*worker=*/0, nullptr);
+  Tracer other(&reg_b, /*session_seed=*/12, /*worker=*/0, nullptr);
+
+  Tracer::Span s1 = tracer_a.Begin("reflash", 100);
+  Tracer::Span s2 = tracer_b.Begin("reflash", 100);
+  EXPECT_EQ(s1.id, s2.id);  // same seed, same sequence -> same id
+  EXPECT_NE(s1.id, other.Begin("reflash", 100).id);
+
+  tracer_a.End(s1, 350);
+  MetricsSnapshot snapshot = reg_a.Snapshot();
+  const HistogramSnapshot& hist = snapshot.histograms.at("span.reflash_us");
+  EXPECT_EQ(hist.count, 1u);
+  EXPECT_EQ(hist.sum, 250u);
+}
+
+TEST(TracerTest, JournaledSpanCarriesBeginAndDuration) {
+  MetricsRegistry registry;
+  MemoryEventSink sink;
+  Tracer tracer(&registry, /*session_seed=*/3, /*worker=*/1, &sink);
+  Tracer::Span span = tracer.Begin("deploy", 1000);
+  tracer.End(span, 4000, /*journal=*/true);
+  auto events = sink.Events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].type, "span");
+  EXPECT_EQ(events[0].at, 4000u);
+  EXPECT_EQ(events[0].worker, 1);
+}
+
+TEST(SnapshotEmitterTest, BoardRowsFollowEachClockFarmRowsFollowTheFrontier) {
+  MetricsRegistry board0;
+  MetricsRegistry board1;
+  board0.RegisterCounter("exec.execs")->Add(10);
+  board1.RegisterCounter("exec.execs")->Add(20);
+  MemoryEventSink sink;
+  SnapshotEmitter emitter({&board0, &board1}, /*view=*/nullptr, &sink,
+                          /*interval=*/100, /*budget=*/1000);
+
+  emitter.MaybeEmit(0, 250);  // board 0 crossed t=100 and t=200
+  auto events = sink.Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].type, "board_snapshot");
+  EXPECT_EQ(events[0].at, 100u);
+  EXPECT_EQ(events[1].at, 200u);
+
+  // Farm rows wait for the slowest active board: only when board 1 reaches t>=100
+  // does the frontier cross the first boundary.
+  emitter.MaybeEmit(1, 120);
+  events = sink.Events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[2].type, "board_snapshot");
+  EXPECT_EQ(events[2].worker, 1);
+  EXPECT_EQ(events[3].type, "farm_snapshot");
+  EXPECT_EQ(events[3].at, 100u);
+  // The farm row merges both boards' registries.
+  bool found = false;
+  for (const EventField& field : events[3].fields) {
+    if (field.key == "execs") {
+      EXPECT_EQ(field.uint_value, 30u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+
+  // A finished worker stops holding the frontier back.
+  emitter.WorkerDone(1);
+  events = sink.Events();
+  EXPECT_EQ(events.back().type, "farm_snapshot");
+  EXPECT_EQ(events.back().at, 200u);
+}
+
+TEST(CampaignTelemetryTest, OpenFailureSurfacesAndEmptyPathMeansNoSink) {
+  CampaignTelemetry::Options options;
+  options.metrics_out = "/nonexistent-dir/metrics.jsonl";
+  EXPECT_FALSE(CampaignTelemetry::Create(options).ok());
+
+  options.metrics_out.clear();
+  options.workers = 3;
+  auto telemetry_or = CampaignTelemetry::Create(options);
+  ASSERT_TRUE(telemetry_or.ok());
+  EXPECT_EQ(telemetry_or.value()->sink(), nullptr);
+  EXPECT_EQ(telemetry_or.value()->workers(), 3);
+  EXPECT_EQ(telemetry_or.value()->emitter(), nullptr);
+}
+
+// The campaign-level determinism contract: with --jobs 1, a campaign writing a
+// telemetry journal must produce bit-identical fuzzing results (coverage, series,
+// execs, bugs) to the same campaign with telemetry off.
+TEST(CampaignTelemetryTest, JournalingCampaignIsBitIdenticalToSilentOne) {
+  ASSERT_TRUE(RegisterAllOses().ok());
+  FuzzerConfig config;
+  config.os_name = "freertos";
+  config.seed = 11;
+  config.budget = 90 * kVirtualSecond;
+  config.sample_points = 6;
+
+  EofFuzzer silent(config);
+  auto silent_result = silent.Run();
+  ASSERT_TRUE(silent_result.ok());
+
+  config.metrics_out = ::testing::TempDir() + "/determinism_probe.jsonl";
+  config.metrics_interval = 15 * kVirtualSecond;
+  EofFuzzer journaled(config);
+  auto journaled_result = journaled.Run();
+  ASSERT_TRUE(journaled_result.ok());
+
+  const CampaignResult& a = silent_result.value();
+  const CampaignResult& b = journaled_result.value();
+  EXPECT_EQ(a.final_coverage, b.final_coverage);
+  EXPECT_EQ(a.execs, b.execs);
+  EXPECT_EQ(a.crashes, b.crashes);
+  EXPECT_EQ(a.elapsed, b.elapsed);
+  EXPECT_EQ(a.bugs.size(), b.bugs.size());
+  ASSERT_EQ(a.series.size(), b.series.size());
+  for (size_t i = 0; i < a.series.size(); ++i) {
+    EXPECT_EQ(a.series[i].time, b.series[i].time);
+    EXPECT_EQ(a.series[i].coverage, b.series[i].coverage);
+  }
+  // And the journal actually has content.
+  FILE* file = fopen(config.metrics_out.c_str(), "rb");
+  ASSERT_NE(file, nullptr);
+  fseek(file, 0, SEEK_END);
+  EXPECT_GT(ftell(file), 0);
+  fclose(file);
+  remove(config.metrics_out.c_str());
+}
+
+}  // namespace
+}  // namespace telemetry
+}  // namespace eof

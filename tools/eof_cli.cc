@@ -34,6 +34,7 @@ int Usage() {
           "  eof list-targets\n"
           "  eof mine-specs <os>\n"
           "  eof fuzz <os> [minutes=60] [seed=1] [board=default] [--jobs N]\n"
+          "           [--metrics-out FILE.jsonl] [--metrics-interval SECONDS]\n"
           "  eof repro <os> <bug-id>\n"
           "  eof replay <os> <reproducer-file>\n"
           "  eof bugs\n");
@@ -77,13 +78,18 @@ int MineSpecs(const std::string& os_name) {
 }
 
 int Fuzz(const std::string& os_name, uint64_t minutes, uint64_t seed,
-         const std::string& board, int jobs) {
+         const std::string& board, int jobs, const std::string& metrics_out,
+         uint64_t metrics_interval_s) {
   FuzzerConfig config;
   config.os_name = os_name;
   config.board_name = board;
   config.seed = seed;
   config.budget = minutes * kVirtualMinute;
   config.sample_points = 12;
+  config.metrics_out = metrics_out;
+  if (metrics_interval_s > 0) {
+    config.metrics_interval = metrics_interval_s * kVirtualSecond;
+  }
   printf("fuzzing %s for %llu virtual minutes (seed %llu, %d board%s)...\n",
          os_name.c_str(), static_cast<unsigned long long>(minutes),
          static_cast<unsigned long long>(seed), jobs, jobs == 1 ? "" : "s");
@@ -189,9 +195,11 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     return Usage();
   }
-  // Extract `--jobs N` wherever it appears so the positional arguments keep their
-  // slots; `--jobs=N` also works.
+  // Extract the `--flag value` options wherever they appear so the positional
+  // arguments keep their slots; `--flag=value` also works.
   int jobs = 1;
+  std::string metrics_out;
+  uint64_t metrics_interval_s = 0;  // 0 = keep the FuzzerConfig default
   {
     int out = 1;
     for (int i = 1; i < argc; ++i) {
@@ -200,6 +208,14 @@ int main(int argc, char** argv) {
         jobs = atoi(argv[++i]);
       } else if (arg.rfind("--jobs=", 0) == 0) {
         jobs = atoi(arg.c_str() + 7);
+      } else if (arg == "--metrics-out" && i + 1 < argc) {
+        metrics_out = argv[++i];
+      } else if (arg.rfind("--metrics-out=", 0) == 0) {
+        metrics_out = arg.substr(14);
+      } else if (arg == "--metrics-interval" && i + 1 < argc) {
+        metrics_interval_s = strtoull(argv[++i], nullptr, 10);
+      } else if (arg.rfind("--metrics-interval=", 0) == 0) {
+        metrics_interval_s = strtoull(arg.c_str() + 19, nullptr, 10);
       } else {
         argv[out++] = argv[i];
       }
@@ -220,7 +236,8 @@ int main(int argc, char** argv) {
     uint64_t minutes = argc >= 4 ? strtoull(argv[3], nullptr, 10) : 60;
     uint64_t seed = argc >= 5 ? strtoull(argv[4], nullptr, 10) : 1;
     std::string board = argc >= 6 ? argv[5] : "";
-    return Fuzz(argv[2], minutes == 0 ? 60 : minutes, seed, board, jobs);
+    return Fuzz(argv[2], minutes == 0 ? 60 : minutes, seed, board, jobs, metrics_out,
+                metrics_interval_s);
   }
   if (command == "repro" && argc >= 4) {
     return Repro(argv[2], atoi(argv[3]));
