@@ -6,6 +6,7 @@
 
 #include "src/common/coverage_map.h"
 #include "src/common/hash.h"
+#include "src/common/logging.h"
 
 namespace eof {
 
@@ -63,7 +64,7 @@ void RunWorker(FarmWorker* worker, int index, CampaignScheduler* scheduler,
   worker->executor->SetCoverageGauge(worker->local_coverage.Count());
   scheduler->OnWorkerDone(index);
   if (emitter != nullptr) {
-    emitter->WorkerDone(index);
+    emitter->WorkerDone(index, worker->executor->Elapsed());
   }
 }
 
@@ -127,6 +128,12 @@ Result<CampaignResult> BoardFarm::Run() {
   CampaignResult result = scheduler.Finalize(
       ExecStatsFromSnapshot(merged), elapsed, DebugPortStatsFromSnapshot(merged));
   telemetry->CampaignEnd(elapsed);
+  result.journal_dropped = telemetry->journal_dropped();
+  if (result.journal_dropped > 0) {
+    EOF_LOG(kWarning) << "journal sink dropped " << result.journal_dropped
+                      << " rows; " << config_.metrics_out
+                      << " is incomplete (eof report numbers are lower bounds)";
+  }
   return result;
 }
 

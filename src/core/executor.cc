@@ -69,6 +69,10 @@ Status TargetExecutor::Setup() {
   deploy.batched_link = options_.batched_link;
   deploy.telemetry = telemetry_;
   ASSIGN_OR_RETURN(deployment_, Deployment::Create(deploy));
+  // From here on every link op and drained UART line lands in the session's flight
+  // recorder (deploy-time traffic is deliberately outside the window: the rings
+  // should hold the conversation leading up to a crash, not the flash protocol).
+  deployment_->port().set_flight_recorder(&flight_);
 
   ASSIGN_OR_RETURN(executor_main_addr_, deployment_->SymbolAddress("executor_main"));
   ASSIGN_OR_RETURN(cov_full_addr_, deployment_->SymbolAddress("_kcmp_buf_full"));
@@ -111,10 +115,19 @@ Status TargetExecutor::ArmBreakpoints() {
   return OkStatus();
 }
 
+void TargetExecutor::DumpFlight(const char* reason, ExecOutcome* outcome) {
+  telemetry::FlightDump dump = flight_.Dump(reason, deployment_->port().Now());
+  telemetry_->EmitEvent(dump.at, "crash_dump", dump.ToEventFields());
+  if (outcome != nullptr) {
+    outcome->dump = std::move(dump);
+  }
+}
+
 Status TargetExecutor::Restore(const char* reason) {
   restores_->Increment();
   execs_since_reset_ = 0;
   watchdog_.Reset();
+  flight_.RecordEvent(deployment_->port().Now(), "restore", restores_->Value());
   telemetry::Tracer::Span span =
       telemetry_->tracer().Begin("watchdog_recovery", deployment_->port().Now());
   telemetry_->EmitEvent(deployment_->port().Now(), "liveness_reset",
@@ -149,6 +162,7 @@ void TargetExecutor::HarvestCoverage(ExecOutcome* outcome, AgentStatusView* stat
     return;
   }
   edges_drained_->Add(entries.value().size());
+  flight_.RecordEvent(deployment_->port().Now(), "drain", entries.value().size());
   outcome->edges.insert(outcome->edges.end(), entries.value().begin(),
                         entries.value().end());
 }
@@ -157,6 +171,7 @@ Result<ExecOutcome> TargetExecutor::ExecuteOne(const std::vector<uint8_t>& encod
   ExecOutcome outcome;
   DebugPort& port = deployment_->port();
   execs_->Increment();
+  flight_.RecordEvent(port.Now(), "exec_begin", execs_->Value());
 
   if (options_.inject_peripheral_events) {
     // Bench signal generator: a small burst of events rides along with each test case.
@@ -174,9 +189,11 @@ Result<ExecOutcome> TargetExecutor::ExecuteOne(const std::vector<uint8_t>& encod
     // Link or target trouble: run the liveness protocol.
     timeouts_->Increment();
     outcome.status = ExecStatus::kLinkLost;
+    DumpFlight("write_failed", &outcome);
     RETURN_IF_ERROR(Restore("write_failed"));
     return outcome;
   }
+  flight_.RecordEvent(port.Now(), "publish", encoded.size());
 
   int stall_strikes = 0;
   int cov_drains = 0;
@@ -202,6 +219,7 @@ Result<ExecOutcome> TargetExecutor::ExecuteOne(const std::vector<uint8_t>& encod
       }
       outcome.status = ExecStatus::kLinkLost;
       telemetry_->tracer().End(exec_span, port.Now());
+      DumpFlight("link_lost", &outcome);
       RETURN_IF_ERROR(Restore("link_lost"));
       return outcome;
     }
@@ -218,6 +236,7 @@ Result<ExecOutcome> TargetExecutor::ExecuteOne(const std::vector<uint8_t>& encod
       outcome.signature = signature;
       telemetry_->tracer().End(exec_span, port.Now());
       HarvestCoverage(&outcome);
+      DumpFlight("crash", &outcome);
       RETURN_IF_ERROR(Restore("crash"));
       return outcome;
     }
@@ -274,6 +293,7 @@ Result<ExecOutcome> TargetExecutor::ExecuteOne(const std::vector<uint8_t>& encod
         }
         telemetry_->tracer().End(exec_span, port.Now());
         HarvestCoverage(&outcome);
+        DumpFlight("stall", &outcome);
         RETURN_IF_ERROR(Restore("stall"));
         return outcome;
       }
@@ -295,6 +315,7 @@ Result<ExecOutcome> TargetExecutor::ExecuteOne(const std::vector<uint8_t>& encod
       }
       telemetry_->tracer().End(exec_span, port.Now());
       HarvestCoverage(&outcome);
+      DumpFlight("power_plateau", &outcome);
       RETURN_IF_ERROR(Restore("power_plateau"));
       return outcome;
     }
@@ -315,6 +336,7 @@ Result<ExecOutcome> TargetExecutor::ExecuteOne(const std::vector<uint8_t>& encod
       }
       telemetry_->tracer().End(exec_span, port.Now());
       HarvestCoverage(&outcome);
+      DumpFlight("pc_stall", &outcome);
       RETURN_IF_ERROR(Restore("pc_stall"));
       return outcome;
     }
@@ -322,6 +344,7 @@ Result<ExecOutcome> TargetExecutor::ExecuteOne(const std::vector<uint8_t>& encod
     timeouts_->Increment();
     outcome.status = ExecStatus::kLinkLost;
     telemetry_->tracer().End(exec_span, port.Now());
+    DumpFlight("link_lost", &outcome);
     RETURN_IF_ERROR(Restore("link_lost"));
     return outcome;
   }
@@ -337,6 +360,7 @@ Result<ExecOutcome> TargetExecutor::ExecuteOne(const std::vector<uint8_t>& encod
       outcome.status = ExecStatus::kCrashed;
       outcome.signature = log_hit;
       HarvestCoverage(&outcome);
+      DumpFlight("crash", &outcome);
       RETURN_IF_ERROR(Restore("crash"));
       return outcome;
     }
@@ -347,6 +371,7 @@ Result<ExecOutcome> TargetExecutor::ExecuteOne(const std::vector<uint8_t>& encod
   HarvestCoverage(&outcome, &status_view, &status_read);
   if (status_read && status_view.last_error != AgentError::kNone) {
     rejected_->Increment();
+    flight_.RecordEvent(port.Now(), "rejected", rejected_->Value());
   }
   ++execs_since_reset_;
   if (execs_since_reset_ >= options_.periodic_reset_execs) {
@@ -356,6 +381,7 @@ Result<ExecOutcome> TargetExecutor::ExecuteOne(const std::vector<uint8_t>& encod
     watchdog_.Reset();
     RETURN_IF_ERROR(port.ResetTarget());
     if (deployment_->board().power_state() != PowerState::kRunning) {
+      DumpFlight("periodic_reset_failed", /*outcome=*/nullptr);
       RETURN_IF_ERROR(Restore("periodic_reset_failed"));
     } else {
       RETURN_IF_ERROR(ArmBreakpoints());

@@ -23,6 +23,7 @@
 #include "src/core/deployment.h"
 #include "src/core/liveness.h"
 #include "src/core/monitors.h"
+#include "src/telemetry/flight_recorder.h"
 #include "src/telemetry/telemetry.h"
 
 namespace eof {
@@ -37,11 +38,14 @@ enum class ExecStatus { kCompleted, kCrashed, kStalled, kLinkLost };
 
 // What one test-case execution produced. Edge IDs are raw drain order (duplicates
 // possible across the in-flight ring drains); the scheduler folds them into the
-// global coverage map and decides how many were new.
+// global coverage map and decides how many were new. `dump` is the board's
+// flight-recorder state at the moment a monitor fired or a watchdog tripped —
+// the forensic context the scheduler attaches to a first-seen bug's report.
 struct ExecOutcome {
   ExecStatus status = ExecStatus::kCompleted;
   std::optional<BugSignature> signature;
   std::vector<uint64_t> edges;
+  std::optional<telemetry::FlightDump> dump;
 };
 
 // Per-session liveness/health counters — a point-in-time view over the session's
@@ -113,6 +117,10 @@ class TargetExecutor {
   // debug port registered lives in telemetry()->registry().
   telemetry::BoardTelemetry* telemetry() { return telemetry_; }
 
+  // The session's flight recorder (always on; the debug port and the exec loop feed
+  // it). Exposed for tests probing ring contents after a campaign.
+  const telemetry::FlightRecorder& flight_recorder() const { return flight_; }
+
   // Publishes the session's current coverage-map population into the
   // `exec.local_coverage` gauge (the campaign runner owns the map, so it reports).
   void SetCoverageGauge(uint64_t edges) { local_coverage_->Set(edges); }
@@ -125,6 +133,10 @@ class TargetExecutor {
   Status ArmBreakpoints();
   // `reason` labels the journal's liveness_reset event ("link_lost", "stall", ...).
   Status Restore(const char* reason);
+  // Snapshots the flight recorder, journals it as a "crash_dump" row (when a sink is
+  // attached), and — with `outcome` non-null — attaches the dump to the outcome so
+  // the scheduler can fold it into bug provenance.
+  void DumpFlight(const char* reason, ExecOutcome* outcome);
   // Drains the coverage ring into `outcome`. When `status_out` is non-null the agent
   // status block is fetched too — in the drain's own round trip on the batched link —
   // and `*status_ok` reports whether it arrived.
@@ -137,6 +149,7 @@ class TargetExecutor {
   LogMonitor log_monitor_;
   ExceptionMonitor exception_monitor_;
   LivenessWatchdog watchdog_;
+  telemetry::FlightRecorder flight_;
 
   std::unique_ptr<telemetry::BoardTelemetry> owned_telemetry_;  // set iff none was passed
   telemetry::BoardTelemetry* telemetry_ = nullptr;

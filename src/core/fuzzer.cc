@@ -1,5 +1,6 @@
 #include "src/core/fuzzer.h"
 
+#include "src/common/logging.h"
 #include "src/kernel/os.h"
 
 namespace eof {
@@ -45,6 +46,7 @@ CampaignScheduler::Options MakeSchedulerOptions(const FuzzerConfig& config, int 
   options.budget = config.budget;
   options.sample_points = config.sample_points;
   options.workers = workers;
+  options.seed = config.seed;
   return options;
 }
 
@@ -105,11 +107,17 @@ Result<CampaignResult> EofFuzzer::Run() {
   VirtualTime elapsed = executor->Elapsed();
   executor->SetCoverageGauge(scheduler.CoverageCount());
   if (telemetry->emitter() != nullptr) {
-    telemetry->emitter()->WorkerDone(0);
+    telemetry->emitter()->WorkerDone(0, elapsed);
   }
   CampaignResult result =
       scheduler.Finalize(executor->stats(), elapsed, executor->port_stats());
   telemetry->CampaignEnd(elapsed);
+  result.journal_dropped = telemetry->journal_dropped();
+  if (result.journal_dropped > 0) {
+    EOF_LOG(kWarning) << "journal sink dropped " << result.journal_dropped
+                      << " rows; " << config_.metrics_out
+                      << " is incomplete (eof report numbers are lower bounds)";
+  }
   return result;
 }
 

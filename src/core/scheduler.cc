@@ -4,6 +4,7 @@
 
 #include "src/agent/agent_layout.h"
 #include "src/agent/wire.h"
+#include "src/common/hash.h"
 #include "src/common/logging.h"
 #include "src/core/bug_catalog.h"
 #include "src/fuzz/program_text.h"
@@ -87,7 +88,9 @@ fuzz::Program CampaignScheduler::NextProgram(fuzz::Generator& generator, Rng& rn
 
 void CampaignScheduler::RecordBugLocked(const BugSignature& signature,
                                         const fuzz::Program& program,
-                                        VirtualTime elapsed, int worker) {
+                                        const ExecOutcome& outcome,
+                                        uint64_t coverage_delta, VirtualTime elapsed,
+                                        int worker) {
   crashes_->Increment();
   int catalog_id = AttributeBug(options_.os_name, signature.excerpt);
   // Deduplicate: one report per catalog id (or per excerpt for unknowns).
@@ -109,13 +112,50 @@ void CampaignScheduler::RecordBugLocked(const BugSignature& signature,
   report.excerpt = signature.excerpt;
   report.at = elapsed;
   report.program_text = fuzz::SerializeProgramText(specs_, program);
-  result_.bugs.push_back(std::move(report));
+  report.first_exec = execs_->Value();
+  report.board = worker;
+  // Same lane rule as FarmWorkerSeed (worker 0 keeps the base stream) without a
+  // dependency on the farm layer.
+  report.seed_stream = worker == 0 ? options_.seed
+                                   : DeriveSeedStream(options_.seed,
+                                                      static_cast<uint64_t>(worker));
+  report.coverage_delta = coverage_delta;
+  if (outcome.dump.has_value()) {
+    report.dump = *outcome.dump;
+  }
   bugs_found_->Increment();
   EmitEventLocked(elapsed, "bug", worker,
                   {telemetry::EventField::Uint("catalog_id",
                                                static_cast<uint64_t>(catalog_id)),
                    telemetry::EventField::Text("detector", signature.detector),
                    telemetry::EventField::Text("kind", signature.kind)});
+  // The full Table-2 provenance row: everything a later `eof report` run needs to
+  // rebuild the bug table (attribution, first sighting, reproducer, forensics).
+  {
+    const BugInfo* info = FindBug(catalog_id);
+    std::vector<telemetry::EventField> fields;
+    fields.push_back(telemetry::EventField::Uint("catalog_id",
+                                                 static_cast<uint64_t>(catalog_id)));
+    fields.push_back(telemetry::EventField::Text("detector", report.detector));
+    fields.push_back(telemetry::EventField::Text("kind", report.kind));
+    fields.push_back(telemetry::EventField::Text(
+        "operation", info != nullptr ? info->operation : ""));
+    fields.push_back(telemetry::EventField::Uint("first_exec", report.first_exec));
+    fields.push_back(
+        telemetry::EventField::Uint("board", static_cast<uint64_t>(worker)));
+    fields.push_back(telemetry::EventField::Uint("seed_stream", report.seed_stream));
+    fields.push_back(telemetry::EventField::Uint("coverage_delta", coverage_delta));
+    fields.push_back(telemetry::EventField::Text("excerpt", report.excerpt));
+    fields.push_back(telemetry::EventField::Text("program", report.program_text));
+    fields.push_back(telemetry::EventField::Text("dump_reason", report.dump.reason));
+    fields.push_back(telemetry::EventField::Text("uart_tail",
+                                                 report.dump.UartTailText()));
+    fields.push_back(telemetry::EventField::Text("port_ops",
+                                                 report.dump.PortOpsText()));
+    fields.push_back(telemetry::EventField::Text("events", report.dump.EventsText()));
+    EmitEventLocked(elapsed, "bug_report", worker, std::move(fields));
+  }
+  result_.bugs.push_back(std::move(report));
   EOF_LOG(kDebug) << options_.os_name << ": bug #" << catalog_id << " via "
                   << signature.detector << ": " << signature.excerpt;
 }
@@ -144,7 +184,7 @@ void CampaignScheduler::OnOutcome(const fuzz::Program& program, const ExecOutcom
   uint64_t fresh = coverage_.AddBatch(outcome.edges);
   execs_->Increment();
   if (outcome.signature.has_value()) {
-    RecordBugLocked(*outcome.signature, program, elapsed, worker);
+    RecordBugLocked(*outcome.signature, program, outcome, fresh, elapsed, worker);
   }
   if (fresh > 0) {
     fresh_edges_->Add(fresh);

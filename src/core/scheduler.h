@@ -40,6 +40,16 @@ struct BugReport {
   std::string excerpt;         // crash text
   VirtualTime at = 0;
   std::string program_text;    // the triggering program, formatted
+
+  // Provenance of the first sighting (later duplicates only bump the dedup counter).
+  uint64_t first_exec = 0;     // campaign exec index that triggered it (1-based)
+  int board = 0;               // submitting worker / board index
+  uint64_t seed_stream = 0;    // that worker's RNG stream (FarmWorkerSeed rule)
+  uint64_t coverage_delta = 0; // fresh edges this execution added to the global map
+  // The board's flight-recorder state at detection: last port ops, UART tail, and
+  // exec-loop events leading up to the crash (empty when the detecting execution
+  // produced no dump — never the case for the executor's crash/stall/link paths).
+  telemetry::FlightDump dump;
 };
 
 struct CampaignResult {
@@ -57,6 +67,10 @@ struct CampaignResult {
   // Summed debug-link traffic across the campaign's board sessions (round trips,
   // batches, flash bytes programmed vs. skipped by the delta-reflash cache).
   DebugPortStats link;
+  // Journal rows the bounded sink buffer dropped (0 when no journal was attached).
+  // Non-zero means the JSONL file is incomplete and `eof report` numbers derived
+  // from it are lower bounds — the campaign itself is unaffected.
+  uint64_t journal_dropped = 0;
 
   bool FoundBug(int catalog_id) const {
     for (const BugReport& bug : bugs) {
@@ -110,6 +124,8 @@ class CampaignScheduler {
     VirtualDuration budget = 0;
     uint32_t sample_points = 96;
     int workers = 1;
+    uint64_t seed = 1;                // campaign base seed — bug provenance records the
+                                      // submitting worker's derived stream from it
 
     // Campaign-scope telemetry: `registry` takes the campaign.* counters (nullptr =
     // the scheduler owns a private registry); `sink` receives new_coverage / bug /
@@ -156,6 +172,7 @@ class CampaignScheduler {
 
  private:
   void RecordBugLocked(const BugSignature& signature, const fuzz::Program& program,
+                       const ExecOutcome& outcome, uint64_t coverage_delta,
                        VirtualTime elapsed, int worker);
   void AdvanceFrontierLocked(int worker, VirtualTime elapsed);
   void EmitEventLocked(VirtualTime at, const char* type, int worker,

@@ -109,18 +109,28 @@ Status DebugPort::WriteWindow(uint64_t address, const std::vector<uint8_t>& data
 }
 
 Result<std::vector<uint8_t>> DebugPort::ReadMem(uint64_t address, uint64_t size) {
-  RETURN_IF_ERROR(CheckResponsive(/*needs_core=*/true));
+  Status gate = CheckResponsive(/*needs_core=*/true);
+  if (!gate.ok()) {
+    Note(telemetry::FlightPortOp::kRead, address, size, false);
+    return gate;
+  }
   board_->clock().Advance(DebugMemCost(size));
   transactions_->Increment();
   bytes_read_->Add(size);
+  Note(telemetry::FlightPortOp::kRead, address, size, true);
   return ReadWindow(address, size);
 }
 
 Status DebugPort::WriteMem(uint64_t address, const std::vector<uint8_t>& data) {
-  RETURN_IF_ERROR(CheckResponsive(/*needs_core=*/true));
+  Status gate = CheckResponsive(/*needs_core=*/true);
+  if (!gate.ok()) {
+    Note(telemetry::FlightPortOp::kWrite, address, data.size(), false);
+    return gate;
+  }
   board_->clock().Advance(DebugMemCost(data.size()));
   transactions_->Increment();
   bytes_written_->Add(data.size());
+  Note(telemetry::FlightPortOp::kWrite, address, data.size(), true);
   return WriteWindow(address, data);
 }
 
@@ -151,7 +161,12 @@ Status DebugPort::RunBatch(std::vector<PortOp>* ops) {
   }
   // One responsiveness gate for the whole batch: a severed link burns a single
   // timeout and applies nothing.
-  RETURN_IF_ERROR(CheckResponsive(needs_core));
+  Status gate = CheckResponsive(needs_core);
+  if (!gate.ok()) {
+    // One failed record stands in for the whole unapplied batch.
+    Note(telemetry::FlightPortOp::kRead, ops->front().address, ops->size(), false);
+    return gate;
+  }
   board_->clock().Advance(DebugBatchCost(total_bytes));
   transactions_->Increment();
   batches_->Increment();
@@ -159,6 +174,28 @@ Status DebugPort::RunBatch(std::vector<PortOp>* ops) {
 
   for (size_t i = 0; i < ops->size(); ++i) {
     PortOp& op = (*ops)[i];
+    if (flight_ != nullptr) {
+      telemetry::FlightPortOp kind = telemetry::FlightPortOp::kRead;
+      uint64_t size = op.size;
+      switch (op.kind) {
+        case PortOp::Kind::kRead:
+          kind = telemetry::FlightPortOp::kRead;
+          break;
+        case PortOp::Kind::kWrite:
+          kind = telemetry::FlightPortOp::kWrite;
+          size = op.data.size();
+          break;
+        case PortOp::Kind::kSubU32:
+          kind = telemetry::FlightPortOp::kSubU32;
+          size = 4;
+          break;
+        case PortOp::Kind::kSetBreakpoint:
+          kind = telemetry::FlightPortOp::kSetBreakpoint;
+          size = 0;
+          break;
+      }
+      Note(kind, op.address, size, true);
+    }
     switch (op.kind) {
       case PortOp::Kind::kRead: {
         ASSIGN_OR_RETURN(op.result, ReadWindow(op.address, op.size));
@@ -207,7 +244,9 @@ Status DebugPort::RunBatch(std::vector<PortOp>* ops) {
 Result<uint64_t> DebugPort::ChecksumMem(uint64_t address, uint64_t size) {
   // needs_core=false: the checksum runs through the debug unit's memory AP / flash
   // controller, so it is serviced even on a core that never booted (like FlashPartition).
-  RETURN_IF_ERROR(CheckResponsive(/*needs_core=*/false));
+  Status gate = CheckResponsive(/*needs_core=*/false);
+  Note(telemetry::FlightPortOp::kChecksum, address, size, gate.ok());
+  RETURN_IF_ERROR(gate);
   board_->clock().Advance(ChecksumCost(size));
   transactions_->Increment();
   ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ReadWindow(address, size));
@@ -216,35 +255,51 @@ Result<uint64_t> DebugPort::ChecksumMem(uint64_t address, uint64_t size) {
 }
 
 Result<uint64_t> DebugPort::ReadPC() {
-  RETURN_IF_ERROR(CheckResponsive(/*needs_core=*/true));
+  Status gate = CheckResponsive(/*needs_core=*/true);
+  Note(telemetry::FlightPortOp::kReadPc, 0, 0, gate.ok());
+  RETURN_IF_ERROR(gate);
   board_->clock().Advance(kDebugTransactionCost);
   transactions_->Increment();
   return board_->ReadPC();
 }
 
 Result<StopInfo> DebugPort::Continue(uint64_t max_steps) {
-  RETURN_IF_ERROR(CheckResponsive(/*needs_core=*/true));
+  Status gate = CheckResponsive(/*needs_core=*/true);
+  if (!gate.ok()) {
+    Note(telemetry::FlightPortOp::kContinue, 0, 0, false);
+    return gate;
+  }
   board_->clock().Advance(kDebugTransactionCost);
   transactions_->Increment();
-  return board_->Continue(max_steps);
+  StopInfo stop = board_->Continue(max_steps);
+  // Recorded post-stop so the record carries the stop pc the host actually saw.
+  Note(telemetry::FlightPortOp::kContinue, stop.pc, 0, true);
+  return stop;
 }
 
 Result<StopInfo> DebugPort::ContinueWithRead(uint64_t address, uint64_t size,
                                              std::vector<uint8_t>* out,
                                              uint64_t max_steps) {
-  RETURN_IF_ERROR(CheckResponsive(/*needs_core=*/true));
+  Status gate = CheckResponsive(/*needs_core=*/true);
+  if (!gate.ok()) {
+    Note(telemetry::FlightPortOp::kContinue, 0, size, false);
+    return gate;
+  }
   board_->clock().Advance(DebugBatchCost(size));
   transactions_->Increment();
   batches_->Increment();
   batched_ops_->Add(2);
   StopInfo stop = board_->Continue(max_steps);
+  Note(telemetry::FlightPortOp::kContinue, stop.pc, size, true);
   ASSIGN_OR_RETURN(*out, ReadWindow(address, size));
   bytes_read_->Add(size);
   return stop;
 }
 
 Status DebugPort::SetBreakpoint(uint64_t address) {
-  RETURN_IF_ERROR(CheckResponsive(/*needs_core=*/false));
+  Status gate = CheckResponsive(/*needs_core=*/false);
+  Note(telemetry::FlightPortOp::kSetBreakpoint, address, 0, gate.ok());
+  RETURN_IF_ERROR(gate);
   board_->clock().Advance(kDebugTransactionCost);
   transactions_->Increment();
   return board_->AddBreakpoint(address);
@@ -265,7 +320,9 @@ void DebugPort::ClearAllBreakpoints() {
 }
 
 Status DebugPort::FlashPartition(uint64_t offset, const std::vector<uint8_t>& data) {
-  RETURN_IF_ERROR(CheckResponsive(/*needs_core=*/false));
+  Status gate = CheckResponsive(/*needs_core=*/false);
+  Note(telemetry::FlightPortOp::kFlash, offset, data.size(), gate.ok());
+  RETURN_IF_ERROR(gate);
   board_->clock().Advance(FlashProgramCost(data.size()));
   transactions_->Increment();
   flash_bytes_->Add(data.size());
@@ -273,7 +330,9 @@ Status DebugPort::FlashPartition(uint64_t offset, const std::vector<uint8_t>& da
 }
 
 Status DebugPort::ResetTarget() {
-  RETURN_IF_ERROR(CheckResponsive(/*needs_core=*/false));
+  Status gate = CheckResponsive(/*needs_core=*/false);
+  Note(telemetry::FlightPortOp::kReset, 0, 0, gate.ok());
+  RETURN_IF_ERROR(gate);
   transactions_->Increment();
   resets_->Increment();
   board_->Reset();  // charges kRebootCost internally
@@ -281,7 +340,10 @@ Status DebugPort::ResetTarget() {
 }
 
 Status DebugPort::InjectPeripheralEvent(const PeripheralEvent& event) {
-  RETURN_IF_ERROR(CheckResponsive(/*needs_core=*/false));
+  Status gate = CheckResponsive(/*needs_core=*/false);
+  Note(telemetry::FlightPortOp::kPeripheral, static_cast<uint64_t>(event.kind),
+       event.value, gate.ok());
+  RETURN_IF_ERROR(gate);
   board_->clock().Advance(kDebugTransactionCost);
   transactions_->Increment();
   if (!board_->InjectPeripheralEvent(event)) {
@@ -290,7 +352,16 @@ Status DebugPort::InjectPeripheralEvent(const PeripheralEvent& event) {
   return OkStatus();
 }
 
-std::string DebugPort::DrainUart() { return board_->uart().Drain(); }
+std::string DebugPort::DrainUart() {
+  std::string text = board_->uart().Drain();
+  if (flight_ != nullptr) {
+    // The UART tail is the crash dump's most valuable column: every drained line
+    // lands in the ring before any monitor decides what the text means.
+    Note(telemetry::FlightPortOp::kUartDrain, 0, text.size(), true);
+    flight_->RecordUartText(Now(), text);
+  }
+  return text;
+}
 
 std::vector<uint64_t> DebugPort::TakeBreakpointHits() { return board_->TakeBreakpointHits(); }
 

@@ -16,6 +16,7 @@
 #include "src/common/vclock.h"
 #include "src/hw/board.h"
 #include "src/hw/stop_info.h"
+#include "src/telemetry/flight_recorder.h"
 #include "src/telemetry/metrics.h"
 
 namespace eof {
@@ -168,6 +169,13 @@ class DebugPort {
   void InjectLinkFailure(bool severed) { link_severed_ = severed; }
   bool link_severed() const { return link_severed_; }
 
+  // Attaches the board session's flight recorder: every link operation (and every
+  // drained UART line) is appended to its bounded rings. nullptr detaches. The
+  // recorder must outlive the port (or be detached first) and recording follows the
+  // port's own single-session thread confinement.
+  void set_flight_recorder(telemetry::FlightRecorder* recorder) { flight_ = recorder; }
+  telemetry::FlightRecorder* flight_recorder() const { return flight_; }
+
   // Current values of the port's `link.*` counters, materialized on demand.
   DebugPortStats stats() const;
 
@@ -188,9 +196,17 @@ class DebugPort {
   Result<std::vector<uint8_t>> ReadWindow(uint64_t address, uint64_t size) const;
   Status WriteWindow(uint64_t address, const std::vector<uint8_t>& data);
 
+  // Appends one record to the attached flight recorder; no-op when detached.
+  void Note(telemetry::FlightPortOp op, uint64_t address, uint64_t size, bool ok) {
+    if (flight_ != nullptr) {
+      flight_->RecordPortOp(Now(), op, address, size, ok);
+    }
+  }
+
   Board* board_;
   bool attached_ = false;
   bool link_severed_ = false;
+  telemetry::FlightRecorder* flight_ = nullptr;
 
   std::unique_ptr<telemetry::MetricsRegistry> owned_registry_;  // set iff none was passed
   telemetry::MetricsRegistry* registry_;

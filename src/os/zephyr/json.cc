@@ -71,6 +71,8 @@ int64_t JsonObjAppendNum(KernelContext& ctx, ZephyrState& state,
     return Z_ENOMEM;
   }
   EOF_COV(ctx);
+  // Insert can grow the table and invalidate `parent`; re-resolve before use.
+  parent = state.json_nodes.Find(static_cast<int64_t>(args[0].scalar));
   parent->children.push_back(handle);
   return Z_OK;
 }
@@ -94,6 +96,8 @@ int64_t JsonObjAppendStr(KernelContext& ctx, ZephyrState& state,
     return Z_ENOMEM;
   }
   EOF_COV(ctx);
+  // Insert can grow the table and invalidate `parent`; re-resolve before use.
+  parent = state.json_nodes.Find(static_cast<int64_t>(args[0].scalar));
   parent->children.push_back(handle);
   return Z_OK;
 }

@@ -1,0 +1,185 @@
+#include "src/telemetry/flight_recorder.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/common/strings.h"
+
+namespace eof {
+namespace telemetry {
+
+const char* FlightPortOpName(FlightPortOp op) {
+  switch (op) {
+    case FlightPortOp::kRead:
+      return "rd";
+    case FlightPortOp::kWrite:
+      return "wr";
+    case FlightPortOp::kSubU32:
+      return "sub32";
+    case FlightPortOp::kSetBreakpoint:
+      return "bp";
+    case FlightPortOp::kContinue:
+      return "cont";
+    case FlightPortOp::kReadPc:
+      return "pc";
+    case FlightPortOp::kChecksum:
+      return "cksum";
+    case FlightPortOp::kFlash:
+      return "flash";
+    case FlightPortOp::kReset:
+      return "reset";
+    case FlightPortOp::kUartDrain:
+      return "uart";
+    case FlightPortOp::kPeripheral:
+      return "periph";
+  }
+  return "?";
+}
+
+FlightRecorder::FlightRecorder() : FlightRecorder(Options()) {}
+
+FlightRecorder::FlightRecorder(Options options) {
+  port_ops_.resize(std::max<size_t>(options.port_op_capacity, 1));
+  uart_lines_.resize(std::max<size_t>(options.uart_line_capacity, 1));
+  events_.resize(std::max<size_t>(options.event_capacity, 1));
+}
+
+void FlightRecorder::RecordPortOp(VirtualTime at, FlightPortOp op, uint64_t address,
+                                  uint64_t size, bool ok) {
+  PortOpRecord& slot = port_ops_[port_ops_seen_ % port_ops_.size()];
+  slot.at = at;
+  slot.op = op;
+  slot.address = address;
+  slot.size = size;
+  slot.ok = ok;
+  ++port_ops_seen_;
+}
+
+void FlightRecorder::RecordUartText(VirtualTime at, std::string_view text) {
+  size_t begin = 0;
+  while (begin < text.size()) {
+    size_t end = text.find('\n', begin);
+    if (end == std::string_view::npos) {
+      end = text.size();
+    }
+    size_t length = end - begin;
+    if (length > 0) {
+      UartLineRecord& slot = uart_lines_[uart_lines_seen_ % uart_lines_.size()];
+      slot.at = at;
+      slot.length = static_cast<uint16_t>(std::min(length, kUartLineCapacity));
+      std::memcpy(slot.text, text.data() + begin, slot.length);
+      ++uart_lines_seen_;
+    }
+    begin = end + 1;
+  }
+}
+
+void FlightRecorder::RecordEvent(VirtualTime at, const char* label, uint64_t value) {
+  ExecEventRecord& slot = events_[events_seen_ % events_.size()];
+  slot.at = at;
+  slot.label = label;
+  slot.value = value;
+  ++events_seen_;
+}
+
+namespace {
+
+// Copies a ring out oldest-first: entries [seen - kept, seen) in append order.
+template <typename Record, typename Push>
+void UnrollRing(const std::vector<Record>& ring, uint64_t seen, Push push) {
+  uint64_t kept = std::min<uint64_t>(seen, ring.size());
+  for (uint64_t i = seen - kept; i < seen; ++i) {
+    push(ring[i % ring.size()]);
+  }
+}
+
+}  // namespace
+
+FlightDump FlightRecorder::Dump(const char* reason, VirtualTime at) const {
+  FlightDump dump;
+  dump.reason = reason;
+  dump.at = at;
+  dump.port_ops_seen = port_ops_seen_;
+  dump.uart_lines_seen = uart_lines_seen_;
+  dump.events_seen = events_seen_;
+  UnrollRing(port_ops_, port_ops_seen_,
+             [&dump](const PortOpRecord& record) { dump.port_ops.push_back(record); });
+  UnrollRing(uart_lines_, uart_lines_seen_, [&dump](const UartLineRecord& record) {
+    dump.uart_tail.push_back(std::string(record.View()));
+  });
+  UnrollRing(events_, events_seen_,
+             [&dump](const ExecEventRecord& record) { dump.events.push_back(record); });
+  return dump;
+}
+
+std::string FlightDump::PortOpsText() const {
+  std::string out;
+  for (const PortOpRecord& record : port_ops) {
+    if (!out.empty()) {
+      out += '\n';
+    }
+    out += StrFormat("t=%llu %s addr=0x%llx size=%llu%s",
+                     static_cast<unsigned long long>(record.at),
+                     FlightPortOpName(record.op),
+                     static_cast<unsigned long long>(record.address),
+                     static_cast<unsigned long long>(record.size),
+                     record.ok ? "" : " FAIL");
+  }
+  return out;
+}
+
+std::string FlightDump::EventsText() const {
+  std::string out;
+  for (const ExecEventRecord& record : events) {
+    if (!out.empty()) {
+      out += '\n';
+    }
+    out += StrFormat("t=%llu %s=%llu", static_cast<unsigned long long>(record.at),
+                     record.label, static_cast<unsigned long long>(record.value));
+  }
+  return out;
+}
+
+std::string FlightDump::UartTailText() const {
+  std::string out;
+  for (const std::string& line : uart_tail) {
+    if (!out.empty()) {
+      out += '\n';
+    }
+    out += line;
+  }
+  return out;
+}
+
+std::string FlightDump::RenderText() const {
+  std::string out = StrFormat(
+      "flight dump: reason=%s t=%llu port_ops=%zu/%llu uart_lines=%zu/%llu "
+      "events=%zu/%llu\n",
+      reason.c_str(), static_cast<unsigned long long>(at), port_ops.size(),
+      static_cast<unsigned long long>(port_ops_seen), uart_tail.size(),
+      static_cast<unsigned long long>(uart_lines_seen), events.size(),
+      static_cast<unsigned long long>(events_seen));
+  out += "-- port ops --\n";
+  out += PortOpsText();
+  out += "\n-- uart tail --\n";
+  out += UartTailText();
+  out += "\n-- events --\n";
+  out += EventsText();
+  out += '\n';
+  return out;
+}
+
+std::vector<EventField> FlightDump::ToEventFields() const {
+  std::vector<EventField> fields;
+  fields.push_back(EventField::Text("reason", reason));
+  fields.push_back(EventField::Uint("port_ops_seen", port_ops_seen));
+  fields.push_back(EventField::Uint("uart_lines_seen", uart_lines_seen));
+  fields.push_back(EventField::Uint("events_seen", events_seen));
+  fields.push_back(EventField::Text("port_ops", PortOpsText()));
+  fields.push_back(EventField::Text("uart_tail", UartTailText()));
+  fields.push_back(EventField::Text("events", EventsText()));
+  return fields;
+}
+
+}  // namespace telemetry
+}  // namespace eof

@@ -15,6 +15,12 @@ double PerVirtualSecond(uint64_t count, VirtualTime window) {
   return static_cast<double>(count) * kVirtualSecond / static_cast<double>(window);
 }
 
+// Sum of a span histogram ("span.<name>_us"), 0 when the span never ran.
+uint64_t SpanSum(const MetricsSnapshot& snapshot, const char* name) {
+  auto it = snapshot.histograms.find(name);
+  return it == snapshot.histograms.end() ? 0 : it->second.sum;
+}
+
 // The per-board columns of a snapshot row. The registry is sampled at emission
 // time, which can run marginally ahead of the boundary stamp `at` — snapshots are
 // "state as of crossing the boundary", not an exact integral.
@@ -44,6 +50,20 @@ void AppendBoardColumns(const MetricsSnapshot& snapshot, VirtualTime at, Event* 
       EventField::Uint("flash_bytes", snapshot.CounterValue("link.flash_bytes")));
   event->fields.push_back(EventField::Uint(
       "flash_skipped_bytes", snapshot.CounterValue("link.flash_skipped_bytes")));
+  // Where the board's virtual time went (sums of the tracer's span histograms):
+  // running test cases, draining coverage, reflashing, recovering from watchdog
+  // trips, and the one-off deploy. The `eof report` time-accounting table divides
+  // these by the board clock.
+  event->fields.push_back(
+      EventField::Uint("exec_us", SpanSum(snapshot, "span.exec_continue_us")));
+  event->fields.push_back(
+      EventField::Uint("drain_us", SpanSum(snapshot, "span.coverage_drain_us")));
+  event->fields.push_back(
+      EventField::Uint("reflash_us", SpanSum(snapshot, "span.reflash_us")));
+  event->fields.push_back(
+      EventField::Uint("recovery_us", SpanSum(snapshot, "span.watchdog_recovery_us")));
+  event->fields.push_back(
+      EventField::Uint("deploy_us", SpanSum(snapshot, "span.deploy_us")));
 }
 
 }  // namespace
@@ -82,7 +102,7 @@ void SnapshotEmitter::MaybeEmit(int worker, VirtualTime elapsed) {
   }
 }
 
-void SnapshotEmitter::WorkerDone(int worker) {
+void SnapshotEmitter::WorkerDone(int worker, VirtualTime elapsed) {
   if (sink_ == nullptr || interval_ == 0) {
     return;
   }
@@ -92,6 +112,11 @@ void SnapshotEmitter::WorkerDone(int worker) {
     return;
   }
   done_[slot] = true;
+  elapsed_[slot] = std::max(elapsed_[slot], elapsed);
+  if (elapsed_[slot] > 0) {
+    // Closing board row: the session's final counters at its final clock.
+    EmitBoardLocked(worker, elapsed_[slot]);
+  }
   VirtualTime frontier = FrontierLocked();
   while (next_farm_ <= budget_ && frontier >= next_farm_) {
     EmitFarmLocked(next_farm_);

@@ -45,8 +45,11 @@ class SnapshotEmitter {
   // crossed. Cheap when no boundary was crossed: one mutex + two compares.
   void MaybeEmit(int worker, VirtualTime elapsed);
 
-  // The worker's session ended; it no longer holds the frontier back.
-  void WorkerDone(int worker);
+  // The worker's session ended; it no longer holds the frontier back. `elapsed`
+  // (when non-zero) stamps a final board_snapshot row at the session's closing
+  // clock so per-board time accounting covers the whole session, not just the
+  // last interval boundary crossed.
+  void WorkerDone(int worker, VirtualTime elapsed = 0);
 
   // Emits the final farm row at campaign end and flushes the sink.
   void Finish(VirtualTime elapsed);

@@ -85,6 +85,10 @@ class CampaignTelemetry {
   void CampaignStart(const std::string& os_name, const std::string& board_name);
   void CampaignEnd(VirtualTime elapsed);
 
+  // Journal rows the bounded sink buffer has discarded so far (0 without a sink).
+  // Campaign runners surface this in CampaignResult and warn at campaign end.
+  uint64_t journal_dropped() const { return sink_ == nullptr ? 0 : sink_->dropped(); }
+
  private:
   explicit CampaignTelemetry(const Options& options);
 

@@ -1,8 +1,9 @@
 // Telemetry subsystem tests: registry semantics (idempotent registration, snapshot
 // Diff/Merge), concurrent writers against a snapshotting reader (the TSan target),
 // journal drop accounting under a tiny buffer, deterministic span ids, the snapshot
-// emitter's interval/frontier rules, and the campaign-level contract that a
-// telemetry-consuming run is bit-identical to a telemetry-off run.
+// emitter's interval/frontier rules, the flight recorder's bounded rings and dump
+// determinism, and the campaign-level contract that a telemetry-consuming run is
+// bit-identical to a telemetry-off run.
 
 #include <gtest/gtest.h>
 
@@ -11,7 +12,11 @@
 #include <thread>
 
 #include "src/core/fuzzer.h"
+#include "src/hw/board.h"
+#include "src/hw/board_catalog.h"
+#include "src/hw/debug_port.h"
 #include "src/os/all_oses.h"
+#include "src/telemetry/flight_recorder.h"
 #include "src/telemetry/journal.h"
 #include "src/telemetry/metrics.h"
 #include "src/telemetry/snapshot.h"
@@ -284,6 +289,133 @@ TEST(SnapshotEmitterTest, BoardRowsFollowEachClockFarmRowsFollowTheFrontier) {
   events = sink.Events();
   EXPECT_EQ(events.back().type, "farm_snapshot");
   EXPECT_EQ(events.back().at, 200u);
+}
+
+TEST(FlightRecorderTest, RingsBoundHistoryAndOverwriteOldestFirst) {
+  FlightRecorder::Options options;
+  options.port_op_capacity = 4;
+  options.uart_line_capacity = 2;
+  options.event_capacity = 3;
+  FlightRecorder recorder(options);
+
+  for (uint64_t i = 0; i < 6; ++i) {
+    recorder.RecordPortOp(/*at=*/i * 10, FlightPortOp::kRead, /*address=*/0x1000 + i,
+                          /*size=*/4, /*ok=*/true);
+  }
+  recorder.RecordUartText(5, "one\ntwo\nthree");
+  for (uint64_t i = 0; i < 5; ++i) {
+    recorder.RecordEvent(i, "exec_begin", i);
+  }
+
+  FlightDump dump = recorder.Dump("test", /*at=*/999);
+  EXPECT_EQ(dump.reason, "test");
+  EXPECT_EQ(dump.at, 999u);
+  EXPECT_EQ(dump.port_ops_seen, 6u);
+  ASSERT_EQ(dump.port_ops.size(), 4u);  // capacity bound
+  // Oldest kept entry first: appends 2..5 survive in order.
+  EXPECT_EQ(dump.port_ops.front().address, 0x1002u);
+  EXPECT_EQ(dump.port_ops.back().address, 0x1005u);
+
+  EXPECT_EQ(dump.uart_lines_seen, 3u);
+  ASSERT_EQ(dump.uart_tail.size(), 2u);
+  EXPECT_EQ(dump.uart_tail[0], "two");
+  EXPECT_EQ(dump.uart_tail[1], "three");
+
+  EXPECT_EQ(dump.events_seen, 5u);
+  ASSERT_EQ(dump.events.size(), 3u);
+  EXPECT_EQ(dump.events.front().value, 2u);
+  EXPECT_EQ(dump.events.back().value, 4u);
+}
+
+TEST(FlightRecorderTest, UartLinesSplitTruncateAndSkipEmpties) {
+  FlightRecorder recorder;
+  std::string long_line(3 * kUartLineCapacity, 'x');
+  recorder.RecordUartText(1, "\n\nfirst\n" + long_line + "\n");
+  FlightDump dump = recorder.Dump("test", 2);
+  ASSERT_EQ(dump.uart_tail.size(), 2u);  // blank lines are not recorded
+  EXPECT_EQ(dump.uart_tail[0], "first");
+  EXPECT_EQ(dump.uart_tail[1].size(), kUartLineCapacity);  // truncated, not dropped
+  EXPECT_EQ(dump.uart_lines_seen, 2u);
+}
+
+TEST(FlightRecorderTest, IdenticalHistoriesRenderBitIdenticalDumps) {
+  auto record = [](FlightRecorder* recorder) {
+    recorder->RecordPortOp(10, FlightPortOp::kWrite, 0x2000, 64, true);
+    recorder->RecordPortOp(20, FlightPortOp::kContinue, 0x08000100, 0, true);
+    recorder->RecordUartText(25, "assertion failed: q != NULL\n");
+    recorder->RecordEvent(30, "exec_begin", 7);
+    recorder->RecordPortOp(40, FlightPortOp::kRead, 0x2000, 4, false);
+  };
+  FlightRecorder a;
+  FlightRecorder b;
+  record(&a);
+  record(&b);
+  EXPECT_EQ(a.Dump("crash", 50).RenderText(), b.Dump("crash", 50).RenderText());
+
+  // The rendered dump carries all three sections.
+  std::string text = a.Dump("crash", 50).RenderText();
+  EXPECT_NE(text.find("reason=crash"), std::string::npos);
+  EXPECT_NE(text.find("-- port ops --"), std::string::npos);
+  EXPECT_NE(text.find("assertion failed: q != NULL"), std::string::npos);
+  EXPECT_NE(text.find("exec_begin=7"), std::string::npos);
+  EXPECT_NE(text.find("FAIL"), std::string::npos);
+}
+
+TEST(FlightRecorderTest, DebugPortFeedsTheAttachedRecorder) {
+  Board board(BoardSpecByName("stm32f407-disco").value());
+  DebugPort port(&board);
+  ASSERT_TRUE(port.Connect().ok());
+  board.LatchFault(0x1000, "test: park the core past boot");
+
+  FlightRecorder recorder;
+  port.set_flight_recorder(&recorder);
+  uint64_t ram = board.spec().ram_base;
+  ASSERT_TRUE(port.WriteMem(ram + 0x10, {1, 2, 3}).ok());
+  (void)port.ReadMem(ram + 0x10, 3);
+  (void)port.DrainUart();
+
+  FlightDump dump = recorder.Dump("test", port.Now());
+  ASSERT_GE(dump.port_ops.size(), 3u);
+  EXPECT_EQ(dump.port_ops[0].op, FlightPortOp::kWrite);
+  EXPECT_EQ(dump.port_ops[0].address, ram + 0x10);
+  EXPECT_EQ(dump.port_ops[0].size, 3u);
+  EXPECT_EQ(dump.port_ops[1].op, FlightPortOp::kRead);
+  EXPECT_EQ(dump.port_ops.back().op, FlightPortOp::kUartDrain);
+
+  // Detaching stops the feed.
+  port.set_flight_recorder(nullptr);
+  (void)port.ReadMem(ram + 0x10, 1);
+  EXPECT_EQ(recorder.port_ops_seen(), dump.port_ops_seen);
+}
+
+// TSan target: distinct boards own distinct recorders and record from their own
+// worker threads concurrently (the farm's confinement rule — no sharing).
+TEST(FlightRecorderTest, DistinctBoardRecordersAreConcurrencySafe) {
+  constexpr int kBoards = 4;
+  constexpr uint64_t kOps = 20000;
+  std::vector<std::unique_ptr<FlightRecorder>> recorders;
+  for (int i = 0; i < kBoards; ++i) {
+    recorders.push_back(std::make_unique<FlightRecorder>());
+  }
+  std::vector<std::thread> threads;
+  for (int b = 0; b < kBoards; ++b) {
+    threads.emplace_back([&recorders, b] {
+      FlightRecorder* recorder = recorders[static_cast<size_t>(b)].get();
+      for (uint64_t i = 0; i < kOps; ++i) {
+        recorder->RecordPortOp(i, FlightPortOp::kRead, i, 4, true);
+        if (i % 64 == 0) {
+          recorder->RecordUartText(i, "tick\n");
+          recorder->RecordEvent(i, "exec_begin", i);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  for (const auto& recorder : recorders) {
+    EXPECT_EQ(recorder->port_ops_seen(), kOps);
+  }
 }
 
 TEST(CampaignTelemetryTest, OpenFailureSurfacesAndEmptyPathMeansNoSink) {

@@ -4,6 +4,7 @@
 //   eof list-targets                          supported OSs, boards, and API counts
 //   eof mine-specs <os>                       print the validated Syzlang for a target
 //   eof fuzz <os> [minutes] [seed] [board]    run a campaign, print live-ish summary
+//   eof report <journal.jsonl> [--json]       analyze a --metrics-out campaign journal
 //   eof repro <os> <bug-id>                   run a catalog bug's reproducer
 //   eof bugs                                  print the bug catalog
 
@@ -23,6 +24,7 @@
 #include "src/kernel/os.h"
 #include "src/os/all_oses.h"
 #include "src/spec/spec_miner.h"
+#include "src/telemetry/report.h"
 
 using namespace eof;
 
@@ -35,6 +37,7 @@ int Usage() {
           "  eof mine-specs <os>\n"
           "  eof fuzz <os> [minutes=60] [seed=1] [board=default] [--jobs N]\n"
           "           [--metrics-out FILE.jsonl] [--metrics-interval SECONDS]\n"
+          "  eof report <journal.jsonl> [--json]\n"
           "  eof repro <os> <bug-id>\n"
           "  eof replay <os> <reproducer-file>\n"
           "  eof bugs\n");
@@ -159,6 +162,16 @@ int Replay(const std::string& os_name, const std::string& path) {
   return 0;
 }
 
+int Report(const std::string& path, bool json) {
+  auto report = telemetry::LoadReportFromFile(path);
+  if (!report.ok()) {
+    fprintf(stderr, "report failed: %s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  fputs(json ? report->RenderJson().c_str() : report->RenderText().c_str(), stdout);
+  return 0;
+}
+
 int Bugs() {
   printf("%-3s %-10s %-10s %-17s %-22s %s\n", "#", "OS", "Scope", "Type", "Operation",
          "Status");
@@ -196,34 +209,70 @@ int main(int argc, char** argv) {
     return Usage();
   }
   // Extract the `--flag value` options wherever they appear so the positional
-  // arguments keep their slots; `--flag=value` also works.
+  // arguments keep their slots; `--flag=value` also works. Values are validated
+  // here: a missing or non-numeric value is a usage error, not a silent default.
   int jobs = 1;
   std::string metrics_out;
   uint64_t metrics_interval_s = 0;  // 0 = keep the FuzzerConfig default
+  bool json = false;
   {
+    auto parse_uint = [](const char* text, uint64_t* out) {
+      if (text == nullptr || text[0] < '0' || text[0] > '9') {
+        return false;  // rejects empty, negative, and non-numeric values
+      }
+      char* end = nullptr;
+      *out = strtoull(text, &end, 10);
+      return *end == '\0';
+    };
     int out = 1;
     for (int i = 1; i < argc; ++i) {
       std::string arg = argv[i];
-      if (arg == "--jobs" && i + 1 < argc) {
-        jobs = atoi(argv[++i]);
-      } else if (arg.rfind("--jobs=", 0) == 0) {
-        jobs = atoi(arg.c_str() + 7);
-      } else if (arg == "--metrics-out" && i + 1 < argc) {
-        metrics_out = argv[++i];
-      } else if (arg.rfind("--metrics-out=", 0) == 0) {
-        metrics_out = arg.substr(14);
-      } else if (arg == "--metrics-interval" && i + 1 < argc) {
-        metrics_interval_s = strtoull(argv[++i], nullptr, 10);
-      } else if (arg.rfind("--metrics-interval=", 0) == 0) {
-        metrics_interval_s = strtoull(arg.c_str() + 19, nullptr, 10);
+      const char* value = nullptr;
+      if (arg == "--jobs" || arg.rfind("--jobs=", 0) == 0) {
+        if (arg[6] == '=') {
+          value = arg.c_str() + 7;
+        } else if (i + 1 < argc) {
+          value = argv[++i];
+        }
+        uint64_t parsed = 0;
+        if (!parse_uint(value, &parsed) || parsed < 1 || parsed > 1024) {
+          fprintf(stderr, "eof: --jobs wants an integer in [1, 1024], got '%s'\n",
+                  value == nullptr ? "" : value);
+          return Usage();
+        }
+        jobs = static_cast<int>(parsed);
+      } else if (arg == "--metrics-out" || arg.rfind("--metrics-out=", 0) == 0) {
+        if (arg.size() > 13 && arg[13] == '=') {
+          value = arg.c_str() + 14;
+        } else if (i + 1 < argc) {
+          value = argv[++i];
+        }
+        if (value == nullptr || value[0] == '\0') {
+          fprintf(stderr, "eof: --metrics-out wants a file path\n");
+          return Usage();
+        }
+        metrics_out = value;
+      } else if (arg == "--metrics-interval" ||
+                 arg.rfind("--metrics-interval=", 0) == 0) {
+        if (arg.size() > 18 && arg[18] == '=') {
+          value = arg.c_str() + 19;
+        } else if (i + 1 < argc) {
+          value = argv[++i];
+        }
+        if (!parse_uint(value, &metrics_interval_s) || metrics_interval_s < 1) {
+          fprintf(stderr,
+                  "eof: --metrics-interval wants a positive virtual-second count, "
+                  "got '%s'\n",
+                  value == nullptr ? "" : value);
+          return Usage();
+        }
+      } else if (arg == "--json") {
+        json = true;
       } else {
         argv[out++] = argv[i];
       }
     }
     argc = out;
-    if (jobs < 1) {
-      jobs = 1;
-    }
   }
   std::string command = argv[1];
   if (command == "list-targets") {
@@ -238,6 +287,9 @@ int main(int argc, char** argv) {
     std::string board = argc >= 6 ? argv[5] : "";
     return Fuzz(argv[2], minutes == 0 ? 60 : minutes, seed, board, jobs, metrics_out,
                 metrics_interval_s);
+  }
+  if (command == "report" && argc >= 3) {
+    return Report(argv[2], json);
   }
   if (command == "repro" && argc >= 4) {
     return Repro(argv[2], atoi(argv[3]));
