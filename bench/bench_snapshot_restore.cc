@@ -1,0 +1,203 @@
+// Snapshot-restore bench (the reboot tax): two otherwise identical crash-heavy
+// RT-Thread campaigns, one recovering boards with the full Algorithm-1
+// reflash+reboot, one riding the warm snapshot fast path (RestoreMode::kSnapshot).
+// Both campaigns run the per-exec state-isolation discipline every real snapshot
+// fuzzer uses — restore pristine kernel state after EVERY input
+// (periodic_reset_execs=1) — so each execution pays one restore, and the corpus is
+// seeded with bug #5's null-object assertion (a flash-clean crash on the very
+// first call) so crash recoveries stay heavily represented too. Under the same
+// virtual budget, executions-per-virtual-hour is the figure of merit: in reflash
+// mode each restore costs a reboot (or reflash+reboot after a crash), in snapshot
+// mode a write-count-gated shadow audit plus a warm core restore and one batched
+// RAM write. The board is hifive1-revb: its tiny SRAM keeps that RAM rewrite two
+// orders of magnitude under kRebootCost, which is the whole point of the fast
+// path. Instrumentation is off in both modes so the restore tax is measured
+// against bare execution cost (instrumentation overhead has its own bench,
+// bench_sec55_overhead).
+//
+// The snapshot campaign must clear at least 5x the reflash campaign's throughput,
+// and its bug table must contain only cold-boot-confirmed entries (rejected
+// sightings are reported but may never leak into the table). Emits the
+// machine-readable BENCH_snapshot_restore.json for CI.
+
+#include <chrono>
+#include <cstdio>
+
+#include "src/common/logging.h"
+#include "src/core/campaign.h"
+#include "src/core/fuzzer.h"
+#include "src/os/all_oses.h"
+
+using namespace eof;
+
+namespace {
+
+// Bug #5: rt_object_get_type(RT_NULL) asserts on the very first call — the
+// cheapest possible crash (no yield delays accrue before the core parks).
+constexpr char kNullObjectCrasher[] = "r0 = rt_object_get_type(0)";
+
+struct ModeRun {
+  uint64_t execs = 0;
+  uint64_t crashes = 0;
+  uint64_t restores = 0;
+  uint64_t snapshot_restores = 0;
+  uint64_t snapshot_bytes = 0;
+  uint64_t bugs = 0;
+  uint64_t bugs_rejected = 0;
+  uint64_t unconfirmed_in_table = 0;
+  uint64_t coverage = 0;
+  VirtualTime elapsed = 0;
+  double wall_sec = 0;
+
+  double ExecsPerVirtualHour() const {
+    return elapsed == 0 ? 0 : double(execs) * kVirtualHour / double(elapsed);
+  }
+};
+
+bool RunCampaign(RestoreMode mode, VirtualDuration budget, ModeRun* out) {
+  FuzzerConfig config;
+  config.os_name = "rtthread";
+  config.board_name = "hifive1-revb";
+  config.seed = 1;
+  config.budget = budget;
+  config.sample_points = 24;
+  config.restore_mode = mode;
+  // Per-exec state isolation: every completed execution sheds kernel state before
+  // the next input, the standard snapshot-fuzzer discipline. In reflash mode that
+  // is a reboot per exec — the tax under test.
+  config.periodic_reset_execs = 1;
+  // Crash-heavy by construction: single-call programs confined to the object
+  // registry (cheap APIs, no delay-burning calls), where a null resource argument
+  // crashes on the very first call. Instrumentation off keeps per-exec kernel time
+  // small against the restore cost under test — the quantity this bench isolates.
+  config.gen.max_calls = 1;
+  config.gen.allowed_subsystems = {"object"};
+  config.instrumentation.enabled = false;
+  config.seed_programs = {kNullObjectCrasher};
+
+  EofFuzzer fuzzer(config);
+  auto start = std::chrono::steady_clock::now();
+  auto result = fuzzer.Run();
+  out->wall_sec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  if (!result.ok()) {
+    fprintf(stderr, "campaign(%s) failed: %s\n",
+            mode == RestoreMode::kSnapshot ? "snapshot" : "reflash",
+            result.status().ToString().c_str());
+    return false;
+  }
+  const CampaignResult& campaign = result.value();
+  out->execs = campaign.execs;
+  out->crashes = campaign.crashes;
+  out->restores = campaign.restores;
+  out->snapshot_restores = campaign.snapshot_restores;
+  out->snapshot_bytes = campaign.snapshot_bytes;
+  out->bugs = campaign.bugs.size();
+  out->bugs_rejected = campaign.bugs_rejected;
+  for (const BugReport& bug : campaign.bugs) {
+    // In snapshot mode every table entry must have survived the cold-boot oracle.
+    if (mode == RestoreMode::kSnapshot && bug.snapshot_validation != "confirmed") {
+      ++out->unconfirmed_in_table;
+    }
+  }
+  out->coverage = campaign.final_coverage;
+  out->elapsed = campaign.elapsed;
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  if (!RegisterAllOses().ok()) {
+    fprintf(stderr, "OS registration failed\n");
+    return 1;
+  }
+  SetMinLogSeverity(LogSeverity::kError);
+
+  VirtualDuration budget = ScaledCampaignBudget() / 32;
+  printf("== Snapshot restore vs reflash: RT-Thread crash-heavy, %llu virtual seconds"
+         " per campaign ==\n",
+         static_cast<unsigned long long>(budget / kVirtualSecond));
+
+  ModeRun reflash;
+  ModeRun snapshot;
+  if (!RunCampaign(RestoreMode::kReflash, budget, &reflash) ||
+      !RunCampaign(RestoreMode::kSnapshot, budget, &snapshot)) {
+    return 1;
+  }
+
+  printf("%-10s %10s %10s %10s %12s %14s %10s\n", "restore", "execs", "crashes",
+         "restores", "warm", "execs/v-hour", "coverage");
+  for (const auto* run : {&reflash, &snapshot}) {
+    printf("%-10s %10llu %10llu %10llu %12llu %14.0f %10llu\n",
+           run == &reflash ? "reflash" : "snapshot",
+           static_cast<unsigned long long>(run->execs),
+           static_cast<unsigned long long>(run->crashes),
+           static_cast<unsigned long long>(run->restores),
+           static_cast<unsigned long long>(run->snapshot_restores),
+           run->ExecsPerVirtualHour(), static_cast<unsigned long long>(run->coverage));
+  }
+
+  double throughput_ratio = reflash.ExecsPerVirtualHour() > 0
+                                ? snapshot.ExecsPerVirtualHour() /
+                                      reflash.ExecsPerVirtualHour()
+                                : 0;
+  printf("throughput: snapshot/reflash = %.2fx execs per virtual hour\n",
+         throughput_ratio);
+  printf("snapshot campaign: %llu warm restores pushed %llu MB of RAM, "
+         "%llu bugs confirmed, %llu sightings rejected by the cold-boot oracle\n",
+         static_cast<unsigned long long>(snapshot.snapshot_restores),
+         static_cast<unsigned long long>(snapshot.snapshot_bytes / (1024 * 1024)),
+         static_cast<unsigned long long>(snapshot.bugs),
+         static_cast<unsigned long long>(snapshot.bugs_rejected));
+
+  FILE* json = fopen("BENCH_snapshot_restore.json", "w");
+  if (json != nullptr) {
+    fprintf(json, "{\n");
+    for (const auto* run : {&reflash, &snapshot}) {
+      fprintf(json,
+              "  \"%s\": {\"execs\": %llu, \"crashes\": %llu, \"restores\": %llu,"
+              " \"snapshot_restores\": %llu, \"snapshot_bytes\": %llu,"
+              " \"bugs\": %llu, \"bugs_rejected\": %llu,"
+              " \"execs_per_virtual_hour\": %.2f, \"coverage\": %llu,"
+              " \"elapsed_vus\": %llu, \"wall_sec\": %.3f},\n",
+              run == &reflash ? "reflash" : "snapshot",
+              static_cast<unsigned long long>(run->execs),
+              static_cast<unsigned long long>(run->crashes),
+              static_cast<unsigned long long>(run->restores),
+              static_cast<unsigned long long>(run->snapshot_restores),
+              static_cast<unsigned long long>(run->snapshot_bytes),
+              static_cast<unsigned long long>(run->bugs),
+              static_cast<unsigned long long>(run->bugs_rejected),
+              run->ExecsPerVirtualHour(),
+              static_cast<unsigned long long>(run->coverage),
+              static_cast<unsigned long long>(run->elapsed), run->wall_sec);
+    }
+    fprintf(json, "  \"throughput_ratio\": %.4f\n}\n", throughput_ratio);
+    fclose(json);
+    printf("wrote BENCH_snapshot_restore.json\n");
+  }
+
+  bool ok = true;
+  if (throughput_ratio < 5.0) {
+    fprintf(stderr,
+            "FAIL: snapshot restore yields only %.2fx execs/virtual-hour (need 5x)\n",
+            throughput_ratio);
+    ok = false;
+  }
+  if (snapshot.snapshot_restores == 0) {
+    fprintf(stderr, "FAIL: the snapshot campaign never used the warm path\n");
+    ok = false;
+  }
+  if (snapshot.unconfirmed_in_table != 0) {
+    fprintf(stderr,
+            "FAIL: %llu bug-table entries lack cold-boot confirmation\n",
+            static_cast<unsigned long long>(snapshot.unconfirmed_in_table));
+    ok = false;
+  }
+  if (snapshot.bugs == 0) {
+    fprintf(stderr, "FAIL: crash-heavy snapshot campaign confirmed no bugs\n");
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}

@@ -27,6 +27,16 @@ class VirtualClock {
   void Advance(VirtualDuration delta) { now_ += delta; }
   void Reset() { now_ = 0; }
 
+  // Rolls the clock back to `to` (no-op when `to` is not in the past). The board's
+  // warm-restore path replaces the boot sequence's cycle-accurate charges with one
+  // flat restore cost; no external observer samples the clock mid-boot, so the
+  // rollback is invisible as long as the caller nets out ahead of its start point.
+  void RewindTo(VirtualTime to) {
+    if (to < now_) {
+      now_ = to;
+    }
+  }
+
  private:
   VirtualTime now_ = 0;
 };

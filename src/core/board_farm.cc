@@ -37,8 +37,12 @@ struct FarmWorker {
 
 void RunWorker(FarmWorker* worker, int index, CampaignScheduler* scheduler,
                const spec::CompiledSpecs* specs, VirtualDuration budget,
-               std::atomic<bool>* stop, telemetry::SnapshotEmitter* emitter) {
-  while (worker->executor->Elapsed() < budget && !stop->load(std::memory_order_relaxed)) {
+               uint64_t max_execs, std::atomic<bool>* stop,
+               telemetry::SnapshotEmitter* emitter) {
+  uint64_t execs_run = 0;
+  while (worker->executor->Elapsed() < budget &&
+         (max_execs == 0 || execs_run < max_execs) &&
+         !stop->load(std::memory_order_relaxed)) {
     fuzz::Program program = scheduler->NextProgram(*worker->generator, *worker->rng);
     std::vector<uint8_t> encoded;
     if (!EncodeForMailbox(*specs, &program, &encoded)) {
@@ -51,6 +55,7 @@ void RunWorker(FarmWorker* worker, int index, CampaignScheduler* scheduler,
       break;
     }
     ExecOutcome outcome = std::move(outcome_or).value();
+    ++execs_run;
     std::vector<uint64_t> fresh_here;
     worker->local_coverage.AddBatchFiltered(outcome.edges, &fresh_here);
     outcome.edges = std::move(fresh_here);
@@ -107,7 +112,8 @@ Result<CampaignResult> BoardFarm::Run() {
   threads.reserve(workers.size());
   for (int i = 0; i < jobs_; ++i) {
     threads.emplace_back(RunWorker, &workers[static_cast<size_t>(i)], i, &scheduler,
-                         &plan.specs, config_.budget, &stop, telemetry->emitter());
+                         &plan.specs, config_.budget, config_.max_execs, &stop,
+                         telemetry->emitter());
   }
   for (std::thread& thread : threads) {
     thread.join();

@@ -20,6 +20,8 @@ ExecStats ExecStatsFromSnapshot(const telemetry::MetricsSnapshot& snapshot) {
   stats.stalls = snapshot.CounterValue("exec.stalls");
   stats.timeouts = snapshot.CounterValue("exec.timeouts");
   stats.restores = snapshot.CounterValue("exec.restores");
+  stats.snapshot_restores = snapshot.CounterValue("exec.snapshot_restores");
+  stats.snapshot_bytes = snapshot.CounterValue("exec.snapshot_bytes");
   return stats;
 }
 
@@ -29,6 +31,8 @@ ExecStats TargetExecutor::stats() const {
   stats.stalls = stalls_->Value();
   stats.timeouts = timeouts_->Value();
   stats.restores = restores_->Value();
+  stats.snapshot_restores = snapshot_restores_->Value();
+  stats.snapshot_bytes = snapshot_bytes_->Value();
   return stats;
 }
 
@@ -54,6 +58,8 @@ Status TargetExecutor::Setup() {
   stalls_ = registry.RegisterCounter("exec.stalls");
   timeouts_ = registry.RegisterCounter("exec.timeouts");
   restores_ = registry.RegisterCounter("exec.restores");
+  snapshot_restores_ = registry.RegisterCounter("exec.snapshot_restores");
+  snapshot_bytes_ = registry.RegisterCounter("exec.snapshot_bytes");
   edges_drained_ = registry.RegisterCounter("exec.edges_drained");
   local_coverage_ = registry.RegisterGauge("exec.local_coverage");
 
@@ -83,6 +89,17 @@ Status TargetExecutor::Setup() {
                      exception_monitor_.Resolve(*deployment_, options_.exception_symbol));
   }
   RETURN_IF_ERROR(ArmBreakpoints());
+
+  if (options_.restore_mode == RestoreMode::kSnapshot) {
+    // Capture the healthy post-boot state once per deployment, while the board is
+    // parked at executor_main with breakpoints armed. The capture is deploy-time
+    // traffic, so it stays outside the flight rings like the flash protocol does.
+    deployment_->port().set_flight_recorder(nullptr);
+    ASSIGN_OR_RETURN(BoardSnapshot snapshot,
+                     BoardSnapshot::Capture(deployment_->port(), deployment_->image()));
+    snapshot_ = std::make_unique<BoardSnapshot>(std::move(snapshot));
+    deployment_->port().set_flight_recorder(&flight_);
+  }
 
   if (options_.power_probe) {
     watchdog_.EnablePowerProbe();
@@ -117,6 +134,10 @@ Status TargetExecutor::ArmBreakpoints() {
 
 void TargetExecutor::DumpFlight(const char* reason, ExecOutcome* outcome) {
   telemetry::FlightDump dump = flight_.Dump(reason, deployment_->port().Now());
+  // Which restore mode produced the board state the trigger fired on — the column
+  // that separates "crashed on a cold-booted board" from "crashed after a warm
+  // snapshot restore" when auditing provenance.
+  dump.last_restore = last_restore_;
   telemetry_->EmitEvent(dump.at, "crash_dump", dump.ToEventFields());
   if (outcome != nullptr) {
     outcome->dump = std::move(dump);
@@ -130,11 +151,13 @@ Status TargetExecutor::Restore(const char* reason) {
   flight_.RecordEvent(deployment_->port().Now(), "restore", restores_->Value());
   telemetry::Tracer::Span span =
       telemetry_->tracer().Begin("watchdog_recovery", deployment_->port().Now());
-  telemetry_->EmitEvent(deployment_->port().Now(), "liveness_reset",
-                        {telemetry::EventField::Text("reason", reason),
-                         telemetry::EventField::Uint("restores", restores_->Value())});
+  bool warm = false;
   if (options_.restore_mode == RestoreMode::kReflash) {
     RETURN_IF_ERROR(StateRestoration(*deployment_));
+  } else if (options_.restore_mode == RestoreMode::kSnapshot) {
+    // Warm fast path; any mid-restore failure (severed link, flash-shadow
+    // mismatch, warm boot failure) falls back to the full reflash inside.
+    RETURN_IF_ERROR(StateRestorationWithSnapshot(*deployment_, snapshot_.get(), &warm));
   } else {
     RETURN_IF_ERROR(deployment_->port().ResetTarget());
     if (deployment_->board().power_state() != PowerState::kRunning) {
@@ -144,7 +167,24 @@ Status TargetExecutor::Restore(const char* reason) {
       RETURN_IF_ERROR(StateRestoration(*deployment_));
     }
   }
-  Status status = ArmBreakpoints();
+  Status status = OkStatus();
+  if (warm) {
+    snapshot_restores_->Increment();
+    snapshot_bytes_->Add(snapshot_->ram_bytes());
+    last_restore_ = "snapshot";
+    // Breakpoints survive a warm restore (the debug unit is never power-cycled),
+    // so no re-arm round trip is needed; the flight rings keep running too — the
+    // board session continues.
+  } else {
+    last_restore_ = "cold";
+    // A cold boot wiped the board-session context the rings describe.
+    flight_.Clear();
+    status = ArmBreakpoints();
+  }
+  telemetry_->EmitEvent(deployment_->port().Now(), "liveness_reset",
+                        {telemetry::EventField::Text("reason", reason),
+                         telemetry::EventField::Uint("restores", restores_->Value()),
+                         telemetry::EventField::Text("restore", last_restore_)});
   telemetry_->tracer().End(span, deployment_->port().Now(), /*journal=*/true);
   return status;
 }
@@ -375,16 +415,34 @@ Result<ExecOutcome> TargetExecutor::ExecuteOne(const std::vector<uint8_t>& encod
   }
   ++execs_since_reset_;
   if (execs_since_reset_ >= options_.periodic_reset_execs) {
-    // Routine state shedding: a plain reboot is enough (nothing is damaged), so the
-    // campaign does not pay the reflash cost here.
     execs_since_reset_ = 0;
     watchdog_.Reset();
-    RETURN_IF_ERROR(port.ResetTarget());
-    if (deployment_->board().power_state() != PowerState::kRunning) {
-      DumpFlight("periodic_reset_failed", /*outcome=*/nullptr);
-      RETURN_IF_ERROR(Restore("periodic_reset_failed"));
+    if (options_.restore_mode == RestoreMode::kSnapshot && snapshot_ != nullptr) {
+      // Routine state shedding via the snapshot: the same fresh kernel state the
+      // reboot below produces, at kWarmRestoreCost instead of kRebootCost. Like
+      // the plain reboot, this is not counted as a liveness restore.
+      Status warm = snapshot_->Restore(port);
+      if (!warm.ok()) {
+        DumpFlight("periodic_reset_failed", /*outcome=*/nullptr);
+        RETURN_IF_ERROR(Restore("periodic_reset_failed"));
+      } else {
+        snapshot_restores_->Increment();
+        snapshot_bytes_->Add(snapshot_->ram_bytes());
+        last_restore_ = "snapshot";
+        flight_.RecordEvent(port.Now(), "periodic_restore", snapshot_restores_->Value());
+      }
     } else {
-      RETURN_IF_ERROR(ArmBreakpoints());
+      // Routine state shedding: a plain reboot is enough (nothing is damaged), so
+      // the campaign does not pay the reflash cost here.
+      RETURN_IF_ERROR(port.ResetTarget());
+      if (deployment_->board().power_state() != PowerState::kRunning) {
+        DumpFlight("periodic_reset_failed", /*outcome=*/nullptr);
+        RETURN_IF_ERROR(Restore("periodic_reset_failed"));
+      } else {
+        last_restore_ = "cold";
+        flight_.Clear();  // a cold boot wipes the board-session context
+        RETURN_IF_ERROR(ArmBreakpoints());
+      }
     }
   }
   return outcome;

@@ -32,6 +32,8 @@ namespace eof {
 enum class RestoreMode {
   kReflash,     // EOF: full image reflash + reboot (works after flash damage)
   kRebootOnly,  // plain reset; a damaged image stays damaged (repeated timeouts)
+  kSnapshot,    // warm restore from the post-boot board snapshot; falls back to
+                // the full reflash when the fast path fails mid-restore
 };
 
 enum class ExecStatus { kCompleted, kCrashed, kStalled, kLinkLost };
@@ -56,6 +58,8 @@ struct ExecStats {
   uint64_t stalls = 0;
   uint64_t timeouts = 0;
   uint64_t restores = 0;
+  uint64_t snapshot_restores = 0;  // restores served by the warm snapshot path
+  uint64_t snapshot_bytes = 0;     // RAM bytes those restores pushed over the link
 };
 
 // Reads the `exec.*` counters out of a registry snapshot (per-board or farm-merged).
@@ -121,6 +125,14 @@ class TargetExecutor {
   // it). Exposed for tests probing ring contents after a campaign.
   const telemetry::FlightRecorder& flight_recorder() const { return flight_; }
 
+  // The once-per-deployment board snapshot (kSnapshot mode only, else nullptr).
+  // Exposed for tests that poison the captured state.
+  BoardSnapshot* snapshot_for_test() { return snapshot_.get(); }
+
+  // Restore mode that produced the board's current state ("none" until the first
+  // restore, then "cold" or "snapshot"). Crash dumps carry this label.
+  const char* last_restore() const { return last_restore_; }
+
   // Publishes the session's current coverage-map population into the
   // `exec.local_coverage` gauge (the campaign runner owns the map, so it reports).
   void SetCoverageGauge(uint64_t edges) { local_coverage_->Set(edges); }
@@ -146,6 +158,8 @@ class TargetExecutor {
   ExecutorOptions options_;
   Rng* session_rng_;
   std::unique_ptr<Deployment> deployment_;
+  std::unique_ptr<BoardSnapshot> snapshot_;  // kSnapshot mode: captured at deploy
+  const char* last_restore_ = "none";        // "none" | "cold" | "snapshot"
   LogMonitor log_monitor_;
   ExceptionMonitor exception_monitor_;
   LivenessWatchdog watchdog_;
@@ -158,6 +172,8 @@ class TargetExecutor {
   telemetry::Counter* stalls_ = nullptr;
   telemetry::Counter* timeouts_ = nullptr;
   telemetry::Counter* restores_ = nullptr;
+  telemetry::Counter* snapshot_restores_ = nullptr;
+  telemetry::Counter* snapshot_bytes_ = nullptr;
   telemetry::Counter* edges_drained_ = nullptr;
   telemetry::Gauge* local_coverage_ = nullptr;
 

@@ -1,6 +1,7 @@
 #include "src/core/fuzzer.h"
 
 #include "src/common/logging.h"
+#include "src/core/replay.h"
 #include "src/kernel/os.h"
 
 namespace eof {
@@ -47,7 +48,32 @@ CampaignScheduler::Options MakeSchedulerOptions(const FuzzerConfig& config, int 
   options.sample_points = config.sample_points;
   options.workers = workers;
   options.seed = config.seed;
+  if (config.restore_mode == RestoreMode::kSnapshot) {
+    options.validator = MakeColdBootValidator(config);
+  }
   return options;
+}
+
+std::function<bool(const BugReport&)> MakeColdBootValidator(const FuzzerConfig& config) {
+  // Capture by value: the validator outlives the config reference and runs late in
+  // the campaign, replaying each first sighting on a board deployed from scratch.
+  std::string os_name = config.os_name;
+  std::string board_name = config.board_name;
+  return [os_name, board_name](const BugReport& bug) {
+    Result<ReplayOutcome> replay =
+        ReplayReproducer(os_name, bug.program_text, board_name);
+    if (!replay.ok()) {
+      // A reproducer that cannot even be replayed (parse failure, deploy failure)
+      // is no evidence of a cold-boot bug.
+      return false;
+    }
+    if (!replay->crashed) {
+      return false;
+    }
+    // Attributed sightings must reproduce as the same catalog bug; unattributed
+    // ones only need the cold board to crash at all.
+    return bug.catalog_id == 0 || replay->catalog_id == bug.catalog_id;
+  };
 }
 
 telemetry::CampaignTelemetry::Options MakeTelemetryOptions(const FuzzerConfig& config,
@@ -91,13 +117,16 @@ Result<CampaignResult> EofFuzzer::Run() {
   telemetry->CampaignStart(config_.os_name, config_.board_name);
   telemetry->StartEmitter([&scheduler] { return scheduler.View(); });
 
-  while (executor->Elapsed() < config_.budget) {
+  uint64_t execs_run = 0;
+  while (executor->Elapsed() < config_.budget &&
+         (config_.max_execs == 0 || execs_run < config_.max_execs)) {
     fuzz::Program program = scheduler.NextProgram(generator, schedule_rng);
     std::vector<uint8_t> encoded;
     if (!EncodeForMailbox(plan.specs, &program, &encoded)) {
       continue;
     }
     ASSIGN_OR_RETURN(ExecOutcome outcome, executor->ExecuteOne(encoded));
+    ++execs_run;
     scheduler.OnOutcome(program, outcome, generator, executor->Elapsed(), /*worker=*/0);
     if (telemetry->emitter() != nullptr) {
       executor->SetCoverageGauge(scheduler.CoverageCount());

@@ -14,6 +14,7 @@
 #ifndef SRC_CORE_FUZZER_H_
 #define SRC_CORE_FUZZER_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -63,6 +64,11 @@ struct FuzzerConfig {
 
   uint64_t seed = 1;
   VirtualDuration budget = 10 * kVirtualMinute;
+  // Per-worker execution cap (0 = unlimited): the session stops at whichever of
+  // budget / max_execs it hits first. Differential tests cap execs so reflash-mode
+  // and snapshot-mode campaigns run the exact same input sequence even though the
+  // snapshot path burns far less virtual time per restore.
+  uint64_t max_execs = 0;
   uint32_t sample_points = 96;         // coverage time-series resolution
   uint32_t periodic_reset_execs = 24;  // reboot cadence to shed piled-up kernel state
 
@@ -88,8 +94,15 @@ Result<CampaignPlan> PrepareCampaign(const FuzzerConfig& config);
 ExecutorOptions MakeExecutorOptions(const FuzzerConfig& config, uint64_t seed,
                                     const std::string& exception_symbol);
 
-// The campaign-state slice of `config`, for constructing schedulers.
+// The campaign-state slice of `config`, for constructing schedulers. Snapshot-mode
+// campaigns get the cold-boot validation oracle installed automatically.
 CampaignScheduler::Options MakeSchedulerOptions(const FuzzerConfig& config, int workers);
+
+// The cold-boot provenance oracle for snapshot-mode campaigns: replays a first
+// sighting's reproducer on a freshly flashed board (ReplayReproducer) and confirms
+// the bug only if the cold board crashes too — with a matching catalog id when the
+// sighting was attributed. Captures the config's os/board names by value.
+std::function<bool(const BugReport&)> MakeColdBootValidator(const FuzzerConfig& config);
 
 // The telemetry slice of `config`, for constructing the campaign's CampaignTelemetry.
 telemetry::CampaignTelemetry::Options MakeTelemetryOptions(const FuzzerConfig& config,

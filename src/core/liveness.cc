@@ -46,4 +46,24 @@ Status StateRestoration(Deployment& deployment) {
   return deployment.ReflashAndReboot();
 }
 
+Status StateRestorationWithSnapshot(Deployment& deployment, const BoardSnapshot* snapshot,
+                                    bool* used_snapshot) {
+  if (used_snapshot != nullptr) {
+    *used_snapshot = false;
+  }
+  if (snapshot != nullptr) {
+    Status warm = snapshot->Restore(deployment.port());
+    if (warm.ok()) {
+      if (used_snapshot != nullptr) {
+        *used_snapshot = true;
+      }
+      return OkStatus();
+    }
+    // The warm path can die between its core restore and its RAM write, leaving a
+    // freshly booted core with stale memory. Never hand that board back: fall
+    // through to the full reflash+reboot, which re-establishes state from scratch.
+  }
+  return StateRestoration(deployment);
+}
+
 }  // namespace eof

@@ -16,6 +16,7 @@
 
 #include "src/common/status.h"
 #include "src/core/deployment.h"
+#include "src/hw/board_snapshot.h"
 
 namespace eof {
 
@@ -57,6 +58,15 @@ class LivenessWatchdog {
 // StateRestoration (Algorithm 1 lines 12-19): reflash every partition from the image's
 // partition table and reboot. Returns the restored target parked at agent start.
 Status StateRestoration(Deployment& deployment);
+
+// Snapshot-aware restoration (RestoreMode::kSnapshot): tries the warm fast path —
+// BoardSnapshot::Restore, microseconds-scale instead of reflash+300ms reboot — and
+// on ANY mid-restore failure (severed link, flash-shadow mismatch, warm boot
+// failure) falls back to the full StateRestoration above, so the board is never
+// left half-restored. `used_snapshot`, when non-null, reports which path completed.
+// A null snapshot degrades to plain StateRestoration.
+Status StateRestorationWithSnapshot(Deployment& deployment, const BoardSnapshot* snapshot,
+                                    bool* used_snapshot = nullptr);
 
 }  // namespace eof
 

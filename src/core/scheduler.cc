@@ -27,6 +27,8 @@ CampaignScheduler::CampaignScheduler(const spec::CompiledSpecs& specs, Options o
   crashes_ = registry->RegisterCounter("campaign.crashes");
   bugs_found_ = registry->RegisterCounter("campaign.bugs");
   bug_dedup_hits_ = registry->RegisterCounter("campaign.bug_dedup_hits");
+  bugs_rejected_ = registry->RegisterCounter("campaign.bugs_rejected");
+  validation_replays_ = registry->RegisterCounter("campaign.validation_replays");
   fresh_edges_ = registry->RegisterCounter("campaign.fresh_edges");
   corpus_adds_ = registry->RegisterCounter("campaign.corpus_adds");
   coverage_gauge_ = registry->RegisterGauge("campaign.coverage");
@@ -93,17 +95,24 @@ void CampaignScheduler::RecordBugLocked(const BugSignature& signature,
                                         int worker) {
   crashes_->Increment();
   int catalog_id = AttributeBug(options_.os_name, signature.excerpt);
-  // Deduplicate: one report per catalog id (or per excerpt for unknowns).
-  for (const BugReport& existing : result_.bugs) {
-    if (catalog_id != 0 ? existing.catalog_id == catalog_id
-                        : existing.excerpt == signature.excerpt) {
-      bug_dedup_hits_->Increment();
-      EmitEventLocked(elapsed, "bug_dedup", worker,
-                      {telemetry::EventField::Uint(
-                           "catalog_id", static_cast<uint64_t>(catalog_id)),
-                       telemetry::EventField::Text("detector", signature.detector)});
-      return;
+  // Deduplicate: one report per catalog id (or per excerpt for unknowns). Rejected
+  // sightings count too — an artifact that re-triggers must not re-run validation.
+  auto is_duplicate = [&](const std::vector<BugReport>& table) {
+    for (const BugReport& existing : table) {
+      if (catalog_id != 0 ? existing.catalog_id == catalog_id
+                          : existing.excerpt == signature.excerpt) {
+        return true;
+      }
     }
+    return false;
+  };
+  if (is_duplicate(result_.bugs) || is_duplicate(rejected_bugs_)) {
+    bug_dedup_hits_->Increment();
+    EmitEventLocked(elapsed, "bug_dedup", worker,
+                    {telemetry::EventField::Uint(
+                         "catalog_id", static_cast<uint64_t>(catalog_id)),
+                     telemetry::EventField::Text("detector", signature.detector)});
+    return;
   }
   BugReport report;
   report.catalog_id = catalog_id;
@@ -123,14 +132,30 @@ void CampaignScheduler::RecordBugLocked(const BugSignature& signature,
   if (outcome.dump.has_value()) {
     report.dump = *outcome.dump;
   }
-  bugs_found_->Increment();
-  EmitEventLocked(elapsed, "bug", worker,
-                  {telemetry::EventField::Uint("catalog_id",
-                                               static_cast<uint64_t>(catalog_id)),
-                   telemetry::EventField::Text("detector", signature.detector),
-                   telemetry::EventField::Text("kind", signature.kind)});
+  // Cold-boot provenance gate: before a first sighting enters the bug table, replay
+  // its reproducer against a freshly flashed board. A crash that only reproduces on
+  // accumulated warm-restore state is an artifact of the snapshot fast path, not an
+  // OS bug — journal it as rejected and keep it out of the results.
+  bool confirmed = true;
+  if (options_.validator) {
+    validation_replays_->Increment();
+    confirmed = options_.validator(report);
+    report.snapshot_validation = confirmed ? "confirmed" : "rejected";
+  }
+  if (confirmed) {
+    bugs_found_->Increment();
+    EmitEventLocked(elapsed, "bug", worker,
+                    {telemetry::EventField::Uint("catalog_id",
+                                                 static_cast<uint64_t>(catalog_id)),
+                     telemetry::EventField::Text("detector", signature.detector),
+                     telemetry::EventField::Text("kind", signature.kind)});
+  } else {
+    bugs_rejected_->Increment();
+    result_.bugs_rejected++;
+  }
   // The full Table-2 provenance row: everything a later `eof report` run needs to
   // rebuild the bug table (attribution, first sighting, reproducer, forensics).
+  // Rejected sightings are journaled too — snapshot_validation says which is which.
   {
     const BugInfo* info = FindBug(catalog_id);
     std::vector<telemetry::EventField> fields;
@@ -145,6 +170,10 @@ void CampaignScheduler::RecordBugLocked(const BugSignature& signature,
         telemetry::EventField::Uint("board", static_cast<uint64_t>(worker)));
     fields.push_back(telemetry::EventField::Uint("seed_stream", report.seed_stream));
     fields.push_back(telemetry::EventField::Uint("coverage_delta", coverage_delta));
+    fields.push_back(telemetry::EventField::Text("snapshot_validation",
+                                                 report.snapshot_validation));
+    fields.push_back(telemetry::EventField::Text("last_restore",
+                                                 report.dump.last_restore));
     fields.push_back(telemetry::EventField::Text("excerpt", report.excerpt));
     fields.push_back(telemetry::EventField::Text("program", report.program_text));
     fields.push_back(telemetry::EventField::Text("dump_reason", report.dump.reason));
@@ -155,9 +184,16 @@ void CampaignScheduler::RecordBugLocked(const BugSignature& signature,
     fields.push_back(telemetry::EventField::Text("events", report.dump.EventsText()));
     EmitEventLocked(elapsed, "bug_report", worker, std::move(fields));
   }
-  result_.bugs.push_back(std::move(report));
-  EOF_LOG(kDebug) << options_.os_name << ": bug #" << catalog_id << " via "
-                  << signature.detector << ": " << signature.excerpt;
+  if (confirmed) {
+    result_.bugs.push_back(std::move(report));
+    EOF_LOG(kDebug) << options_.os_name << ": bug #" << catalog_id << " via "
+                    << signature.detector << ": " << signature.excerpt;
+  } else {
+    rejected_bugs_.push_back(std::move(report));
+    EOF_LOG(kDebug) << options_.os_name << ": rejected state-dependent sighting #"
+                    << catalog_id << " via " << signature.detector << ": "
+                    << signature.excerpt;
+  }
 }
 
 void CampaignScheduler::AdvanceFrontierLocked(int worker, VirtualTime elapsed) {
@@ -226,6 +262,8 @@ CampaignResult CampaignScheduler::Finalize(const ExecStats& stats, VirtualTime e
   result_.stalls = stats.stalls;
   result_.timeouts = stats.timeouts;
   result_.restores = stats.restores;
+  result_.snapshot_restores = stats.snapshot_restores;
+  result_.snapshot_bytes = stats.snapshot_bytes;
   result_.link = link;
   return result_;
 }
@@ -248,7 +286,13 @@ telemetry::CampaignView CampaignScheduler::View() const {
   view.execs = execs_->Value();
   view.crashes = crashes_->Value();
   view.bugs = result_.bugs.size();
+  view.bugs_rejected = rejected_bugs_.size();
   return view;
+}
+
+std::vector<BugReport> CampaignScheduler::RejectedBugs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rejected_bugs_;
 }
 
 bool EncodeForMailbox(const spec::CompiledSpecs& specs, fuzz::Program* program,

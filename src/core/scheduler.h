@@ -12,6 +12,7 @@
 #ifndef SRC_CORE_SCHEDULER_H_
 #define SRC_CORE_SCHEDULER_H_
 
+#include <functional>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -46,6 +47,10 @@ struct BugReport {
   int board = 0;               // submitting worker / board index
   uint64_t seed_stream = 0;    // that worker's RNG stream (FarmWorkerSeed rule)
   uint64_t coverage_delta = 0; // fresh edges this execution added to the global map
+  // Cold-boot provenance verdict: "confirmed" / "rejected" when a validator replayed
+  // the reproducer against a freshly flashed board, "not_checked" when no validator
+  // was installed (reflash-mode campaigns — every exec already starts cold).
+  std::string snapshot_validation = "not_checked";
   // The board's flight-recorder state at detection: last port ops, UART tail, and
   // exec-loop events leading up to the crash (empty when the detecting execution
   // produced no dump — never the case for the executor's crash/stall/link paths).
@@ -56,12 +61,19 @@ struct CampaignResult {
   uint64_t final_coverage = 0;
   std::vector<CampaignSample> series;
   std::vector<BugReport> bugs;  // first sighting of each distinct catalog id / signature
+  // First sightings the cold-boot validation oracle refused to confirm: the
+  // reproducer did not crash a freshly flashed board, so the "bug" was an artifact
+  // of accumulated warm-restore state. Journaled (snapshot_validation="rejected")
+  // but never admitted to `bugs`.
+  uint64_t bugs_rejected = 0;
   uint64_t execs = 0;
   uint64_t rejected = 0;
   uint64_t crashes = 0;
   uint64_t stalls = 0;
   uint64_t timeouts = 0;
   uint64_t restores = 0;
+  uint64_t snapshot_restores = 0;  // restores served by the warm snapshot path
+  uint64_t snapshot_bytes = 0;     // RAM bytes those restores pushed over the link
   uint64_t corpus_size = 0;
   VirtualTime elapsed = 0;
   // Summed debug-link traffic across the campaign's board sessions (round trips,
@@ -133,6 +145,15 @@ class CampaignScheduler {
     // scheduler when set.
     telemetry::MetricsRegistry* registry = nullptr;
     telemetry::EventSink* sink = nullptr;
+
+    // Cold-boot validation oracle for snapshot-mode campaigns (the libriscv lesson:
+    // reused machine state breeds unreproducible crashes). When set, every
+    // first-sighting bug's reproducer is replayed before admission — return true to
+    // confirm, false to reject as state-dependent. Runs under the campaign lock on
+    // a separate board with its own virtual clock, so validation replays are
+    // serialized and never perturb campaign timing. nullptr = admit everything
+    // (snapshot_validation stays "not_checked").
+    std::function<bool(const BugReport&)> validator;
   };
 
   CampaignScheduler(const spec::CompiledSpecs& specs, Options options);
@@ -170,6 +191,11 @@ class CampaignScheduler {
   // The campaign-global numbers for a farm_snapshot row, read under the lock.
   telemetry::CampaignView View() const;
 
+  // First sightings the validator rejected (copies, read under the lock). Exposed
+  // for tests asserting that rejected bugs are remembered for dedup but kept out
+  // of the result table.
+  std::vector<BugReport> RejectedBugs() const;
+
  private:
   void RecordBugLocked(const BugSignature& signature, const fuzz::Program& program,
                        const ExecOutcome& outcome, uint64_t coverage_delta,
@@ -187,6 +213,8 @@ class CampaignScheduler {
   telemetry::Counter* crashes_ = nullptr;
   telemetry::Counter* bugs_found_ = nullptr;
   telemetry::Counter* bug_dedup_hits_ = nullptr;
+  telemetry::Counter* bugs_rejected_ = nullptr;
+  telemetry::Counter* validation_replays_ = nullptr;
   telemetry::Counter* fresh_edges_ = nullptr;
   telemetry::Counter* corpus_adds_ = nullptr;
   telemetry::Gauge* coverage_gauge_ = nullptr;
@@ -197,6 +225,9 @@ class CampaignScheduler {
   CoverageMap coverage_;
   SeriesSampler sampler_;
   CampaignResult result_;
+  // Validator-rejected first sightings. Kept so a rejected signature re-triggering
+  // dedups instead of burning another validation replay on the same artifact.
+  std::vector<BugReport> rejected_bugs_;
   std::vector<VirtualTime> worker_elapsed_;
   std::vector<bool> worker_done_;
 };

@@ -164,6 +164,46 @@ void Board::Reset() {
   }
 }
 
+void Board::WarmRestore() {
+  ++warm_restore_count_;
+  // The boot path below meters itself in cycles (ConsumeCycles advances the clock);
+  // a warm restore replaces those charges with one flat cost, so remember where the
+  // clock stood and settle up at the end.
+  const VirtualTime start = clock_.Now();
+  std::fill(ram_.begin(), ram_.end(), 0);
+  uart_.Reset();
+  bp_hits_.clear();
+  pending_events_.clear();
+  fault_detail_.clear();
+  firmware_.reset();
+  current_point_ = 0;
+  cycles_at_point_ = cycle_count_;
+  frozen_pc_ = 0;
+
+  if (image_ == nullptr || !image_->has_factory()) {
+    power_state_ = PowerState::kOff;
+    return;
+  }
+  Status flash_ok = image_->VerifyFlash(flash_);
+  if (!flash_ok.ok()) {
+    power_state_ = PowerState::kBootFailed;
+    frozen_pc_ = spec_.flash_base;
+    clock_.RewindTo(start);
+    clock_.Advance(kWarmRestoreCost);
+    return;
+  }
+  firmware_ = image_->Instantiate();
+  power_state_ = PowerState::kRunning;
+  Status boot = firmware_->OnBoot(*this);
+  if (!boot.ok()) {
+    power_state_ = PowerState::kBootFailed;
+    frozen_pc_ = ReadPC();
+    firmware_.reset();
+  }
+  clock_.RewindTo(start);
+  clock_.Advance(kWarmRestoreCost);
+}
+
 StopInfo Board::Continue(uint64_t max_steps) {
   StopInfo info;
   switch (power_state_) {

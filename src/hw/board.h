@@ -91,6 +91,13 @@ class Board : public TargetEnv {
   // kBootFailed on validation/boot failure.
   void Reset();
 
+  // Warm restore (snapshot fast path): re-enters the firmware boot path without the
+  // boot ROM's full power cycle. Charges kWarmRestoreCost instead of kRebootCost,
+  // keeps armed breakpoints, and leaves RAM zeroed for the caller to rewrite from
+  // its snapshot. Flash is still validated — a corrupted image means the warm path
+  // cannot trust the resident code and the board parks kBootFailed.
+  void WarmRestore();
+
   // Runs firmware until a stop condition (see Firmware::Resume). On a faulted/hung/
   // boot-failed board this just burns the quantum with a frozen PC, which is exactly what
   // the host observes on real hardware.
@@ -124,6 +131,7 @@ class Board : public TargetEnv {
   VirtualClock& clock() { return clock_; }
   uint64_t cycle_count() const { return cycle_count_; }
   uint64_t reset_count() const { return reset_count_; }
+  uint64_t warm_restore_count() const { return warm_restore_count_; }
 
   static constexpr uint64_t kDefaultQuantum = 1 << 20;
 
@@ -156,6 +164,7 @@ class Board : public TargetEnv {
   uint64_t frozen_pc_ = 0;       // valid when faulted/hung/boot-failed
   uint64_t cycle_count_ = 0;
   uint64_t reset_count_ = 0;
+  uint64_t warm_restore_count_ = 0;
 };
 
 }  // namespace eof

@@ -17,6 +17,7 @@ DebugPortStats DebugPortStatsFromSnapshot(const telemetry::MetricsSnapshot& snap
   stats.flash_bytes = snapshot.CounterValue("link.flash_bytes");
   stats.flash_skipped_bytes = snapshot.CounterValue("link.flash_skipped_bytes");
   stats.resets = snapshot.CounterValue("link.resets");
+  stats.warm_restores = snapshot.CounterValue("link.warm_restores");
   return stats;
 }
 
@@ -35,6 +36,7 @@ DebugPort::DebugPort(Board* board, telemetry::MetricsRegistry* registry) : board
   flash_bytes_ = registry_->RegisterCounter("link.flash_bytes");
   flash_skipped_bytes_ = registry_->RegisterCounter("link.flash_skipped_bytes");
   resets_ = registry_->RegisterCounter("link.resets");
+  warm_restores_ = registry_->RegisterCounter("link.warm_restores");
 }
 
 DebugPortStats DebugPort::stats() const {
@@ -48,6 +50,7 @@ DebugPortStats DebugPort::stats() const {
   stats.flash_bytes = flash_bytes_->Value();
   stats.flash_skipped_bytes = flash_skipped_bytes_->Value();
   stats.resets = resets_->Value();
+  stats.warm_restores = warm_restores_->Value();
   return stats;
 }
 
@@ -254,6 +257,17 @@ Result<uint64_t> DebugPort::ChecksumMem(uint64_t address, uint64_t size) {
   return Fnv1aBytes(bytes.data(), bytes.size());
 }
 
+Result<uint64_t> DebugPort::ReadFlashWriteCount() {
+  // Status-word read through the memory AP; like ChecksumMem it needs no live core.
+  Status gate = CheckResponsive(/*needs_core=*/false);
+  Note(telemetry::FlightPortOp::kRead, board_->spec().flash_base, 8, gate.ok());
+  RETURN_IF_ERROR(gate);
+  board_->clock().Advance(kDebugTransactionCost);
+  transactions_->Increment();
+  bytes_read_->Add(8);
+  return board_->flash().write_count();
+}
+
 Result<uint64_t> DebugPort::ReadPC() {
   Status gate = CheckResponsive(/*needs_core=*/true);
   Note(telemetry::FlightPortOp::kReadPc, 0, 0, gate.ok());
@@ -336,6 +350,23 @@ Status DebugPort::ResetTarget() {
   transactions_->Increment();
   resets_->Increment();
   board_->Reset();  // charges kRebootCost internally
+  return OkStatus();
+}
+
+Status DebugPort::WarmRestoreCore() {
+  // needs_core=false: like a reset, the restore request goes through the debug
+  // unit's reset/halt logic, which answers even when the core is faulted or parked.
+  Status gate = CheckResponsive(/*needs_core=*/false);
+  Note(telemetry::FlightPortOp::kWarmRestore, 0, 0, gate.ok());
+  RETURN_IF_ERROR(gate);
+  transactions_->Increment();
+  warm_restores_->Increment();
+  board_->WarmRestore();  // charges kWarmRestoreCost internally
+  if (board_->power_state() != PowerState::kRunning) {
+    return FailedPreconditionError(
+        StrFormat("warm restore left the target %s; a full reflash+reboot is needed",
+                  PowerStateName(board_->power_state())));
+  }
   return OkStatus();
 }
 

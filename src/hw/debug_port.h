@@ -34,6 +34,7 @@ struct DebugPortStats {
   uint64_t flash_bytes = 0;          // bytes actually programmed
   uint64_t flash_skipped_bytes = 0;  // bytes the delta-reflash cache proved unchanged
   uint64_t resets = 0;
+  uint64_t warm_restores = 0;  // snapshot-path core restores (no boot ROM, no reflash)
 };
 
 // Reads the `link.*` counters out of a registry snapshot (per-board, diffed, or
@@ -124,6 +125,13 @@ class DebugPort {
   // host-side accounting: no link traffic, no virtual-time charge.
   void NoteFlashSkipped(uint64_t bytes) { flash_skipped_bytes_->Add(bytes); }
 
+  // Flash-controller write counter: one status-word read through the memory AP (a
+  // single fixed-latency transaction, no payload). The counter bumps on every flash
+  // programming operation — host reflashes and target-side scribbles alike — so a
+  // snapshot can prove "flash untouched since my last shadow audit" for the price
+  // of one link round trip instead of re-checksumming every partition.
+  Result<uint64_t> ReadFlashWriteCount();
+
   // Current program counter (watchdog #2 probes this around exec-continue).
   Result<uint64_t> ReadPC();
 
@@ -147,6 +155,15 @@ class DebugPort {
   // Hardware reset; the target re-runs its boot ROM against current flash contents.
   Status ResetTarget();
 
+  // Warm core restore (the snapshot fast path): halts the core and re-enters the
+  // agent without the boot ROM's power cycle, charging kWarmRestoreCost instead of
+  // kRebootCost. RAM comes back zeroed and armed breakpoints survive; the caller is
+  // expected to rewrite memory from its snapshot in one batched write. Fails like a
+  // reset would on a severed link, and reports FailedPrecondition when the warm
+  // boot parks the core (corrupted flash) — the caller must fall back to a full
+  // reflash+reboot in that case.
+  Status WarmRestoreCore();
+
   // Captured UART output since the last drain (the paper redirects this to stdout and the
   // log monitor greps it). Works even when the core is wedged — it is a separate wire.
   std::string DrainUart();
@@ -155,6 +172,9 @@ class DebugPort {
   std::vector<uint64_t> TakeBreakpointHits();
 
   VirtualTime Now() const { return board_->clock().Now(); }
+
+  // The target's memory map (the snapshot planner sizes its RAM read plan from it).
+  const BoardSpec& spec() const { return board_->spec(); }
 
   // Samples the bench ammeter on the target's supply rail (§6 extension). This is a
   // separate physical channel: it works even when the debug link is severed.
@@ -219,6 +239,7 @@ class DebugPort {
   telemetry::Counter* flash_bytes_;
   telemetry::Counter* flash_skipped_bytes_;
   telemetry::Counter* resets_;
+  telemetry::Counter* warm_restores_;
 };
 
 }  // namespace eof

@@ -25,6 +25,12 @@ inline constexpr VirtualDuration kFlashPerByteCostNs = 5000;  // 5 us per byte
 // Cold boot / reset to agent-ready.
 inline constexpr VirtualDuration kRebootCost = 300 * kVirtualMillisecond;
 
+// Warm core restore (snapshot fast path): halt the core, reset the peripherals and
+// re-enter the agent without the boot ROM, flash verification, or OS cold-init
+// walk. The RAM image itself is rewritten separately and pays the normal per-byte
+// link cost on top of this.
+inline constexpr VirtualDuration kWarmRestoreCost = 2 * kVirtualMillisecond;
+
 // How long the host waits before declaring a connection timeout (watchdog #1).
 inline constexpr VirtualDuration kLinkTimeout = 2 * kVirtualSecond;
 

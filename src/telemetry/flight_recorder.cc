@@ -32,6 +32,8 @@ const char* FlightPortOpName(FlightPortOp op) {
       return "uart";
     case FlightPortOp::kPeripheral:
       return "periph";
+    case FlightPortOp::kWarmRestore:
+      return "warm";
   }
   return "?";
 }
@@ -80,6 +82,14 @@ void FlightRecorder::RecordEvent(VirtualTime at, const char* label, uint64_t val
   slot.label = label;
   slot.value = value;
   ++events_seen_;
+}
+
+void FlightRecorder::Clear() {
+  // The ring slots need no scrubbing: Dump() only walks [seen - kept, seen), so
+  // zeroing the lifetime counters is enough to forget everything.
+  port_ops_seen_ = 0;
+  uart_lines_seen_ = 0;
+  events_seen_ = 0;
 }
 
 namespace {
@@ -172,6 +182,7 @@ std::string FlightDump::RenderText() const {
 std::vector<EventField> FlightDump::ToEventFields() const {
   std::vector<EventField> fields;
   fields.push_back(EventField::Text("reason", reason));
+  fields.push_back(EventField::Text("last_restore", last_restore));
   fields.push_back(EventField::Uint("port_ops_seen", port_ops_seen));
   fields.push_back(EventField::Uint("uart_lines_seen", uart_lines_seen));
   fields.push_back(EventField::Uint("events_seen", events_seen));

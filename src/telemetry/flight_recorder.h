@@ -41,6 +41,7 @@ enum class FlightPortOp : uint8_t {
   kReset,
   kUartDrain,      // size = drained bytes
   kPeripheral,
+  kWarmRestore,    // snapshot-path core restore (no boot ROM)
 };
 
 // Short stable mnemonic for rendering ("rd", "wr", "cont", ...).
@@ -79,6 +80,8 @@ struct ExecEventRecord {
 // a consumer can tell how much history the bounds discarded.
 struct FlightDump {
   std::string reason;          // what triggered the dump ("crash", "pc_stall", ...)
+  std::string last_restore = "none";  // restore mode preceding the trigger
+                                      // ("none" | "cold" | "snapshot")
   VirtualTime at = 0;          // board clock at dump time
   uint64_t port_ops_seen = 0;  // lifetime appends (>= port_ops.size() when wrapped)
   uint64_t uart_lines_seen = 0;
@@ -124,6 +127,11 @@ class FlightRecorder {
 
   // Appends one executor event. `label` must be a string literal.
   void RecordEvent(VirtualTime at, const char* label, uint64_t value = 0);
+
+  // Forgets all recorded history (the session totals included). Cold boots call
+  // this — a power cycle wipes the board-session context the rings describe —
+  // while snapshot restores leave the rings running, since the session continues.
+  void Clear();
 
   // Lifetime append totals (not bounded by capacity).
   uint64_t port_ops_seen() const { return port_ops_seen_; }

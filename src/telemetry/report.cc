@@ -321,6 +321,7 @@ CampaignReport BuildReport(const std::vector<JournalRow>& rows) {
       board.clock = row.at;
       board.execs = row.Uint("execs");
       board.restores = row.Uint("restores");
+      board.snapshot_restores = row.Uint("snapshot_restores");
       board.stalls = row.Uint("stalls");
       board.timeouts = row.Uint("timeouts");
       board.exec_us = row.Uint("exec_us");
@@ -341,15 +342,26 @@ CampaignReport BuildReport(const std::vector<JournalRow>& rows) {
       bug.board = static_cast<int>(row.Uint("board"));
       bug.seed_stream = row.Uint("seed_stream");
       bug.coverage_delta = row.Uint("coverage_delta");
+      bug.snapshot_validation = row.Text("snapshot_validation");
+      bug.last_restore = row.Text("last_restore");
       bug.dump_reason = row.Text("dump_reason");
       bug.uart_tail = row.Text("uart_tail");
       bug.port_ops = row.Text("port_ops");
       bug.events = row.Text("events");
-      report.bugs.push_back(std::move(bug));
+      // Validation-rejected sightings stay out of the bug table (they would also
+      // break the snapshot-vs-journal bug count consistency check below).
+      if (bug.snapshot_validation == "rejected") {
+        report.rejected_bugs.push_back(std::move(bug));
+      } else {
+        report.bugs.push_back(std::move(bug));
+      }
     } else if (row.type == "bug_dedup") {
       ++dedup_hits[static_cast<int>(row.Uint("catalog_id"))];
     } else if (row.type == "liveness_reset") {
       ++report.resets_by_reason[row.Text("reason")];
+      // Pre-snapshot journals have no "restore" field; those were all cold reboots.
+      const std::string& mode = row.Text("restore");
+      ++report.restores_by_mode[mode.empty() ? "cold" : mode];
     } else if (row.type == "crash_dump") {
       ++report.crash_dumps;
     } else if (row.type == "campaign_end") {
@@ -364,10 +376,21 @@ CampaignReport BuildReport(const std::vector<JournalRow>& rows) {
   }
 
   for (auto& [catalog_id, hits] : dedup_hits) {
+    bool credited = false;
     for (ReportBug& bug : report.bugs) {
       if (bug.catalog_id == catalog_id) {
         bug.duplicates += hits;
+        credited = true;
         break;  // dedup rows only carry the catalog id; credit the first sighting
+      }
+    }
+    if (!credited) {
+      // Rejected sightings dedup too — re-triggers of an artifact stay with it.
+      for (ReportBug& bug : report.rejected_bugs) {
+        if (bug.catalog_id == catalog_id) {
+          bug.duplicates += hits;
+          break;
+        }
       }
     }
   }
@@ -452,11 +475,13 @@ std::string CampaignReport::RenderText() const {
   out += StrFormat("  budget=%.1fvs interval=%.1fvs end=%.1fvs\n",
                    VirtualSeconds(budget), VirtualSeconds(interval), VirtualSeconds(end));
   out += StrFormat(
-      "  coverage=%llu execs=%llu crashes=%llu bugs=%llu corpus=%llu crash_dumps=%llu\n",
+      "  coverage=%llu execs=%llu crashes=%llu bugs=%llu rejected=%zu corpus=%llu "
+      "crash_dumps=%llu\n",
       static_cast<unsigned long long>(final_coverage),
       static_cast<unsigned long long>(final_execs),
       static_cast<unsigned long long>(crashes),
       static_cast<unsigned long long>(bugs_found),
+      rejected_bugs.size(),
       static_cast<unsigned long long>(corpus),
       static_cast<unsigned long long>(crash_dumps));
 
@@ -477,10 +502,12 @@ std::string CampaignReport::RenderText() const {
   }
 
   out += "\n-- board time accounting --\n";
-  out += "board   clock_vs      execs  exec% drain% flash% recov% deploy% other%\n";
+  out += "board   clock_vs      execs   snap  exec% drain% flash% recov% deploy% other%\n";
   for (const BoardAccounting& b : boards) {
-    out += StrFormat("%5d %10.1f %10llu %6.1f %6.1f %6.1f %6.1f %7.1f %6.1f\n", b.worker,
-                     VirtualSeconds(b.clock), static_cast<unsigned long long>(b.execs),
+    out += StrFormat("%5d %10.1f %10llu %6llu %6.1f %6.1f %6.1f %6.1f %7.1f %6.1f\n",
+                     b.worker, VirtualSeconds(b.clock),
+                     static_cast<unsigned long long>(b.execs),
+                     static_cast<unsigned long long>(b.snapshot_restores),
                      Percent(b.exec_us, b.clock), Percent(b.drain_us, b.clock),
                      Percent(b.reflash_us, b.clock), Percent(b.recovery_us, b.clock),
                      Percent(b.deploy_us, b.clock), Percent(b.OtherUs(), b.clock));
@@ -492,19 +519,26 @@ std::string CampaignReport::RenderText() const {
       out += StrFormat("  %-22s %llu\n", reason.c_str(),
                        static_cast<unsigned long long>(count));
     }
+    out += "  by restore mode:\n";
+    for (const auto& [mode, count] : restores_by_mode) {
+      out += StrFormat("    %-20s %llu\n", mode.c_str(),
+                       static_cast<unsigned long long>(count));
+    }
   }
 
   out += StrFormat("\n-- bugs (%zu deduped) --\n", bugs.size());
   for (const ReportBug& bug : bugs) {
     out += StrFormat(
         "bug #%d [%s/%s] op=%s board=%d first_exec=%llu seed_stream=%llu "
-        "cov_delta=%llu t_vs=%.1f dups=%llu\n",
+        "cov_delta=%llu t_vs=%.1f dups=%llu validation=%s restore=%s\n",
         bug.catalog_id, bug.detector.c_str(), bug.kind.c_str(),
         bug.operation.empty() ? "?" : bug.operation.c_str(), bug.board,
         static_cast<unsigned long long>(bug.first_exec),
         static_cast<unsigned long long>(bug.seed_stream),
         static_cast<unsigned long long>(bug.coverage_delta), VirtualSeconds(bug.at),
-        static_cast<unsigned long long>(bug.duplicates));
+        static_cast<unsigned long long>(bug.duplicates),
+        bug.snapshot_validation.empty() ? "not_checked" : bug.snapshot_validation.c_str(),
+        bug.last_restore.empty() ? "none" : bug.last_restore.c_str());
     out += "  excerpt:\n";
     out += Indent(TailLines(bug.excerpt, 4));
     out += "  program:\n";
@@ -515,6 +549,23 @@ std::string CampaignReport::RenderText() const {
     out += Indent(TailLines(bug.port_ops, 8));
     out += "  dump events (tail):\n";
     out += Indent(TailLines(bug.events, 8));
+  }
+
+  if (!rejected_bugs.empty()) {
+    out += StrFormat("\n-- rejected sightings (%zu, failed cold-boot validation) --\n",
+                     rejected_bugs.size());
+    for (const ReportBug& bug : rejected_bugs) {
+      out += StrFormat(
+          "sighting #%d [%s/%s] board=%d first_exec=%llu restore=%s dups=%llu\n",
+          bug.catalog_id, bug.detector.c_str(), bug.kind.c_str(), bug.board,
+          static_cast<unsigned long long>(bug.first_exec),
+          bug.last_restore.empty() ? "none" : bug.last_restore.c_str(),
+          static_cast<unsigned long long>(bug.duplicates));
+      out += "  excerpt:\n";
+      out += Indent(TailLines(bug.excerpt, 4));
+      out += "  program:\n";
+      out += Indent(bug.program);
+    }
   }
   return out;
 }
@@ -554,6 +605,7 @@ std::string CampaignReport::RenderJson() const {
   AppendJsonUint(&out, "execs", final_execs, &first);
   AppendJsonUint(&out, "crashes", crashes, &first);
   AppendJsonUint(&out, "bugs_found", bugs_found, &first);
+  AppendJsonUint(&out, "bugs_rejected", rejected_bugs.size(), &first);
   AppendJsonUint(&out, "corpus", corpus, &first);
   AppendJsonUint(&out, "journal_dropped", journal_dropped, &first);
   AppendJsonUint(&out, "crash_dumps", crash_dumps, &first);
@@ -585,6 +637,7 @@ std::string CampaignReport::RenderJson() const {
     AppendJsonUint(&out, "clock_us", b.clock, &bf);
     AppendJsonUint(&out, "execs", b.execs, &bf);
     AppendJsonUint(&out, "restores", b.restores, &bf);
+    AppendJsonUint(&out, "snapshot_restores", b.snapshot_restores, &bf);
     AppendJsonUint(&out, "stalls", b.stalls, &bf);
     AppendJsonUint(&out, "timeouts", b.timeouts, &bf);
     AppendJsonUint(&out, "exec_us", b.exec_us, &bf);
@@ -609,31 +662,61 @@ std::string CampaignReport::RenderJson() const {
   }
   out += "}";
 
+  out += ",\n\"restores_by_mode\":{";
+  first = true;
+  for (const auto& [mode, count] : restores_by_mode) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += StrFormat("\"%s\":%llu", JsonEscape(mode).c_str(),
+                     static_cast<unsigned long long>(count));
+  }
+  out += "}";
+
+  auto append_bug = [](std::string* dst, const ReportBug& bug) {
+    *dst += '{';
+    bool bf = true;
+    AppendJsonUint(dst, "catalog_id", static_cast<uint64_t>(bug.catalog_id), &bf);
+    AppendJsonText(dst, "detector", bug.detector, &bf);
+    AppendJsonText(dst, "kind", bug.kind, &bf);
+    AppendJsonText(dst, "operation", bug.operation, &bf);
+    AppendJsonText(dst, "excerpt", bug.excerpt, &bf);
+    AppendJsonText(dst, "program", bug.program, &bf);
+    AppendJsonUint(dst, "t_us", bug.at, &bf);
+    AppendJsonUint(dst, "first_exec", bug.first_exec, &bf);
+    AppendJsonUint(dst, "board", static_cast<uint64_t>(bug.board), &bf);
+    AppendJsonUint(dst, "seed_stream", bug.seed_stream, &bf);
+    AppendJsonUint(dst, "coverage_delta", bug.coverage_delta, &bf);
+    AppendJsonUint(dst, "duplicates", bug.duplicates, &bf);
+    AppendJsonText(dst, "snapshot_validation",
+                   bug.snapshot_validation.empty() ? "not_checked"
+                                                   : bug.snapshot_validation,
+                   &bf);
+    AppendJsonText(dst, "last_restore",
+                   bug.last_restore.empty() ? "none" : bug.last_restore, &bf);
+    AppendJsonText(dst, "dump_reason", bug.dump_reason, &bf);
+    AppendJsonText(dst, "uart_tail", bug.uart_tail, &bf);
+    AppendJsonText(dst, "port_ops", bug.port_ops, &bf);
+    AppendJsonText(dst, "events", bug.events, &bf);
+    *dst += '}';
+  };
+
   out += ",\n\"bugs\":[";
   for (size_t i = 0; i < bugs.size(); ++i) {
-    const ReportBug& bug = bugs[i];
     if (i > 0) {
       out += ',';
     }
-    out += '{';
-    bool bf = true;
-    AppendJsonUint(&out, "catalog_id", static_cast<uint64_t>(bug.catalog_id), &bf);
-    AppendJsonText(&out, "detector", bug.detector, &bf);
-    AppendJsonText(&out, "kind", bug.kind, &bf);
-    AppendJsonText(&out, "operation", bug.operation, &bf);
-    AppendJsonText(&out, "excerpt", bug.excerpt, &bf);
-    AppendJsonText(&out, "program", bug.program, &bf);
-    AppendJsonUint(&out, "t_us", bug.at, &bf);
-    AppendJsonUint(&out, "first_exec", bug.first_exec, &bf);
-    AppendJsonUint(&out, "board", static_cast<uint64_t>(bug.board), &bf);
-    AppendJsonUint(&out, "seed_stream", bug.seed_stream, &bf);
-    AppendJsonUint(&out, "coverage_delta", bug.coverage_delta, &bf);
-    AppendJsonUint(&out, "duplicates", bug.duplicates, &bf);
-    AppendJsonText(&out, "dump_reason", bug.dump_reason, &bf);
-    AppendJsonText(&out, "uart_tail", bug.uart_tail, &bf);
-    AppendJsonText(&out, "port_ops", bug.port_ops, &bf);
-    AppendJsonText(&out, "events", bug.events, &bf);
-    out += '}';
+    append_bug(&out, bugs[i]);
+  }
+  out += "]";
+
+  out += ",\n\"rejected_bugs\":[";
+  for (size_t i = 0; i < rejected_bugs.size(); ++i) {
+    if (i > 0) {
+      out += ',';
+    }
+    append_bug(&out, rejected_bugs[i]);
   }
   out += "]";
 

@@ -67,6 +67,7 @@ struct BoardAccounting {
   VirtualTime clock = 0;
   uint64_t execs = 0;
   uint64_t restores = 0;
+  uint64_t snapshot_restores = 0;  // restores served by the warm snapshot path
   uint64_t stalls = 0;
   uint64_t timeouts = 0;
   uint64_t exec_us = 0;      // running test cases (exec_continue spans)
@@ -93,6 +94,11 @@ struct ReportBug {
   uint64_t seed_stream = 0;
   uint64_t coverage_delta = 0;
   uint64_t duplicates = 0;  // later sightings folded by dedup
+  // Cold-boot provenance: the validation verdict ("confirmed" / "rejected" /
+  // "not_checked" — older journals read as "") and the restore mode that produced
+  // the board state the bug fired on ("none" / "cold" / "snapshot").
+  std::string snapshot_validation;
+  std::string last_restore;
   std::string dump_reason;
   std::string uart_tail;  // newline-joined flight-recorder rings
   std::string port_ops;
@@ -121,7 +127,13 @@ struct CampaignReport {
   std::vector<ReportSample> series;
   std::vector<BoardAccounting> boards;
   std::vector<ReportBug> bugs;
+  // Validation-rejected sightings (bug_report rows with snapshot_validation ==
+  // "rejected"): journaled for forensics but never part of the bug table.
+  std::vector<ReportBug> rejected_bugs;
   std::map<std::string, uint64_t> resets_by_reason;  // liveness_reset rows
+  // liveness_reset rows split by which path restored the board ("cold" /
+  // "snapshot"; rows from pre-snapshot journals land under "cold").
+  std::map<std::string, uint64_t> restores_by_mode;
   std::vector<std::string> warnings;
 
   // Human-readable report (the default `eof report` output).

@@ -39,7 +39,13 @@ void AppendBoardColumns(const MetricsSnapshot& snapshot, VirtualTime at, Event* 
       EventField::Uint("timeouts", snapshot.CounterValue("exec.timeouts")));
   event->fields.push_back(
       EventField::Uint("restores", snapshot.CounterValue("exec.restores")));
+  event->fields.push_back(EventField::Uint(
+      "snapshot_restores", snapshot.CounterValue("exec.snapshot_restores")));
+  event->fields.push_back(EventField::Uint(
+      "snapshot_bytes", snapshot.CounterValue("exec.snapshot_bytes")));
   event->fields.push_back(EventField::Uint("resets", snapshot.CounterValue("link.resets")));
+  event->fields.push_back(
+      EventField::Uint("warm_restores", snapshot.CounterValue("link.warm_restores")));
   event->fields.push_back(
       EventField::Uint("link_transactions", snapshot.CounterValue("link.transactions")));
   event->fields.push_back(
@@ -172,6 +178,7 @@ void SnapshotEmitter::EmitFarmLocked(VirtualTime at) {
     event.fields.push_back(EventField::Uint("campaign_execs", view.execs));
     event.fields.push_back(EventField::Uint("crashes", view.crashes));
     event.fields.push_back(EventField::Uint("bugs", view.bugs));
+    event.fields.push_back(EventField::Uint("bugs_rejected", view.bugs_rejected));
   }
   event.fields.push_back(EventField::Uint("journal_dropped", sink_->dropped()));
   sink_->Emit(event);

@@ -29,6 +29,7 @@ struct CampaignView {
   uint64_t execs = 0;
   uint64_t crashes = 0;
   uint64_t bugs = 0;
+  uint64_t bugs_rejected = 0;  // first sightings the cold-boot validation oracle refused
 };
 
 class SnapshotEmitter {

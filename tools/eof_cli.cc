@@ -36,6 +36,7 @@ int Usage() {
           "  eof list-targets\n"
           "  eof mine-specs <os>\n"
           "  eof fuzz <os> [minutes=60] [seed=1] [board=default] [--jobs N]\n"
+          "           [--restore-mode reflash|snapshot]\n"
           "           [--metrics-out FILE.jsonl] [--metrics-interval SECONDS]\n"
           "  eof report <journal.jsonl> [--json]\n"
           "  eof repro <os> <bug-id>\n"
@@ -81,21 +82,23 @@ int MineSpecs(const std::string& os_name) {
 }
 
 int Fuzz(const std::string& os_name, uint64_t minutes, uint64_t seed,
-         const std::string& board, int jobs, const std::string& metrics_out,
-         uint64_t metrics_interval_s) {
+         const std::string& board, int jobs, RestoreMode restore_mode,
+         const std::string& metrics_out, uint64_t metrics_interval_s) {
   FuzzerConfig config;
   config.os_name = os_name;
   config.board_name = board;
   config.seed = seed;
   config.budget = minutes * kVirtualMinute;
   config.sample_points = 12;
+  config.restore_mode = restore_mode;
   config.metrics_out = metrics_out;
   if (metrics_interval_s > 0) {
     config.metrics_interval = metrics_interval_s * kVirtualSecond;
   }
-  printf("fuzzing %s for %llu virtual minutes (seed %llu, %d board%s)...\n",
+  printf("fuzzing %s for %llu virtual minutes (seed %llu, %d board%s, %s restores)...\n",
          os_name.c_str(), static_cast<unsigned long long>(minutes),
-         static_cast<unsigned long long>(seed), jobs, jobs == 1 ? "" : "s");
+         static_cast<unsigned long long>(seed), jobs, jobs == 1 ? "" : "s",
+         restore_mode == RestoreMode::kSnapshot ? "snapshot" : "reflash");
   Result<CampaignResult> result = [&] {
     if (jobs > 1) {
       BoardFarm farm(config, jobs);
@@ -121,6 +124,12 @@ int Fuzz(const std::string& os_name, uint64_t minutes, uint64_t seed,
          static_cast<unsigned long long>(campaign.stalls),
          static_cast<unsigned long long>(campaign.restores),
          static_cast<unsigned long long>(campaign.corpus_size));
+  if (restore_mode == RestoreMode::kSnapshot) {
+    printf("snapshot_restores=%llu snapshot_bytes=%llu rejected_sightings=%llu\n",
+           static_cast<unsigned long long>(campaign.snapshot_restores),
+           static_cast<unsigned long long>(campaign.snapshot_bytes),
+           static_cast<unsigned long long>(campaign.bugs_rejected));
+  }
   for (const BugReport& bug : campaign.bugs) {
     const BugInfo* info = FindBug(bug.catalog_id);
     printf("\nBUG #%d %s [%s monitor]\n%s\nreproducer:\n%s", bug.catalog_id,
@@ -212,6 +221,7 @@ int main(int argc, char** argv) {
   // arguments keep their slots; `--flag=value` also works. Values are validated
   // here: a missing or non-numeric value is a usage error, not a silent default.
   int jobs = 1;
+  RestoreMode restore_mode = RestoreMode::kReflash;
   std::string metrics_out;
   uint64_t metrics_interval_s = 0;  // 0 = keep the FuzzerConfig default
   bool json = false;
@@ -241,6 +251,22 @@ int main(int argc, char** argv) {
           return Usage();
         }
         jobs = static_cast<int>(parsed);
+      } else if (arg == "--restore-mode" || arg.rfind("--restore-mode=", 0) == 0) {
+        if (arg.size() > 14 && arg[14] == '=') {
+          value = arg.c_str() + 15;
+        } else if (i + 1 < argc) {
+          value = argv[++i];
+        }
+        std::string mode = value == nullptr ? "" : value;
+        if (mode == "reflash") {
+          restore_mode = RestoreMode::kReflash;
+        } else if (mode == "snapshot") {
+          restore_mode = RestoreMode::kSnapshot;
+        } else {
+          fprintf(stderr, "eof: --restore-mode wants 'reflash' or 'snapshot', got '%s'\n",
+                  mode.c_str());
+          return Usage();
+        }
       } else if (arg == "--metrics-out" || arg.rfind("--metrics-out=", 0) == 0) {
         if (arg.size() > 13 && arg[13] == '=') {
           value = arg.c_str() + 14;
@@ -285,8 +311,8 @@ int main(int argc, char** argv) {
     uint64_t minutes = argc >= 4 ? strtoull(argv[3], nullptr, 10) : 60;
     uint64_t seed = argc >= 5 ? strtoull(argv[4], nullptr, 10) : 1;
     std::string board = argc >= 6 ? argv[5] : "";
-    return Fuzz(argv[2], minutes == 0 ? 60 : minutes, seed, board, jobs, metrics_out,
-                metrics_interval_s);
+    return Fuzz(argv[2], minutes == 0 ? 60 : minutes, seed, board, jobs, restore_mode,
+                metrics_out, metrics_interval_s);
   }
   if (command == "report" && argc >= 3) {
     return Report(argv[2], json);
