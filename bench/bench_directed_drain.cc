@@ -1,0 +1,272 @@
+// Directed-scheduling + double-buffered-drain bench, the attribution PR's two
+// performance claims under one gate:
+//
+//  A. Drain overlap. Two exec-capped FreeRTOS campaigns on the hifive1-revb
+//     (192-entry coverage ring, instrumentation on — the ring overflows on
+//     ordinary programs, so mid-exec drains are the common case), identical
+//     except for the overlapped_drain flag. The double-buffered drain must leave
+//     coverage bit-identical while cutting the campaign's virtual time by at
+//     least 1.3x — the drain's round trip rides the next continue instead of
+//     paying its own link-latency charge.
+//
+//  B. Directed mode. Two budget-capped campaigns, identical except --directed.
+//     The frontier-focused generator must reach the undirected campaign's final
+//     coverage sooner (virtual time to target, read off the coverage series).
+//
+//  C. The directed campaign journals to JSONL; the strict report parser must
+//     load it and surface the attribution counters — a malformed row or a
+//     type regression in the new fields fails the bench, not just the render.
+//
+// Emits machine-readable BENCH_directed_drain.json for CI.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "src/common/logging.h"
+#include "src/core/campaign.h"
+#include "src/core/fuzzer.h"
+#include "src/os/all_oses.h"
+#include "src/telemetry/report.h"
+
+using namespace eof;
+
+namespace {
+
+constexpr char kJournalPath[] = "BENCH_directed_drain.jsonl";
+
+struct Run {
+  uint64_t execs = 0;
+  uint64_t coverage = 0;
+  uint64_t directed_hits = 0;
+  uint64_t frontier = 0;
+  VirtualTime elapsed = 0;
+  std::vector<CampaignSample> series;
+  double wall_sec = 0;
+};
+
+// Chatty, crash-light campaign: generation confined to the pseudo-call subsystem
+// (semaphore ping-pong and worker-pipeline loops — hundreds of instrumentation
+// events per call) keeps the hifive1's 192-entry ring overflowing mid-exec, so
+// instrumentation stalls are the common case. Plain mode pays a background-poll
+// pickup (kCovStallPollCost) at every stall; overlapped mode's self-service bank
+// flips absorb every other stall and ride the drain on the next continue.
+FuzzerConfig DrainConfig(bool overlapped, uint64_t max_execs) {
+  FuzzerConfig config;
+  config.os_name = "freertos";
+  config.board_name = "hifive1-revb";
+  config.seed = 11;
+  config.budget = 24 * kVirtualHour;
+  config.max_execs = max_execs;
+  config.sample_points = 8;
+  config.overlapped_drain = overlapped;
+  // Pseudo-calls only, with instrumentation confined to their module (the paper's
+  // Table-4 subsystem confinement): the loop bodies emit an event per round, so
+  // every call pushes O(100) entries at the 192-entry ring, while the uninstrumented
+  // rest of the image keeps the inter-call settling delay at its base cost.
+  config.gen.allowed_subsystems = {"pseudo"};
+  config.gen.max_calls = 32;  // long programs amortize per-exec mailbox/restore costs
+  config.instrumentation.module_filter = {"freertos/pseudo"};
+  // Bias scalars to the interesting-value pool — loop counts land at their declared
+  // ceilings far more often, which is exactly the coverage-heavy regime this gate is
+  // about (bucketed loop edges need high trip counts to surface).
+  config.gen.wild_scalar_per_mille = 1000;
+  // Seed the corpus at the constraint ceilings — a full ping-pong emits ~513 events
+  // and a full pipeline ~98, cycling the ring several times in one program.
+  std::string pingpong;
+  std::string pipeline;
+  for (int i = 0; i < 24; ++i) {
+    pingpong += "r" + std::to_string(i) + " = syz_sem_pingpong(0x200)\n";
+    pipeline += "r" + std::to_string(i) + " = syz_worker_pipeline(0x10, 0x40)\n";
+  }
+  config.seed_programs = {pingpong, pipeline};
+  return config;
+}
+
+FuzzerConfig DirectedConfig(bool directed, VirtualDuration budget) {
+  FuzzerConfig config;
+  config.os_name = "freertos";
+  config.seed = 9;
+  config.budget = budget;
+  config.sample_points = 48;  // fine-grained series: time-to-target resolution
+  config.directed = directed;
+  if (directed) {
+    config.metrics_out = kJournalPath;
+    config.metrics_interval = budget / 16;
+  }
+  return config;
+}
+
+bool RunOne(const FuzzerConfig& config, const char* label, Run* out) {
+  EofFuzzer fuzzer(config);
+  auto start = std::chrono::steady_clock::now();
+  auto result = fuzzer.Run();
+  out->wall_sec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  if (!result.ok()) {
+    fprintf(stderr, "campaign(%s) failed: %s\n", label,
+            result.status().ToString().c_str());
+    return false;
+  }
+  out->execs = result->execs;
+  out->coverage = result->final_coverage;
+  out->directed_hits = result->directed_hits;
+  out->frontier = result->frontier;
+  out->elapsed = result->elapsed;
+  out->series = result->series;
+  return true;
+}
+
+// First series time at which `coverage` was reached; 0 when never.
+VirtualTime TimeToCoverage(const Run& run, uint64_t target) {
+  for (const CampaignSample& sample : run.series) {
+    if (sample.coverage >= target) {
+      return sample.time;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  if (!RegisterAllOses().ok()) {
+    fprintf(stderr, "OS registration failed\n");
+    return 1;
+  }
+  SetMinLogSeverity(LogSeverity::kError);
+  bool ok = true;
+
+  // --- Part A: double-buffered drain ---------------------------------------
+  constexpr uint64_t kDrainExecs = 400;
+  printf("== A: drain overlap, FreeRTOS on hifive1-revb, %llu execs each ==\n",
+         static_cast<unsigned long long>(kDrainExecs));
+  Run plain, overlapped;
+  if (!RunOne(DrainConfig(false, kDrainExecs), "plain-drain", &plain) ||
+      !RunOne(DrainConfig(true, kDrainExecs), "overlapped-drain", &overlapped)) {
+    return 1;
+  }
+  double overlap_ratio =
+      overlapped.elapsed > 0 ? double(plain.elapsed) / double(overlapped.elapsed) : 0;
+  printf("%-12s %10s %10s %14s\n", "drain", "execs", "coverage", "elapsed_vs");
+  printf("%-12s %10llu %10llu %14.1f\n", "plain",
+         static_cast<unsigned long long>(plain.execs),
+         static_cast<unsigned long long>(plain.coverage),
+         double(plain.elapsed) / kVirtualSecond);
+  printf("%-12s %10llu %10llu %14.1f\n", "overlapped",
+         static_cast<unsigned long long>(overlapped.execs),
+         static_cast<unsigned long long>(overlapped.coverage),
+         double(overlapped.elapsed) / kVirtualSecond);
+  printf("overlap saves: plain/overlapped = %.2fx virtual time\n", overlap_ratio);
+  if (plain.coverage != overlapped.coverage) {
+    fprintf(stderr, "FAIL: overlapped drain changed coverage (%llu vs %llu)\n",
+            static_cast<unsigned long long>(plain.coverage),
+            static_cast<unsigned long long>(overlapped.coverage));
+    ok = false;
+  }
+  if (overlap_ratio < 1.3) {
+    fprintf(stderr, "FAIL: drain overlap saves only %.2fx virtual time (need 1.3x)\n",
+            overlap_ratio);
+    ok = false;
+  }
+
+  // --- Part B: directed scheduling -----------------------------------------
+  VirtualDuration budget = ScaledCampaignBudget() / 16;
+  printf("\n== B: directed vs undirected, FreeRTOS, %llu virtual seconds each ==\n",
+         static_cast<unsigned long long>(budget / kVirtualSecond));
+  Run undirected, directed;
+  if (!RunOne(DirectedConfig(false, budget), "undirected", &undirected) ||
+      !RunOne(DirectedConfig(true, budget), "directed", &directed)) {
+    return 1;
+  }
+  // Target: the coverage the undirected campaign ended with. Directed must get
+  // there in less virtual time (and therefore fewer executions).
+  uint64_t target = undirected.coverage;
+  VirtualTime undirected_t = TimeToCoverage(undirected, target);
+  VirtualTime directed_t = TimeToCoverage(directed, target);
+  printf("%-12s %10s %10s %14s %14s\n", "mode", "execs", "coverage", "t_target_vs",
+         "directed_hits");
+  printf("%-12s %10llu %10llu %14.1f %14s\n", "undirected",
+         static_cast<unsigned long long>(undirected.execs),
+         static_cast<unsigned long long>(undirected.coverage),
+         double(undirected_t) / kVirtualSecond, "-");
+  printf("%-12s %10llu %10llu %14.1f %14llu\n", "directed",
+         static_cast<unsigned long long>(directed.execs),
+         static_cast<unsigned long long>(directed.coverage),
+         double(directed_t) / kVirtualSecond,
+         static_cast<unsigned long long>(directed.directed_hits));
+  if (directed_t == 0) {
+    fprintf(stderr, "FAIL: directed campaign never reached the undirected target "
+                    "coverage %llu\n",
+            static_cast<unsigned long long>(target));
+    ok = false;
+  } else if (directed_t >= undirected_t) {
+    fprintf(stderr,
+            "FAIL: directed reached coverage %llu at %.1fvs, undirected at %.1fvs\n",
+            static_cast<unsigned long long>(target),
+            double(directed_t) / kVirtualSecond,
+            double(undirected_t) / kVirtualSecond);
+    ok = false;
+  }
+  if (directed.directed_hits == 0) {
+    fprintf(stderr, "FAIL: directed campaign claimed no frontier hits\n");
+    ok = false;
+  }
+
+  // --- Part C: journal through the strict report parser --------------------
+  auto report = telemetry::LoadReportFromFile(kJournalPath);
+  if (!report.ok()) {
+    fprintf(stderr, "FAIL: strict report parser refused the directed journal: %s\n",
+            report.status().ToString().c_str());
+    ok = false;
+  } else {
+    printf("\n== C: eof-report over %s ==\n", kJournalPath);
+    printf("report: coverage=%llu directed_hits=%llu frontier=%llu\n",
+           static_cast<unsigned long long>(report->final_coverage),
+           static_cast<unsigned long long>(report->directed_hits),
+           static_cast<unsigned long long>(report->frontier));
+    if (report->final_coverage != directed.coverage) {
+      fprintf(stderr, "FAIL: journaled coverage %llu != campaign coverage %llu\n",
+              static_cast<unsigned long long>(report->final_coverage),
+              static_cast<unsigned long long>(directed.coverage));
+      ok = false;
+    }
+    if (report->directed_hits != directed.directed_hits) {
+      fprintf(stderr, "FAIL: journaled directed_hits %llu != campaign %llu\n",
+              static_cast<unsigned long long>(report->directed_hits),
+              static_cast<unsigned long long>(directed.directed_hits));
+      ok = false;
+    }
+  }
+
+  FILE* json = fopen("BENCH_directed_drain.json", "w");
+  if (json != nullptr) {
+    fprintf(json,
+            "{\n"
+            "  \"overlap\": {\"execs\": %llu, \"coverage\": %llu,"
+            " \"plain_elapsed_vus\": %llu, \"overlapped_elapsed_vus\": %llu,"
+            " \"time_ratio\": %.4f, \"wall_sec\": %.3f},\n"
+            "  \"directed\": {\"budget_vus\": %llu, \"target_coverage\": %llu,"
+            " \"undirected_t_target_vus\": %llu, \"directed_t_target_vus\": %llu,"
+            " \"undirected_coverage\": %llu, \"directed_coverage\": %llu,"
+            " \"directed_hits\": %llu, \"frontier\": %llu, \"wall_sec\": %.3f}\n"
+            "}\n",
+            static_cast<unsigned long long>(kDrainExecs),
+            static_cast<unsigned long long>(overlapped.coverage),
+            static_cast<unsigned long long>(plain.elapsed),
+            static_cast<unsigned long long>(overlapped.elapsed), overlap_ratio,
+            plain.wall_sec + overlapped.wall_sec,
+            static_cast<unsigned long long>(budget),
+            static_cast<unsigned long long>(target),
+            static_cast<unsigned long long>(undirected_t),
+            static_cast<unsigned long long>(directed_t),
+            static_cast<unsigned long long>(undirected.coverage),
+            static_cast<unsigned long long>(directed.coverage),
+            static_cast<unsigned long long>(directed.directed_hits),
+            static_cast<unsigned long long>(directed.frontier),
+            undirected.wall_sec + directed.wall_sec);
+    fclose(json);
+    printf("wrote BENCH_directed_drain.json\n");
+  }
+  return ok ? 0 : 1;
+}

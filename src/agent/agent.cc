@@ -151,6 +151,9 @@ StopInfo AgentFirmware::Resume(TargetEnv& env, uint64_t max_steps) {
     // Nothing executes any more; the board reports the frozen state.
     return trap_info_;
   }
+  // The host only touches ring RAM (drains, bank flips) while we are stopped, i.e.
+  // between Resume calls: re-read the host-owned ring header words this window.
+  ctx_->BeginResumeWindow();
   for (uint64_t step = 0; step < max_steps; ++step) {
     env.ConsumeCycles(kAgentStepCycles);
     switch (state_) {
@@ -219,6 +222,9 @@ StopInfo AgentFirmware::Resume(TargetEnv& env, uint64_t max_steps) {
           state_ = LoopState::kAtExecutorMain;
           break;
         }
+        // Publish the call index about to execute so every coverage entry the call
+        // (and the housekeeping after it) appends carries its attribution.
+        ctx_->SetCurrentCall(static_cast<uint32_t>(call_index_));
         if (!ExecuteCurrentCall(env)) {
           return trap_info_;  // trap latched; board freezes the PC
         }
@@ -228,6 +234,15 @@ StopInfo AgentFirmware::Resume(TargetEnv& env, uint64_t max_steps) {
         break;
       }
       case LoopState::kAtCovBufFull: {
+        // Double-buffered mode: if the host already collected the parked bank, park
+        // the full one and flip onto it — no halt, no host round trip; the parked
+        // bank rides out at the next stop. skip_pause_ means we are resuming from
+        // the pause below (the host just drained both banks), so carry on in place.
+        if (!skip_pause_ && ctx_->TryBankFlip()) {
+          ctx_->ClearCovOverflow();
+          state_ = LoopState::kExecuting;
+          break;
+        }
         if (PauseAt(env, kPpCovBufFull)) {
           stop.reason = HaltReason::kBreakpoint;
           return stop;

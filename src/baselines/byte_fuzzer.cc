@@ -342,7 +342,7 @@ Result<uint64_t> ByteFuzzer::ExecuteOne(const WireProgram& program) {
   } else {
     auto entries = deployment_->DrainCoverage();
     if (entries.ok()) {
-      fresh = coverage_.AddBatch(entries.value());
+      fresh = coverage_.AddBatchAttributed(entries.value(), nullptr);
     }
   }
   (void)deployment_->port().DrainUart();

@@ -20,6 +20,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/common/coverage_types.h"
+
 namespace eof {
 
 class CoverageMap {
@@ -70,6 +72,25 @@ class CoverageMap {
       if (Add(id)) {
         ++fresh;
         fresh_out->push_back(id);
+      }
+    }
+    return fresh;
+  }
+
+  // Folds an attributed batch in; returns how many edges were new. Each first-seen
+  // edge's hit — carrying the call index of its FIRST sighting in this batch — is
+  // appended to `fresh_out` (when non-null) in encounter order, which is what the
+  // scheduler's per-call attribution and the trimmer consume. Farm workers also use
+  // this as the local pre-filter (the attributed analogue of AddBatchFiltered).
+  size_t AddBatchAttributed(const std::vector<CovHit>& hits,
+                            std::vector<CovHit>* fresh_out) {
+    size_t fresh = 0;
+    for (const CovHit& hit : hits) {
+      if (Add(hit.edge)) {
+        ++fresh;
+        if (fresh_out != nullptr) {
+          fresh_out->push_back(hit);
+        }
       }
     }
     return fresh;

@@ -56,9 +56,9 @@ void RunWorker(FarmWorker* worker, int index, CampaignScheduler* scheduler,
     }
     ExecOutcome outcome = std::move(outcome_or).value();
     ++execs_run;
-    std::vector<uint64_t> fresh_here;
-    worker->local_coverage.AddBatchFiltered(outcome.edges, &fresh_here);
-    outcome.edges = std::move(fresh_here);
+    std::vector<CovHit> fresh_here;
+    worker->local_coverage.AddBatchAttributed(outcome.hits, &fresh_here);
+    outcome.hits = std::move(fresh_here);
     scheduler->OnOutcome(program, outcome, *worker->generator,
                          worker->executor->Elapsed(), index);
     if (emitter != nullptr) {

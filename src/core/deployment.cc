@@ -35,7 +35,33 @@ Result<std::unique_ptr<Deployment>> Deployment::Create(const DeployOptions& opti
 
   RETURN_IF_ERROR(deployment->port_->Connect());
   RETURN_IF_ERROR(deployment->ReflashAndReboot());
+  // Reject a target whose booted agent stamped a different ring layout than the
+  // host compiled against — a silent mismatch would drain empty coverage forever.
+  RETURN_IF_ERROR(deployment->ValidateCovRing());
   return deployment;
+}
+
+Status Deployment::ValidateCovRing() {
+  if (ring_.capacity == 0) {
+    return OkStatus();
+  }
+  uint64_t ring_base = ram_base_ + ring_.ram_offset;
+  ASSIGN_OR_RETURN(std::vector<uint8_t> raw, port_->ReadMem(ring_base, 8));
+  ByteReader reader(raw);
+  uint32_t version = reader.GetU32();
+  uint32_t capacity = reader.GetU32();
+  if (version != CovRingLayout::kVersionMagic) {
+    return FailedPreconditionError(
+        StrFormat("coverage ring header version 0x%08x != expected 0x%08x: the booted "
+                  "agent uses an incompatible ring layout",
+                  version, CovRingLayout::kVersionMagic));
+  }
+  if (capacity != ring_.capacity) {
+    return FailedPreconditionError(
+        StrFormat("coverage ring capacity mismatch: target stamped %u, host expects %u",
+                  capacity, ring_.capacity));
+  }
+  return OkStatus();
 }
 
 uint64_t Deployment::PayloadHash(const std::string& partition,
@@ -150,99 +176,246 @@ Result<AgentStatusView> Deployment::ReadAgentStatus() {
   return ParseStatusBlock(raw);
 }
 
-Result<std::vector<uint64_t>> Deployment::DrainCoverage(uint32_t* dropped,
-                                                        AgentStatusView* status) {
+namespace {
+
+// Parses `count` 12-byte {u64 edge, u32 call} entries from `reader`.
+void ParseCovEntries(ByteReader& reader, uint32_t count, std::vector<CovHit>* out) {
+  for (uint32_t i = 0; i < count; ++i) {
+    CovHit hit;
+    hit.edge = reader.GetU64();
+    hit.call = reader.GetU32();
+    out->push_back(hit);
+  }
+}
+
+}  // namespace
+
+Status Deployment::SetBankFlipMode(bool enabled) {
+  flip_mode_ = enabled;
+  if (ring_.capacity == 0) {
+    return OkStatus();
+  }
+  // The target is stopped and owns only the bank bit, which every boot path and
+  // every drain leaves at 0 when this runs (deploy and cold restore re-arm from a
+  // zeroed header), so a plain write of the host-owned flag is safe.
+  ByteWriter word;
+  word.PutU32(enabled ? CovRingLayout::kBankFlipEnableBit : 0);
+  return port_->WriteMem(ram_base_ + ring_.ram_offset + CovRingLayout::kActiveBankOffset,
+                         word.bytes());
+}
+
+Result<uint32_t> Deployment::CollectBank(const PortOp& op, uint32_t bank,
+                                         uint32_t prefetch, uint32_t* count_out,
+                                         std::vector<CovHit>* out) {
+  ByteReader reader(op.result);
+  uint32_t count = reader.GetU32();
+  uint32_t drop_count = reader.GetU32();
+  if (count > ring_.capacity) {
+    count = ring_.capacity;  // a scribbled header must not drive a huge read
+  }
+  *count_out = count;
+  uint32_t from_prefetch = std::min(count, prefetch);
+  out->reserve(out->size() + count);
+  ParseCovEntries(reader, from_prefetch, out);
+  if (count > from_prefetch) {
+    // The speculative window undershot: fetch the tail in one follow-up read.
+    // Race-free in every caller: immediate drains run against a stopped target,
+    // and a plan's subtracts committed before the continue released the core, so
+    // the entries the plan's reads covered are frozen.
+    ASSIGN_OR_RETURN(
+        std::vector<uint8_t> raw,
+        port_->ReadMem(
+            ram_base_ + ring_.EntryOffset(bank, from_prefetch),
+            static_cast<uint64_t>(count - from_prefetch) * CovRingLayout::kEntryBytes));
+    ByteReader tail(raw);
+    ParseCovEntries(tail, count - from_prefetch, out);
+  }
+  return drop_count;
+}
+
+Result<std::vector<CovHit>> Deployment::DrainCoverage(uint32_t* dropped,
+                                                      AgentStatusView* status) {
   uint64_t ring_base = ram_base_ + ring_.ram_offset;
   if (!batched_) {
-    // Legacy protocol: header read, entries read, blind 0/0 header write — three round
-    // trips, and entries appended between the reads and the reset are lost (the window
-    // the batched protocol's read-then-subtract closes).
-    ASSIGN_OR_RETURN(std::vector<uint8_t> header, port_->ReadMem(ring_base, 8));
+    // Legacy protocol: global+bank header read, entries read, blind 0/0 bank-header
+    // write — three round trips per bank (bank 0, the steady state without bank
+    // flips; flip mode pays the extra header read for the second bank), and entries
+    // appended between the reads and the reset are lost (the window the batched
+    // read-then-subtract closes).
+    ASSIGN_OR_RETURN(std::vector<uint8_t> header,
+                     port_->ReadMem(ring_base, CovRingLayout::kGlobalHeaderBytes +
+                                                   CovRingLayout::kBankHeaderBytes));
     ByteReader reader(header);
-    uint32_t count = reader.GetU32();
-    uint32_t drop_count = reader.GetU32();
-    if (dropped != nullptr) {
-      *dropped = drop_count;
+    reader.GetU32();  // version (validated at deploy time)
+    reader.GetU32();  // capacity
+    reader.GetU32();  // current_call
+    uint32_t active = reader.GetU32() & CovRingLayout::kActiveBankMask;
+    uint32_t bank0_count = reader.GetU32();  // bank 0's header rides the same read
+    uint32_t bank0_drops = reader.GetU32();
+    // Oldest entries first: the parked bank (the one the target flipped away from)
+    // precedes the active one. Without flips the target never leaves bank 0.
+    std::vector<uint32_t> banks;
+    if (flip_mode_) {
+      banks.push_back(active ^ 1);
     }
-    std::vector<uint64_t> entries;
-    if (count > ring_.capacity) {
-      count = ring_.capacity;  // a scribbled header must not drive a huge read
-    }
-    if (count > 0) {
-      ASSIGN_OR_RETURN(std::vector<uint8_t> raw,
-                       port_->ReadMem(ring_base + CovRingLayout::kEntriesOffset,
-                                      static_cast<uint64_t>(count) * 8));
-      ByteReader entry_reader(raw);
-      entries.reserve(count);
-      for (uint32_t i = 0; i < count; ++i) {
-        entries.push_back(entry_reader.GetU64());
+    banks.push_back(active);
+    std::vector<CovHit> entries;
+    uint32_t drop_total = 0;
+    for (uint32_t bank : banks) {
+      uint64_t bank_base = ram_base_ + ring_.BankOffset(bank);
+      uint32_t count = bank0_count;
+      uint32_t drop_count = bank0_drops;
+      if (bank != 0) {
+        ASSIGN_OR_RETURN(std::vector<uint8_t> bank_header,
+                         port_->ReadMem(bank_base, CovRingLayout::kBankHeaderBytes));
+        ByteReader bank_reader(bank_header);
+        count = bank_reader.GetU32();
+        drop_count = bank_reader.GetU32();
       }
+      drop_total += drop_count;
+      if (count > ring_.capacity) {
+        count = ring_.capacity;  // a scribbled header must not drive a huge read
+      }
+      if (count > 0) {
+        ASSIGN_OR_RETURN(
+            std::vector<uint8_t> raw,
+            port_->ReadMem(bank_base + CovRingLayout::kBankHeaderBytes,
+                           static_cast<uint64_t>(count) * CovRingLayout::kEntryBytes));
+        ByteReader entry_reader(raw);
+        entries.reserve(entries.size() + count);
+        ParseCovEntries(entry_reader, count, &entries);
+      }
+      ByteWriter zero;
+      zero.PutU32(0);
+      zero.PutU32(0);
+      RETURN_IF_ERROR(port_->WriteMem(bank_base, zero.bytes()));
     }
-    ByteWriter zero;
-    zero.PutU32(0);
-    zero.PutU32(0);
-    RETURN_IF_ERROR(port_->WriteMem(ring_base, zero.bytes()));
+    if (dropped != nullptr) {
+      *dropped = drop_total;
+    }
     if (status != nullptr) {
       ASSIGN_OR_RETURN(*status, ReadAgentStatus());
     }
     return entries;
   }
 
-  // Batched protocol, one round trip in the common case:
-  //   op0  read header + `prefetch` speculative entries (contiguous with the header)
-  //   op1  count   -= the count op0 read   (adapter-side read-modify-write)
-  //   op2  dropped -= the drops op0 read
-  //   op3  (optional) read the agent status block
+  // Batched protocol, one round trip in the common case. Per drained bank:
+  //   read   bank header + `prefetch` speculative entries (contiguous)
+  //   count   -= the count the read saw   (adapter-side read-modify-write)
+  //   dropped -= the drops the read saw
   // The subtracts land target-side after the read, so entries the target appends in
-  // between are preserved: the header keeps exactly the not-yet-drained tail.
+  // between are preserved: the header keeps exactly the not-yet-drained tail. In
+  // flip mode the active_bank word rides along to order the banks (parked first);
+  // the target owns the bank bit and the host never flips it.
   uint32_t prefetch = std::min(prefetch_hint_, ring_.capacity);
+  uint64_t bank_read_bytes = CovRingLayout::kBankHeaderBytes +
+                             static_cast<uint64_t>(prefetch) * CovRingLayout::kEntryBytes;
   std::vector<PortOp> ops;
-  ops.push_back(PortOp::Read(ring_base, 8 + static_cast<uint64_t>(prefetch) * 8));
-  ops.push_back(PortOp::SubU32(ring_base + CovRingLayout::kCountOffset, /*operand_op=*/0,
-                               /*operand_offset=*/0));
-  ops.push_back(PortOp::SubU32(ring_base + CovRingLayout::kDroppedOffset, /*operand_op=*/0,
-                               /*operand_offset=*/4));
+  size_t bank_op[2] = {0, 0};
+  if (flip_mode_) {
+    ops.push_back(PortOp::Read(ring_base + CovRingLayout::kActiveBankOffset, 4));
+  }
+  for (uint32_t bank = 0; bank < (flip_mode_ ? 2u : 1u); ++bank) {
+    uint64_t bank_base = ram_base_ + ring_.BankOffset(bank);
+    bank_op[bank] = ops.size();
+    ops.push_back(PortOp::Read(bank_base, bank_read_bytes));
+    ops.push_back(PortOp::SubU32(bank_base + CovRingLayout::kCountOffset,
+                                 /*operand_op=*/bank_op[bank], /*operand_offset=*/0));
+    ops.push_back(PortOp::SubU32(bank_base + CovRingLayout::kDroppedOffset,
+                                 /*operand_op=*/bank_op[bank], /*operand_offset=*/4));
+  }
   if (status != nullptr) {
     ops.push_back(PortOp::Read(status_address(), kStatusBlockSize));
   }
   RETURN_IF_ERROR(port_->RunBatch(&ops));
 
-  ByteReader reader(ops[0].result);
-  uint32_t count = reader.GetU32();
-  uint32_t drop_count = reader.GetU32();
+  uint32_t active = 0;
+  if (flip_mode_) {
+    ByteReader bank_word(ops[0].result);
+    active = bank_word.GetU32() & CovRingLayout::kActiveBankMask;
+  }
+  std::vector<CovHit> entries;
+  uint32_t drop_total = 0;
+  uint32_t max_count = 0;
+  // Oldest first: parked bank (if flips are on), then the active one.
+  std::vector<uint32_t> banks;
+  if (flip_mode_) {
+    banks.push_back(active ^ 1);
+  }
+  banks.push_back(active);
+  for (uint32_t bank : banks) {
+    uint32_t count = 0;
+    ASSIGN_OR_RETURN(uint32_t drop_count,
+                     CollectBank(ops[bank_op[bank]], bank, prefetch, &count, &entries));
+    drop_total += drop_count;
+    max_count = std::max(max_count, count);
+  }
   if (dropped != nullptr) {
-    *dropped = drop_count;
+    *dropped = drop_total;
   }
-  if (count > ring_.capacity) {
-    count = ring_.capacity;  // a scribbled header must not drive a huge read
+  AdaptPrefetch(max_count, prefetch);
+  if (status != nullptr) {
+    *status = ParseStatusBlock(ops.back().result);
   }
-  std::vector<uint64_t> entries;
-  entries.reserve(count);
-  uint32_t from_prefetch = std::min(count, prefetch);
-  for (uint32_t i = 0; i < from_prefetch; ++i) {
-    entries.push_back(reader.GetU64());
-  }
-  if (count > from_prefetch) {
-    // The speculative window undershot: fetch the tail in one follow-up read.
-    ASSIGN_OR_RETURN(std::vector<uint8_t> raw,
-                     port_->ReadMem(ring_base + CovRingLayout::kEntriesOffset +
-                                        static_cast<uint64_t>(from_prefetch) * 8,
-                                    static_cast<uint64_t>(count - from_prefetch) * 8));
-    ByteReader tail(raw);
-    for (uint32_t i = from_prefetch; i < count; ++i) {
-      entries.push_back(tail.GetU64());
-    }
-  }
-  // Adapt the window: grow fast on an undershoot, decay gently toward recent counts so
-  // alternating full/empty drains do not thrash the speculative read size.
+  return entries;
+}
+
+void Deployment::AdaptPrefetch(uint32_t count, uint32_t prefetch) {
+  // Grow fast on an undershoot, decay gently toward recent counts so alternating
+  // full/empty drains do not thrash the speculative read size.
   if (count > prefetch) {
     prefetch_hint_ = std::min(ring_.capacity, std::max<uint32_t>(16, count * 2));
   } else {
     prefetch_hint_ = std::max<uint32_t>(16, (prefetch_hint_ + count) / 2);
   }
-  if (status != nullptr) {
-    *status = ParseStatusBlock(ops.back().result);
+}
+
+Deployment::DrainPlan Deployment::MakeDrainPlan() {
+  // The same two-bank read+subtract protocol as the immediate batched drain
+  // (op layout: active_bank word, then header+prefetch / count-sub / dropped-sub
+  // per bank). The ops commit against the stopped target before the continue
+  // releases the core, so everything the reads covered is frozen and the
+  // undershoot tails can be fetched after the next stop without racing appends.
+  DrainPlan plan;
+  plan.prefetch = std::min(prefetch_hint_, ring_.capacity);
+  uint64_t ring_base = ram_base_ + ring_.ram_offset;
+  uint64_t bank_read_bytes =
+      CovRingLayout::kBankHeaderBytes +
+      static_cast<uint64_t>(plan.prefetch) * CovRingLayout::kEntryBytes;
+  plan.ops.push_back(PortOp::Read(ring_base + CovRingLayout::kActiveBankOffset, 4));
+  for (uint32_t bank = 0; bank < 2; ++bank) {
+    uint64_t bank_base = ram_base_ + ring_.BankOffset(bank);
+    size_t read_op = plan.ops.size();
+    plan.ops.push_back(PortOp::Read(bank_base, bank_read_bytes));
+    plan.ops.push_back(PortOp::SubU32(bank_base + CovRingLayout::kCountOffset,
+                                      /*operand_op=*/read_op, /*operand_offset=*/0));
+    plan.ops.push_back(PortOp::SubU32(bank_base + CovRingLayout::kDroppedOffset,
+                                      /*operand_op=*/read_op, /*operand_offset=*/4));
   }
+  return plan;
+}
+
+Result<std::vector<CovHit>> Deployment::FinishDrainPlan(DrainPlan* plan,
+                                                        uint32_t* dropped) {
+  ByteReader bank_word(plan->ops[0].result);
+  uint32_t active = bank_word.GetU32() & CovRingLayout::kActiveBankMask;
+  // ops[1..3] drain bank 0, ops[4..6] bank 1; surface oldest entries first — the
+  // parked bank the target flipped away from, then the one it was filling.
+  std::vector<CovHit> entries;
+  uint32_t drop_total = 0;
+  uint32_t max_count = 0;
+  for (uint32_t bank : {active ^ 1, active}) {
+    uint32_t count = 0;
+    ASSIGN_OR_RETURN(
+        uint32_t drop_count,
+        CollectBank(plan->ops[1 + 3 * bank], bank, plan->prefetch, &count, &entries));
+    drop_total += drop_count;
+    max_count = std::max(max_count, count);
+  }
+  if (dropped != nullptr) {
+    *dropped = drop_total;
+  }
+  AdaptPrefetch(max_count, plan->prefetch);
   return entries;
 }
 

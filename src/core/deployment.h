@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/agent/agent_layout.h"
+#include "src/common/coverage_types.h"
 #include "src/common/status.h"
 #include "src/kernel/cov_ring.h"
 #include "src/core/image_builder.h"
@@ -87,18 +88,53 @@ class Deployment {
   // Absolute address of the agent status block.
   uint64_t status_address() const { return ram_base_ + kStatusBlockOffset; }
 
-  // Drains the coverage ring and returns the entries (synthetic basic-block addresses).
-  // Also returns entries dropped since last drain via `dropped` when non-null; when
-  // `status` is non-null the agent status block is read in the SAME round trip (batched
-  // link) or with one extra read (legacy link).
+  // Enables or disables self-service bank flips: sets kBankFlipEnableBit in the
+  // ring's active_bank word (the target checks it at every overflow) and switches
+  // the host drains onto the two-bank protocol. Call while the target is stopped,
+  // after every arm (deploy and cold restore re-zero the header word). One link
+  // write; a no-op when the image carries no ring.
+  Status SetBankFlipMode(bool enabled);
+  bool bank_flip_mode() const { return flip_mode_; }
+
+  // Drains the coverage ring and returns the attributed entries. Also returns
+  // entries dropped since last drain via `dropped` when non-null; when `status` is
+  // non-null the agent status block is read in the SAME round trip (batched link) or
+  // with one extra read (legacy link).
   //
-  // Batched link: header and a capacity-bounded entry prefetch are read speculatively in
-  // one contiguous op, and the header is updated with an adapter-side read-then-subtract
-  // (count -= drained, dropped -= reported) instead of a blind 0/0 write — entries the
-  // target appends between the read and the header update survive for the next drain.
-  // The legacy link keeps the historical 3-round-trip read/read/zero protocol.
-  Result<std::vector<uint64_t>> DrainCoverage(uint32_t* dropped = nullptr,
-                                              AgentStatusView* status = nullptr);
+  // Batched link: each bank header and a capacity-bounded entry prefetch are read
+  // speculatively in one contiguous op, and the header is updated with an adapter-side
+  // read-then-subtract (count -= drained, dropped -= reported) instead of a blind 0/0
+  // write — entries the target appends between the read and the header update survive
+  // for the next drain. The legacy link keeps the historical read/read/zero protocol.
+  //
+  // Without bank flips the target never leaves bank 0 and only it is drained. With
+  // SetBankFlipMode(true) both banks ride the same round trip and entries surface in
+  // write order: the parked bank (the one the target flipped away from — its entries
+  // are older) first, then the active one. The host never flips banks itself.
+  Result<std::vector<CovHit>> DrainCoverage(uint32_t* dropped = nullptr,
+                                            AgentStatusView* status = nullptr);
+
+  // --- overlapped (double-buffered) drain ---
+  //
+  // MakeDrainPlan builds the op plan for a both-bank drain (the read+subtract
+  // protocol above). Ride the plan on the next exec-continue via
+  // DebugPort::ContinueWithPlan — the drain then costs zero extra round trips: the
+  // ops commit against the stopped target before the continue releases the core, so
+  // every entry they cover is frozen — and hand the stopped plan to FinishDrainPlan
+  // to order the banks (parked first), fetch any prefetch-undershoot tails, and
+  // adapt the prefetch window. If the continue failed, drop the plan on the floor
+  // instead: nothing was applied, the ring is untouched.
+  struct DrainPlan {
+    std::vector<PortOp> ops;
+    uint32_t prefetch = 0;  // speculative entries carried per bank-read op
+  };
+  DrainPlan MakeDrainPlan();
+  Result<std::vector<CovHit>> FinishDrainPlan(DrainPlan* plan, uint32_t* dropped = nullptr);
+
+  // Reads the ring's version/capacity header words back from the booted target and
+  // fails loudly on a layout mismatch (stale agent, corrupt RAM) — a silent mismatch
+  // would read as permanently-empty coverage. Create() runs this after first boot.
+  Status ValidateCovRing();
 
   CovRingLayout cov_ring() const { return ring_; }
 
@@ -116,6 +152,16 @@ class Deployment {
   // immutable for the lifetime of the image).
   uint64_t PayloadHash(const std::string& partition, const std::vector<uint8_t>& payload);
 
+  // Adjusts prefetch_hint_ after a drain observed `count` entries against a
+  // speculative window of `prefetch`.
+  void AdaptPrefetch(uint32_t count, uint32_t prefetch);
+
+  // Parses one bank's header+prefetch read result (`op`), fetching any undershoot
+  // tail with a follow-up read, and appends the entries to `out`. Returns the
+  // dropped count the header reported.
+  Result<uint32_t> CollectBank(const PortOp& op, uint32_t bank, uint32_t prefetch,
+                               uint32_t* count_out, std::vector<CovHit>* out);
+
   std::shared_ptr<FirmwareImage> image_;
   std::unique_ptr<Board> board_;
   std::unique_ptr<DebugPort> port_;
@@ -123,6 +169,7 @@ class Deployment {
   CovRingLayout ring_;
   uint64_t ram_base_ = 0;
   bool batched_ = true;
+  bool flip_mode_ = false;       // self-service bank flips enabled (two-bank drains)
   uint32_t prefetch_hint_ = 64;  // adaptive entry prefetch for the batched drain
   std::unordered_map<std::string, uint64_t> payload_hash_;
 };

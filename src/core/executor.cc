@@ -1,6 +1,7 @@
 #include "src/core/executor.h"
 
 #include "src/common/logging.h"
+#include "src/hw/timing.h"
 
 namespace eof {
 namespace {
@@ -61,6 +62,8 @@ Status TargetExecutor::Setup() {
   snapshot_restores_ = registry.RegisterCounter("exec.snapshot_restores");
   snapshot_bytes_ = registry.RegisterCounter("exec.snapshot_bytes");
   edges_drained_ = registry.RegisterCounter("exec.edges_drained");
+  overlapped_drains_ = registry.RegisterCounter("exec.overlapped_drains");
+  drain_overlap_saved_us_ = registry.RegisterCounter("exec.drain_overlap_saved_us");
   local_coverage_ = registry.RegisterGauge("exec.local_coverage");
 
   // The deploy span runs from power-on (virtual time 0 on a fresh board) to the
@@ -88,6 +91,12 @@ Status TargetExecutor::Setup() {
     ASSIGN_OR_RETURN(exception_addr_,
                      exception_monitor_.Resolve(*deployment_, options_.exception_symbol));
   }
+  // Self-service bank flips pair with the overlapped drain: the target parks full
+  // banks at call boundaries instead of stalling for host service, and the host
+  // collects both banks per drain. Only meaningful when coverage is being drained
+  // at all and the link can carry the two-bank batch.
+  bank_flip_ = options_.overlapped_drain && options_.coverage_feedback &&
+               deployment_->batched_link();
   RETURN_IF_ERROR(ArmBreakpoints());
 
   if (options_.restore_mode == RestoreMode::kSnapshot) {
@@ -120,14 +129,20 @@ Status TargetExecutor::ArmBreakpoints() {
     if (options_.exception_monitor) {
       ops.push_back(PortOp::SetBp(exception_addr_));
     }
-    return deployment_->port().RunBatch(&ops);
+    RETURN_IF_ERROR(deployment_->port().RunBatch(&ops));
+  } else {
+    RETURN_IF_ERROR(deployment_->port().SetBreakpoint(executor_main_addr_));
+    if (options_.coverage_feedback) {
+      RETURN_IF_ERROR(deployment_->port().SetBreakpoint(cov_full_addr_));
+    }
+    if (options_.exception_monitor) {
+      RETURN_IF_ERROR(deployment_->port().SetBreakpoint(exception_addr_));
+    }
   }
-  RETURN_IF_ERROR(deployment_->port().SetBreakpoint(executor_main_addr_));
-  if (options_.coverage_feedback) {
-    RETURN_IF_ERROR(deployment_->port().SetBreakpoint(cov_full_addr_));
-  }
-  if (options_.exception_monitor) {
-    RETURN_IF_ERROR(deployment_->port().SetBreakpoint(exception_addr_));
+  if (bank_flip_) {
+    // Every path that arms also just booted (deploy, cold restore), which zeroed
+    // the ring header: re-grant the self-service flip bit alongside the arming.
+    RETURN_IF_ERROR(deployment_->SetBankFlipMode(true));
   }
   return OkStatus();
 }
@@ -203,8 +218,8 @@ void TargetExecutor::HarvestCoverage(ExecOutcome* outcome, AgentStatusView* stat
   }
   edges_drained_->Add(entries.value().size());
   flight_.RecordEvent(deployment_->port().Now(), "drain", entries.value().size());
-  outcome->edges.insert(outcome->edges.end(), entries.value().begin(),
-                        entries.value().end());
+  outcome->hits.insert(outcome->hits.end(), entries.value().begin(),
+                       entries.value().end());
 }
 
 Result<ExecOutcome> TargetExecutor::ExecuteOne(const std::vector<uint8_t>& encoded) {
@@ -239,6 +254,8 @@ Result<ExecOutcome> TargetExecutor::ExecuteOne(const std::vector<uint8_t>& encod
   int cov_drains = 0;
   bool done = false;
   const bool batched = deployment_->batched_link();
+  const bool overlap = options_.overlapped_drain && batched;
+  std::optional<Deployment::DrainPlan> pending_plan;
   std::vector<uint8_t> status_raw;
   // One exec_continue span covers the whole breakpoint-synchronised run of this test
   // case (all continue rounds and mid-run coverage drains); recovery time is not
@@ -246,11 +263,34 @@ Result<ExecOutcome> TargetExecutor::ExecuteOne(const std::vector<uint8_t>& encod
   telemetry::Tracer::Span exec_span = telemetry_->tracer().Begin("exec_continue", port.Now());
   for (int round = 0; !done && round < kMaxContinueRounds;) {
     // Batched link: the agent status block rides in the stop reply (GDB/MI-style
-    // stop-event coalescing), so executor_main stops need no follow-up read.
-    auto stop_or = batched
-                       ? port.ContinueWithRead(deployment_->status_address(),
+    // stop-event coalescing), so executor_main stops need no follow-up read. A
+    // pending double-buffered drain plan rides the same round trip for free.
+    auto stop_or = pending_plan.has_value()
+                       ? port.ContinueWithPlan(&pending_plan->ops,
+                                               deployment_->status_address(),
                                                kStatusBlockSize, &status_raw)
-                       : port.Continue();
+                       : (batched ? port.ContinueWithRead(deployment_->status_address(),
+                                                          kStatusBlockSize, &status_raw)
+                                  : port.Continue());
+    if (stop_or.ok() && pending_plan.has_value()) {
+      // The plan committed before the core was released: collect the parked bank.
+      auto drained = deployment_->FinishDrainPlan(&*pending_plan);
+      if (drained.ok()) {
+        edges_drained_->Add(drained.value().size());
+        overlapped_drains_->Increment();
+        // vs. the immediate path (separate drain batch + continue): one fixed
+        // link-latency charge saved per overlapped drain.
+        drain_overlap_saved_us_->Add(kDebugTransactionCost);
+        flight_.RecordEvent(port.Now(), "drain", drained.value().size());
+        outcome.hits.insert(outcome.hits.end(), drained.value().begin(),
+                            drained.value().end());
+      }
+      pending_plan.reset();
+    } else if (pending_plan.has_value()) {
+      // Severed link: the plan never applied; the target still fills the same bank
+      // and the restore below rewinds everything to bank 0 anyway.
+      pending_plan.reset();
+    }
     if (!stop_or.ok()) {
       // Watchdog #1: connection timeout.
       timeouts_->Increment();
@@ -284,7 +324,22 @@ Result<ExecOutcome> TargetExecutor::ExecuteOne(const std::vector<uint8_t>& encod
     if (stop.reason == HaltReason::kBreakpoint && stop.symbol == "_kcmp_buf_full") {
       // Coverage ring full mid-program: drain and resume (Figure 4). Drains do not count
       // against the continue-round budget, but cap them against runaway loops.
-      HarvestCoverage(&outcome);
+      //
+      // The target sat parked until the host's background status poll noticed the
+      // halt: unlike the end-of-case stop (which completes the continue-and-read
+      // rendezvous the host is already waiting on), a mid-case instrumentation
+      // stall interrupts a host that is off servicing the rest of the farm. With
+      // bank flips on, the target absorbs every other overflow itself and this
+      // charge — the dominant drain cost — is paid half as often.
+      deployment_->board().clock().Advance(kCovStallPollCost);
+      if (overlap) {
+        // Double-buffered: queue the drain+bank-flip plan onto the next continue
+        // instead of paying a round trip now. The entries surface after the next
+        // stop — same entries, one transaction cheaper.
+        pending_plan = deployment_->MakeDrainPlan();
+      } else {
+        HarvestCoverage(&outcome);
+      }
       if (++cov_drains > 64) {
         ++round;
       }

@@ -38,15 +38,16 @@ enum class RestoreMode {
 
 enum class ExecStatus { kCompleted, kCrashed, kStalled, kLinkLost };
 
-// What one test-case execution produced. Edge IDs are raw drain order (duplicates
-// possible across the in-flight ring drains); the scheduler folds them into the
-// global coverage map and decides how many were new. `dump` is the board's
+// What one test-case execution produced. Hits are raw drain order (duplicate edges
+// possible across the in-flight ring drains), each carrying the index of the call
+// that was executing when the edge fired; the scheduler folds them into the global
+// coverage map and decides how many were new. `dump` is the board's
 // flight-recorder state at the moment a monitor fired or a watchdog tripped —
 // the forensic context the scheduler attaches to a first-seen bug's report.
 struct ExecOutcome {
   ExecStatus status = ExecStatus::kCompleted;
   std::optional<BugSignature> signature;
-  std::vector<uint64_t> edges;
+  std::vector<CovHit> hits;
   std::optional<telemetry::FlightDump> dump;
 };
 
@@ -81,6 +82,11 @@ struct ExecutorOptions {
   bool power_probe = false;
   bool inject_peripheral_events = false;
   bool batched_link = true;  // vectored link batches + delta reflash (see DeployOptions)
+  // Double-buffered mid-program drains: when the ring fills, flip the target onto
+  // the other bank and ride the drain plan on the next exec-continue round trip
+  // instead of paying a separate drain transaction (requires the batched link).
+  // Drained entries are bit-identical either way; only virtual time differs.
+  bool overlapped_drain = true;
   uint32_t periodic_reset_execs = 24;
 
   std::string exception_symbol;
@@ -175,11 +181,16 @@ class TargetExecutor {
   telemetry::Counter* snapshot_restores_ = nullptr;
   telemetry::Counter* snapshot_bytes_ = nullptr;
   telemetry::Counter* edges_drained_ = nullptr;
+  telemetry::Counter* overlapped_drains_ = nullptr;
+  telemetry::Counter* drain_overlap_saved_us_ = nullptr;
   telemetry::Gauge* local_coverage_ = nullptr;
 
   uint64_t executor_main_addr_ = 0;
   uint64_t cov_full_addr_ = 0;
   uint64_t exception_addr_ = 0;
+  // Self-service bank flips for this session (overlapped drain + coverage feedback on a
+  // batched link). Re-granted to the target at every arm; see Deployment::SetBankFlipMode.
+  bool bank_flip_ = false;
   VirtualTime start_time_ = 0;
   uint64_t execs_since_reset_ = 0;
 };

@@ -35,6 +35,7 @@ ExecutorOptions MakeExecutorOptions(const FuzzerConfig& config, uint64_t seed,
   options.power_probe = config.power_probe;
   options.inject_peripheral_events = config.inject_peripheral_events;
   options.batched_link = config.batched_link;
+  options.overlapped_drain = config.overlapped_drain;
   options.periodic_reset_execs = config.periodic_reset_execs;
   options.exception_symbol = exception_symbol;
   return options;
@@ -44,6 +45,8 @@ CampaignScheduler::Options MakeSchedulerOptions(const FuzzerConfig& config, int 
   CampaignScheduler::Options options;
   options.os_name = config.os_name;
   options.coverage_feedback = config.coverage_feedback;
+  options.directed = config.directed;
+  options.trim = config.trim;
   options.budget = config.budget;
   options.sample_points = config.sample_points;
   options.workers = workers;

@@ -62,6 +62,17 @@ struct FuzzerConfig {
   // batched-vs-legacy comparison bench.
   bool batched_link = true;
 
+  // Double-buffered mid-program coverage drains: ride each ring drain on the next
+  // continue's round trip instead of paying a separate transaction (needs the
+  // batched link). Drained entries are bit-identical either way.
+  bool overlapped_drain = true;
+  // Directed mode: bias generation toward calls owning edges adjacent to the
+  // coverage frontier (per-call attribution). Changes the RNG-visible schedule.
+  bool directed = false;
+  // Edge-preserving corpus trim on admission: keep only the calls fresh edges
+  // attribute to plus their transitive result producers.
+  bool trim = false;
+
   uint64_t seed = 1;
   VirtualDuration budget = 10 * kVirtualMinute;
   // Per-worker execution cap (0 = unlimited): the session stops at whichever of

@@ -25,6 +25,24 @@ Result<ReplayOutcome> ReplayReproducer(const std::string& os_name,
                                        const std::string& program_text,
                                        const std::string& board_name = "");
 
+struct TrimOutcome {
+  std::string trimmed_text;        // the minimized program, serialized
+  size_t original_calls = 0;
+  size_t kept_calls = 0;
+  size_t removed_calls = 0;
+  uint64_t original_coverage = 0;  // distinct edges the original run produced
+  uint64_t trimmed_coverage = 0;   // distinct edges the verification run produced
+  bool coverage_preserved = false; // verification run reached every original edge
+};
+
+// Edge-preserving minimization of one saved program (`eof trim`): runs it once on
+// a fresh deployment collecting per-call attributed coverage, keeps only the calls
+// that own a first-seen edge plus their transitive result producers, then replays
+// the trimmed program on a second fresh board to verify the edge set survived.
+Result<TrimOutcome> TrimReproducer(const std::string& os_name,
+                                   const std::string& program_text,
+                                   const std::string& board_name = "");
+
 }  // namespace eof
 
 #endif  // SRC_CORE_REPLAY_H_

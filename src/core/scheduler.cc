@@ -8,6 +8,8 @@
 #include "src/common/logging.h"
 #include "src/core/bug_catalog.h"
 #include "src/fuzz/program_text.h"
+#include "src/fuzz/trimmer.h"
+#include "src/hw/image.h"
 
 namespace eof {
 
@@ -31,8 +33,12 @@ CampaignScheduler::CampaignScheduler(const spec::CompiledSpecs& specs, Options o
   validation_replays_ = registry->RegisterCounter("campaign.validation_replays");
   fresh_edges_ = registry->RegisterCounter("campaign.fresh_edges");
   corpus_adds_ = registry->RegisterCounter("campaign.corpus_adds");
+  directed_hits_ = registry->RegisterCounter("campaign.directed_hits");
+  trim_removed_calls_ = registry->RegisterCounter("campaign.trim_removed_calls");
+  trim_kept_calls_ = registry->RegisterCounter("campaign.trim_kept_calls");
   coverage_gauge_ = registry->RegisterGauge("campaign.coverage");
   corpus_gauge_ = registry->RegisterGauge("campaign.corpus");
+  frontier_gauge_ = registry->RegisterGauge("campaign.frontier");
 }
 
 void CampaignScheduler::EmitEventLocked(VirtualTime at, const char* type, int worker,
@@ -65,6 +71,12 @@ fuzz::Program CampaignScheduler::NextProgram(fuzz::Generator& generator, Rng& rn
     enum { kGenerate, kMutate, kSplice } action = kGenerate;
     {
       std::lock_guard<std::mutex> lock(mu_);
+      if (options_.directed) {
+        // Refresh this worker's focus from the shared frontier before it builds.
+        // Focus only reweights PickSpec — it consumes no RNG, so directed=off
+        // campaigns are bit-identical with the bookkeeping compiled in.
+        generator.SetFocus(focus_specs_);
+      }
       if (!corpus_.empty()) {
         uint64_t roll = rng.Below(100);
         if (roll < 70) {
@@ -213,11 +225,52 @@ void CampaignScheduler::AdvanceFrontierLocked(int worker, VirtualTime elapsed) {
   sampler_.Advance(frontier, coverage_.Count(), &result_.series);
 }
 
+void CampaignScheduler::UpdateFrontierLocked(const fuzz::Program& program,
+                                             const std::vector<CovHit>& fresh_hits) {
+  for (const CovHit& hit : fresh_hits) {
+    // A predicted edge: generation aimed at this neighbour and the target's
+    // control flow actually reached it.
+    auto it = frontier_.find(hit.edge);
+    if (it != frontier_.end()) {
+      directed_hits_->Increment();
+      result_.directed_hits++;
+      frontier_.erase(it);
+    }
+    size_t owner_spec = SIZE_MAX;
+    if (hit.call < program.calls.size()) {
+      owner_spec = program.calls[hit.call].spec_index;
+    }
+    // The synthetic code space is a strided lattice (image.h), so the nearest
+    // control-flow neighbours of a basic block are one stride away.
+    const uint64_t neighbours[2] = {hit.edge - kBasicBlockStride,
+                                    hit.edge + kBasicBlockStride};
+    for (uint64_t neighbour : neighbours) {
+      if (!coverage_.Contains(neighbour)) {
+        frontier_.emplace(neighbour, owner_spec);  // first owner wins
+      }
+    }
+  }
+  if (!fresh_hits.empty()) {
+    focus_specs_.clear();
+    for (const auto& [edge, spec_index] : frontier_) {
+      (void)edge;
+      if (spec_index != SIZE_MAX) {
+        focus_specs_.push_back(spec_index);
+      }
+    }
+    std::sort(focus_specs_.begin(), focus_specs_.end());
+    focus_specs_.erase(std::unique(focus_specs_.begin(), focus_specs_.end()),
+                       focus_specs_.end());
+    frontier_gauge_->Set(frontier_.size());
+  }
+}
+
 void CampaignScheduler::OnOutcome(const fuzz::Program& program, const ExecOutcome& outcome,
                                   fuzz::Generator& generator, VirtualTime elapsed,
                                   int worker) {
   std::lock_guard<std::mutex> lock(mu_);
-  uint64_t fresh = coverage_.AddBatch(outcome.edges);
+  std::vector<CovHit> fresh_hits;
+  uint64_t fresh = coverage_.AddBatchAttributed(outcome.hits, &fresh_hits);
   execs_->Increment();
   if (outcome.signature.has_value()) {
     RecordBugLocked(*outcome.signature, program, outcome, fresh, elapsed, worker);
@@ -228,12 +281,35 @@ void CampaignScheduler::OnOutcome(const fuzz::Program& program, const ExecOutcom
     EmitEventLocked(elapsed, "new_coverage", worker,
                     {telemetry::EventField::Uint("fresh", fresh),
                      telemetry::EventField::Uint("total", coverage_.Count())});
+    UpdateFrontierLocked(program, fresh_hits);
   }
   if (options_.coverage_feedback && fresh > 0) {
-    if (corpus_.Add(program, fresh)) {
+    const fuzz::Program* admit = &program;
+    fuzz::Program trimmed;
+    if (options_.trim) {
+      std::vector<uint32_t> owner_calls;
+      owner_calls.reserve(fresh_hits.size());
+      for (const CovHit& hit : fresh_hits) {
+        owner_calls.push_back(hit.call);
+      }
+      fuzz::TrimStats trim_stats;
+      trimmed = fuzz::TrimToCalls(program, owner_calls, &trim_stats);
+      trim_kept_calls_->Add(trim_stats.kept_calls);
+      trim_removed_calls_->Add(trim_stats.removed_calls);
+      result_.trim_kept_calls += trim_stats.kept_calls;
+      result_.trim_removed_calls += trim_stats.removed_calls;
+      if (trim_stats.removed_calls > 0) {
+        EmitEventLocked(elapsed, "trim", worker,
+                        {telemetry::EventField::Uint("kept", trim_stats.kept_calls),
+                         telemetry::EventField::Uint("removed",
+                                                     trim_stats.removed_calls)});
+      }
+      admit = &trimmed;
+    }
+    if (corpus_.Add(*admit, fresh)) {
       corpus_adds_->Increment();
       corpus_gauge_->Set(corpus_.size());
-      generator.NotifyNewCoverage(program);
+      generator.NotifyNewCoverage(*admit);
     }
   }
   AdvanceFrontierLocked(worker, elapsed);
@@ -265,7 +341,13 @@ CampaignResult CampaignScheduler::Finalize(const ExecStats& stats, VirtualTime e
   result_.snapshot_restores = stats.snapshot_restores;
   result_.snapshot_bytes = stats.snapshot_bytes;
   result_.link = link;
+  result_.frontier = frontier_.size();
   return result_;
+}
+
+std::vector<size_t> CampaignScheduler::FocusSpecs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return focus_specs_;
 }
 
 uint64_t CampaignScheduler::CoverageCount() const {
@@ -287,6 +369,10 @@ telemetry::CampaignView CampaignScheduler::View() const {
   view.crashes = crashes_->Value();
   view.bugs = result_.bugs.size();
   view.bugs_rejected = rejected_bugs_.size();
+  view.directed_hits = result_.directed_hits;
+  view.frontier = frontier_.size();
+  view.trim_removed_calls = result_.trim_removed_calls;
+  view.trim_kept_calls = result_.trim_kept_calls;
   return view;
 }
 

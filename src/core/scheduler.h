@@ -15,6 +15,7 @@
 #include <functional>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/common/coverage_map.h"
@@ -83,6 +84,13 @@ struct CampaignResult {
   // Non-zero means the JSONL file is incomplete and `eof report` numbers derived
   // from it are lower bounds — the campaign itself is unaffected.
   uint64_t journal_dropped = 0;
+  // Attribution bookkeeping: fresh edges that landed on a predicted frontier
+  // neighbour, the frontier size at campaign end, and what the edge-preserving
+  // trimmer removed/kept on corpus admission (all 0 unless the modes ran).
+  uint64_t directed_hits = 0;
+  uint64_t frontier = 0;
+  uint64_t trim_removed_calls = 0;
+  uint64_t trim_kept_calls = 0;
 
   bool FoundBug(int catalog_id) const {
     for (const BugReport& bug : bugs) {
@@ -133,6 +141,14 @@ class CampaignScheduler {
   struct Options {
     std::string os_name;              // bug attribution (catalog is per-OS)
     bool coverage_feedback = true;    // corpus + generator credit
+    // Directed mode: bias generation toward the specs whose calls own edges
+    // adjacent to the coverage frontier (uncovered ±stride neighbours of covered
+    // edges). Frontier bookkeeping itself is always on (host-only, no RNG);
+    // this flag only controls whether generators get the focus boost.
+    bool directed = false;
+    // Edge-preserving trim on corpus admission: keep only the calls the fresh
+    // edges attribute to, plus their transitive result producers.
+    bool trim = false;
     VirtualDuration budget = 0;
     uint32_t sample_points = 96;
     int workers = 1;
@@ -168,6 +184,10 @@ class CampaignScheduler {
   // program is built outside it on the caller's generator.
   fuzz::Program NextProgram(fuzz::Generator& generator, Rng& rng);
 
+  // Current frontier-owner spec indices (sorted, deduplicated) — the focus list
+  // directed mode pushes into worker generators. Exposed for tests.
+  std::vector<size_t> FocusSpecs() const;
+
   // Folds one execution outcome into the campaign: merges drained edges into the
   // global coverage map, records/dedups bugs, admits the program to the corpus
   // when it found new edges (crediting the submitting worker's generator), bumps
@@ -200,6 +220,12 @@ class CampaignScheduler {
   void RecordBugLocked(const BugSignature& signature, const fuzz::Program& program,
                        const ExecOutcome& outcome, uint64_t coverage_delta,
                        VirtualTime elapsed, int worker);
+  // Folds the fresh (first-seen) hits of one execution into the frontier table:
+  // covered edges leave, their uncovered ±stride neighbours enter, owned by the
+  // spec of the call the fresh edge attributes to. Bumps directed_hits for fresh
+  // edges that were predicted (present in the table) and refreshes the focus list.
+  void UpdateFrontierLocked(const fuzz::Program& program,
+                            const std::vector<CovHit>& fresh_hits);
   void AdvanceFrontierLocked(int worker, VirtualTime elapsed);
   void EmitEventLocked(VirtualTime at, const char* type, int worker,
                        std::vector<telemetry::EventField> fields);
@@ -217,8 +243,12 @@ class CampaignScheduler {
   telemetry::Counter* validation_replays_ = nullptr;
   telemetry::Counter* fresh_edges_ = nullptr;
   telemetry::Counter* corpus_adds_ = nullptr;
+  telemetry::Counter* directed_hits_ = nullptr;
+  telemetry::Counter* trim_removed_calls_ = nullptr;
+  telemetry::Counter* trim_kept_calls_ = nullptr;
   telemetry::Gauge* coverage_gauge_ = nullptr;
   telemetry::Gauge* corpus_gauge_ = nullptr;
+  telemetry::Gauge* frontier_gauge_ = nullptr;
 
   mutable std::mutex mu_;
   fuzz::Corpus corpus_;
@@ -230,6 +260,13 @@ class CampaignScheduler {
   std::vector<BugReport> rejected_bugs_;
   std::vector<VirtualTime> worker_elapsed_;
   std::vector<bool> worker_done_;
+  // Uncovered ±stride neighbour of a covered edge -> spec index of the call the
+  // adjacent covered edge attributed to (SIZE_MAX when the hit carried no valid
+  // call index). Entries leave when the neighbour gets covered.
+  std::unordered_map<uint64_t, size_t> frontier_;
+  // Sorted, deduplicated owner specs of frontier_ — rebuilt when fresh edges
+  // arrive, pushed into each worker's generator by NextProgram in directed mode.
+  std::vector<size_t> focus_specs_;
 };
 
 // Shared loop glue: encodes `program` for the agent mailbox, trimming tail calls

@@ -137,24 +137,20 @@ Status DebugPort::WriteMem(uint64_t address, const std::vector<uint8_t>& data) {
   return WriteWindow(address, data);
 }
 
-Status DebugPort::RunBatch(std::vector<PortOp>* ops) {
-  if (ops == nullptr || ops->empty()) {
-    return OkStatus();  // nothing queued: no round trip, no charge
-  }
-  bool needs_core = false;
+uint64_t DebugPort::BatchPlanBytes(const std::vector<PortOp>& ops, bool* needs_core) {
   uint64_t total_bytes = 0;
-  for (const PortOp& op : *ops) {
+  for (const PortOp& op : ops) {
     switch (op.kind) {
       case PortOp::Kind::kRead:
-        needs_core = true;
+        *needs_core = true;
         total_bytes += op.size;
         break;
       case PortOp::Kind::kWrite:
-        needs_core = true;
+        *needs_core = true;
         total_bytes += op.data.size();
         break;
       case PortOp::Kind::kSubU32:
-        needs_core = true;
+        *needs_core = true;
         total_bytes += 8;  // the RMW helper moves a u32 each way
         break;
       case PortOp::Kind::kSetBreakpoint:
@@ -162,6 +158,15 @@ Status DebugPort::RunBatch(std::vector<PortOp>* ops) {
         break;
     }
   }
+  return total_bytes;
+}
+
+Status DebugPort::RunBatch(std::vector<PortOp>* ops) {
+  if (ops == nullptr || ops->empty()) {
+    return OkStatus();  // nothing queued: no round trip, no charge
+  }
+  bool needs_core = false;
+  uint64_t total_bytes = BatchPlanBytes(*ops, &needs_core);
   // One responsiveness gate for the whole batch: a severed link burns a single
   // timeout and applies nothing.
   Status gate = CheckResponsive(needs_core);
@@ -174,7 +179,10 @@ Status DebugPort::RunBatch(std::vector<PortOp>* ops) {
   transactions_->Increment();
   batches_->Increment();
   batched_ops_->Add(ops->size());
+  return ApplyBatchOps(ops);
+}
 
+Status DebugPort::ApplyBatchOps(std::vector<PortOp>* ops) {
   for (size_t i = 0; i < ops->size(); ++i) {
     PortOp& op = (*ops)[i];
     if (flight_ != nullptr) {
@@ -303,6 +311,36 @@ Result<StopInfo> DebugPort::ContinueWithRead(uint64_t address, uint64_t size,
   transactions_->Increment();
   batches_->Increment();
   batched_ops_->Add(2);
+  StopInfo stop = board_->Continue(max_steps);
+  Note(telemetry::FlightPortOp::kContinue, stop.pc, size, true);
+  ASSIGN_OR_RETURN(*out, ReadWindow(address, size));
+  bytes_read_->Add(size);
+  return stop;
+}
+
+Result<StopInfo> DebugPort::ContinueWithPlan(std::vector<PortOp>* ops, uint64_t address,
+                                             uint64_t size, std::vector<uint8_t>* out,
+                                             uint64_t max_steps) {
+  bool needs_core = true;  // the continue itself needs a live core
+  uint64_t plan_bytes = ops == nullptr ? 0 : BatchPlanBytes(*ops, &needs_core);
+  Status gate = CheckResponsive(needs_core);
+  if (!gate.ok()) {
+    // One failed record stands in for the unapplied plan and the continue.
+    Note(telemetry::FlightPortOp::kContinue, 0, size, false);
+    return gate;
+  }
+  // One fixed-latency charge for plan + continue + piggybacked read: this is the
+  // overlapped drain's whole saving — the plan ops ride the continue round trip
+  // instead of paying their own kDebugTransactionCost.
+  board_->clock().Advance(DebugBatchCost(plan_bytes + size));
+  transactions_->Increment();
+  batches_->Increment();
+  batched_ops_->Add((ops == nullptr ? 0 : ops->size()) + 2);
+  if (ops != nullptr) {
+    // The target is stopped while the queued ops apply (they commit before the
+    // run-control release), so the plan sees a quiescent ring.
+    RETURN_IF_ERROR(ApplyBatchOps(ops));
+  }
   StopInfo stop = board_->Continue(max_steps);
   Note(telemetry::FlightPortOp::kContinue, stop.pc, size, true);
   ASSIGN_OR_RETURN(*out, ReadWindow(address, size));

@@ -145,6 +145,17 @@ class DebugPort {
                                     std::vector<uint8_t>* out,
                                     uint64_t max_steps = Board::kDefaultQuantum);
 
+  // exec-continue with a prepended op plan AND a piggybacked post-stop read, all in
+  // one round trip: the queued ops apply against the stopped target first (RunBatch
+  // semantics — same op validation, same partially-applied-on-error behavior), then
+  // the core is released and the read lands after the next stop latches. One
+  // fixed-latency charge covers everything, which is what lets a double-buffered
+  // coverage drain ride the next exec's continue for free. Severed-link semantics
+  // match RunBatch: one timeout, nothing applied, the core not released.
+  Result<StopInfo> ContinueWithPlan(std::vector<PortOp>* ops, uint64_t address,
+                                    uint64_t size, std::vector<uint8_t>* out,
+                                    uint64_t max_steps = Board::kDefaultQuantum);
+
   Status SetBreakpoint(uint64_t address);
   Status ClearBreakpoint(uint64_t address);
   void ClearAllBreakpoints();
@@ -215,6 +226,14 @@ class DebugPort {
   // batch commit). Reads resolve against RAM or flash; writes only against RAM.
   Result<std::vector<uint8_t>> ReadWindow(uint64_t address, uint64_t size) const;
   Status WriteWindow(uint64_t address, const std::vector<uint8_t>& data);
+
+  // Payload byte total of a queued plan (per-op accounting mirrors RunBatch's cost
+  // table); sets *needs_core when any op requires a live core.
+  static uint64_t BatchPlanBytes(const std::vector<PortOp>& ops, bool* needs_core);
+
+  // Applies already-committed batch ops in order (flight notes + byte counters);
+  // shared by RunBatch and ContinueWithPlan after their gate/cost accounting.
+  Status ApplyBatchOps(std::vector<PortOp>* ops);
 
   // Appends one record to the attached flight recorder; no-op when detached.
   void Note(telemetry::FlightPortOp op, uint64_t address, uint64_t size, bool ok) {

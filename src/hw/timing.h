@@ -37,6 +37,13 @@ inline constexpr VirtualDuration kLinkTimeout = 2 * kVirtualSecond;
 // Semihosting trap cost (SHIFT baseline): each instrumentation event traps to the host.
 inline constexpr VirtualDuration kSemihostTrapCost = 9000;  // ~9 ms per debugger-serviced BKPT
 
+// How long a target-initiated instrumentation stall sits before the host services it.
+// The end-of-case stop completes a continue-and-read rendezvous the host is already
+// parked on, so it is serviced at plain transaction cost; a mid-case halt (coverage
+// ring full) instead interrupts a host that is off servicing the rest of the farm and
+// gets picked up by the background status poll — OpenOCD's default poll_period.
+inline constexpr VirtualDuration kCovStallPollCost = 100 * kVirtualMillisecond;
+
 // Target-assisted flash checksum (OpenOCD `flash verify_bank` style): the adapter runs a
 // CRC routine on the target's flash controller and only the digest crosses the link, so
 // the cost is one round trip plus target-side compute at ~85 MB/s.

@@ -1,6 +1,27 @@
 // Layout of the in-RAM coverage ring shared between target instrumentation (writer) and
-// the host fuzzer (reader). Mirrors the paper's write_comp_data() buffer: a header with a
-// valid-entry count and a drop counter, followed by fixed-width entries.
+// the host fuzzer (reader). Mirrors the paper's write_comp_data() buffer, extended for
+// per-call attribution and double-buffered drains (layout v2):
+//
+//   +0   u32  version magic ("EOF2") — written by the target at boot; the host
+//             validates it at deploy time and rejects old/corrupt layouts loudly
+//   +4   u32  per-bank capacity — written by the target; must match the host's
+//   +8   u32  current_call — index of the program call now executing (agent-published)
+//   +12  u32  active_bank — bit 0: which bank the target appends to; bit 8: the
+//             host-set bank-flip enable (see below). The target owns bit 0, the
+//             host owns bit 8, and each preserves the other's bit on write.
+//   +16  bank 0:  u32 count, u32 dropped, then capacity x 12-byte entries
+//   ...  bank 1:  same layout
+//
+// Each entry is {u64 edge_id, u32 call_index}. Two banks double-buffer the drain:
+// with bank flips enabled (host sets kBankFlipEnableBit while arming breakpoints),
+// the target services its own ring-full condition at the next call boundary — it
+// parks the full bank and flips onto the other one, provided the host has already
+// collected it (count == 0) — and only halts at _kcmp_buf_full for backpressure,
+// when both banks hold undrained entries. The host collects parked banks at the
+// next stop, oldest (parked) bank first. Flips happen at exactly the call boundary
+// where a halt-mode target would have paused for a drain, so the captured entry
+// sequence — including mid-call overflow drops — is bit-identical in both modes;
+// only the number of host round trips differs.
 
 #ifndef SRC_KERNEL_COV_RING_H_
 #define SRC_KERNEL_COV_RING_H_
@@ -10,17 +31,40 @@
 namespace eof {
 
 struct CovRingLayout {
-  uint64_t ram_offset = 0;  // offset of the header within board RAM
-  uint32_t capacity = 0;    // max entries
+  uint64_t ram_offset = 0;  // offset of the global header within board RAM
+  uint32_t capacity = 0;    // max entries per bank
 
-  static constexpr uint64_t kCountOffset = 0;    // u32: valid entries
+  static constexpr uint32_t kVersionMagic = 0x454F4632;  // "EOF2" (v2, attributed)
+
+  // Global header (16 bytes).
+  static constexpr uint64_t kVersionOffset = 0;      // u32: kVersionMagic
+  static constexpr uint64_t kCapacityOffset = 4;     // u32: per-bank capacity
+  static constexpr uint64_t kCurrentCallOffset = 8;  // u32: executing call index
+  static constexpr uint64_t kActiveBankOffset = 12;  // u32: bank bit + flip-enable bit
+  static constexpr uint64_t kGlobalHeaderBytes = 16;
+
+  // Fields of the active_bank word.
+  static constexpr uint32_t kActiveBankMask = 1;        // target-owned: bank being filled
+  static constexpr uint32_t kBankFlipEnableBit = 0x100;  // host-owned: self-service flips
+
+  // Per-bank header (8 bytes) followed by the entries.
+  static constexpr uint64_t kCountOffset = 0;    // u32: valid entries in the bank
   static constexpr uint64_t kDroppedOffset = 4;  // u32: entries dropped since last drain
-  static constexpr uint64_t kEntriesOffset = 8;  // u64 per entry
+  static constexpr uint64_t kBankHeaderBytes = 8;
+  static constexpr uint64_t kEntryBytes = 12;  // u64 edge_id + u32 call_index
 
-  uint64_t EntryOffset(uint32_t index) const {
-    return ram_offset + kEntriesOffset + static_cast<uint64_t>(index) * 8;
+  uint64_t BankBytes() const {
+    return kBankHeaderBytes + static_cast<uint64_t>(capacity) * kEntryBytes;
   }
-  uint64_t SizeBytes() const { return kEntriesOffset + static_cast<uint64_t>(capacity) * 8; }
+  // RAM offset of bank `bank`'s header (count/dropped words).
+  uint64_t BankOffset(uint32_t bank) const {
+    return ram_offset + kGlobalHeaderBytes + static_cast<uint64_t>(bank) * BankBytes();
+  }
+  // RAM offset of entry `index` within bank `bank`.
+  uint64_t EntryOffset(uint32_t bank, uint32_t index) const {
+    return BankOffset(bank) + kBankHeaderBytes + static_cast<uint64_t>(index) * kEntryBytes;
+  }
+  uint64_t SizeBytes() const { return kGlobalHeaderBytes + 2 * BankBytes(); }
 };
 
 }  // namespace eof

@@ -11,7 +11,36 @@ KernelContext::KernelContext(TargetEnv& env, const FirmwareImage& image, CovRing
     : env_(env),
       image_(image),
       ring_(ring),
-      rng_(Fnv1a(image.os_name(), Fnv1a(env.spec().name))) {}
+      rng_(Fnv1a(image.os_name(), Fnv1a(env.spec().name))) {
+  if (ring_.capacity != 0) {
+    // Stamp the v2 ring header so the host can validate layout agreement at deploy
+    // time: version magic + the capacity this boot will append against. The rest of
+    // the header (current_call, active_bank, bank counters) starts zeroed with RAM.
+    (void)env_.RamWriteU32(ring_.ram_offset + CovRingLayout::kVersionOffset,
+                           CovRingLayout::kVersionMagic);
+    (void)env_.RamWriteU32(ring_.ram_offset + CovRingLayout::kCapacityOffset,
+                           ring_.capacity);
+  }
+}
+
+void KernelContext::SetCurrentCall(uint32_t call_index) {
+  if (ring_.capacity == 0) {
+    return;
+  }
+  if (current_call_valid_ && current_call_ == call_index) {
+    return;
+  }
+  current_call_ = call_index;
+  current_call_valid_ = true;
+  (void)env_.RamWriteU32(ring_.ram_offset + CovRingLayout::kCurrentCallOffset, call_index);
+}
+
+void KernelContext::BeginResumeWindow() {
+  bank_valid_ = false;
+  dropped_valid_ = false;
+  // current_call stays valid: only this context writes it, so the cache cannot
+  // go stale across a host drain.
+}
 
 void KernelContext::CovBucket(const EdgeSite& site, uint64_t bucket) {
   ++cov_events_;
@@ -54,20 +83,67 @@ void KernelContext::CovBucket(const EdgeSite& site, uint64_t bucket) {
   if (ring_.capacity == 0) {
     return;
   }
-  auto count_or = env_.RamReadU32(ring_.ram_offset + CovRingLayout::kCountOffset);
+  // The host flips the active bank (double-buffered drain) only while the target is
+  // stopped, so one read per resume window is coherent.
+  if (!bank_valid_) {
+    auto bank_or = env_.RamReadU32(ring_.ram_offset + CovRingLayout::kActiveBankOffset);
+    active_bank_ = bank_or.ok() ? (bank_or.value() & 1) : 0;
+    bank_valid_ = true;
+  }
+  uint64_t bank_base = ring_.BankOffset(active_bank_);
+  auto count_or = env_.RamReadU32(bank_base + CovRingLayout::kCountOffset);
   if (!count_or.ok()) {
     return;
   }
   uint32_t count = count_or.value();
   if (count >= ring_.capacity) {
-    auto dropped_or = env_.RamReadU32(ring_.ram_offset + CovRingLayout::kDroppedOffset);
-    uint32_t dropped = dropped_or.ok() ? dropped_or.value() : 0;
-    (void)env_.RamWriteU32(ring_.ram_offset + CovRingLayout::kDroppedOffset, dropped + 1);
+    // Saturating drop counter, read from RAM at most once per resume window (the
+    // host zeroes it only between windows). Saturation keeps a pathological run
+    // from wrapping the u32 back to "nothing dropped".
+    if (!dropped_valid_) {
+      auto dropped_or = env_.RamReadU32(bank_base + CovRingLayout::kDroppedOffset);
+      dropped_ = dropped_or.ok() ? dropped_or.value() : 0;
+      dropped_valid_ = true;
+    }
+    if (dropped_ < UINT32_MAX) {
+      ++dropped_;
+    }
+    (void)env_.RamWriteU32(bank_base + CovRingLayout::kDroppedOffset, dropped_);
     cov_overflow_pending_ = true;
     return;
   }
-  (void)env_.RamWriteU64(ring_.EntryOffset(count), bb_address);
-  (void)env_.RamWriteU32(ring_.ram_offset + CovRingLayout::kCountOffset, count + 1);
+  uint64_t entry = ring_.EntryOffset(active_bank_, count);
+  (void)env_.RamWriteU64(entry, bb_address);
+  (void)env_.RamWriteU32(entry + 8, current_call_);
+  (void)env_.RamWriteU32(bank_base + CovRingLayout::kCountOffset, count + 1);
+}
+
+bool KernelContext::TryBankFlip() {
+  if (ring_.capacity == 0) {
+    return false;
+  }
+  uint64_t word_offset = ring_.ram_offset + CovRingLayout::kActiveBankOffset;
+  auto word_or = env_.RamReadU32(word_offset);
+  if (!word_or.ok() || (word_or.value() & CovRingLayout::kBankFlipEnableBit) == 0) {
+    return false;
+  }
+  uint32_t active = word_or.value() & CovRingLayout::kActiveBankMask;
+  uint32_t parked = active ^ 1;
+  auto parked_count =
+      env_.RamReadU32(ring_.BankOffset(parked) + CovRingLayout::kCountOffset);
+  if (!parked_count.ok() || parked_count.value() != 0) {
+    return false;  // host has not collected the parked bank yet: backpressure
+  }
+  // Park the full bank and append into the collected one. The host owns bit 8;
+  // preserve it (and any future host-owned bits) by toggling only the bank bit.
+  (void)env_.RamWriteU32(word_offset, word_or.value() ^ CovRingLayout::kActiveBankMask);
+  env_.ConsumeCycles(kListOpCycles);
+  active_bank_ = parked;
+  bank_valid_ = true;
+  // The cached dropped counter described the bank just parked; the fresh bank's
+  // counter was zeroed by the host's last drain and must be re-read on first drop.
+  dropped_valid_ = false;
+  return true;
 }
 
 void KernelContext::YieldDelay() {

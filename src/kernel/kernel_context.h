@@ -31,6 +31,17 @@ class KernelContext {
   void Cov(const EdgeSite& site) { CovBucket(site, 0); }
   void CovBucket(const EdgeSite& site, uint64_t bucket);
 
+  // Publishes the index of the program call about to execute into the ring's
+  // current_call header word; every coverage entry appended afterwards carries it.
+  // Cheap when the index is unchanged (the header word is cached).
+  void SetCurrentCall(uint32_t call_index);
+
+  // Marks the start of one agent resume window. The host only touches ring RAM
+  // (drains, bank flips) while the target is stopped — i.e. between resume
+  // windows — so the context caches the active bank and the dropped counter for
+  // the window's duration and this call invalidates those caches.
+  void BeginResumeWindow();
+
   // Inter-call yield: the agent parks between calls while the OS runs its housekeeping
   // (ticks, idle task, service threads). With instrumentation compiled in, that
   // housekeeping runs the instrumented build, which is where the bulk of the §5.5.2
@@ -41,6 +52,14 @@ class KernelContext {
   // call and pauses at _kcmp_buf_full.
   bool cov_overflow_pending() const { return cov_overflow_pending_; }
   void ClearCovOverflow() { cov_overflow_pending_ = false; }
+
+  // Self-service double buffering: if the host enabled bank flips (kBankFlipEnableBit)
+  // and the parked bank has been collected (count == 0), parks the full active bank
+  // and flips appends onto the other one, returning true. Returns false when flips
+  // are disabled or the parked bank still holds undrained entries (backpressure) —
+  // the agent must then pause at _kcmp_buf_full for host service. Only called at
+  // call boundaries, so the capture windows match halt-mode drains exactly.
+  bool TryBankFlip();
 
   // --- faults (§4.5.2 bug surfaces) ---
   [[noreturn]] void Panic(const std::string& message, const std::string& backtrace = "");
@@ -81,6 +100,15 @@ class KernelContext {
   std::unordered_map<const void*, const ModuleLayout*> layout_cache_;
 
   bool cov_overflow_pending_ = false;
+
+  // Per-resume-window caches (see BeginResumeWindow); valid_* gates the RAM read.
+  bool bank_valid_ = false;
+  uint32_t active_bank_ = 0;
+  bool dropped_valid_ = false;
+  uint32_t dropped_ = 0;
+  bool current_call_valid_ = false;
+  uint32_t current_call_ = 0;
+
   uint64_t ram_in_use_ = 0;
   uint64_t cov_events_ = 0;
   uint64_t cov_instrumented_events_ = 0;

@@ -3,6 +3,7 @@
 // extended-tier specs — products of the LLM/miner pass, absent from baseline spec sets.
 
 #include <algorithm>
+#include <vector>
 
 #include "src/kernel/costs.h"
 #include "src/kernel/coverage.h"
@@ -21,8 +22,10 @@ int64_t SyzWorkerPipeline(KernelContext& ctx, FreeRtosState& state,
                           const std::vector<ArgValue>& args) {
   ctx.ConsumeCycles(kApiBaseCycles);
   EOF_COV(ctx);
-  uint64_t workers = std::min<uint64_t>(args[0].scalar, 8);
-  uint64_t items = std::min<uint64_t>(args[1].scalar, 32);
+  // Clamps mirror the declared ArgSpec maxima: values beyond them come only from
+  // wild/interesting scalars, which probe past the constraint on purpose.
+  uint64_t workers = std::min<uint64_t>(args[0].scalar, 16);
+  uint64_t items = std::min<uint64_t>(args[1].scalar, 64);
   if (workers == 0) {
     EOF_COV(ctx);
     return pdFAIL;
@@ -41,6 +44,7 @@ int64_t SyzWorkerPipeline(KernelContext& ctx, FreeRtosState& state,
     return pdFAIL;
   }
   uint64_t spawned = 0;
+  std::vector<int64_t> worker_handles;
   for (uint64_t i = 0; i < workers; ++i) {
     ctx.ConsumeCycles(kContextSwitchCycles);
     Tcb tcb;
@@ -51,11 +55,13 @@ int64_t SyzWorkerPipeline(KernelContext& ctx, FreeRtosState& state,
       EOF_COV(ctx);
       break;
     }
-    if (state.tasks.Insert(std::move(tcb)) == 0) {
+    int64_t worker_handle = state.tasks.Insert(std::move(tcb));
+    if (worker_handle == 0) {
       EOF_COV(ctx);
       ctx.ReleaseRam(256 * 4 + 128);
       break;
     }
+    worker_handles.push_back(worker_handle);
     ++spawned;
   }
   Queue* q = state.queues.Find(queue_handle);
@@ -71,6 +77,16 @@ int64_t SyzWorkerPipeline(KernelContext& ctx, FreeRtosState& state,
       ctx.ConsumeCycles(kContextSwitchCycles);
     }
   }
+  // Pipeline drained: the workers exit and the queue is deleted. Pseudo-calls tear
+  // down their transient objects so repeated calls exercise the same paths instead
+  // of wedging the tiny boards on leaked stacks.
+  for (int64_t worker_handle : worker_handles) {
+    ctx.ConsumeCycles(kContextSwitchCycles);
+    state.tasks.Remove(worker_handle);
+    ctx.ReleaseRam(256 * 4 + 128);
+  }
+  state.queues.Remove(queue_handle);
+  ctx.ReleaseRam(16 * (items == 0 ? 1 : items) + 96);
   EOF_COV(ctx);
   return static_cast<int64_t>(spawned);
 }
@@ -80,7 +96,7 @@ int64_t SyzSemPingpong(KernelContext& ctx, FreeRtosState& state,
                        const std::vector<ArgValue>& args) {
   ctx.ConsumeCycles(kApiBaseCycles);
   EOF_COV(ctx);
-  uint64_t rounds = std::min<uint64_t>(args[0].scalar, 64);
+  uint64_t rounds = std::min<uint64_t>(args[0].scalar, 512);  // the declared ArgSpec max
   if (!ctx.ReserveRam(96).ok()) {
     EOF_COV(ctx);
     return pdFAIL;
@@ -119,13 +135,14 @@ int64_t SyzTimerBurst(KernelContext& ctx, FreeRtosState& state,
                       const std::vector<ArgValue>& args) {
   ctx.ConsumeCycles(kApiBaseCycles);
   EOF_COV(ctx);
-  uint64_t count = std::min<uint64_t>(args[0].scalar, 16);
+  uint64_t count = std::min<uint64_t>(args[0].scalar, 32);  // the declared ArgSpec max
   uint64_t period = args[1].scalar;
   if (period == 0 || count == 0) {
     EOF_COV(ctx);
     return pdFAIL;
   }
   uint64_t created = 0;
+  std::vector<int64_t> timer_handles;
   for (uint64_t i = 0; i < count; ++i) {
     if (!ctx.ReserveRam(64).ok()) {
       EOF_COV(ctx);
@@ -137,16 +154,24 @@ int64_t SyzTimerBurst(KernelContext& ctx, FreeRtosState& state,
     timer.autoreload = true;
     timer.active = true;
     timer.expiry_tick = state.tick_count + period;
-    if (state.timers.Insert(std::move(timer)) == 0) {
+    int64_t timer_handle = state.timers.Insert(std::move(timer));
+    if (timer_handle == 0) {
       EOF_COV(ctx);
       ctx.ReleaseRam(64);
       break;
     }
+    timer_handles.push_back(timer_handle);
     ++created;
   }
   EOF_COV(ctx);
   state.tick_count += period * 2;
   TimersOnTick(ctx, state);
+  // Burst observed: delete the timers again (xTimerDelete on each) — transient
+  // pseudo-call objects must not outlive the call on RAM-starved boards.
+  for (int64_t timer_handle : timer_handles) {
+    state.timers.Remove(timer_handle);
+    ctx.ReleaseRam(64);
+  }
   return static_cast<int64_t>(created);
 }
 
@@ -178,7 +203,7 @@ Status RegisterPseudoApis(ApiRegistry& registry, FreeRtosState& state) {
     spec.name = "syz_sem_pingpong";
     spec.subsystem = "pseudo";
     spec.doc = "binary-semaphore ping-pong rounds";
-    spec.args = {ArgSpec::Scalar("rounds", 32, 0, 128)};
+    spec.args = {ArgSpec::Scalar("rounds", 32, 0, 512)};
     RETURN_IF_ERROR(add(std::move(spec), SyzSemPingpong));
   }
   {

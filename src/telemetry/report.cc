@@ -312,6 +312,10 @@ CampaignReport BuildReport(const std::vector<JournalRow>& rows) {
       report.crashes = row.Uint("crashes");
       report.corpus = row.Uint("corpus");
       snapshot_bugs = row.Uint("bugs");
+      report.directed_hits = row.Uint("directed_hits");
+      report.frontier = row.Uint("frontier");
+      report.trim_removed_calls = row.Uint("trim_removed_calls");
+      report.trim_kept_calls = row.Uint("trim_kept_calls");
       if (row.Uint("journal_dropped") > report.journal_dropped) {
         report.journal_dropped = row.Uint("journal_dropped");
       }
@@ -329,6 +333,8 @@ CampaignReport BuildReport(const std::vector<JournalRow>& rows) {
       board.reflash_us = row.Uint("reflash_us");
       board.recovery_us = row.Uint("recovery_us");
       board.deploy_us = row.Uint("deploy_us");
+      board.overlapped_drains = row.Uint("overlapped_drains");
+      board.drain_overlap_saved_us = row.Uint("drain_overlap_saved_us");
     } else if (row.type == "bug_report") {
       ReportBug bug;
       bug.catalog_id = static_cast<int>(row.Uint("catalog_id"));
@@ -513,6 +519,30 @@ std::string CampaignReport::RenderText() const {
                      Percent(b.deploy_us, b.clock), Percent(b.OtherUs(), b.clock));
   }
 
+  // Attribution section only when the campaign produced any attribution signal:
+  // journals from pre-attribution builds (and plain campaigns) render unchanged.
+  uint64_t total_overlapped = 0;
+  uint64_t total_saved_us = 0;
+  for (const BoardAccounting& b : boards) {
+    total_overlapped += b.overlapped_drains;
+    total_saved_us += b.drain_overlap_saved_us;
+  }
+  if (directed_hits > 0 || frontier > 0 || trim_removed_calls > 0 ||
+      trim_kept_calls > 0 || total_overlapped > 0) {
+    out += "\n-- coverage attribution --\n";
+    out += StrFormat("  directed_hits=%llu frontier=%llu\n",
+                     static_cast<unsigned long long>(directed_hits),
+                     static_cast<unsigned long long>(frontier));
+    uint64_t trim_total = trim_kept_calls + trim_removed_calls;
+    out += StrFormat("  trim: kept=%llu removed=%llu (%.1f%% of attributed calls)\n",
+                     static_cast<unsigned long long>(trim_kept_calls),
+                     static_cast<unsigned long long>(trim_removed_calls),
+                     Percent(trim_removed_calls, trim_total));
+    out += StrFormat("  drain overlap: %llu drains rode a continue, saving %.1fvs\n",
+                     static_cast<unsigned long long>(total_overlapped),
+                     VirtualSeconds(total_saved_us));
+  }
+
   if (!resets_by_reason.empty()) {
     out += "\n-- liveness resets --\n";
     for (const auto& [reason, count] : resets_by_reason) {
@@ -646,9 +676,34 @@ std::string CampaignReport::RenderJson() const {
     AppendJsonUint(&out, "recovery_us", b.recovery_us, &bf);
     AppendJsonUint(&out, "deploy_us", b.deploy_us, &bf);
     AppendJsonUint(&out, "other_us", b.OtherUs(), &bf);
+    // Overlap keys only when the board actually overlapped drains, so reports from
+    // pre-attribution journals stay byte-identical.
+    if (b.overlapped_drains > 0) {
+      AppendJsonUint(&out, "overlapped_drains", b.overlapped_drains, &bf);
+      AppendJsonUint(&out, "drain_overlap_saved_us", b.drain_overlap_saved_us, &bf);
+    }
     out += '}';
   }
   out += "]";
+
+  uint64_t total_overlapped = 0;
+  uint64_t total_saved_us = 0;
+  for (const BoardAccounting& b : boards) {
+    total_overlapped += b.overlapped_drains;
+    total_saved_us += b.drain_overlap_saved_us;
+  }
+  if (directed_hits > 0 || frontier > 0 || trim_removed_calls > 0 ||
+      trim_kept_calls > 0 || total_overlapped > 0) {
+    out += ",\n\"attribution\":{";
+    bool af = true;
+    AppendJsonUint(&out, "directed_hits", directed_hits, &af);
+    AppendJsonUint(&out, "frontier", frontier, &af);
+    AppendJsonUint(&out, "trim_kept_calls", trim_kept_calls, &af);
+    AppendJsonUint(&out, "trim_removed_calls", trim_removed_calls, &af);
+    AppendJsonUint(&out, "overlapped_drains", total_overlapped, &af);
+    AppendJsonUint(&out, "drain_overlap_saved_us", total_saved_us, &af);
+    out += "}";
+  }
 
   out += ",\n\"resets\":{";
   first = true;

@@ -75,6 +75,10 @@ struct BoardAccounting {
   uint64_t reflash_us = 0;   // flash programming
   uint64_t recovery_us = 0;  // watchdog recovery (includes nested reflash time)
   uint64_t deploy_us = 0;    // one-off initial deploy
+  // Double-buffered drain accounting: how many drains rode on a continue's round
+  // trip, and the virtual time that overlap saved versus a stop-and-drain.
+  uint64_t overlapped_drains = 0;
+  uint64_t drain_overlap_saved_us = 0;
 
   // Unattributed remainder (agent wait, status reads, resets outside recovery).
   uint64_t OtherUs() const;
@@ -123,6 +127,13 @@ struct CampaignReport {
   uint64_t corpus = 0;
   uint64_t journal_dropped = 0;
   uint64_t crash_dumps = 0;  // crash_dump rows journaled (dumps >= deduped bugs)
+
+  // Per-call attribution stats (last farm_snapshot row; all zero for campaigns
+  // run without --directed/--trim or for pre-attribution journals).
+  uint64_t directed_hits = 0;       // fresh edges that were frontier targets
+  uint64_t frontier = 0;            // final frontier-table size
+  uint64_t trim_removed_calls = 0;  // calls dropped by trim-on-add
+  uint64_t trim_kept_calls = 0;     // calls kept by trim-on-add
 
   std::vector<ReportSample> series;
   std::vector<BoardAccounting> boards;

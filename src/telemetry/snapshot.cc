@@ -32,6 +32,10 @@ void AppendBoardColumns(const MetricsSnapshot& snapshot, VirtualTime at, Event* 
       EventField::Uint("coverage", snapshot.GaugeValue("exec.local_coverage")));
   event->fields.push_back(
       EventField::Uint("edges_drained", snapshot.CounterValue("exec.edges_drained")));
+  event->fields.push_back(EventField::Uint(
+      "overlapped_drains", snapshot.CounterValue("exec.overlapped_drains")));
+  event->fields.push_back(EventField::Uint(
+      "drain_overlap_saved_us", snapshot.CounterValue("exec.drain_overlap_saved_us")));
   event->fields.push_back(
       EventField::Uint("rejected", snapshot.CounterValue("exec.rejected")));
   event->fields.push_back(EventField::Uint("stalls", snapshot.CounterValue("exec.stalls")));
@@ -179,6 +183,11 @@ void SnapshotEmitter::EmitFarmLocked(VirtualTime at) {
     event.fields.push_back(EventField::Uint("crashes", view.crashes));
     event.fields.push_back(EventField::Uint("bugs", view.bugs));
     event.fields.push_back(EventField::Uint("bugs_rejected", view.bugs_rejected));
+    event.fields.push_back(EventField::Uint("directed_hits", view.directed_hits));
+    event.fields.push_back(EventField::Uint("frontier", view.frontier));
+    event.fields.push_back(
+        EventField::Uint("trim_removed_calls", view.trim_removed_calls));
+    event.fields.push_back(EventField::Uint("trim_kept_calls", view.trim_kept_calls));
   }
   event.fields.push_back(EventField::Uint("journal_dropped", sink_->dropped()));
   sink_->Emit(event);

@@ -30,6 +30,12 @@ struct CampaignView {
   uint64_t crashes = 0;
   uint64_t bugs = 0;
   uint64_t bugs_rejected = 0;  // first sightings the cold-boot validation oracle refused
+  // Attribution bookkeeping (0 unless directed/trim modes ran): predicted-edge
+  // hits, current frontier size, and trimmer call accounting.
+  uint64_t directed_hits = 0;
+  uint64_t frontier = 0;
+  uint64_t trim_removed_calls = 0;
+  uint64_t trim_kept_calls = 0;
 };
 
 class SnapshotEmitter {

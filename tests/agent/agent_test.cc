@@ -184,8 +184,91 @@ TEST(AgentTinyRamTest, SmallRingOverflowsAndAgentSelfClears) {
   ASSERT_TRUE(board.RamWriteU32(kMailboxOffset + kMailboxFlagOffset, 1).ok());
   StopInfo stop = board.Continue();
   EXPECT_EQ(stop.reason, HaltReason::kIdle);
-  uint32_t count = board.RamReadU32(kCovRingOffset + CovRingLayout::kCountOffset).value();
+  CovRingLayout ring;
+  ring.ram_offset = kCovRingOffset;
+  ring.capacity = 192;
+  uint32_t count =
+      board.RamReadU32(ring.BankOffset(0) + CovRingLayout::kCountOffset).value();
   EXPECT_LE(count, 192u);
+}
+
+TEST(AgentTinyRamTest, BankFlipAbsorbsOverflowUntilBackpressure) {
+  ASSERT_TRUE(RegisterAllOses().ok());
+  // FreeRTOS on the HiFive1's 192-entry ring: heap walks emit a few coverage events per
+  // call, so one max-length program overflows a bank and a second exhausts both.
+  BoardSpec spec = BoardSpecByName("hifive1-revb").value();
+  ImageBuildOptions options;
+  options.os_name = "freertos";
+  auto image = BuildImage(spec, options).value();
+  Board board(spec);
+  board.InstallImage(image);
+  for (const Partition& part : image->partition_table().partitions) {
+    auto payload = image->PayloadOf(part.name);
+    if (payload.ok()) {
+      ASSERT_TRUE(board.FlashWrite(part.offset, payload.value()).ok());
+    }
+  }
+  board.Reset();
+  ASSERT_EQ(board.power_state(), PowerState::kRunning);
+
+  CovRingLayout ring;
+  ring.ram_offset = kCovRingOffset;
+  ring.capacity = 192;
+  // Grant self-service flips the way Deployment::SetBankFlipMode does: host writes the
+  // enable bit into the (freshly zeroed) active_bank word while the target is stopped.
+  ASSERT_TRUE(board.RamWriteU32(ring.ram_offset + CovRingLayout::kActiveBankOffset,
+                                CovRingLayout::kBankFlipEnableBit).ok());
+  ASSERT_TRUE(
+      board.AddBreakpoint(image->symbols().AddressOf("_kcmp_buf_full").value()).ok());
+
+  auto os = OsRegistry::Instance().Find("freertos").value().factory();
+  WireProgram program;
+  for (uint32_t i = 0; i < kWireMaxCalls; ++i) {
+    WireCall call;
+    call.api_id = os->registry().FindByName("pvPortMalloc")->id;
+    call.args = {WireArg::Scalar(32 + i)};
+    program.calls.push_back(call);
+  }
+  std::vector<uint8_t> encoded = EncodeProgram(program);
+  auto send = [&] {
+    ASSERT_TRUE(board.RamWrite(kMailboxOffset + kMailboxDataOffset, encoded).ok());
+    ASSERT_TRUE(board.RamWriteU32(kMailboxOffset + kMailboxLenOffset,
+                                  static_cast<uint32_t>(encoded.size())).ok());
+    ASSERT_TRUE(board.RamWriteU32(kMailboxOffset + kMailboxFlagOffset, 1).ok());
+  };
+
+  // The first program overflows bank 0; the flip absorbs it — NO halt, even though the
+  // breakpoint is armed — and the rest of the program appends into bank 1 out to idle.
+  send();
+  StopInfo stop = board.Continue();
+  ASSERT_EQ(stop.reason, HaltReason::kIdle);
+  EXPECT_EQ(board.RamReadU32(ring.BankOffset(0) + CovRingLayout::kCountOffset).value(),
+            192u);
+  // The target toggled only the bank bit; the host-owned enable bit survived the flip.
+  EXPECT_EQ(board.RamReadU32(ring.ram_offset + CovRingLayout::kActiveBankOffset).value(),
+            CovRingLayout::kBankFlipEnableBit | 1u);
+
+  // A second identical program fills bank 1 with bank 0 still undrained: the agent can
+  // no longer flip and must take the backpressure halt, both banks parked full.
+  send();
+  stop = board.Continue();
+  ASSERT_EQ(stop.reason, HaltReason::kBreakpoint);
+  EXPECT_EQ(stop.symbol, "_kcmp_buf_full");
+  EXPECT_EQ(board.RamReadU32(ring.BankOffset(0) + CovRingLayout::kCountOffset).value(),
+            192u);
+  EXPECT_EQ(board.RamReadU32(ring.BankOffset(1) + CovRingLayout::kCountOffset).value(),
+            192u);
+
+  // Host drains both banks (zeroes the headers) and resumes: the agent passes the pause
+  // point and the program runs out to idle without another halt.
+  for (uint32_t bank : {0u, 1u}) {
+    ASSERT_TRUE(
+        board.RamWriteU32(ring.BankOffset(bank) + CovRingLayout::kCountOffset, 0).ok());
+    ASSERT_TRUE(
+        board.RamWriteU32(ring.BankOffset(bank) + CovRingLayout::kDroppedOffset, 0).ok());
+  }
+  stop = board.Continue();
+  EXPECT_EQ(stop.reason, HaltReason::kIdle);
 }
 
 }  // namespace

@@ -222,6 +222,23 @@ TEST(CoverageMapTest, AddBatchFilteredKeepsOrderAndFirstSighting) {
   EXPECT_EQ(map.Count(), 5u);
 }
 
+TEST(CoverageMapTest, AddBatchAttributedCreditsFirstSightingCall) {
+  CoverageMap map;
+  map.AddBatch({10});
+  std::vector<CovHit> fresh;
+  // Edge 30 appears twice with different call indices: attribution must credit the
+  // FIRST sighting (call 2), the later one is a duplicate.
+  std::vector<CovHit> hits = {{30, 2}, {10, 0}, {40, 5}, {30, 9}, {50, 1}};
+  EXPECT_EQ(map.AddBatchAttributed(hits, &fresh), 3u);
+  ASSERT_EQ(fresh.size(), 3u);
+  EXPECT_EQ(fresh[0], (CovHit{30, 2}));
+  EXPECT_EQ(fresh[1], (CovHit{40, 5}));
+  EXPECT_EQ(fresh[2], (CovHit{50, 1}));
+  EXPECT_EQ(map.Count(), 4u);
+  // Null fresh_out is the count-only mode the baselines use.
+  EXPECT_EQ(map.AddBatchAttributed({{50, 0}, {60, 0}}, nullptr), 1u);
+}
+
 TEST(CoverageMapTest, ForEachVisitsEveryEdgeOnce) {
   CoverageMap map;
   std::vector<uint64_t> ids = {0, 1, 0x10001, 0x20002, 77};

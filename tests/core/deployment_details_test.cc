@@ -37,18 +37,21 @@ TEST_F(DeploymentDetailsTest, CoverageDrainResetsHeaderAndReportsDrops) {
   CovRingLayout ring = deployment->cov_ring();
   ASSERT_EQ(ring.capacity, 192u);
   for (uint32_t i = 0; i < ring.capacity; ++i) {
-    ASSERT_TRUE(board.RamWriteU64(ring.EntryOffset(i), 0x1000 + i).ok());
+    ASSERT_TRUE(board.RamWriteU64(ring.EntryOffset(0, i), 0x1000 + i).ok());
+    ASSERT_TRUE(board.RamWriteU32(ring.EntryOffset(0, i) + 8, i % 5).ok());
   }
-  ASSERT_TRUE(board.RamWriteU32(ring.ram_offset + CovRingLayout::kCountOffset,
+  ASSERT_TRUE(board.RamWriteU32(ring.BankOffset(0) + CovRingLayout::kCountOffset,
                                 ring.capacity).ok());
-  ASSERT_TRUE(board.RamWriteU32(ring.ram_offset + CovRingLayout::kDroppedOffset, 7).ok());
+  ASSERT_TRUE(
+      board.RamWriteU32(ring.BankOffset(0) + CovRingLayout::kDroppedOffset, 7).ok());
 
   uint32_t dropped = 0;
   auto entries = deployment->DrainCoverage(&dropped);
   ASSERT_TRUE(entries.ok());
   EXPECT_EQ(entries.value().size(), ring.capacity);
   EXPECT_EQ(dropped, 7u);
-  EXPECT_EQ(entries.value()[3], 0x1003u);
+  EXPECT_EQ(entries.value()[3].edge, 0x1003u);
+  EXPECT_EQ(entries.value()[3].call, 3u);  // attribution survives the drain
 
   // Header reset: a second drain is empty.
   auto again = deployment->DrainCoverage(&dropped);
@@ -62,10 +65,37 @@ TEST_F(DeploymentDetailsTest, ScribbledRingCountIsClamped) {
   CovRingLayout ring = deployment->cov_ring();
   // A buggy target wrote a huge count; the host must not issue a giant read.
   ASSERT_TRUE(deployment->board().RamWriteU32(
-      ring.ram_offset + CovRingLayout::kCountOffset, 0xffffffff).ok());
+      ring.BankOffset(0) + CovRingLayout::kCountOffset, 0xffffffff).ok());
   auto entries = deployment->DrainCoverage();
   ASSERT_TRUE(entries.ok());
   EXPECT_LE(entries.value().size(), ring.capacity);
+}
+
+TEST_F(DeploymentDetailsTest, CorruptRingHeaderFailsValidationLoudly) {
+  auto deployment = Deploy("pokos");
+  CovRingLayout ring = deployment->cov_ring();
+  ASSERT_TRUE(deployment->ValidateCovRing().ok());
+  // An image built against the old unversioned layout leaves garbage where the
+  // version magic lives; deployment must refuse it instead of mis-parsing drains.
+  ASSERT_TRUE(deployment->board()
+                  .RamWriteU32(ring.ram_offset + CovRingLayout::kVersionOffset,
+                               0xdeadbeef)
+                  .ok());
+  Status bad_version = deployment->ValidateCovRing();
+  EXPECT_EQ(bad_version.code(), ErrorCode::kFailedPrecondition);
+  EXPECT_NE(bad_version.ToString().find("version"), std::string::npos);
+
+  ASSERT_TRUE(deployment->board()
+                  .RamWriteU32(ring.ram_offset + CovRingLayout::kVersionOffset,
+                               CovRingLayout::kVersionMagic)
+                  .ok());
+  ASSERT_TRUE(deployment->board()
+                  .RamWriteU32(ring.ram_offset + CovRingLayout::kCapacityOffset,
+                               ring.capacity + 1)
+                  .ok());
+  Status bad_capacity = deployment->ValidateCovRing();
+  EXPECT_EQ(bad_capacity.code(), ErrorCode::kFailedPrecondition);
+  EXPECT_NE(bad_capacity.ToString().find("capacity"), std::string::npos);
 }
 
 TEST_F(DeploymentDetailsTest, DebugPortStatsAccumulate) {
@@ -155,10 +185,10 @@ TEST_F(DeploymentDetailsTest, BatchedDrainIsOneRoundTrip) {
   CovRingLayout ring = deployment->cov_ring();
   auto fill = [&](uint32_t count) {
     for (uint32_t i = 0; i < count; ++i) {
-      ASSERT_TRUE(board.RamWriteU64(ring.EntryOffset(i), 0x2000 + i).ok());
+      ASSERT_TRUE(board.RamWriteU64(ring.EntryOffset(0, i), 0x2000 + i).ok());
     }
     ASSERT_TRUE(
-        board.RamWriteU32(ring.ram_offset + CovRingLayout::kCountOffset, count).ok());
+        board.RamWriteU32(ring.BankOffset(0) + CovRingLayout::kCountOffset, count).ok());
   };
 
   fill(8);

@@ -8,6 +8,7 @@
 #include "src/fuzz/byte_mutator.h"
 #include "src/fuzz/corpus.h"
 #include "src/fuzz/generator.h"
+#include "src/fuzz/trimmer.h"
 #include "src/kernel/os.h"
 #include "src/os/all_oses.h"
 #include "src/spec/spec_miner.h"
@@ -169,6 +170,100 @@ TEST(GeneratorOptionsTest, BufferCapRespected) {
       }
     }
   }
+}
+
+TEST(GeneratorFocusTest, FocusBoostSkewsSelectionAndClears) {
+  const spec::CompiledSpecs& specs = SpecsFor("freertos");
+  GeneratorOptions options;
+  options.max_calls = 1;
+  Generator generator(specs, options, 42);
+  ASSERT_GE(generator.eligible().size(), 2u);
+  size_t focused = generator.eligible()[0];
+
+  // Only the final call of a max_calls=1 program is the weighted pick; earlier
+  // calls are producers EmitCall prepended, which the focus boost does not touch.
+  auto count_focused = [&](int rounds) {
+    int hits = 0;
+    for (int i = 0; i < rounds; ++i) {
+      Program program = generator.Generate();
+      if (!program.calls.empty() && program.calls.back().spec_index == focused) {
+        ++hits;
+      }
+    }
+    return hits;
+  };
+
+  int baseline = count_focused(400);
+  generator.SetFocus({focused});
+  int boosted = count_focused(400);
+  // kFocusBoost is 6x the base weight: the focused call must come up far more often.
+  EXPECT_GT(boosted, baseline * 2);
+  // Unknown indices are ignored, an empty focus clears the boost entirely.
+  generator.SetFocus({SIZE_MAX});
+  generator.SetFocus({});
+  int cleared = count_focused(400);
+  EXPECT_LT(cleared, boosted / 2);
+}
+
+// A program shaped like: c0 produces, c1 noise, c2 consumes c0, c3 noise, c4
+// consumes c2. Owner call 4 must pull in its full producer chain {0, 2, 4}.
+Program ChainProgram() {
+  Program program;
+  for (int i = 0; i < 5; ++i) {
+    ProgCall call;
+    call.spec_index = static_cast<size_t>(i);
+    if (i == 2) {
+      call.args = {ProgArg::Result(0), ProgArg::Scalar(7)};
+    } else if (i == 4) {
+      call.args = {ProgArg::Result(2)};
+    } else {
+      call.args = {ProgArg::Scalar(static_cast<uint64_t>(i))};
+    }
+    program.calls.push_back(call);
+  }
+  return program;
+}
+
+TEST(TrimmerTest, KeepsOwnersAndTransitiveProducers) {
+  Program program = ChainProgram();
+  TrimStats stats;
+  Program trimmed = TrimToCalls(program, {4}, &stats);
+  ASSERT_EQ(trimmed.calls.size(), 3u);
+  EXPECT_EQ(stats.kept_calls, 3u);
+  EXPECT_EQ(stats.removed_calls, 2u);
+  // Surviving calls in original order: 0, 2, 4 with refs remapped to 0, 1.
+  EXPECT_EQ(trimmed.calls[0].spec_index, 0u);
+  EXPECT_EQ(trimmed.calls[1].spec_index, 2u);
+  EXPECT_EQ(trimmed.calls[2].spec_index, 4u);
+  EXPECT_EQ(trimmed.calls[1].args[0].ref, 0);
+  EXPECT_EQ(trimmed.calls[2].args[0].ref, 1);
+  EXPECT_TRUE(trimmed.RefsValid());
+}
+
+TEST(TrimmerTest, EmptyOrOutOfRangeKeepSetReturnsProgramUnchanged) {
+  Program program = ChainProgram();
+  TrimStats stats;
+  // A trim that keeps nothing explains nothing: hand the program back whole.
+  Program trimmed = TrimToCalls(program, {}, &stats);
+  EXPECT_EQ(trimmed.calls.size(), program.calls.size());
+  EXPECT_EQ(stats.kept_calls, 5u);
+  EXPECT_EQ(stats.removed_calls, 0u);
+  // Out-of-range owners (a scribbled call index from the target) are ignored.
+  trimmed = TrimToCalls(program, {99}, &stats);
+  EXPECT_EQ(trimmed.calls.size(), program.calls.size());
+  EXPECT_EQ(stats.removed_calls, 0u);
+}
+
+TEST(TrimmerTest, MiddleOwnerDropsUnreferencedTail) {
+  Program program = ChainProgram();
+  TrimStats stats;
+  Program trimmed = TrimToCalls(program, {2, 2}, &stats);  // duplicate owners fold
+  ASSERT_EQ(trimmed.calls.size(), 2u);
+  EXPECT_EQ(trimmed.calls[0].spec_index, 0u);
+  EXPECT_EQ(trimmed.calls[1].spec_index, 2u);
+  EXPECT_EQ(trimmed.calls[1].args[0].ref, 0);
+  EXPECT_EQ(stats.removed_calls, 3u);
+  EXPECT_TRUE(trimmed.RefsValid());
 }
 
 TEST(CorpusTest, DedupAndScheduling) {

@@ -85,11 +85,13 @@ class KernelContextTest : public ::testing::Test {
     ring_.capacity = 4;
   }
 
-  uint32_t RingCount() {
-    return board_.RamReadU32(ring_.ram_offset + CovRingLayout::kCountOffset).value();
+  uint32_t RingCount(uint32_t bank = 0) {
+    return board_.RamReadU32(ring_.BankOffset(bank) + CovRingLayout::kCountOffset)
+        .value();
   }
-  uint32_t RingDropped() {
-    return board_.RamReadU32(ring_.ram_offset + CovRingLayout::kDroppedOffset).value();
+  uint32_t RingDropped(uint32_t bank = 0) {
+    return board_.RamReadU32(ring_.BankOffset(bank) + CovRingLayout::kDroppedOffset)
+        .value();
   }
 
   Board board_;
@@ -118,9 +120,71 @@ TEST_F(KernelContextTest, BucketsYieldDistinctEdges) {
   ctx.CovBucket(site, 0);
   ctx.CovBucket(site, 1);
   EXPECT_EQ(RingCount(), 2u);
-  auto entry0 = board_.RamRead(ring_.EntryOffset(0), 8).value();
-  auto entry1 = board_.RamRead(ring_.EntryOffset(1), 8).value();
+  auto entry0 = board_.RamRead(ring_.EntryOffset(0, 0), 8).value();
+  auto entry1 = board_.RamRead(ring_.EntryOffset(0, 1), 8).value();
   EXPECT_NE(entry0, entry1);
+}
+
+TEST_F(KernelContextTest, ConstructionStampsVersionedHeader) {
+  KernelContext ctx(board_, *image_, ring_);
+  EXPECT_EQ(board_.RamReadU32(ring_.ram_offset + CovRingLayout::kVersionOffset).value(),
+            CovRingLayout::kVersionMagic);
+  EXPECT_EQ(board_.RamReadU32(ring_.ram_offset + CovRingLayout::kCapacityOffset).value(),
+            ring_.capacity);
+  EXPECT_EQ(
+      board_.RamReadU32(ring_.ram_offset + CovRingLayout::kActiveBankOffset).value(),
+      0u);
+}
+
+TEST_F(KernelContextTest, EntriesCarryCurrentCallIndex) {
+  KernelContext ctx(board_, *image_, ring_);
+  constexpr EdgeSite site = MakeEdgeSite("test/mod", "f.cc", 21);
+  ctx.SetCurrentCall(3);
+  ctx.CovBucket(site, 0);
+  ctx.SetCurrentCall(7);
+  ctx.CovBucket(site, 1);
+  EXPECT_EQ(board_.RamReadU32(ring_.EntryOffset(0, 0) + 8).value(), 3u);
+  EXPECT_EQ(board_.RamReadU32(ring_.EntryOffset(0, 1) + 8).value(), 7u);
+  EXPECT_EQ(board_.RamReadU32(ring_.ram_offset + CovRingLayout::kCurrentCallOffset)
+                .value(),
+            7u);
+}
+
+TEST_F(KernelContextTest, AppendsFollowBankSwitchAfterResumeWindow) {
+  KernelContext ctx(board_, *image_, ring_);
+  constexpr EdgeSite site = MakeEdgeSite("test/mod", "f.cc", 22);
+  ctx.CovBucket(site, 0);
+  EXPECT_EQ(RingCount(0), 1u);
+  // The host flips the active bank while the target is stopped; the context picks
+  // the switch up at its next resume window, not mid-window.
+  ASSERT_TRUE(
+      board_.RamWriteU32(ring_.ram_offset + CovRingLayout::kActiveBankOffset, 1).ok());
+  ctx.CovBucket(site, 1);
+  EXPECT_EQ(RingCount(0), 2u);  // still the cached bank
+  ctx.BeginResumeWindow();
+  ctx.CovBucket(site, 2);
+  EXPECT_EQ(RingCount(0), 2u);
+  EXPECT_EQ(RingCount(1), 1u);
+}
+
+// Regression: the dropped counter used to be re-read from RAM and incremented per
+// dropped entry, and wrapped past UINT32_MAX back to zero — making a maximally
+// lossy window look lossless. It must saturate.
+TEST_F(KernelContextTest, DroppedCounterSaturatesAtMax) {
+  KernelContext ctx(board_, *image_, ring_);
+  constexpr EdgeSite site = MakeEdgeSite("test/mod", "f.cc", 23);
+  for (uint64_t bucket = 0; bucket < 4; ++bucket) {
+    ctx.CovBucket(site, bucket);
+  }
+  ASSERT_TRUE(board_.RamWriteU32(ring_.BankOffset(0) + CovRingLayout::kDroppedOffset,
+                                 UINT32_MAX - 1)
+                  .ok());
+  ctx.CovBucket(site, 5);  // reads the pre-seeded value, bumps to UINT32_MAX
+  EXPECT_EQ(RingDropped(), UINT32_MAX);
+  ctx.CovBucket(site, 6);  // saturated: must NOT wrap to 0
+  ctx.CovBucket(site, 7);
+  EXPECT_EQ(RingDropped(), UINT32_MAX);
+  EXPECT_TRUE(ctx.cov_overflow_pending());
 }
 
 TEST_F(KernelContextTest, UndeclaredModuleIsInvisible) {

@@ -36,11 +36,13 @@ int Usage() {
           "  eof list-targets\n"
           "  eof mine-specs <os>\n"
           "  eof fuzz <os> [minutes=60] [seed=1] [board=default] [--jobs N]\n"
-          "           [--restore-mode reflash|snapshot]\n"
+          "           [--restore-mode reflash|snapshot] [--directed] [--trim]\n"
+          "           [--overlapped-drain on|off]\n"
           "           [--metrics-out FILE.jsonl] [--metrics-interval SECONDS]\n"
           "  eof report <journal.jsonl> [--json]\n"
           "  eof repro <os> <bug-id>\n"
           "  eof replay <os> <reproducer-file>\n"
+          "  eof trim <os> <reproducer-file> [board]\n"
           "  eof bugs\n");
   return 2;
 }
@@ -83,7 +85,8 @@ int MineSpecs(const std::string& os_name) {
 
 int Fuzz(const std::string& os_name, uint64_t minutes, uint64_t seed,
          const std::string& board, int jobs, RestoreMode restore_mode,
-         const std::string& metrics_out, uint64_t metrics_interval_s) {
+         const std::string& metrics_out, uint64_t metrics_interval_s, bool directed,
+         bool trim, bool overlapped_drain) {
   FuzzerConfig config;
   config.os_name = os_name;
   config.board_name = board;
@@ -92,6 +95,9 @@ int Fuzz(const std::string& os_name, uint64_t minutes, uint64_t seed,
   config.sample_points = 12;
   config.restore_mode = restore_mode;
   config.metrics_out = metrics_out;
+  config.directed = directed;
+  config.trim = trim;
+  config.overlapped_drain = overlapped_drain;
   if (metrics_interval_s > 0) {
     config.metrics_interval = metrics_interval_s * kVirtualSecond;
   }
@@ -130,6 +136,16 @@ int Fuzz(const std::string& os_name, uint64_t minutes, uint64_t seed,
            static_cast<unsigned long long>(campaign.snapshot_bytes),
            static_cast<unsigned long long>(campaign.bugs_rejected));
   }
+  if (directed) {
+    printf("directed_hits=%llu frontier=%llu\n",
+           static_cast<unsigned long long>(campaign.directed_hits),
+           static_cast<unsigned long long>(campaign.frontier));
+  }
+  if (trim) {
+    printf("trim_kept_calls=%llu trim_removed_calls=%llu\n",
+           static_cast<unsigned long long>(campaign.trim_kept_calls),
+           static_cast<unsigned long long>(campaign.trim_removed_calls));
+  }
   for (const BugReport& bug : campaign.bugs) {
     const BugInfo* info = FindBug(bug.catalog_id);
     printf("\nBUG #%d %s [%s monitor]\n%s\nreproducer:\n%s", bug.catalog_id,
@@ -139,19 +155,26 @@ int Fuzz(const std::string& os_name, uint64_t minutes, uint64_t seed,
   return 0;
 }
 
-int Replay(const std::string& os_name, const std::string& path) {
+bool ReadFileText(const std::string& path, std::string* text) {
   FILE* file = fopen(path.c_str(), "rb");
   if (file == nullptr) {
     fprintf(stderr, "cannot open %s\n", path.c_str());
-    return 1;
+    return false;
   }
-  std::string text;
   char buffer[4096];
   size_t got;
   while ((got = fread(buffer, 1, sizeof(buffer), file)) > 0) {
-    text.append(buffer, got);
+    text->append(buffer, got);
   }
   fclose(file);
+  return true;
+}
+
+int Replay(const std::string& os_name, const std::string& path) {
+  std::string text;
+  if (!ReadFileText(path, &text)) {
+    return 1;
+  }
   auto outcome = ReplayReproducer(os_name, text);
   if (!outcome.ok()) {
     fprintf(stderr, "replay failed: %s\n", outcome.status().ToString().c_str());
@@ -169,6 +192,26 @@ int Replay(const std::string& os_name, const std::string& path) {
   }
   printf("\n%s\n", outcome.value().crash_text.c_str());
   return 0;
+}
+
+int Trim(const std::string& os_name, const std::string& path, const std::string& board) {
+  std::string text;
+  if (!ReadFileText(path, &text)) {
+    return 1;
+  }
+  auto outcome = TrimReproducer(os_name, text, board);
+  if (!outcome.ok()) {
+    fprintf(stderr, "trim failed: %s\n", outcome.status().ToString().c_str());
+    return 1;
+  }
+  const TrimOutcome& trim = outcome.value();
+  fprintf(stderr, "trim: %zu -> %zu calls (%zu removed), coverage %llu -> %llu (%s)\n",
+          trim.original_calls, trim.kept_calls, trim.removed_calls,
+          static_cast<unsigned long long>(trim.original_coverage),
+          static_cast<unsigned long long>(trim.trimmed_coverage),
+          trim.coverage_preserved ? "preserved" : "NOT preserved — keep the original");
+  fputs(trim.trimmed_text.c_str(), stdout);
+  return trim.coverage_preserved ? 0 : 1;
 }
 
 int Report(const std::string& path, bool json) {
@@ -214,17 +257,22 @@ int main(int argc, char** argv) {
     fprintf(stderr, "OS registration failed\n");
     return 1;
   }
-  if (argc < 2) {
+  if (argc < 2 || strncmp(argv[1], "--", 2) == 0) {
     return Usage();
   }
+  std::string command = argv[1];
   // Extract the `--flag value` options wherever they appear so the positional
-  // arguments keep their slots; `--flag=value` also works. Values are validated
-  // here: a missing or non-numeric value is a usage error, not a silent default.
+  // arguments keep their slots; `--flag=value` also works. Parsing is strict:
+  // a flag the subcommand does not take, an unknown flag, or a missing/invalid
+  // value is a usage error naming the valid choices — never a silent default.
   int jobs = 1;
   RestoreMode restore_mode = RestoreMode::kReflash;
   std::string metrics_out;
   uint64_t metrics_interval_s = 0;  // 0 = keep the FuzzerConfig default
   bool json = false;
+  bool directed = false;
+  bool trim = false;
+  bool overlapped_drain = true;
   {
     auto parse_uint = [](const char* text, uint64_t* out) {
       if (text == nullptr || text[0] < '0' || text[0] > '9') {
@@ -234,16 +282,70 @@ int main(int argc, char** argv) {
       *out = strtoull(text, &end, 10);
       return *end == '\0';
     };
+    // Which flags each subcommand accepts, and the flag grammar itself. A flag
+    // entry is "name" (switch) or "name=" (wants a value, inline or as the next
+    // argument).
+    const char* kFuzzFlags[] = {"--jobs=",        "--restore-mode=",
+                                "--metrics-out=", "--metrics-interval=",
+                                "--directed",     "--trim",
+                                "--overlapped-drain=", nullptr};
+    const char* kReportFlags[] = {"--json", nullptr};
+    const char* kNoFlags[] = {nullptr};
+    const char** allowed = kNoFlags;
+    if (command == "fuzz") {
+      allowed = kFuzzFlags;
+    } else if (command == "report") {
+      allowed = kReportFlags;
+    }
+    auto flag_list = [&allowed]() {
+      std::string list;
+      for (const char** f = allowed; *f != nullptr; ++f) {
+        std::string name = *f;
+        if (!name.empty() && name.back() == '=') {
+          name.pop_back();
+        }
+        list += list.empty() ? name : ", " + name;
+      }
+      return list.empty() ? std::string("none") : list;
+    };
     int out = 1;
     for (int i = 1; i < argc; ++i) {
       std::string arg = argv[i];
-      const char* value = nullptr;
-      if (arg == "--jobs" || arg.rfind("--jobs=", 0) == 0) {
-        if (arg[6] == '=') {
-          value = arg.c_str() + 7;
-        } else if (i + 1 < argc) {
-          value = argv[++i];
+      if (arg.rfind("--", 0) != 0) {
+        argv[out++] = argv[i];
+        continue;
+      }
+      std::string name = arg.substr(0, arg.find('='));
+      const char* spec = nullptr;
+      for (const char** f = allowed; *f != nullptr; ++f) {
+        std::string fname = *f;
+        bool wants_value = !fname.empty() && fname.back() == '=';
+        if (wants_value) {
+          fname.pop_back();
         }
+        if (fname == name) {
+          spec = *f;
+          break;
+        }
+      }
+      if (spec == nullptr) {
+        fprintf(stderr, "eof: unknown flag '%s' for '%s' (valid flags: %s)\n",
+                name.c_str(), command.c_str(), flag_list().c_str());
+        return Usage();
+      }
+      const char* value = nullptr;
+      bool wants_value = spec[strlen(spec) - 1] == '=';
+      size_t eq = arg.find('=');
+      if (eq != std::string::npos) {
+        if (!wants_value) {
+          fprintf(stderr, "eof: %s is a switch and takes no value\n", name.c_str());
+          return Usage();
+        }
+        value = arg.c_str() + eq + 1;
+      } else if (wants_value && i + 1 < argc) {
+        value = argv[++i];
+      }
+      if (name == "--jobs") {
         uint64_t parsed = 0;
         if (!parse_uint(value, &parsed) || parsed < 1 || parsed > 1024) {
           fprintf(stderr, "eof: --jobs wants an integer in [1, 1024], got '%s'\n",
@@ -251,12 +353,7 @@ int main(int argc, char** argv) {
           return Usage();
         }
         jobs = static_cast<int>(parsed);
-      } else if (arg == "--restore-mode" || arg.rfind("--restore-mode=", 0) == 0) {
-        if (arg.size() > 14 && arg[14] == '=') {
-          value = arg.c_str() + 15;
-        } else if (i + 1 < argc) {
-          value = argv[++i];
-        }
+      } else if (name == "--restore-mode") {
         std::string mode = value == nullptr ? "" : value;
         if (mode == "reflash") {
           restore_mode = RestoreMode::kReflash;
@@ -267,24 +364,13 @@ int main(int argc, char** argv) {
                   mode.c_str());
           return Usage();
         }
-      } else if (arg == "--metrics-out" || arg.rfind("--metrics-out=", 0) == 0) {
-        if (arg.size() > 13 && arg[13] == '=') {
-          value = arg.c_str() + 14;
-        } else if (i + 1 < argc) {
-          value = argv[++i];
-        }
+      } else if (name == "--metrics-out") {
         if (value == nullptr || value[0] == '\0') {
           fprintf(stderr, "eof: --metrics-out wants a file path\n");
           return Usage();
         }
         metrics_out = value;
-      } else if (arg == "--metrics-interval" ||
-                 arg.rfind("--metrics-interval=", 0) == 0) {
-        if (arg.size() > 18 && arg[18] == '=') {
-          value = arg.c_str() + 19;
-        } else if (i + 1 < argc) {
-          value = argv[++i];
-        }
+      } else if (name == "--metrics-interval") {
         if (!parse_uint(value, &metrics_interval_s) || metrics_interval_s < 1) {
           fprintf(stderr,
                   "eof: --metrics-interval wants a positive virtual-second count, "
@@ -292,15 +378,27 @@ int main(int argc, char** argv) {
                   value == nullptr ? "" : value);
           return Usage();
         }
-      } else if (arg == "--json") {
+      } else if (name == "--overlapped-drain") {
+        std::string mode = value == nullptr ? "" : value;
+        if (mode == "on") {
+          overlapped_drain = true;
+        } else if (mode == "off") {
+          overlapped_drain = false;
+        } else {
+          fprintf(stderr, "eof: --overlapped-drain wants 'on' or 'off', got '%s'\n",
+                  mode.c_str());
+          return Usage();
+        }
+      } else if (name == "--directed") {
+        directed = true;
+      } else if (name == "--trim") {
+        trim = true;
+      } else if (name == "--json") {
         json = true;
-      } else {
-        argv[out++] = argv[i];
       }
     }
     argc = out;
   }
-  std::string command = argv[1];
   if (command == "list-targets") {
     return ListTargets();
   }
@@ -312,7 +410,7 @@ int main(int argc, char** argv) {
     uint64_t seed = argc >= 5 ? strtoull(argv[4], nullptr, 10) : 1;
     std::string board = argc >= 6 ? argv[5] : "";
     return Fuzz(argv[2], minutes == 0 ? 60 : minutes, seed, board, jobs, restore_mode,
-                metrics_out, metrics_interval_s);
+                metrics_out, metrics_interval_s, directed, trim, overlapped_drain);
   }
   if (command == "report" && argc >= 3) {
     return Report(argv[2], json);
@@ -322,6 +420,9 @@ int main(int argc, char** argv) {
   }
   if (command == "replay" && argc >= 4) {
     return Replay(argv[2], argv[3]);
+  }
+  if (command == "trim" && argc >= 4) {
+    return Trim(argv[2], argv[3], argc >= 5 ? argv[4] : "");
   }
   if (command == "bugs") {
     return Bugs();
