@@ -1,0 +1,143 @@
+#include "src/common/coverage_serial.h"
+
+#include <algorithm>
+
+#include "src/common/strings.h"
+
+namespace eof {
+namespace {
+
+// "EFCV" little-endian.
+constexpr uint8_t kMagic[4] = {'E', 'F', 'C', 'V'};
+constexpr uint8_t kVersion = 1;
+constexpr size_t kHeaderBytes = 4 + 1 + 1 + 2 + 8;  // magic, version, kind, pad, count
+
+void PutVarint(std::vector<uint8_t>* out, uint64_t value) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(value));
+}
+
+bool GetVarint(const std::vector<uint8_t>& blob, size_t* pos, uint64_t* value) {
+  uint64_t result = 0;
+  int shift = 0;
+  while (*pos < blob.size() && shift < 64) {
+    uint8_t byte = blob[(*pos)++];
+    result |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *value = result;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;  // truncated or over-long
+}
+
+std::vector<uint8_t> SerializeSorted(const std::vector<uint64_t>& ids,
+                                     CoverageWireKind kind) {
+  std::vector<uint8_t> out;
+  out.reserve(kHeaderBytes + ids.size() * 2);
+  out.insert(out.end(), kMagic, kMagic + 4);
+  out.push_back(kVersion);
+  out.push_back(static_cast<uint8_t>(kind));
+  out.push_back(0);
+  out.push_back(0);
+  uint64_t count = ids.size();
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<uint8_t>(count >> (8 * i)));
+  }
+  uint64_t previous = 0;
+  bool first = true;
+  for (uint64_t id : ids) {
+    // First ID raw, the rest as gaps from the previous one (strictly increasing,
+    // so every gap is >= 1 and the stream self-checks monotonicity on decode).
+    PutVarint(&out, first ? id : id - previous);
+    previous = id;
+    first = false;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<uint8_t> SerializeCoverage(const CoverageMap& map) {
+  std::vector<uint64_t> ids;
+  ids.reserve(map.Count());
+  map.ForEach([&ids](uint64_t id) { ids.push_back(id); });
+  std::sort(ids.begin(), ids.end());
+  return SerializeSorted(ids, CoverageWireKind::kFull);
+}
+
+std::vector<uint8_t> SerializeCoverageIds(std::vector<uint64_t> ids,
+                                          CoverageWireKind kind) {
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return SerializeSorted(ids, kind);
+}
+
+Result<DecodedCoverage> DecodeCoverage(const std::vector<uint8_t>& blob) {
+  if (blob.size() < kHeaderBytes) {
+    return DataLossError(StrFormat("coverage blob truncated: %zu bytes, header needs %zu",
+                                   blob.size(), kHeaderBytes));
+  }
+  if (!std::equal(kMagic, kMagic + 4, blob.begin())) {
+    return DataLossError("coverage blob has bad magic");
+  }
+  if (blob[4] != kVersion) {
+    return InvalidArgumentError(StrFormat("coverage blob version %u, expected %u",
+                                          blob[4], kVersion));
+  }
+  if (blob[5] > static_cast<uint8_t>(CoverageWireKind::kDiff)) {
+    return DataLossError(StrFormat("coverage blob has unknown kind %u", blob[5]));
+  }
+  DecodedCoverage decoded;
+  decoded.kind = static_cast<CoverageWireKind>(blob[5]);
+  uint64_t count = 0;
+  for (int i = 0; i < 8; ++i) {
+    count |= static_cast<uint64_t>(blob[8 + i]) << (8 * i);
+  }
+  if (count > blob.size() - kHeaderBytes) {
+    // Each ID costs at least one payload byte, so a count beyond the payload
+    // size proves truncation without decoding anything.
+    return DataLossError(
+        StrFormat("coverage blob claims %llu edges but has %zu payload bytes",
+                  static_cast<unsigned long long>(count), blob.size() - kHeaderBytes));
+  }
+  decoded.ids.reserve(count);
+  size_t pos = kHeaderBytes;
+  uint64_t previous = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t delta = 0;
+    if (!GetVarint(blob, &pos, &delta)) {
+      return DataLossError(StrFormat("coverage blob truncated at edge %llu of %llu",
+                                     static_cast<unsigned long long>(i),
+                                     static_cast<unsigned long long>(count)));
+    }
+    if (i > 0 && (delta == 0 || delta > UINT64_MAX - previous)) {
+      return DataLossError(StrFormat("coverage blob not strictly increasing at edge %llu",
+                                     static_cast<unsigned long long>(i)));
+    }
+    previous = (i == 0) ? delta : previous + delta;
+    decoded.ids.push_back(previous);
+  }
+  if (pos != blob.size()) {
+    return DataLossError(StrFormat("coverage blob has %zu trailing bytes", blob.size() - pos));
+  }
+  return decoded;
+}
+
+Result<size_t> MergeSerializedCoverage(const std::vector<uint8_t>& blob,
+                                       CoverageMap* into) {
+  ASSIGN_OR_RETURN(DecodedCoverage decoded, DecodeCoverage(blob));
+  size_t fresh = 0;
+  for (uint64_t id : decoded.ids) {
+    if (into->Add(id)) {
+      ++fresh;
+    }
+  }
+  return fresh;
+}
+
+}  // namespace eof

@@ -1,0 +1,54 @@
+// CoverageMap wire serialization: the fleet corpus-sync primitive.
+//
+// A coverage blob is a versioned header followed by the distinct edge IDs sorted
+// ascending and delta-encoded as LEB128 varints. Sorting makes the encoding
+// canonical — two maps holding the same edge set serialize to identical bytes no
+// matter the insertion order — so merge commutativity is testable on raw bytes,
+// and the common case (clustered synthetic basic-block addresses, small deltas)
+// costs one or two bytes per edge instead of eight.
+//
+// Two kinds share the format: a *full* snapshot (everything a rejoining worker
+// needs to resync) and a *diff* (just the edges discovered since the last sync,
+// the steady-state heartbeat payload). Merging either into a CoverageMap is
+// idempotent, so replayed uploads are harmless.
+
+#ifndef SRC_COMMON_COVERAGE_SERIAL_H_
+#define SRC_COMMON_COVERAGE_SERIAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/coverage_map.h"
+#include "src/common/status.h"
+
+namespace eof {
+
+enum class CoverageWireKind : uint8_t {
+  kFull = 0,  // complete edge set of a map
+  kDiff = 1,  // edges discovered since the previous sync point
+};
+
+// Serializes the complete ID set of `map` as a full snapshot.
+std::vector<uint8_t> SerializeCoverage(const CoverageMap& map);
+
+// Serializes an explicit ID set (sorted and deduplicated internally). Diffs are
+// built from the scheduler's fresh-edge log via this entry point.
+std::vector<uint8_t> SerializeCoverageIds(std::vector<uint64_t> ids,
+                                          CoverageWireKind kind);
+
+struct DecodedCoverage {
+  CoverageWireKind kind = CoverageWireKind::kFull;
+  std::vector<uint64_t> ids;  // sorted ascending, distinct
+};
+
+// Decodes a blob; fails on bad magic, unknown version, truncation, or
+// non-monotone ID streams (corruption never silently drops edges).
+Result<DecodedCoverage> DecodeCoverage(const std::vector<uint8_t>& blob);
+
+// Decodes and folds a blob into `into`; returns how many edges were new there.
+Result<size_t> MergeSerializedCoverage(const std::vector<uint8_t>& blob,
+                                       CoverageMap* into);
+
+}  // namespace eof
+
+#endif  // SRC_COMMON_COVERAGE_SERIAL_H_

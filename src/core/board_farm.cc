@@ -20,60 +20,72 @@ uint64_t FarmWorkerSeed(uint64_t base_seed, int worker) {
 BoardFarm::BoardFarm(FuzzerConfig config, int jobs)
     : config_(std::move(config)), jobs_(std::max(jobs, 1)) {}
 
-namespace {
+Result<FarmSession> MakeFarmSession(const FuzzerConfig& config,
+                                    const CampaignPlan& plan, uint64_t seed,
+                                    telemetry::BoardTelemetry* board) {
+  FarmSession session;
+  fuzz::GeneratorOptions gen = config.gen;
+  gen.use_extended = config.use_extended_specs;
+  session.generator = std::make_unique<fuzz::Generator>(plan.specs, gen, seed);
+  session.rng = std::make_unique<Rng>(seed ^ 0x5eedf00dULL);
+  ExecutorOptions executor_options =
+      MakeExecutorOptions(config, seed, plan.exception_symbol);
+  executor_options.telemetry = board;
+  ASSIGN_OR_RETURN(session.executor,
+                   TargetExecutor::Create(executor_options, session.rng.get()));
+  return session;
+}
 
-// One board session: executor + generator + RNG stream + a local coverage map that
-// pre-filters already-seen edges so the global merge holds the campaign lock only
-// for genuinely new material. Locally-old edges are a subset of globally-old ones
-// (everything a worker drained was merged), so filtering never changes the global
-// fresh count — which keeps --jobs 1 bit-identical to the single-threaded engine.
-struct FarmWorker {
-  std::unique_ptr<TargetExecutor> executor;
-  std::unique_ptr<fuzz::Generator> generator;
-  std::unique_ptr<Rng> rng;
-  CoverageMap local_coverage;
-  Status status = OkStatus();
-};
-
-void RunWorker(FarmWorker* worker, int index, CampaignScheduler* scheduler,
-               const spec::CompiledSpecs* specs, VirtualDuration budget,
-               uint64_t max_execs, std::atomic<bool>* stop,
-               telemetry::SnapshotEmitter* emitter) {
+void RunFarmSession(FarmSession* session, int index, CampaignScheduler* scheduler,
+                    const spec::CompiledSpecs* specs, VirtualDuration budget,
+                    uint64_t max_execs, std::atomic<bool>* stop,
+                    telemetry::SnapshotEmitter* emitter,
+                    const std::atomic<bool>* cancel, FarmProgress* progress) {
   uint64_t execs_run = 0;
-  while (worker->executor->Elapsed() < budget &&
+  while (session->executor->Elapsed() < budget &&
          (max_execs == 0 || execs_run < max_execs) &&
-         !stop->load(std::memory_order_relaxed)) {
-    fuzz::Program program = scheduler->NextProgram(*worker->generator, *worker->rng);
+         !stop->load(std::memory_order_relaxed) &&
+         (cancel == nullptr || !cancel->load(std::memory_order_relaxed))) {
+    fuzz::Program program = scheduler->NextProgram(*session->generator, *session->rng);
     std::vector<uint8_t> encoded;
     if (!EncodeForMailbox(*specs, &program, &encoded)) {
       continue;
     }
-    auto outcome_or = worker->executor->ExecuteOne(encoded);
+    auto outcome_or = session->executor->ExecuteOne(encoded);
     if (!outcome_or.ok()) {
-      worker->status = outcome_or.status();
+      session->status = outcome_or.status();
       stop->store(true, std::memory_order_relaxed);
       break;
     }
     ExecOutcome outcome = std::move(outcome_or).value();
     ++execs_run;
     std::vector<CovHit> fresh_here;
-    worker->local_coverage.AddBatchAttributed(outcome.hits, &fresh_here);
+    session->local_coverage.AddBatchAttributed(outcome.hits, &fresh_here);
     outcome.hits = std::move(fresh_here);
-    scheduler->OnOutcome(program, outcome, *worker->generator,
-                         worker->executor->Elapsed(), index);
+    scheduler->OnOutcome(program, outcome, *session->generator,
+                         session->executor->Elapsed(), index);
+    if (progress != nullptr) {
+      progress->elapsed_us.store(session->executor->Elapsed(),
+                                 std::memory_order_relaxed);
+      progress->execs.store(execs_run, std::memory_order_relaxed);
+    }
     if (emitter != nullptr) {
-      worker->executor->SetCoverageGauge(worker->local_coverage.Count());
-      emitter->MaybeEmit(index, worker->executor->Elapsed());
+      session->executor->SetCoverageGauge(session->local_coverage.Count());
+      emitter->MaybeEmit(index, session->executor->Elapsed());
     }
   }
-  worker->executor->SetCoverageGauge(worker->local_coverage.Count());
+  session->executor->SetCoverageGauge(session->local_coverage.Count());
   scheduler->OnWorkerDone(index);
   if (emitter != nullptr) {
-    emitter->WorkerDone(index, worker->executor->Elapsed());
+    emitter->WorkerDone(index, session->executor->Elapsed());
+  }
+  if (progress != nullptr) {
+    progress->elapsed_us.store(session->executor->Elapsed(),
+                               std::memory_order_relaxed);
+    progress->execs.store(execs_run, std::memory_order_relaxed);
+    progress->done.store(true, std::memory_order_release);
   }
 }
-
-}  // namespace
 
 Result<CampaignResult> BoardFarm::Run() {
   ASSIGN_OR_RETURN(CampaignPlan plan, PrepareCampaign(config_));
@@ -89,19 +101,11 @@ Result<CampaignResult> BoardFarm::Run() {
 
   // Deploy the farm serially so each board's image build and boot stay on the
   // deterministic per-worker seed, then fuzz concurrently.
-  std::vector<FarmWorker> workers(static_cast<size_t>(jobs_));
+  std::vector<FarmSession> workers(static_cast<size_t>(jobs_));
   for (int i = 0; i < jobs_; ++i) {
-    FarmWorker& worker = workers[static_cast<size_t>(i)];
-    uint64_t seed = FarmWorkerSeed(config_.seed, i);
-    fuzz::GeneratorOptions gen = config_.gen;
-    gen.use_extended = config_.use_extended_specs;
-    worker.generator = std::make_unique<fuzz::Generator>(plan.specs, gen, seed);
-    worker.rng = std::make_unique<Rng>(seed ^ 0x5eedf00dULL);
-    ExecutorOptions executor_options =
-        MakeExecutorOptions(config_, seed, plan.exception_symbol);
-    executor_options.telemetry = telemetry->board(i);
-    ASSIGN_OR_RETURN(worker.executor,
-                     TargetExecutor::Create(executor_options, worker.rng.get()));
+    ASSIGN_OR_RETURN(workers[static_cast<size_t>(i)],
+                     MakeFarmSession(config_, plan, FarmWorkerSeed(config_.seed, i),
+                                     telemetry->board(i)));
   }
 
   telemetry->CampaignStart(config_.os_name, config_.board_name);
@@ -111,15 +115,15 @@ Result<CampaignResult> BoardFarm::Run() {
   std::vector<std::thread> threads;
   threads.reserve(workers.size());
   for (int i = 0; i < jobs_; ++i) {
-    threads.emplace_back(RunWorker, &workers[static_cast<size_t>(i)], i, &scheduler,
-                         &plan.specs, config_.budget, config_.max_execs, &stop,
-                         telemetry->emitter());
+    threads.emplace_back(RunFarmSession, &workers[static_cast<size_t>(i)], i,
+                         &scheduler, &plan.specs, config_.budget, config_.max_execs,
+                         &stop, telemetry->emitter(), nullptr, nullptr);
   }
   for (std::thread& thread : threads) {
     thread.join();
   }
 
-  for (const FarmWorker& worker : workers) {
+  for (const FarmSession& worker : workers) {
     RETURN_IF_ERROR(worker.status);
   }
 
@@ -128,7 +132,7 @@ Result<CampaignResult> BoardFarm::Run() {
   // hand-written summation loop remembered to copy.
   telemetry::MetricsSnapshot merged = telemetry->MergedBoardSnapshot();
   VirtualTime elapsed = 0;
-  for (FarmWorker& worker : workers) {
+  for (FarmSession& worker : workers) {
     elapsed = std::max(elapsed, worker.executor->Elapsed());
   }
   CampaignResult result = scheduler.Finalize(

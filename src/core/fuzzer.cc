@@ -51,6 +51,7 @@ CampaignScheduler::Options MakeSchedulerOptions(const FuzzerConfig& config, int 
   options.sample_points = config.sample_points;
   options.workers = workers;
   options.seed = config.seed;
+  options.export_corpus = config.export_corpus;
   if (config.restore_mode == RestoreMode::kSnapshot) {
     options.validator = MakeColdBootValidator(config);
   }

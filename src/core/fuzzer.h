@@ -72,6 +72,9 @@ struct FuzzerConfig {
   // Edge-preserving corpus trim on admission: keep only the calls fresh edges
   // attribute to plus their transitive result producers.
   bool trim = false;
+  // Fill CampaignResult::corpus_programs at Finalize (fleet differential tests,
+  // corpus checkpointing). Observer-only: never touches the schedule.
+  bool export_corpus = false;
 
   uint64_t seed = 1;
   VirtualDuration budget = 10 * kVirtualMinute;

@@ -4,6 +4,7 @@
 
 #include "src/agent/agent_layout.h"
 #include "src/agent/wire.h"
+#include "src/common/coverage_serial.h"
 #include "src/common/hash.h"
 #include "src/common/logging.h"
 #include "src/core/bug_catalog.h"
@@ -52,6 +53,13 @@ void CampaignScheduler::EmitEventLocked(VirtualTime at, const char* type, int wo
   event.worker = worker;
   event.fields = std::move(fields);
   sink_->Emit(event);
+}
+
+int CampaignScheduler::ShardLabel(int worker) const {
+  if (worker >= 0 && static_cast<size_t>(worker) < options_.shard_ids.size()) {
+    return options_.shard_ids[static_cast<size_t>(worker)];
+  }
+  return worker;
 }
 
 void CampaignScheduler::SeedCorpus(const std::vector<std::string>& seed_programs) {
@@ -105,6 +113,9 @@ void CampaignScheduler::RecordBugLocked(const BugSignature& signature,
                                         const ExecOutcome& outcome,
                                         uint64_t coverage_delta, VirtualTime elapsed,
                                         int worker) {
+  // Provenance is stamped with the campaign-global shard label so merged
+  // per-worker fleet journals attribute bugs to distinct boards.
+  int shard = ShardLabel(worker);
   crashes_->Increment();
   int catalog_id = AttributeBug(options_.os_name, signature.excerpt);
   // Deduplicate: one report per catalog id (or per excerpt for unknowns). Rejected
@@ -120,7 +131,7 @@ void CampaignScheduler::RecordBugLocked(const BugSignature& signature,
   };
   if (is_duplicate(result_.bugs) || is_duplicate(rejected_bugs_)) {
     bug_dedup_hits_->Increment();
-    EmitEventLocked(elapsed, "bug_dedup", worker,
+    EmitEventLocked(elapsed, "bug_dedup", shard,
                     {telemetry::EventField::Uint(
                          "catalog_id", static_cast<uint64_t>(catalog_id)),
                      telemetry::EventField::Text("detector", signature.detector)});
@@ -134,12 +145,12 @@ void CampaignScheduler::RecordBugLocked(const BugSignature& signature,
   report.at = elapsed;
   report.program_text = fuzz::SerializeProgramText(specs_, program);
   report.first_exec = execs_->Value();
-  report.board = worker;
-  // Same lane rule as FarmWorkerSeed (worker 0 keeps the base stream) without a
+  report.board = shard;
+  // Same lane rule as FarmWorkerSeed (shard 0 keeps the base stream) without a
   // dependency on the farm layer.
-  report.seed_stream = worker == 0 ? options_.seed
-                                   : DeriveSeedStream(options_.seed,
-                                                      static_cast<uint64_t>(worker));
+  report.seed_stream = shard == 0 ? options_.seed
+                                  : DeriveSeedStream(options_.seed,
+                                                     static_cast<uint64_t>(shard));
   report.coverage_delta = coverage_delta;
   if (outcome.dump.has_value()) {
     report.dump = *outcome.dump;
@@ -156,7 +167,7 @@ void CampaignScheduler::RecordBugLocked(const BugSignature& signature,
   }
   if (confirmed) {
     bugs_found_->Increment();
-    EmitEventLocked(elapsed, "bug", worker,
+    EmitEventLocked(elapsed, "bug", shard,
                     {telemetry::EventField::Uint("catalog_id",
                                                  static_cast<uint64_t>(catalog_id)),
                      telemetry::EventField::Text("detector", signature.detector),
@@ -179,7 +190,7 @@ void CampaignScheduler::RecordBugLocked(const BugSignature& signature,
         "operation", info != nullptr ? info->operation : ""));
     fields.push_back(telemetry::EventField::Uint("first_exec", report.first_exec));
     fields.push_back(
-        telemetry::EventField::Uint("board", static_cast<uint64_t>(worker)));
+        telemetry::EventField::Uint("board", static_cast<uint64_t>(shard)));
     fields.push_back(telemetry::EventField::Uint("seed_stream", report.seed_stream));
     fields.push_back(telemetry::EventField::Uint("coverage_delta", coverage_delta));
     fields.push_back(telemetry::EventField::Text("snapshot_validation",
@@ -194,7 +205,7 @@ void CampaignScheduler::RecordBugLocked(const BugSignature& signature,
     fields.push_back(telemetry::EventField::Text("port_ops",
                                                  report.dump.PortOpsText()));
     fields.push_back(telemetry::EventField::Text("events", report.dump.EventsText()));
-    EmitEventLocked(elapsed, "bug_report", worker, std::move(fields));
+    EmitEventLocked(elapsed, "bug_report", shard, std::move(fields));
   }
   if (confirmed) {
     result_.bugs.push_back(std::move(report));
@@ -251,18 +262,23 @@ void CampaignScheduler::UpdateFrontierLocked(const fuzz::Program& program,
     }
   }
   if (!fresh_hits.empty()) {
-    focus_specs_.clear();
-    for (const auto& [edge, spec_index] : frontier_) {
-      (void)edge;
-      if (spec_index != SIZE_MAX) {
-        focus_specs_.push_back(spec_index);
-      }
-    }
-    std::sort(focus_specs_.begin(), focus_specs_.end());
-    focus_specs_.erase(std::unique(focus_specs_.begin(), focus_specs_.end()),
-                       focus_specs_.end());
+    RebuildFocusLocked();
     frontier_gauge_->Set(frontier_.size());
   }
+}
+
+void CampaignScheduler::RebuildFocusLocked() {
+  focus_specs_.clear();
+  for (const auto& [edge, spec_index] : frontier_) {
+    (void)edge;
+    if (spec_index != SIZE_MAX) {
+      focus_specs_.push_back(spec_index);
+    }
+  }
+  focus_specs_.insert(focus_specs_.end(), remote_focus_.begin(), remote_focus_.end());
+  std::sort(focus_specs_.begin(), focus_specs_.end());
+  focus_specs_.erase(std::unique(focus_specs_.begin(), focus_specs_.end()),
+                     focus_specs_.end());
 }
 
 void CampaignScheduler::OnOutcome(const fuzz::Program& program, const ExecOutcome& outcome,
@@ -278,7 +294,12 @@ void CampaignScheduler::OnOutcome(const fuzz::Program& program, const ExecOutcom
   if (fresh > 0) {
     fresh_edges_->Add(fresh);
     coverage_gauge_->Set(coverage_.Count());
-    EmitEventLocked(elapsed, "new_coverage", worker,
+    if (options_.track_coverage_delta) {
+      for (const CovHit& hit : fresh_hits) {
+        coverage_delta_log_.push_back(hit.edge);
+      }
+    }
+    EmitEventLocked(elapsed, "new_coverage", ShardLabel(worker),
                     {telemetry::EventField::Uint("fresh", fresh),
                      telemetry::EventField::Uint("total", coverage_.Count())});
     UpdateFrontierLocked(program, fresh_hits);
@@ -299,7 +320,7 @@ void CampaignScheduler::OnOutcome(const fuzz::Program& program, const ExecOutcom
       result_.trim_kept_calls += trim_stats.kept_calls;
       result_.trim_removed_calls += trim_stats.removed_calls;
       if (trim_stats.removed_calls > 0) {
-        EmitEventLocked(elapsed, "trim", worker,
+        EmitEventLocked(elapsed, "trim", ShardLabel(worker),
                         {telemetry::EventField::Uint("kept", trim_stats.kept_calls),
                          telemetry::EventField::Uint("removed",
                                                      trim_stats.removed_calls)});
@@ -342,7 +363,84 @@ CampaignResult CampaignScheduler::Finalize(const ExecStats& stats, VirtualTime e
   result_.snapshot_bytes = stats.snapshot_bytes;
   result_.link = link;
   result_.frontier = frontier_.size();
+  if (options_.export_corpus) {
+    std::vector<std::pair<std::string, uint64_t>> exported;
+    corpus_.ExportSince(specs_, 0, &exported);
+    result_.corpus_programs.clear();
+    result_.corpus_programs.reserve(exported.size());
+    for (auto& [text, new_edges] : exported) {
+      (void)new_edges;
+      result_.corpus_programs.push_back(std::move(text));
+    }
+  }
   return result_;
+}
+
+std::vector<uint8_t> CampaignScheduler::SerializeCoverageSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return SerializeCoverage(coverage_);
+}
+
+std::vector<uint8_t> CampaignScheduler::TakeCoverageDelta() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<uint8_t> blob =
+      SerializeCoverageIds(std::move(coverage_delta_log_), CoverageWireKind::kDiff);
+  coverage_delta_log_.clear();
+  return blob;
+}
+
+Result<size_t> CampaignScheduler::MergeRemoteCoverage(const std::vector<uint8_t>& blob) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ASSIGN_OR_RETURN(size_t fresh, MergeSerializedCoverage(blob, &coverage_));
+  if (fresh > 0) {
+    // Peer edges enter the map (so local rediscovery is not "fresh" and the
+    // frontier stops chasing them) but are neither logged into the upload delta
+    // nor counted as locally discovered.
+    coverage_gauge_->Set(coverage_.Count());
+  }
+  return fresh;
+}
+
+uint64_t CampaignScheduler::ExportCorpusSince(
+    uint64_t from_seq, std::vector<std::pair<std::string, uint64_t>>* out) const {
+  return corpus_.ExportSince(specs_, from_seq, out);
+}
+
+size_t CampaignScheduler::AdmitRemotePrograms(
+    const std::vector<std::pair<std::string, uint64_t>>& entries) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t admitted = 0;
+  for (const auto& [text, new_edges] : entries) {
+    auto parsed = fuzz::ParseProgramText(specs_, text);
+    if (parsed.ok() &&
+        corpus_.Add(std::move(parsed.value()), std::max<uint64_t>(new_edges, 1))) {
+      ++admitted;
+    }
+  }
+  if (admitted > 0) {
+    corpus_gauge_->Set(corpus_.size());
+  }
+  return admitted;
+}
+
+void CampaignScheduler::MergeRemoteFocus(const std::vector<uint64_t>& spec_indices) {
+  std::lock_guard<std::mutex> lock(mu_);
+  remote_focus_.clear();
+  remote_focus_.reserve(spec_indices.size());
+  for (uint64_t index : spec_indices) {
+    if (index < specs_.calls.size()) {
+      remote_focus_.push_back(static_cast<size_t>(index));
+    }
+  }
+  RebuildFocusLocked();
+}
+
+std::vector<BugReport> CampaignScheduler::BugsSince(size_t from) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (from >= result_.bugs.size()) {
+    return {};
+  }
+  return std::vector<BugReport>(result_.bugs.begin() + from, result_.bugs.end());
 }
 
 std::vector<size_t> CampaignScheduler::FocusSpecs() const {

@@ -91,6 +91,9 @@ struct CampaignResult {
   uint64_t frontier = 0;
   uint64_t trim_removed_calls = 0;
   uint64_t trim_kept_calls = 0;
+  // Corpus reproducer texts in admission order; filled only when
+  // Options::export_corpus is set (fleet differential tests, checkpointing).
+  std::vector<std::string> corpus_programs;
 
   bool FoundBug(int catalog_id) const {
     for (const BugReport& bug : bugs) {
@@ -155,6 +158,18 @@ class CampaignScheduler {
     uint64_t seed = 1;                // campaign base seed — bug provenance records the
                                       // submitting worker's derived stream from it
 
+    // Fleet sharding: `shard_ids[i]` is the campaign-global shard label of local
+    // worker slot i. Bug provenance (board, seed_stream) and journal rows are
+    // stamped with the global label so merged per-worker journals attribute
+    // correctly; session bookkeeping (frontier, sampler) stays local. Empty =
+    // identity (the in-process farm).
+    std::vector<int> shard_ids;
+    // Keep an exact log of locally discovered fresh edges so TakeCoverageDelta
+    // can ship bitmap diffs upstream. Off for in-process campaigns.
+    bool track_coverage_delta = false;
+    // Fill CampaignResult::corpus_programs at Finalize.
+    bool export_corpus = false;
+
     // Campaign-scope telemetry: `registry` takes the campaign.* counters (nullptr =
     // the scheduler owns a private registry); `sink` receives new_coverage / bug /
     // bug_dedup journal events (nullptr = no journal). Both must outlive the
@@ -216,7 +231,34 @@ class CampaignScheduler {
   // of the result table.
   std::vector<BugReport> RejectedBugs() const;
 
+  // --- Fleet sync hooks (src/fleet) ---
+  // None of these run during a single-worker fleet batch with empty payloads, so
+  // the in-process bit-identity contract is untouched.
+
+  // Full coverage snapshot / fresh-edge diff since the last take (requires
+  // track_coverage_delta), in the coverage_serial wire format.
+  std::vector<uint8_t> SerializeCoverageSnapshot() const;
+  std::vector<uint8_t> TakeCoverageDelta();
+  // Folds a peer's blob into the campaign map; returns edges new here. Remote
+  // edges are not re-logged into the delta (the peer already has them).
+  Result<size_t> MergeRemoteCoverage(const std::vector<uint8_t>& blob);
+  // Corpus delta export as (reproducer text, new_edges) pairs; returns the next
+  // cursor. Pass UINT64_MAX once to learn the current cursor without copying.
+  uint64_t ExportCorpusSince(uint64_t from_seq,
+                             std::vector<std::pair<std::string, uint64_t>>* out) const;
+  // Admits peer programs (hash-deduplicated, no generator credit); returns how
+  // many were new.
+  size_t AdmitRemotePrograms(
+      const std::vector<std::pair<std::string, uint64_t>>& entries);
+  // Replaces the remote contribution to the directed focus list (union with the
+  // local frontier owners). An empty list restores pure local focus.
+  void MergeRemoteFocus(const std::vector<uint64_t>& spec_indices);
+  // Confirmed bugs admitted at index >= `from` (upload cursor for fleet sync).
+  std::vector<BugReport> BugsSince(size_t from) const;
+
  private:
+  // Maps a local worker slot to its campaign-global shard label.
+  int ShardLabel(int worker) const;
   void RecordBugLocked(const BugSignature& signature, const fuzz::Program& program,
                        const ExecOutcome& outcome, uint64_t coverage_delta,
                        VirtualTime elapsed, int worker);
@@ -227,6 +269,9 @@ class CampaignScheduler {
   void UpdateFrontierLocked(const fuzz::Program& program,
                             const std::vector<CovHit>& fresh_hits);
   void AdvanceFrontierLocked(int worker, VirtualTime elapsed);
+  // Rebuilds focus_specs_ = sorted distinct union of the frontier owners and the
+  // peer focus list (remote_focus_, empty outside fleet batches).
+  void RebuildFocusLocked();
   void EmitEventLocked(VirtualTime at, const char* type, int worker,
                        std::vector<telemetry::EventField> fields);
 
@@ -267,6 +312,10 @@ class CampaignScheduler {
   // Sorted, deduplicated owner specs of frontier_ — rebuilt when fresh edges
   // arrive, pushed into each worker's generator by NextProgram in directed mode.
   std::vector<size_t> focus_specs_;
+  // Fleet state: exact log of locally discovered fresh edges since the last
+  // TakeCoverageDelta, and the peer focus specs folded into focus_specs_.
+  std::vector<uint64_t> coverage_delta_log_;
+  std::vector<size_t> remote_focus_;
 };
 
 // Shared loop glue: encodes `program` for the agent mailbox, trimming tail calls

@@ -1,0 +1,503 @@
+#include "src/fleet/proto.h"
+
+#include "src/common/byteio.h"
+#include "src/common/strings.h"
+
+namespace eof {
+namespace fleet {
+namespace {
+
+void PutString(ByteWriter* writer, const std::string& text) {
+  writer->PutLengthPrefixed(text);
+}
+
+std::string GetString(ByteReader* reader) {
+  std::vector<uint8_t> bytes = reader->GetLengthPrefixed();
+  return std::string(bytes.begin(), bytes.end());
+}
+
+void PutBlob(ByteWriter* writer, const std::vector<uint8_t>& blob) {
+  writer->PutLengthPrefixed(blob);
+}
+
+void PutU64List(ByteWriter* writer, const std::vector<uint64_t>& values) {
+  writer->PutU32(static_cast<uint32_t>(values.size()));
+  for (uint64_t value : values) {
+    writer->PutU64(value);
+  }
+}
+
+std::vector<uint64_t> GetU64List(ByteReader* reader) {
+  uint32_t count = reader->GetU32();
+  std::vector<uint64_t> values;
+  if (reader->failed() || static_cast<size_t>(count) * 8 > reader->remaining()) {
+    return values;
+  }
+  values.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    values.push_back(reader->GetU64());
+  }
+  return values;
+}
+
+void PutCorpus(ByteWriter* writer, const std::vector<CorpusEntryWire>& entries) {
+  writer->PutU32(static_cast<uint32_t>(entries.size()));
+  for (const CorpusEntryWire& entry : entries) {
+    PutString(writer, entry.text);
+    writer->PutU64(entry.new_edges);
+  }
+}
+
+std::vector<CorpusEntryWire> GetCorpus(ByteReader* reader) {
+  uint32_t count = reader->GetU32();
+  std::vector<CorpusEntryWire> entries;
+  for (uint32_t i = 0; i < count && !reader->failed(); ++i) {
+    CorpusEntryWire entry;
+    entry.text = GetString(reader);
+    entry.new_edges = reader->GetU64();
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+// Finishes a decode: every payload byte must have been consumed exactly.
+template <typename T>
+Result<T> Finish(const char* what, const ByteReader& reader, T msg) {
+  if (reader.failed()) {
+    return DataLossError(StrFormat("%s payload truncated", what));
+  }
+  if (reader.remaining() != 0) {
+    return DataLossError(
+        StrFormat("%s payload has %zu trailing bytes", what, reader.remaining()));
+  }
+  return msg;
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeFrame(const Frame& frame) {
+  ByteWriter writer;
+  writer.PutU32(kFrameMagic);
+  writer.PutU16(kProtoVersion);
+  writer.PutU16(static_cast<uint16_t>(frame.type));
+  writer.PutU32(static_cast<uint32_t>(frame.payload.size()));
+  writer.PutBytes(frame.payload.data(), frame.payload.size());
+  return writer.TakeBytes();
+}
+
+Result<size_t> DecodeFrameHeader(const uint8_t header[kFrameHeaderBytes],
+                                 MsgType* type) {
+  ByteReader reader(header, kFrameHeaderBytes);
+  uint32_t magic = reader.GetU32();
+  if (magic != kFrameMagic) {
+    return DataLossError(StrFormat("bad frame magic 0x%08x", magic));
+  }
+  uint16_t version = reader.GetU16();
+  if (version != kProtoVersion) {
+    return InvalidArgumentError(
+        StrFormat("protocol version %u, expected %u", version, kProtoVersion));
+  }
+  uint16_t raw_type = reader.GetU16();
+  if (raw_type < static_cast<uint16_t>(MsgType::kHello) ||
+      raw_type > static_cast<uint16_t>(MsgType::kGoodbye)) {
+    return DataLossError(StrFormat("unknown message type %u", raw_type));
+  }
+  uint32_t length = reader.GetU32();
+  if (length > kMaxFramePayload) {
+    return DataLossError(StrFormat("frame payload %u exceeds limit", length));
+  }
+  *type = static_cast<MsgType>(raw_type);
+  return static_cast<size_t>(length);
+}
+
+Result<Frame> DecodeFrame(const uint8_t* data, size_t size) {
+  if (size < kFrameHeaderBytes) {
+    return DataLossError(StrFormat("frame truncated: %zu bytes", size));
+  }
+  Frame frame;
+  ASSIGN_OR_RETURN(size_t payload_size, DecodeFrameHeader(data, &frame.type));
+  if (size != kFrameHeaderBytes + payload_size) {
+    return DataLossError(StrFormat("frame length mismatch: header says %zu, have %zu",
+                                   payload_size, size - kFrameHeaderBytes));
+  }
+  frame.payload.assign(data + kFrameHeaderBytes, data + size);
+  return frame;
+}
+
+std::vector<uint8_t> Encode(const HelloMsg& msg) {
+  ByteWriter writer;
+  PutString(&writer, msg.worker_name);
+  writer.PutU32(msg.capacity);
+  return writer.TakeBytes();
+}
+
+Result<HelloMsg> DecodeHello(const std::vector<uint8_t>& payload) {
+  ByteReader reader(payload);
+  HelloMsg msg;
+  msg.worker_name = GetString(&reader);
+  msg.capacity = reader.GetU32();
+  return Finish("Hello", reader, std::move(msg));
+}
+
+std::vector<uint8_t> Encode(const HelloAckMsg& msg) {
+  ByteWriter writer;
+  writer.PutU32(msg.worker_id);
+  writer.PutU64(msg.heartbeat_interval_ms);
+  writer.PutU64(msg.lease_timeout_ms);
+  return writer.TakeBytes();
+}
+
+Result<HelloAckMsg> DecodeHelloAck(const std::vector<uint8_t>& payload) {
+  ByteReader reader(payload);
+  HelloAckMsg msg;
+  msg.worker_id = reader.GetU32();
+  msg.heartbeat_interval_ms = reader.GetU64();
+  msg.lease_timeout_ms = reader.GetU64();
+  return Finish("HelloAck", reader, msg);
+}
+
+std::vector<uint8_t> Encode(const LeaseRequestMsg& msg) {
+  ByteWriter writer;
+  writer.PutU32(msg.worker_id);
+  writer.PutU32(msg.capacity);
+  return writer.TakeBytes();
+}
+
+Result<LeaseRequestMsg> DecodeLeaseRequest(const std::vector<uint8_t>& payload) {
+  ByteReader reader(payload);
+  LeaseRequestMsg msg;
+  msg.worker_id = reader.GetU32();
+  msg.capacity = reader.GetU32();
+  return Finish("LeaseRequest", reader, msg);
+}
+
+namespace {
+
+void PutConfig(ByteWriter* writer, const WireCampaignConfig& config) {
+  PutString(writer, config.campaign_id);
+  PutString(writer, config.os_name);
+  PutString(writer, config.board_name);
+  writer->PutU64(config.seed);
+  writer->PutU64(config.budget_us);
+  writer->PutU64(config.max_execs);
+  writer->PutU64(config.metrics_interval_us);
+  writer->PutU32(config.total_shards);
+  writer->PutU32(config.sample_points);
+  writer->PutU32(config.periodic_reset_execs);
+  writer->PutU8(config.restore_mode);
+  writer->PutU32(config.flags);
+  writer->PutU32(static_cast<uint32_t>(config.seed_programs.size()));
+  for (const std::string& program : config.seed_programs) {
+    PutString(writer, program);
+  }
+}
+
+WireCampaignConfig GetConfig(ByteReader* reader) {
+  WireCampaignConfig config;
+  config.campaign_id = GetString(reader);
+  config.os_name = GetString(reader);
+  config.board_name = GetString(reader);
+  config.seed = reader->GetU64();
+  config.budget_us = reader->GetU64();
+  config.max_execs = reader->GetU64();
+  config.metrics_interval_us = reader->GetU64();
+  config.total_shards = reader->GetU32();
+  config.sample_points = reader->GetU32();
+  config.periodic_reset_execs = reader->GetU32();
+  config.restore_mode = reader->GetU8();
+  config.flags = reader->GetU32();
+  uint32_t seed_count = reader->GetU32();
+  for (uint32_t i = 0; i < seed_count && !reader->failed(); ++i) {
+    config.seed_programs.push_back(GetString(reader));
+  }
+  return config;
+}
+
+}  // namespace
+
+std::vector<uint8_t> Encode(const LeaseGrantMsg& msg) {
+  ByteWriter writer;
+  PutConfig(&writer, msg.config);
+  writer.PutU32(static_cast<uint32_t>(msg.leases.size()));
+  for (const ShardLease& lease : msg.leases) {
+    writer.PutU64(lease.lease_id);
+    writer.PutU32(lease.shard);
+    writer.PutU32(lease.attempt);
+  }
+  PutBlob(&writer, msg.coverage);
+  PutCorpus(&writer, msg.corpus);
+  PutU64List(&writer, msg.focus);
+  return writer.TakeBytes();
+}
+
+Result<LeaseGrantMsg> DecodeLeaseGrant(const std::vector<uint8_t>& payload) {
+  ByteReader reader(payload);
+  LeaseGrantMsg msg;
+  msg.config = GetConfig(&reader);
+  uint32_t lease_count = reader.GetU32();
+  for (uint32_t i = 0; i < lease_count && !reader.failed(); ++i) {
+    ShardLease lease;
+    lease.lease_id = reader.GetU64();
+    lease.shard = reader.GetU32();
+    lease.attempt = reader.GetU32();
+    msg.leases.push_back(lease);
+  }
+  msg.coverage = reader.GetLengthPrefixed();
+  msg.corpus = GetCorpus(&reader);
+  msg.focus = GetU64List(&reader);
+  return Finish("LeaseGrant", reader, std::move(msg));
+}
+
+std::vector<uint8_t> Encode(const NoWorkMsg& msg) {
+  ByteWriter writer;
+  writer.PutU8(msg.campaign_done);
+  writer.PutU64(msg.retry_ms);
+  return writer.TakeBytes();
+}
+
+Result<NoWorkMsg> DecodeNoWork(const std::vector<uint8_t>& payload) {
+  ByteReader reader(payload);
+  NoWorkMsg msg;
+  msg.campaign_done = reader.GetU8();
+  msg.retry_ms = reader.GetU64();
+  return Finish("NoWork", reader, msg);
+}
+
+namespace {
+
+void PutBug(ByteWriter* writer, const BugWire& bug) {
+  writer->PutU32(bug.catalog_id);
+  PutString(writer, bug.detector);
+  PutString(writer, bug.kind);
+  PutString(writer, bug.excerpt);
+  PutString(writer, bug.program_text);
+  writer->PutU64(bug.at_us);
+  writer->PutU64(bug.first_exec);
+  writer->PutU32(bug.board);
+  writer->PutU64(bug.seed_stream);
+  writer->PutU64(bug.coverage_delta);
+  PutString(writer, bug.snapshot_validation);
+  PutString(writer, bug.dump_reason);
+  PutString(writer, bug.dump_last_restore);
+  PutString(writer, bug.uart_tail);
+  PutString(writer, bug.port_ops);
+  PutString(writer, bug.events);
+}
+
+BugWire GetBug(ByteReader* reader) {
+  BugWire bug;
+  bug.catalog_id = reader->GetU32();
+  bug.detector = GetString(reader);
+  bug.kind = GetString(reader);
+  bug.excerpt = GetString(reader);
+  bug.program_text = GetString(reader);
+  bug.at_us = reader->GetU64();
+  bug.first_exec = reader->GetU64();
+  bug.board = reader->GetU32();
+  bug.seed_stream = reader->GetU64();
+  bug.coverage_delta = reader->GetU64();
+  bug.snapshot_validation = GetString(reader);
+  bug.dump_reason = GetString(reader);
+  bug.dump_last_restore = GetString(reader);
+  bug.uart_tail = GetString(reader);
+  bug.port_ops = GetString(reader);
+  bug.events = GetString(reader);
+  return bug;
+}
+
+}  // namespace
+
+std::vector<uint8_t> Encode(const SyncMsg& msg) {
+  ByteWriter writer;
+  writer.PutU32(msg.worker_id);
+  PutString(&writer, msg.campaign_id);
+  writer.PutU64(msg.seq);
+  writer.PutU32(static_cast<uint32_t>(msg.shards.size()));
+  for (const ShardProgressWire& shard : msg.shards) {
+    writer.PutU64(shard.lease_id);
+    writer.PutU32(shard.shard);
+    writer.PutU64(shard.elapsed_us);
+    writer.PutU64(shard.execs);
+    writer.PutU8(shard.completed);
+  }
+  PutBlob(&writer, msg.coverage_delta);
+  PutCorpus(&writer, msg.corpus);
+  writer.PutU32(static_cast<uint32_t>(msg.bugs.size()));
+  for (const BugWire& bug : msg.bugs) {
+    PutBug(&writer, bug);
+  }
+  PutU64List(&writer, msg.focus);
+  return writer.TakeBytes();
+}
+
+Result<SyncMsg> DecodeSync(const std::vector<uint8_t>& payload) {
+  ByteReader reader(payload);
+  SyncMsg msg;
+  msg.worker_id = reader.GetU32();
+  msg.campaign_id = GetString(&reader);
+  msg.seq = reader.GetU64();
+  uint32_t shard_count = reader.GetU32();
+  for (uint32_t i = 0; i < shard_count && !reader.failed(); ++i) {
+    ShardProgressWire shard;
+    shard.lease_id = reader.GetU64();
+    shard.shard = reader.GetU32();
+    shard.elapsed_us = reader.GetU64();
+    shard.execs = reader.GetU64();
+    shard.completed = reader.GetU8();
+    msg.shards.push_back(shard);
+  }
+  msg.coverage_delta = reader.GetLengthPrefixed();
+  msg.corpus = GetCorpus(&reader);
+  uint32_t bug_count = reader.GetU32();
+  for (uint32_t i = 0; i < bug_count && !reader.failed(); ++i) {
+    msg.bugs.push_back(GetBug(&reader));
+  }
+  msg.focus = GetU64List(&reader);
+  return Finish("Sync", reader, std::move(msg));
+}
+
+std::vector<uint8_t> Encode(const SyncAckMsg& msg) {
+  ByteWriter writer;
+  writer.PutU8(msg.accepted);
+  writer.PutU8(msg.campaign_done);
+  PutBlob(&writer, msg.coverage_delta);
+  PutCorpus(&writer, msg.corpus);
+  PutU64List(&writer, msg.focus);
+  PutU64List(&writer, msg.revoked);
+  return writer.TakeBytes();
+}
+
+Result<SyncAckMsg> DecodeSyncAck(const std::vector<uint8_t>& payload) {
+  ByteReader reader(payload);
+  SyncAckMsg msg;
+  msg.accepted = reader.GetU8();
+  msg.campaign_done = reader.GetU8();
+  msg.coverage_delta = reader.GetLengthPrefixed();
+  msg.corpus = GetCorpus(&reader);
+  msg.focus = GetU64List(&reader);
+  msg.revoked = GetU64List(&reader);
+  return Finish("SyncAck", reader, std::move(msg));
+}
+
+std::vector<uint8_t> Encode(const WorkerFinalMsg& msg) {
+  ByteWriter writer;
+  writer.PutU32(msg.worker_id);
+  PutString(&writer, msg.campaign_id);
+  writer.PutU64(msg.seq);
+  const uint64_t scalars[] = {msg.final_coverage,
+                              msg.execs,
+                              msg.rejected,
+                              msg.crashes,
+                              msg.stalls,
+                              msg.timeouts,
+                              msg.restores,
+                              msg.snapshot_restores,
+                              msg.snapshot_bytes,
+                              msg.corpus_size,
+                              msg.elapsed_us,
+                              msg.bugs_rejected,
+                              msg.directed_hits,
+                              msg.frontier,
+                              msg.trim_removed_calls,
+                              msg.trim_kept_calls,
+                              msg.journal_dropped,
+                              msg.link_transactions,
+                              msg.link_batches,
+                              msg.link_batched_ops,
+                              msg.link_bytes_read,
+                              msg.link_bytes_written,
+                              msg.link_timeouts,
+                              msg.link_flash_bytes,
+                              msg.link_flash_skipped_bytes,
+                              msg.link_resets,
+                              msg.link_warm_restores};
+  for (uint64_t scalar : scalars) {
+    writer.PutU64(scalar);
+  }
+  writer.PutU32(static_cast<uint32_t>(msg.series.size()));
+  for (const auto& [at, coverage] : msg.series) {
+    writer.PutU64(at);
+    writer.PutU64(coverage);
+  }
+  return writer.TakeBytes();
+}
+
+Result<WorkerFinalMsg> DecodeWorkerFinal(const std::vector<uint8_t>& payload) {
+  ByteReader reader(payload);
+  WorkerFinalMsg msg;
+  msg.worker_id = reader.GetU32();
+  msg.campaign_id = GetString(&reader);
+  msg.seq = reader.GetU64();
+  uint64_t* scalars[] = {&msg.final_coverage,
+                         &msg.execs,
+                         &msg.rejected,
+                         &msg.crashes,
+                         &msg.stalls,
+                         &msg.timeouts,
+                         &msg.restores,
+                         &msg.snapshot_restores,
+                         &msg.snapshot_bytes,
+                         &msg.corpus_size,
+                         &msg.elapsed_us,
+                         &msg.bugs_rejected,
+                         &msg.directed_hits,
+                         &msg.frontier,
+                         &msg.trim_removed_calls,
+                         &msg.trim_kept_calls,
+                         &msg.journal_dropped,
+                         &msg.link_transactions,
+                         &msg.link_batches,
+                         &msg.link_batched_ops,
+                         &msg.link_bytes_read,
+                         &msg.link_bytes_written,
+                         &msg.link_timeouts,
+                         &msg.link_flash_bytes,
+                         &msg.link_flash_skipped_bytes,
+                         &msg.link_resets,
+                         &msg.link_warm_restores};
+  for (uint64_t* scalar : scalars) {
+    *scalar = reader.GetU64();
+  }
+  uint32_t series_count = reader.GetU32();
+  if (!reader.failed() &&
+      static_cast<size_t>(series_count) * 16 <= reader.remaining()) {
+    msg.series.reserve(series_count);
+    for (uint32_t i = 0; i < series_count; ++i) {
+      uint64_t at = reader.GetU64();
+      uint64_t coverage = reader.GetU64();
+      msg.series.emplace_back(at, coverage);
+    }
+  } else if (series_count > 0) {
+    return DataLossError("WorkerFinal series truncated");
+  }
+  return Finish("WorkerFinal", reader, std::move(msg));
+}
+
+std::vector<uint8_t> Encode(const FinalAckMsg& msg) {
+  ByteWriter writer;
+  writer.PutU8(msg.accepted);
+  return writer.TakeBytes();
+}
+
+Result<FinalAckMsg> DecodeFinalAck(const std::vector<uint8_t>& payload) {
+  ByteReader reader(payload);
+  FinalAckMsg msg;
+  msg.accepted = reader.GetU8();
+  return Finish("FinalAck", reader, msg);
+}
+
+std::vector<uint8_t> Encode(const GoodbyeMsg& msg) {
+  ByteWriter writer;
+  writer.PutU32(msg.worker_id);
+  return writer.TakeBytes();
+}
+
+Result<GoodbyeMsg> DecodeGoodbye(const std::vector<uint8_t>& payload) {
+  ByteReader reader(payload);
+  GoodbyeMsg msg;
+  msg.worker_id = reader.GetU32();
+  return Finish("Goodbye", reader, msg);
+}
+
+}  // namespace fleet
+}  // namespace eof

@@ -1,0 +1,366 @@
+#include "src/fleet/transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+#include "src/common/strings.h"
+
+namespace eof {
+namespace fleet {
+
+namespace {
+
+// One direction of a loopback link: a bounded-by-nothing queue of encoded
+// frames plus a closed flag. Closing either end closes both directions.
+struct LoopbackChannel {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::vector<uint8_t>> frames;
+  bool closed = false;
+
+  void Push(std::vector<uint8_t> frame) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      frames.push_back(std::move(frame));
+    }
+    cv.notify_all();
+  }
+
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      closed = true;
+    }
+    cv.notify_all();
+  }
+};
+
+class LoopbackTransport : public Transport {
+ public:
+  LoopbackTransport(std::shared_ptr<LoopbackChannel> out,
+                    std::shared_ptr<LoopbackChannel> in)
+      : out_(std::move(out)), in_(std::move(in)) {}
+
+  ~LoopbackTransport() override { Close(); }
+
+  Status Send(const Frame& frame) override {
+    {
+      std::lock_guard<std::mutex> lock(out_->mu);
+      if (out_->closed) {
+        return UnavailableError("loopback peer closed");
+      }
+    }
+    out_->Push(EncodeFrame(frame));
+    return OkStatus();
+  }
+
+  Result<Frame> Recv(int timeout_ms) override {
+    std::unique_lock<std::mutex> lock(in_->mu);
+    if (!in_->cv.wait_for(lock, std::chrono::milliseconds(timeout_ms), [this] {
+          return !in_->frames.empty() || in_->closed;
+        })) {
+      return TimeoutError("loopback recv timed out");
+    }
+    if (in_->frames.empty()) {
+      return UnavailableError("loopback peer closed");
+    }
+    std::vector<uint8_t> bytes = std::move(in_->frames.front());
+    in_->frames.pop_front();
+    lock.unlock();
+    return DecodeFrame(bytes.data(), bytes.size());
+  }
+
+  void Close() override {
+    out_->Close();
+    in_->Close();
+  }
+
+ private:
+  std::shared_ptr<LoopbackChannel> out_;
+  std::shared_ptr<LoopbackChannel> in_;
+};
+
+std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>>
+MakeLoopbackPair() {
+  auto a_to_b = std::make_shared<LoopbackChannel>();
+  auto b_to_a = std::make_shared<LoopbackChannel>();
+  return {std::make_unique<LoopbackTransport>(a_to_b, b_to_a),
+          std::make_unique<LoopbackTransport>(b_to_a, a_to_b)};
+}
+
+}  // namespace
+
+std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>>
+LoopbackPair() {
+  return MakeLoopbackPair();
+}
+
+struct LoopbackListener::State {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::unique_ptr<Transport>> pending;
+  bool closed = false;
+};
+
+LoopbackListener::LoopbackListener() : state_(std::make_shared<State>()) {}
+
+LoopbackListener::~LoopbackListener() { Close(); }
+
+std::unique_ptr<Transport> LoopbackListener::Connect() {
+  auto [client, server] = MakeLoopbackPair();
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    if (state_->closed) {
+      client->Close();
+      return client;  // dead end: every op fails with UnavailableError
+    }
+    state_->pending.push_back(std::move(server));
+  }
+  state_->cv.notify_all();
+  return std::move(client);
+}
+
+Result<std::unique_ptr<Transport>> LoopbackListener::Accept(int timeout_ms) {
+  std::unique_lock<std::mutex> lock(state_->mu);
+  if (!state_->cv.wait_for(lock, std::chrono::milliseconds(timeout_ms), [this] {
+        return !state_->pending.empty() || state_->closed;
+      })) {
+    return TimeoutError("loopback accept timed out");
+  }
+  if (state_->pending.empty()) {
+    return UnavailableError("loopback listener closed");
+  }
+  std::unique_ptr<Transport> conn = std::move(state_->pending.front());
+  state_->pending.pop_front();
+  return conn;
+}
+
+void LoopbackListener::Close() {
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    state_->closed = true;
+  }
+  state_->cv.notify_all();
+}
+
+namespace {
+
+class TcpTransport : public Transport {
+ public:
+  explicit TcpTransport(int fd) : fd_(fd) {}
+  ~TcpTransport() override { Close(); }
+
+  Status Send(const Frame& frame) override {
+    std::vector<uint8_t> bytes = EncodeFrame(frame);
+    size_t sent = 0;
+    std::lock_guard<std::mutex> lock(send_mu_);
+    while (sent < bytes.size()) {
+      ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                         MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        return UnavailableError(
+            StrFormat("tcp send failed: %s", std::strerror(errno)));
+      }
+      sent += static_cast<size_t>(n);
+    }
+    return OkStatus();
+  }
+
+  Result<Frame> Recv(int timeout_ms) override {
+    uint8_t header[kFrameHeaderBytes];
+    RETURN_IF_ERROR(ReadExact(header, sizeof(header), timeout_ms, true));
+    Frame frame;
+    ASSIGN_OR_RETURN(size_t payload_size,
+                     DecodeFrameHeader(header, &frame.type));
+    frame.payload.resize(payload_size);
+    if (payload_size > 0) {
+      // The header arrived, so the payload must follow promptly; a peer dying
+      // mid-frame is data loss, not a clean close.
+      RETURN_IF_ERROR(
+          ReadExact(frame.payload.data(), payload_size, timeout_ms, false));
+    }
+    return frame;
+  }
+
+  void Close() override {
+    int fd = fd_.exchange(-1);
+    if (fd >= 0) {
+      ::shutdown(fd, SHUT_RDWR);
+      ::close(fd);
+    }
+  }
+
+ private:
+  // Reads exactly `size` bytes. `clean_eof_ok` maps an EOF before the first
+  // byte to UnavailableError (peer closed between frames) instead of data loss.
+  Status ReadExact(uint8_t* data, size_t size, int timeout_ms,
+                   bool clean_eof_ok) {
+    size_t got = 0;
+    while (got < size) {
+      int fd = fd_.load();
+      if (fd < 0) {
+        return UnavailableError("tcp transport closed");
+      }
+      struct pollfd pfd = {fd, POLLIN, 0};
+      int ready = ::poll(&pfd, 1, timeout_ms);
+      if (ready < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        return UnavailableError(
+            StrFormat("tcp poll failed: %s", std::strerror(errno)));
+      }
+      if (ready == 0) {
+        return TimeoutError("tcp recv timed out");
+      }
+      ssize_t n = ::recv(fd, data + got, size - got, 0);
+      if (n < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        return UnavailableError(
+            StrFormat("tcp recv failed: %s", std::strerror(errno)));
+      }
+      if (n == 0) {
+        if (got == 0 && clean_eof_ok) {
+          return UnavailableError("tcp peer closed");
+        }
+        return DataLossError("tcp peer closed mid-frame");
+      }
+      got += static_cast<size_t>(n);
+    }
+    return OkStatus();
+  }
+
+  std::atomic<int> fd_;
+  std::mutex send_mu_;
+};
+
+class TcpListener : public Listener {
+ public:
+  explicit TcpListener(int fd) : fd_(fd) {}
+  ~TcpListener() override { Close(); }
+
+  Result<std::unique_ptr<Transport>> Accept(int timeout_ms) override {
+    int fd = fd_.load();
+    if (fd < 0) {
+      return UnavailableError("tcp listener closed");
+    }
+    struct pollfd pfd = {fd, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) {
+        return TimeoutError("tcp accept interrupted");
+      }
+      return UnavailableError(
+          StrFormat("tcp accept poll failed: %s", std::strerror(errno)));
+    }
+    if (ready == 0) {
+      return TimeoutError("tcp accept timed out");
+    }
+    int conn = ::accept(fd, nullptr, nullptr);
+    if (conn < 0) {
+      return UnavailableError(
+          StrFormat("tcp accept failed: %s", std::strerror(errno)));
+    }
+    int one = 1;
+    ::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return std::unique_ptr<Transport>(std::make_unique<TcpTransport>(conn));
+  }
+
+  void Close() override {
+    int fd = fd_.exchange(-1);
+    if (fd >= 0) {
+      ::shutdown(fd, SHUT_RDWR);
+      ::close(fd);
+    }
+  }
+
+ private:
+  std::atomic<int> fd_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<Listener>> ListenTcp(uint16_t port,
+                                            uint16_t* bound_port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return UnavailableError(
+        StrFormat("socket failed: %s", std::strerror(errno)));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status status = UnavailableError(
+        StrFormat("bind to port %u failed: %s", port, std::strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, 64) < 0) {
+    Status status =
+        UnavailableError(StrFormat("listen failed: %s", std::strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+  if (bound_port != nullptr) {
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr), &len) == 0) {
+      *bound_port = ntohs(addr.sin_port);
+    }
+  }
+  return std::unique_ptr<Listener>(std::make_unique<TcpListener>(fd));
+}
+
+Result<std::unique_ptr<Transport>> ConnectTcp(const std::string& host,
+                                              uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return UnavailableError(
+        StrFormat("socket failed: %s", std::strerror(errno)));
+  }
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return InvalidArgumentError(
+        StrFormat("bad host address '%s' (dotted quad required)", host.c_str()));
+  }
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    Status status = UnavailableError(StrFormat("connect to %s:%u failed: %s",
+                                               host.c_str(), port,
+                                               std::strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::unique_ptr<Transport>(std::make_unique<TcpTransport>(fd));
+}
+
+}  // namespace fleet
+}  // namespace eof

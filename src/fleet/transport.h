@@ -1,0 +1,84 @@
+// Byte transports for the fleet protocol. Two implementations move the same
+// encoded frames:
+//
+//   Loopback — a pair of in-process queues. Deterministic, no sockets, used by
+//              the unit and differential tests so protocol behavior is
+//              exercised without network flake.
+//   TCP      — blocking POSIX sockets with poll()-based receive timeouts, used
+//              by `eof serve` / `eof worker` across processes.
+//
+// Both sides speak strict frames: Recv reads one complete frame or fails, and a
+// peer closing mid-frame is an error, not a short read.
+
+#ifndef SRC_FLEET_TRANSPORT_H_
+#define SRC_FLEET_TRANSPORT_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "src/common/status.h"
+#include "src/fleet/proto.h"
+
+namespace eof {
+namespace fleet {
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  // Sends one frame; fails if the peer is gone.
+  virtual Status Send(const Frame& frame) = 0;
+
+  // Receives one complete frame. TimeoutError when nothing arrived within
+  // `timeout_ms`; UnavailableError when the peer closed cleanly between frames;
+  // DataLossError on a malformed or truncated frame.
+  virtual Result<Frame> Recv(int timeout_ms) = 0;
+
+  // Idempotent; unblocks a peer waiting in Recv with UnavailableError.
+  virtual void Close() = 0;
+};
+
+class Listener {
+ public:
+  virtual ~Listener() = default;
+
+  // Waits up to `timeout_ms` for one inbound connection; TimeoutError when none
+  // arrived, UnavailableError once the listener is closed.
+  virtual Result<std::unique_ptr<Transport>> Accept(int timeout_ms) = 0;
+
+  virtual void Close() = 0;
+};
+
+// In-process loopback: Connect() hands back the client end and queues the
+// server end for Accept(). Thread-safe; either end may be used from any thread.
+class LoopbackListener : public Listener {
+ public:
+  LoopbackListener();
+  ~LoopbackListener() override;
+
+  Result<std::unique_ptr<Transport>> Accept(int timeout_ms) override;
+  void Close() override;
+
+  // Creates a connected transport pair and enqueues the server end.
+  std::unique_ptr<Transport> Connect();
+
+ private:
+  struct State;
+  std::shared_ptr<State> state_;
+};
+
+// Directly connected loopback pair, for tests that drive both ends by hand.
+std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>> LoopbackPair();
+
+// TCP. `port` 0 picks an ephemeral port; the bound port is written to
+// `*bound_port`. Listens on 127.0.0.1 only — the fleet protocol is
+// unauthenticated and meant for lab networks behind the operator's own walls.
+Result<std::unique_ptr<Listener>> ListenTcp(uint16_t port, uint16_t* bound_port);
+Result<std::unique_ptr<Transport>> ConnectTcp(const std::string& host,
+                                              uint16_t port);
+
+}  // namespace fleet
+}  // namespace eof
+
+#endif  // SRC_FLEET_TRANSPORT_H_

@@ -68,6 +68,18 @@ bool Corpus::PickSeedCopy(Rng& rng, Program* out) {
   return true;
 }
 
+uint64_t Corpus::ExportSince(
+    const spec::CompiledSpecs& specs, uint64_t from_seq,
+    std::vector<std::pair<std::string, uint64_t>>* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const CorpusEntry& entry : entries_) {
+    if (entry.added_seq >= from_seq) {
+      out->emplace_back(SerializeProgramText(specs, entry.program), entry.new_edges);
+    }
+  }
+  return next_seq_;
+}
+
 std::string Corpus::SaveText(const spec::CompiledSpecs& specs) const {
   std::lock_guard<std::mutex> lock(mu_);
   std::string out;

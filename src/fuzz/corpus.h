@@ -58,6 +58,15 @@ class Corpus {
   std::string SaveText(const spec::CompiledSpecs& specs) const;
   Result<size_t> LoadText(const spec::CompiledSpecs& specs, const std::string& text);
 
+  // Copies every entry admitted at or after sequence `from_seq` into `out` as
+  // (reproducer text, new_edges) pairs, in admission order, and returns the
+  // cursor to pass next time (one past the newest admitted sequence). This is
+  // the fleet corpus-sync export: a worker remembers the cursor it last shipped
+  // and uploads only the delta. Entries trimmed away between calls are simply
+  // absent — the orchestrator already holds them. Safe under concurrent Add.
+  uint64_t ExportSince(const spec::CompiledSpecs& specs, uint64_t from_seq,
+                       std::vector<std::pair<std::string, uint64_t>>* out) const;
+
   size_t size() const {
     std::lock_guard<std::mutex> lock(mu_);
     return entries_.size();

@@ -1,7 +1,9 @@
 #include "src/telemetry/report.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <iterator>
 #include <string_view>
 
 #include "src/common/strings.h"
@@ -284,6 +286,7 @@ CampaignReport BuildReport(const std::vector<JournalRow>& rows) {
   CampaignReport report;
   bool saw_start = false;
   bool saw_end = false;
+  bool saw_fleet_start = false;
   uint64_t snapshot_bugs = 0;
   std::map<int, BoardAccounting> boards;
   std::map<int, uint64_t> dedup_hits;
@@ -291,12 +294,25 @@ CampaignReport BuildReport(const std::vector<JournalRow>& rows) {
   for (const JournalRow& row : rows) {
     if (row.type == "campaign_start") {
       saw_start = true;
-      report.os = row.Text("os");
-      report.board = row.Text("board");
-      report.workers = row.Uint("workers");
-      report.seed = row.Uint("seed");
-      report.budget = row.Uint("budget_us");
-      report.interval = row.Uint("interval_us");
+      // Merged fleet journals hold one campaign_start per process; the
+      // orchestrator's (fleet=1) is the campaign envelope, worker rows only
+      // describe their own batch and never override it.
+      bool fleet_row = row.Uint("fleet") != 0;
+      if (fleet_row) {
+        report.fleet.present = true;
+      }
+      if (!saw_fleet_start) {
+        saw_fleet_start = fleet_row;
+        report.os = row.Text("os");
+        report.board = row.Text("board");
+        report.workers = row.Uint("workers");
+        report.seed = row.Uint("seed");
+        report.budget = row.Uint("budget_us");
+        report.interval = row.Uint("interval_us");
+      }
+      if (report.campaign.empty()) {
+        report.campaign = row.Text("campaign");
+      }
     } else if (row.type == "farm_snapshot") {
       ReportSample sample;
       sample.at = row.at;
@@ -372,13 +388,62 @@ CampaignReport BuildReport(const std::vector<JournalRow>& rows) {
       ++report.crash_dumps;
     } else if (row.type == "campaign_end") {
       saw_end = true;
-      report.end = row.at;
+      // Merged journals carry one campaign_end per process; the campaign ends
+      // when the last one does.
+      if (row.at > report.end) {
+        report.end = row.at;
+      }
       if (row.Uint("journal_dropped") > report.journal_dropped) {
         report.journal_dropped = row.Uint("journal_dropped");
       }
+    } else if (row.type == "lease_grant") {
+      report.fleet.present = true;
+      ++report.fleet.leases_granted;
+    } else if (row.type == "lease_complete") {
+      report.fleet.present = true;
+      ++report.fleet.leases_completed;
+    } else if (row.type == "lease_reclaim") {
+      report.fleet.present = true;
+      ++report.fleet.leases_reclaimed;
+    } else if (row.type == "worker_lost") {
+      report.fleet.present = true;
+      ++report.fleet.workers_lost;
+    } else if (row.type == "heartbeat") {
+      report.fleet.present = true;
+      ++report.fleet.heartbeats;
+    } else if (row.type == "corpus_sync") {
+      report.fleet.present = true;
+      ++report.fleet.corpus_syncs;
+    } else if (row.type == "worker_final") {
+      report.fleet.present = true;
+      ++report.fleet.worker_finals;
     }
     // "bug", "new_coverage", "span", and future row types carry no report state the
     // rows above do not already cover.
+  }
+
+  if (report.fleet.present) {
+    // Independent workers can journal the same deduplicated bug (each keeps its
+    // own sighting until the next sync folds the orchestrator's table back in).
+    // Merge sightings by identity key — earliest virtual time wins, later rows
+    // count as duplicates — mirroring the orchestrator's own bug admission.
+    auto fold = [](std::vector<ReportBug>* bugs) {
+      std::map<std::string, size_t> first_by_key;
+      std::vector<ReportBug> kept;
+      for (ReportBug& bug : *bugs) {
+        std::string key = StrFormat("%d|%s", bug.catalog_id, bug.excerpt.c_str());
+        auto it = first_by_key.find(key);
+        if (it == first_by_key.end()) {
+          first_by_key.emplace(std::move(key), kept.size());
+          kept.push_back(std::move(bug));
+        } else {
+          kept[it->second].duplicates += 1 + bug.duplicates;
+        }
+      }
+      *bugs = std::move(kept);
+    };
+    fold(&report.bugs);
+    fold(&report.rejected_bugs);
   }
 
   for (auto& [catalog_id, hits] : dedup_hits) {
@@ -543,6 +608,24 @@ std::string CampaignReport::RenderText() const {
                      VirtualSeconds(total_saved_us));
   }
 
+  if (fleet.present) {
+    out += "\n-- fleet --\n";
+    if (!campaign.empty()) {
+      out += StrFormat("  campaign=%s\n", campaign.c_str());
+    }
+    out += StrFormat(
+        "  leases: granted=%llu completed=%llu reclaimed=%llu\n",
+        static_cast<unsigned long long>(fleet.leases_granted),
+        static_cast<unsigned long long>(fleet.leases_completed),
+        static_cast<unsigned long long>(fleet.leases_reclaimed));
+    out += StrFormat(
+        "  workers: lost=%llu finals=%llu heartbeats=%llu corpus_syncs=%llu\n",
+        static_cast<unsigned long long>(fleet.workers_lost),
+        static_cast<unsigned long long>(fleet.worker_finals),
+        static_cast<unsigned long long>(fleet.heartbeats),
+        static_cast<unsigned long long>(fleet.corpus_syncs));
+  }
+
   if (!resets_by_reason.empty()) {
     out += "\n-- liveness resets --\n";
     for (const auto& [reason, count] : resets_by_reason) {
@@ -705,6 +788,22 @@ std::string CampaignReport::RenderJson() const {
     out += "}";
   }
 
+  // Fleet object only for fleet journals, so legacy report JSON stays
+  // byte-identical.
+  if (fleet.present) {
+    out += ",\n\"fleet\":{";
+    bool ff = true;
+    AppendJsonText(&out, "campaign", campaign, &ff);
+    AppendJsonUint(&out, "leases_granted", fleet.leases_granted, &ff);
+    AppendJsonUint(&out, "leases_completed", fleet.leases_completed, &ff);
+    AppendJsonUint(&out, "leases_reclaimed", fleet.leases_reclaimed, &ff);
+    AppendJsonUint(&out, "workers_lost", fleet.workers_lost, &ff);
+    AppendJsonUint(&out, "worker_finals", fleet.worker_finals, &ff);
+    AppendJsonUint(&out, "heartbeats", fleet.heartbeats, &ff);
+    AppendJsonUint(&out, "corpus_syncs", fleet.corpus_syncs, &ff);
+    out += "}";
+  }
+
   out += ",\n\"resets\":{";
   first = true;
   for (const auto& [reason, count] : resets_by_reason) {
@@ -786,7 +885,9 @@ std::string CampaignReport::RenderJson() const {
   return out;
 }
 
-Result<CampaignReport> LoadReportFromFile(const std::string& path) {
+namespace {
+
+Result<std::vector<JournalRow>> LoadJournalRows(const std::string& path) {
   FILE* file = fopen(path.c_str(), "rb");
   if (file == nullptr) {
     return NotFoundError(StrFormat("cannot open journal '%s'", path.c_str()));
@@ -807,7 +908,55 @@ Result<CampaignReport> LoadReportFromFile(const std::string& path) {
     return InvalidArgumentError(
         StrFormat("%s: %s", path.c_str(), rows.status().message().c_str()));
   }
-  return BuildReport(rows.value());
+  return std::move(rows).value();
+}
+
+}  // namespace
+
+Result<CampaignReport> LoadReportFromFile(const std::string& path) {
+  ASSIGN_OR_RETURN(std::vector<JournalRow> rows, LoadJournalRows(path));
+  return BuildReport(rows);
+}
+
+Result<CampaignReport> LoadMergedReportFromFiles(
+    const std::vector<std::string>& paths) {
+  if (paths.empty()) {
+    return InvalidArgumentError("no journal files to merge");
+  }
+  std::vector<JournalRow> merged;
+  std::string campaign_id;
+  std::string campaign_owner;  // path that established campaign_id
+  for (const std::string& path : paths) {
+    ASSIGN_OR_RETURN(std::vector<JournalRow> rows, LoadJournalRows(path));
+    for (const JournalRow& row : rows) {
+      if (row.type != "campaign_start") {
+        continue;
+      }
+      const std::string& id = row.Text("campaign");
+      if (id.empty()) {
+        continue;
+      }
+      if (campaign_id.empty()) {
+        campaign_id = id;
+        campaign_owner = path;
+      } else if (id != campaign_id) {
+        return InvalidArgumentError(StrFormat(
+            "mixed campaign ids: '%s' (%s) vs '%s' (%s) - merge only journals "
+            "from one campaign",
+            campaign_id.c_str(), campaign_owner.c_str(), id.c_str(),
+            path.c_str()));
+      }
+    }
+    merged.insert(merged.end(), std::make_move_iterator(rows.begin()),
+                  std::make_move_iterator(rows.end()));
+  }
+  // One virtual timeline: sort by timestamp, stably, so rows that share an
+  // instant keep their per-file order (and a single file replays unchanged).
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const JournalRow& a, const JournalRow& b) {
+                     return a.at < b.at;
+                   });
+  return BuildReport(merged);
 }
 
 }  // namespace telemetry

@@ -109,6 +109,21 @@ struct ReportBug {
   std::string events;
 };
 
+// Fleet orchestration counters (lease_grant / heartbeat / worker_lost /
+// corpus_sync ... rows written by `eof serve`). `present` flips when any fleet
+// row (or a fleet=1 campaign_start) is seen; legacy journals render without a
+// fleet section so existing goldens stay byte-identical.
+struct FleetSummary {
+  bool present = false;
+  uint64_t leases_granted = 0;
+  uint64_t leases_completed = 0;
+  uint64_t leases_reclaimed = 0;
+  uint64_t workers_lost = 0;
+  uint64_t heartbeats = 0;
+  uint64_t corpus_syncs = 0;
+  uint64_t worker_finals = 0;
+};
+
 struct CampaignReport {
   // campaign_start envelope.
   std::string os;
@@ -147,6 +162,10 @@ struct CampaignReport {
   std::map<std::string, uint64_t> restores_by_mode;
   std::vector<std::string> warnings;
 
+  // Campaign id (campaign_start "campaign" text; "" for legacy journals).
+  std::string campaign;
+  FleetSummary fleet;
+
   // Human-readable report (the default `eof report` output).
   std::string RenderText() const;
   // One machine-readable JSON object, newline-terminated.
@@ -158,6 +177,16 @@ CampaignReport BuildReport(const std::vector<JournalRow>& rows);
 
 // Reads, parses, and folds a journal file.
 Result<CampaignReport> LoadReportFromFile(const std::string& path);
+
+// Merges several per-process journals (an orchestrator journal plus one per
+// fleet worker) into one report. Rows from all files are pooled and
+// stable-sorted by virtual timestamp (file order breaks ties) before folding,
+// so the merged series reads like one campaign. Every file must belong to the
+// same campaign: journals whose campaign_start rows carry different non-empty
+// "campaign" ids fail the load. Parse errors are prefixed with the offending
+// path. With a single path this is exactly LoadReportFromFile.
+Result<CampaignReport> LoadMergedReportFromFiles(
+    const std::vector<std::string>& paths);
 
 }  // namespace telemetry
 }  // namespace eof

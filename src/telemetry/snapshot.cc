@@ -80,12 +80,15 @@ void AppendBoardColumns(const MetricsSnapshot& snapshot, VirtualTime at, Event* 
 
 SnapshotEmitter::SnapshotEmitter(std::vector<const MetricsRegistry*> boards,
                                  std::function<CampaignView()> view, EventSink* sink,
-                                 VirtualDuration interval, VirtualDuration budget)
+                                 VirtualDuration interval, VirtualDuration budget,
+                                 std::vector<int> labels, bool emit_farm_rows)
     : boards_(std::move(boards)),
       view_(std::move(view)),
       sink_(sink),
       interval_(interval),
       budget_(budget),
+      labels_(std::move(labels)),
+      emit_farm_rows_(emit_farm_rows),
       elapsed_(boards_.size(), 0),
       next_board_(boards_.size(), interval),
       done_(boards_.size(), false),
@@ -106,7 +109,7 @@ void SnapshotEmitter::MaybeEmit(int worker, VirtualTime elapsed) {
     next_board_[slot] += interval_;
   }
   VirtualTime frontier = FrontierLocked();
-  while (next_farm_ <= budget_ && frontier >= next_farm_) {
+  while (emit_farm_rows_ && next_farm_ <= budget_ && frontier >= next_farm_) {
     EmitFarmLocked(next_farm_);
     next_farm_ += interval_;
   }
@@ -128,7 +131,7 @@ void SnapshotEmitter::WorkerDone(int worker, VirtualTime elapsed) {
     EmitBoardLocked(worker, elapsed_[slot]);
   }
   VirtualTime frontier = FrontierLocked();
-  while (next_farm_ <= budget_ && frontier >= next_farm_) {
+  while (emit_farm_rows_ && next_farm_ <= budget_ && frontier >= next_farm_) {
     EmitFarmLocked(next_farm_);
     next_farm_ += interval_;
   }
@@ -138,7 +141,7 @@ void SnapshotEmitter::Finish(VirtualTime elapsed) {
   if (sink_ == nullptr) {
     return;
   }
-  {
+  if (emit_farm_rows_) {
     std::lock_guard<std::mutex> lock(mu_);
     EmitFarmLocked(elapsed);
   }
@@ -159,7 +162,9 @@ void SnapshotEmitter::EmitBoardLocked(int worker, VirtualTime at) {
   Event event;
   event.at = at;
   event.type = "board_snapshot";
-  event.worker = worker;
+  event.worker = static_cast<size_t>(worker) < labels_.size()
+                     ? labels_[static_cast<size_t>(worker)]
+                     : worker;
   AppendBoardColumns(boards_[static_cast<size_t>(worker)]->Snapshot(), at, &event);
   sink_->Emit(event);
 }

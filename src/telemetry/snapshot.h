@@ -43,9 +43,14 @@ class SnapshotEmitter {
   // `boards[i]` is worker i's registry; registries and `sink` must outlive the
   // emitter. `interval` <= 0 disables periodic rows (Finish still emits a final
   // farm row). `view` is called outside any campaign lock the caller holds.
+  // `labels[i]` (when non-empty) stamps board rows with worker i's campaign-global
+  // shard label instead of its local slot, so merged fleet journals keep boards
+  // distinct; `emit_farm_rows=false` suppresses farm_snapshot rows entirely (fleet
+  // workers — the orchestrator journals the authoritative campaign-wide rows).
   SnapshotEmitter(std::vector<const MetricsRegistry*> boards,
                   std::function<CampaignView()> view, EventSink* sink,
-                  VirtualDuration interval, VirtualDuration budget);
+                  VirtualDuration interval, VirtualDuration budget,
+                  std::vector<int> labels = {}, bool emit_farm_rows = true);
 
   // Worker `worker` has lived to `elapsed` on its own board clock. Emits every
   // board row the worker newly crossed and every farm row the frontier newly
@@ -71,6 +76,8 @@ class SnapshotEmitter {
   EventSink* sink_;
   VirtualDuration interval_;
   VirtualDuration budget_;
+  std::vector<int> labels_;  // empty = identity
+  bool emit_farm_rows_;
 
   std::mutex mu_;
   std::vector<VirtualTime> elapsed_;

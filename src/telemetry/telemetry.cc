@@ -23,7 +23,13 @@ CampaignTelemetry::CampaignTelemetry(const Options& options) : options_(options)
 Result<std::unique_ptr<CampaignTelemetry>> CampaignTelemetry::Create(
     const Options& options) {
   auto telemetry = std::unique_ptr<CampaignTelemetry>(new CampaignTelemetry(options));
-  if (!options.metrics_out.empty()) {
+  if (options.shared_sink != nullptr) {
+    if (!options.metrics_out.empty()) {
+      return InvalidArgumentError(
+          "CampaignTelemetry: shared_sink and metrics_out are mutually exclusive");
+    }
+    telemetry->external_sink_ = options.shared_sink;
+  } else if (!options.metrics_out.empty()) {
     ASSIGN_OR_RETURN(telemetry->sink_, FileEventSink::Open(options.metrics_out));
   }
   int workers = std::max(options.workers, 1);
@@ -31,17 +37,22 @@ Result<std::unique_ptr<CampaignTelemetry>> CampaignTelemetry::Create(
   for (int worker = 0; worker < workers; ++worker) {
     // Worker 0 keeps the base seed, others an FNV-derived stream — the same lane
     // rule the farm uses for its RNGs, so span ids line up with worker seeds.
-    uint64_t seed = worker == 0 ? options.seed
-                                : DeriveSeedStream(options.seed,
-                                                   static_cast<uint64_t>(worker));
+    // With fleet labels the label picks the stream (not the local slot), so a
+    // shard keeps its identity no matter which worker process runs it.
+    int label = static_cast<size_t>(worker) < options.board_labels.size()
+                    ? options.board_labels[static_cast<size_t>(worker)]
+                    : worker;
+    uint64_t seed = label == 0 ? options.seed
+                               : DeriveSeedStream(options.seed,
+                                                  static_cast<uint64_t>(label));
     telemetry->boards_.push_back(
-        std::make_unique<BoardTelemetry>(worker, seed, telemetry->sink_.get()));
+        std::make_unique<BoardTelemetry>(label, seed, telemetry->sink()));
   }
   return telemetry;
 }
 
 void CampaignTelemetry::StartEmitter(std::function<CampaignView()> view) {
-  if (sink_ == nullptr || emitter_ != nullptr) {
+  if (sink() == nullptr || emitter_ != nullptr) {
     return;
   }
   std::vector<const MetricsRegistry*> registries;
@@ -49,9 +60,9 @@ void CampaignTelemetry::StartEmitter(std::function<CampaignView()> view) {
   for (const auto& board : boards_) {
     registries.push_back(&board->registry());
   }
-  emitter_ = std::make_unique<SnapshotEmitter>(std::move(registries), std::move(view),
-                                               sink_.get(), options_.snapshot_interval,
-                                               options_.budget);
+  emitter_ = std::make_unique<SnapshotEmitter>(
+      std::move(registries), std::move(view), sink(), options_.snapshot_interval,
+      options_.budget, options_.board_labels, options_.emit_farm_rows);
 }
 
 MetricsSnapshot CampaignTelemetry::MergedBoardSnapshot() const {
@@ -64,7 +75,7 @@ MetricsSnapshot CampaignTelemetry::MergedBoardSnapshot() const {
 
 void CampaignTelemetry::CampaignStart(const std::string& os_name,
                                       const std::string& board_name) {
-  if (sink_ == nullptr) {
+  if (sink() == nullptr) {
     return;
   }
   Event event;
@@ -77,22 +88,29 @@ void CampaignTelemetry::CampaignStart(const std::string& os_name,
   event.fields.push_back(EventField::Uint("seed", options_.seed));
   event.fields.push_back(EventField::Uint("budget_us", options_.budget));
   event.fields.push_back(EventField::Uint("interval_us", options_.snapshot_interval));
-  sink_->Emit(event);
+  // Fleet-only fields last, so legacy journals stay byte-identical.
+  if (!options_.campaign_id.empty()) {
+    event.fields.push_back(EventField::Text("campaign", options_.campaign_id));
+  }
+  if (options_.fleet) {
+    event.fields.push_back(EventField::Uint("fleet", 1));
+  }
+  sink()->Emit(event);
 }
 
 void CampaignTelemetry::CampaignEnd(VirtualTime elapsed) {
   if (emitter_ != nullptr) {
     emitter_->Finish(elapsed);
   }
-  if (sink_ == nullptr) {
+  if (sink() == nullptr) {
     return;
   }
   Event event;
   event.at = elapsed;
   event.type = "campaign_end";
-  event.fields.push_back(EventField::Uint("journal_dropped", sink_->dropped()));
-  sink_->Emit(event);
-  sink_->Flush();
+  event.fields.push_back(EventField::Uint("journal_dropped", sink()->dropped()));
+  sink()->Emit(event);
+  sink()->Flush();
 }
 
 }  // namespace telemetry

@@ -59,6 +59,16 @@ class CampaignTelemetry {
     VirtualDuration budget = 0;
     uint64_t seed = 1;
     int workers = 1;
+    // Fleet plumbing; the defaults keep in-process journals byte-identical.
+    std::string campaign_id;           // campaign_start "campaign" text when set
+    std::vector<int> board_labels;     // global shard label per local board slot
+                                       // (board seeds derive from the label, so a
+                                       // shard keeps its stream on any worker)
+    EventSink* shared_sink = nullptr;  // externally owned sink — a fleet worker's
+                                       // journal spans lease batches; metrics_out
+                                       // must be empty when set
+    bool emit_farm_rows = true;        // fleet workers suppress farm_snapshot rows
+    bool fleet = false;                // marks `eof serve` campaign_start rows
   };
 
   // Fails only when `metrics_out` is set but cannot be opened.
@@ -70,7 +80,7 @@ class CampaignTelemetry {
   // The campaign-scope registry (scheduler counters) and journal sink; sink is null
   // when no metrics path was given.
   MetricsRegistry& campaign_registry() { return campaign_registry_; }
-  EventSink* sink() { return sink_.get(); }
+  EventSink* sink() { return external_sink_ != nullptr ? external_sink_ : sink_.get(); }
 
   // Arms the periodic emitter; call once, after the scheduler exists. No-op without
   // a sink.
@@ -87,13 +97,19 @@ class CampaignTelemetry {
 
   // Journal rows the bounded sink buffer has discarded so far (0 without a sink).
   // Campaign runners surface this in CampaignResult and warn at campaign end.
-  uint64_t journal_dropped() const { return sink_ == nullptr ? 0 : sink_->dropped(); }
+  uint64_t journal_dropped() const {
+    if (external_sink_ != nullptr) {
+      return external_sink_->dropped();
+    }
+    return sink_ == nullptr ? 0 : sink_->dropped();
+  }
 
  private:
   explicit CampaignTelemetry(const Options& options);
 
   Options options_;
   std::unique_ptr<FileEventSink> sink_;
+  EventSink* external_sink_ = nullptr;  // not owned (Options::shared_sink)
   MetricsRegistry campaign_registry_;
   std::vector<std::unique_ptr<BoardTelemetry>> boards_;
   std::unique_ptr<SnapshotEmitter> emitter_;

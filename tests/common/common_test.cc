@@ -8,6 +8,7 @@
 
 #include "src/common/byteio.h"
 #include "src/common/coverage_map.h"
+#include "src/common/coverage_serial.h"
 #include "src/common/hash.h"
 #include "src/common/rng.h"
 #include "src/common/status.h"
@@ -246,6 +247,86 @@ TEST(CoverageMapTest, ForEachVisitsEveryEdgeOnce) {
   std::set<uint64_t> seen;
   map.ForEach([&](uint64_t id) { EXPECT_TRUE(seen.insert(id).second); });
   EXPECT_EQ(seen, std::set<uint64_t>(ids.begin(), ids.end()));
+}
+
+TEST(CoverageSerialTest, FullSnapshotRoundTrips) {
+  CoverageMap map;
+  map.AddBatch({7, 0, 0xdeadbeef, 42, 0xffffffffffffffffULL, 42});
+  std::vector<uint8_t> blob = SerializeCoverage(map);
+  auto decoded = DecodeCoverage(blob);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->kind, CoverageWireKind::kFull);
+  EXPECT_EQ(decoded->ids,
+            (std::vector<uint64_t>{0, 7, 42, 0xdeadbeef, 0xffffffffffffffffULL}));
+
+  CoverageMap restored;
+  auto merged = MergeSerializedCoverage(blob, &restored);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged.value(), 5u);
+  EXPECT_EQ(restored.Count(), map.Count());
+  // Idempotent: replaying the same blob adds nothing.
+  EXPECT_EQ(MergeSerializedCoverage(blob, &restored).value(), 0u);
+}
+
+TEST(CoverageSerialTest, DiffRoundTripsAndDedups) {
+  std::vector<uint8_t> blob =
+      SerializeCoverageIds({9, 3, 9, 3, 1000000}, CoverageWireKind::kDiff);
+  auto decoded = DecodeCoverage(blob);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->kind, CoverageWireKind::kDiff);
+  EXPECT_EQ(decoded->ids, (std::vector<uint64_t>{3, 9, 1000000}));
+}
+
+TEST(CoverageSerialTest, EmptyMapRoundTrips) {
+  CoverageMap map;
+  auto decoded = DecodeCoverage(SerializeCoverage(map));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->ids.empty());
+}
+
+TEST(CoverageSerialTest, EncodingIsCanonical) {
+  // Two maps with the same edge set serialize to identical bytes regardless of
+  // insertion order — the property the orchestrator's dedup relies on.
+  CoverageMap a;
+  CoverageMap b;
+  a.AddBatch({5, 1, 900, 77});
+  b.AddBatch({900, 77, 5, 1});
+  EXPECT_EQ(SerializeCoverage(a), SerializeCoverage(b));
+}
+
+TEST(CoverageSerialTest, MergeIsCommutative) {
+  std::vector<uint8_t> left = SerializeCoverageIds({1, 2, 3}, CoverageWireKind::kDiff);
+  std::vector<uint8_t> right =
+      SerializeCoverageIds({3, 4, 100}, CoverageWireKind::kDiff);
+  CoverageMap lr;
+  CoverageMap rl;
+  ASSERT_TRUE(MergeSerializedCoverage(left, &lr).ok());
+  ASSERT_TRUE(MergeSerializedCoverage(right, &lr).ok());
+  ASSERT_TRUE(MergeSerializedCoverage(right, &rl).ok());
+  ASSERT_TRUE(MergeSerializedCoverage(left, &rl).ok());
+  EXPECT_EQ(SerializeCoverage(lr), SerializeCoverage(rl));
+  EXPECT_EQ(lr.Count(), 5u);
+}
+
+TEST(CoverageSerialTest, RejectsCorruptBlobs) {
+  CoverageMap map;
+  map.AddBatch({10, 20, 30});
+  std::vector<uint8_t> blob = SerializeCoverage(map);
+
+  std::vector<uint8_t> bad_magic = blob;
+  bad_magic[0] ^= 0xff;
+  EXPECT_FALSE(DecodeCoverage(bad_magic).ok());
+
+  std::vector<uint8_t> truncated(blob.begin(), blob.end() - 1);
+  EXPECT_FALSE(DecodeCoverage(truncated).ok());
+
+  EXPECT_FALSE(DecodeCoverage({}).ok());
+
+  // A failed merge must not half-apply: the target map stays unchanged.
+  CoverageMap target;
+  target.Add(1);
+  EXPECT_FALSE(MergeSerializedCoverage(truncated, &target).ok());
+  EXPECT_EQ(target.Count(), 1u);
 }
 
 TEST(VClockTest, AdvanceAndUnits) {

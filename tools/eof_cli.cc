@@ -8,12 +8,21 @@
 //   eof repro <os> <bug-id>                   run a catalog bug's reproducer
 //   eof bugs                                  print the bug catalog
 
+#include <dirent.h>
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "src/agent/wire.h"
+#include "src/fleet/orchestrator.h"
+#include "src/fleet/transport.h"
+#include "src/fleet/worker.h"
 #include "src/core/board_farm.h"
 #include "src/core/bug_catalog.h"
 #include "src/core/deployment.h"
@@ -39,7 +48,14 @@ int Usage() {
           "           [--restore-mode reflash|snapshot] [--directed] [--trim]\n"
           "           [--overlapped-drain on|off]\n"
           "           [--metrics-out FILE.jsonl] [--metrics-interval SECONDS]\n"
-          "  eof report <journal.jsonl> [--json]\n"
+          "  eof report <journal.jsonl|dir>... [--journal FILE]... [--json]\n"
+          "  eof serve <os> [minutes=60] [seed=1] [board=default] [--port N]\n"
+          "           [--shards N] [--pool N] [--priority N] [--campaign-id ID]\n"
+          "           [--heartbeat-interval MS] [--lease-timeout MS]\n"
+          "           [--restore-mode reflash|snapshot] [--directed] [--trim]\n"
+          "           [--metrics-out FILE.jsonl] [--metrics-interval SECONDS]\n"
+          "  eof worker --connect HOST:PORT [--boards N] [--name S]\n"
+          "           [--metrics-out FILE.jsonl]\n"
           "  eof repro <os> <bug-id>\n"
           "  eof replay <os> <reproducer-file>\n"
           "  eof trim <os> <reproducer-file> [board]\n"
@@ -214,13 +230,171 @@ int Trim(const std::string& os_name, const std::string& path, const std::string&
   return trim.coverage_preserved ? 0 : 1;
 }
 
-int Report(const std::string& path, bool json) {
-  auto report = telemetry::LoadReportFromFile(path);
+// Expands a positional report argument: a directory becomes its *.jsonl files
+// in name order (a fleet run drops one journal per process into one directory);
+// anything else passes through as a file path.
+bool ExpandJournalArg(const std::string& path, std::vector<std::string>* out) {
+  struct stat st;
+  if (stat(path.c_str(), &st) != 0 || !S_ISDIR(st.st_mode)) {
+    out->push_back(path);
+    return true;
+  }
+  DIR* dir = opendir(path.c_str());
+  if (dir == nullptr) {
+    fprintf(stderr, "cannot open directory %s\n", path.c_str());
+    return false;
+  }
+  std::vector<std::string> found;
+  for (struct dirent* entry = readdir(dir); entry != nullptr;
+       entry = readdir(dir)) {
+    std::string name = entry->d_name;
+    if (name.size() > 6 && name.rfind(".jsonl") == name.size() - 6) {
+      found.push_back(path + "/" + name);
+    }
+  }
+  closedir(dir);
+  if (found.empty()) {
+    fprintf(stderr, "no *.jsonl journals in directory %s\n", path.c_str());
+    return false;
+  }
+  std::sort(found.begin(), found.end());
+  out->insert(out->end(), found.begin(), found.end());
+  return true;
+}
+
+int Report(const std::vector<std::string>& paths, bool json) {
+  auto report = paths.size() == 1 ? telemetry::LoadReportFromFile(paths[0])
+                                  : telemetry::LoadMergedReportFromFiles(paths);
   if (!report.ok()) {
     fprintf(stderr, "report failed: %s\n", report.status().ToString().c_str());
     return 1;
   }
   fputs(json ? report->RenderJson().c_str() : report->RenderText().c_str(), stdout);
+  return 0;
+}
+
+int Serve(const std::string& os_name, uint64_t minutes, uint64_t seed,
+          const std::string& board, const std::string& campaign_id, int shards,
+          int priority, uint16_t port, fleet::Orchestrator::Options fleet_options,
+          RestoreMode restore_mode, const std::string& metrics_out,
+          uint64_t metrics_interval_s, bool directed, bool trim) {
+  FuzzerConfig config;
+  config.os_name = os_name;
+  config.board_name = board;
+  config.seed = seed;
+  config.budget = minutes * kVirtualMinute;
+  config.sample_points = 12;
+  config.restore_mode = restore_mode;
+  config.directed = directed;
+  config.trim = trim;
+  if (metrics_interval_s > 0) {
+    config.metrics_interval = metrics_interval_s * kVirtualSecond;
+  }
+  fleet_options.metrics_out = metrics_out;
+  auto orchestrator = fleet::Orchestrator::Create(std::move(fleet_options));
+  if (!orchestrator.ok()) {
+    fprintf(stderr, "serve failed: %s\n", orchestrator.status().ToString().c_str());
+    return 1;
+  }
+  fleet::FleetCampaignSpec spec;
+  spec.campaign_id = campaign_id;
+  spec.config = config;
+  spec.shards = shards;
+  spec.weight = priority;
+  Status added = orchestrator.value()->AddCampaign(spec);
+  if (!added.ok()) {
+    fprintf(stderr, "serve failed: %s\n", added.ToString().c_str());
+    return 1;
+  }
+  uint16_t bound_port = 0;
+  auto listener = fleet::ListenTcp(port, &bound_port);
+  if (!listener.ok()) {
+    fprintf(stderr, "serve failed: %s\n", listener.status().ToString().c_str());
+    return 1;
+  }
+  printf("serving campaign %s on 127.0.0.1:%u (%d shard%s, %llu virtual minutes, "
+         "seed %llu)\n",
+         campaign_id.c_str(), bound_port, shards, shards == 1 ? "" : "s",
+         static_cast<unsigned long long>(minutes),
+         static_cast<unsigned long long>(seed));
+  fflush(stdout);
+  Status served = orchestrator.value()->Serve(listener.value().get());
+  if (!served.ok()) {
+    fprintf(stderr, "serve failed: %s\n", served.ToString().c_str());
+    return 1;
+  }
+  for (const fleet::FleetCampaignResult& fleet_result : orchestrator.value()->Results()) {
+    const CampaignResult& campaign = fleet_result.result;
+    printf("campaign %s: execs=%llu coverage=%llu crashes=%llu corpus=%llu "
+           "bugs=%zu\n",
+           fleet_result.campaign_id.c_str(),
+           static_cast<unsigned long long>(campaign.execs),
+           static_cast<unsigned long long>(campaign.final_coverage),
+           static_cast<unsigned long long>(campaign.crashes),
+           static_cast<unsigned long long>(campaign.corpus_size),
+           fleet_result.bugs.size());
+    printf("fleet: workers=%llu leases_granted=%llu reclaimed=%llu lost=%llu "
+           "corpus_syncs=%llu\n",
+           static_cast<unsigned long long>(fleet_result.workers_served),
+           static_cast<unsigned long long>(fleet_result.leases_granted),
+           static_cast<unsigned long long>(fleet_result.leases_reclaimed),
+           static_cast<unsigned long long>(fleet_result.workers_lost),
+           static_cast<unsigned long long>(fleet_result.corpus_syncs));
+    for (const fleet::BugWire& bug : fleet_result.bugs) {
+      const BugInfo* info = FindBug(static_cast<int>(bug.catalog_id));
+      printf("\nBUG #%u %s [%s monitor]\n%s\nreproducer:\n%s", bug.catalog_id,
+             info != nullptr ? info->operation.c_str() : "(unknown)",
+             bug.detector.c_str(), bug.excerpt.c_str(), bug.program_text.c_str());
+    }
+  }
+  return 0;
+}
+
+int Worker(const std::string& connect, int boards, const std::string& name,
+           const std::string& metrics_out) {
+  size_t colon = connect.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= connect.size()) {
+    fprintf(stderr, "eof: --connect wants HOST:PORT, got '%s'\n", connect.c_str());
+    return Usage();
+  }
+  std::string host = connect.substr(0, colon);
+  char* end = nullptr;
+  errno = 0;
+  unsigned long long port = strtoull(connect.c_str() + colon + 1, &end, 10);
+  if (errno != 0 || *end != '\0' || port == 0 || port > 65535) {
+    fprintf(stderr, "eof: --connect wants a port in [1, 65535], got '%s'\n",
+            connect.c_str() + colon + 1);
+    return Usage();
+  }
+  fleet::FleetWorker::Options options;
+  options.name = name;
+  options.capacity = boards;
+  options.metrics_out = metrics_out;
+  auto worker = fleet::FleetWorker::Create(std::move(options));
+  if (!worker.ok()) {
+    fprintf(stderr, "worker failed: %s\n", worker.status().ToString().c_str());
+    return 1;
+  }
+  auto transport = fleet::ConnectTcp(host, static_cast<uint16_t>(port));
+  if (!transport.ok()) {
+    fprintf(stderr, "worker failed: %s\n", transport.status().ToString().c_str());
+    return 1;
+  }
+  printf("worker %s connected to %s (capacity %d)\n", name.c_str(), connect.c_str(),
+         boards);
+  fflush(stdout);
+  Status ran = worker.value()->Run(transport.value().get());
+  if (!ran.ok()) {
+    fprintf(stderr, "worker failed: %s\n", ran.ToString().c_str());
+    return 1;
+  }
+  for (const CampaignResult& batch : worker.value()->batch_results()) {
+    printf("batch: execs=%llu coverage=%llu crashes=%llu corpus=%llu\n",
+           static_cast<unsigned long long>(batch.execs),
+           static_cast<unsigned long long>(batch.final_coverage),
+           static_cast<unsigned long long>(batch.crashes),
+           static_cast<unsigned long long>(batch.corpus_size));
+  }
   return 0;
 }
 
@@ -273,14 +447,28 @@ int main(int argc, char** argv) {
   bool directed = false;
   bool trim = false;
   bool overlapped_drain = true;
+  uint64_t port = 0;  // 0 = ephemeral (serve prints the bound port)
+  int shards = 1;
+  int pool = 64;
+  int priority = 1;
+  std::string campaign_id = "campaign";
+  uint64_t heartbeat_ms = 1000;
+  uint64_t lease_ms = 5000;
+  std::string connect;
+  int boards = 1;
+  std::string worker_name = "worker";
+  std::vector<std::string> journals;
   {
     auto parse_uint = [](const char* text, uint64_t* out) {
       if (text == nullptr || text[0] < '0' || text[0] > '9') {
         return false;  // rejects empty, negative, and non-numeric values
       }
       char* end = nullptr;
+      errno = 0;
       *out = strtoull(text, &end, 10);
-      return *end == '\0';
+      // ERANGE check: strtoull silently saturates on overflow ("18446744073709551616"
+      // would otherwise read back as ULLONG_MAX and pass every range gate).
+      return *end == '\0' && errno != ERANGE;
     };
     // Which flags each subcommand accepts, and the flag grammar itself. A flag
     // entry is "name" (switch) or "name=" (wants a value, inline or as the next
@@ -289,13 +477,32 @@ int main(int argc, char** argv) {
                                 "--metrics-out=", "--metrics-interval=",
                                 "--directed",     "--trim",
                                 "--overlapped-drain=", nullptr};
-    const char* kReportFlags[] = {"--json", nullptr};
+    const char* kReportFlags[] = {"--json", "--journal=", nullptr};
+    const char* kServeFlags[] = {"--port=",
+                                 "--shards=",
+                                 "--pool=",
+                                 "--priority=",
+                                 "--campaign-id=",
+                                 "--heartbeat-interval=",
+                                 "--lease-timeout=",
+                                 "--restore-mode=",
+                                 "--directed",
+                                 "--trim",
+                                 "--metrics-out=",
+                                 "--metrics-interval=",
+                                 nullptr};
+    const char* kWorkerFlags[] = {"--connect=", "--boards=", "--name=",
+                                  "--metrics-out=", nullptr};
     const char* kNoFlags[] = {nullptr};
     const char** allowed = kNoFlags;
     if (command == "fuzz") {
       allowed = kFuzzFlags;
     } else if (command == "report") {
       allowed = kReportFlags;
+    } else if (command == "serve") {
+      allowed = kServeFlags;
+    } else if (command == "worker") {
+      allowed = kWorkerFlags;
     }
     auto flag_list = [&allowed]() {
       std::string list;
@@ -395,9 +602,101 @@ int main(int argc, char** argv) {
         trim = true;
       } else if (name == "--json") {
         json = true;
+      } else if (name == "--journal") {
+        if (value == nullptr || value[0] == '\0') {
+          fprintf(stderr, "eof: --journal wants a file path\n");
+          return Usage();
+        }
+        journals.push_back(value);
+      } else if (name == "--port") {
+        if (!parse_uint(value, &port) || port > 65535) {
+          fprintf(stderr, "eof: --port wants an integer in [0, 65535], got '%s'\n",
+                  value == nullptr ? "" : value);
+          return Usage();
+        }
+      } else if (name == "--shards") {
+        uint64_t parsed = 0;
+        if (!parse_uint(value, &parsed) || parsed < 1 || parsed > 1024) {
+          fprintf(stderr, "eof: --shards wants an integer in [1, 1024], got '%s'\n",
+                  value == nullptr ? "" : value);
+          return Usage();
+        }
+        shards = static_cast<int>(parsed);
+      } else if (name == "--pool") {
+        uint64_t parsed = 0;
+        if (!parse_uint(value, &parsed) || parsed < 1 || parsed > 4096) {
+          fprintf(stderr, "eof: --pool wants an integer in [1, 4096], got '%s'\n",
+                  value == nullptr ? "" : value);
+          return Usage();
+        }
+        pool = static_cast<int>(parsed);
+      } else if (name == "--priority") {
+        uint64_t parsed = 0;
+        if (!parse_uint(value, &parsed) || parsed < 1 || parsed > 1000) {
+          fprintf(stderr, "eof: --priority wants an integer in [1, 1000], got '%s'\n",
+                  value == nullptr ? "" : value);
+          return Usage();
+        }
+        priority = static_cast<int>(parsed);
+      } else if (name == "--campaign-id") {
+        if (value == nullptr || value[0] == '\0') {
+          fprintf(stderr, "eof: --campaign-id wants a non-empty id\n");
+          return Usage();
+        }
+        campaign_id = value;
+      } else if (name == "--heartbeat-interval") {
+        // Validated here, not in the orchestrator, so a bad knob is a usage
+        // error before any socket is opened (consistent with the rest of the
+        // strict flag grammar). Bounds: 1ms .. 1 hour.
+        if (!parse_uint(value, &heartbeat_ms) || heartbeat_ms < 1 ||
+            heartbeat_ms > 3600000) {
+          fprintf(stderr,
+                  "eof: --heartbeat-interval wants milliseconds in [1, 3600000], "
+                  "got '%s'\n",
+                  value == nullptr ? "" : value);
+          return Usage();
+        }
+      } else if (name == "--lease-timeout") {
+        // Bounds: 1ms .. 24 hours; must exceed the heartbeat (checked below once
+        // both flags are parsed).
+        if (!parse_uint(value, &lease_ms) || lease_ms < 1 || lease_ms > 86400000) {
+          fprintf(stderr,
+                  "eof: --lease-timeout wants milliseconds in [1, 86400000], "
+                  "got '%s'\n",
+                  value == nullptr ? "" : value);
+          return Usage();
+        }
+      } else if (name == "--connect") {
+        if (value == nullptr || value[0] == '\0') {
+          fprintf(stderr, "eof: --connect wants HOST:PORT\n");
+          return Usage();
+        }
+        connect = value;
+      } else if (name == "--boards") {
+        uint64_t parsed = 0;
+        if (!parse_uint(value, &parsed) || parsed < 1 || parsed > 1024) {
+          fprintf(stderr, "eof: --boards wants an integer in [1, 1024], got '%s'\n",
+                  value == nullptr ? "" : value);
+          return Usage();
+        }
+        boards = static_cast<int>(parsed);
+      } else if (name == "--name") {
+        if (value == nullptr || value[0] == '\0') {
+          fprintf(stderr, "eof: --name wants a non-empty worker name\n");
+          return Usage();
+        }
+        worker_name = value;
       }
     }
     argc = out;
+  }
+  if (command == "serve" && lease_ms <= heartbeat_ms) {
+    fprintf(stderr,
+            "eof: --lease-timeout (%llu ms) must exceed --heartbeat-interval "
+            "(%llu ms)\n",
+            static_cast<unsigned long long>(lease_ms),
+            static_cast<unsigned long long>(heartbeat_ms));
+    return Usage();
   }
   if (command == "list-targets") {
     return ListTargets();
@@ -412,8 +711,32 @@ int main(int argc, char** argv) {
     return Fuzz(argv[2], minutes == 0 ? 60 : minutes, seed, board, jobs, restore_mode,
                 metrics_out, metrics_interval_s, directed, trim, overlapped_drain);
   }
-  if (command == "report" && argc >= 3) {
-    return Report(argv[2], json);
+  if (command == "report" && (argc >= 3 || !journals.empty())) {
+    for (int i = 2; i < argc; ++i) {
+      if (!ExpandJournalArg(argv[i], &journals)) {
+        return 1;
+      }
+    }
+    return Report(journals, json);
+  }
+  if (command == "serve" && argc >= 3) {
+    uint64_t minutes = argc >= 4 ? strtoull(argv[3], nullptr, 10) : 60;
+    uint64_t seed = argc >= 5 ? strtoull(argv[4], nullptr, 10) : 1;
+    std::string board = argc >= 6 ? argv[5] : "";
+    fleet::Orchestrator::Options fleet_options;
+    fleet_options.board_pool = pool;
+    fleet_options.heartbeat_interval_ms = heartbeat_ms;
+    fleet_options.lease_timeout_ms = lease_ms;
+    return Serve(argv[2], minutes == 0 ? 60 : minutes, seed, board, campaign_id,
+                 shards, priority, static_cast<uint16_t>(port), fleet_options,
+                 restore_mode, metrics_out, metrics_interval_s, directed, trim);
+  }
+  if (command == "worker") {
+    if (connect.empty()) {
+      fprintf(stderr, "eof: worker needs --connect HOST:PORT\n");
+      return Usage();
+    }
+    return Worker(connect, boards, worker_name, metrics_out);
   }
   if (command == "repro" && argc >= 4) {
     return Repro(argv[2], atoi(argv[3]));
