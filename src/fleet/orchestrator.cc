@@ -20,7 +20,13 @@ std::string BugKey(uint32_t catalog_id, const std::string& excerpt) {
 
 }  // namespace
 
-Orchestrator::Orchestrator(Options options) : options_(std::move(options)) {}
+Orchestrator::Orchestrator(Options options) : options_(std::move(options)) {
+  status_requests_ = metrics_.RegisterCounter("fleet.status_requests");
+  sync_frames_ = metrics_.RegisterCounter("fleet.sync_frames");
+  sync_payload_bytes_ = metrics_.RegisterHistogram(
+      "fleet.sync_payload_bytes",
+      {256, 1024, 4096, 16384, 65536, 262144, 1048576, 4194304});
+}
 
 Result<std::unique_ptr<Orchestrator>> Orchestrator::Create(Options options) {
   if (options.board_pool < 1) {
@@ -43,9 +49,18 @@ Result<std::unique_ptr<Orchestrator>> Orchestrator::Create(Options options) {
     // Unbuffered: the fleet journal is the service's live operational log
     // (lease lifecycle, worker loss), low-rate and tailed while serving —
     // unlike board telemetry, which buys buffering with its row rate.
-    ASSIGN_OR_RETURN(orchestrator->file_sink_,
-                     telemetry::FileEventSink::Open(orchestrator->options_.metrics_out,
-                                                    /*buffer_lines=*/1));
+    if (orchestrator->options_.journal_rotate_bytes > 0) {
+      ASSIGN_OR_RETURN(
+          orchestrator->file_sink_,
+          telemetry::RotatingFileEventSink::Open(
+              orchestrator->options_.metrics_out,
+              orchestrator->options_.journal_rotate_bytes, /*buffer_lines=*/1));
+    } else {
+      ASSIGN_OR_RETURN(
+          orchestrator->file_sink_,
+          telemetry::FileEventSink::Open(orchestrator->options_.metrics_out,
+                                         /*buffer_lines=*/1));
+    }
   }
   return orchestrator;
 }
@@ -406,11 +421,16 @@ SyncAckMsg Orchestrator::HandleSync(const SyncMsg& msg) {
   }
   worker_it->second.last_seen_ms = NowMs();
   worker_it->second.lost = false;
+  ++worker_it->second.syncs;
+  worker_it->second.journal_dropped =
+      std::max(worker_it->second.journal_dropped, msg.journal_dropped);
   CampaignState* campaign = FindCampaignLocked(msg.campaign_id);
   if (campaign == nullptr) {
     ack.accepted = 0;
     return ack;
   }
+  uint64_t& dropped = campaign->worker_dropped[msg.worker_id];
+  dropped = std::max(dropped, msg.journal_dropped);
 
   uint64_t deadline = NowMs() + options_.lease_timeout_ms;
   uint64_t sync_execs = 0;
@@ -464,6 +484,7 @@ SyncAckMsg Orchestrator::HandleSync(const SyncMsg& msg) {
   ack.focus = PeerFocusLocked(*campaign, msg.worker_id);
   ack.campaign_done = CampaignDoneLocked(*campaign) ? 1 : 0;
 
+  worker_it->second.execs_live = sync_execs;
   EmitLocked(campaign->snapshot_at_us, "heartbeat", static_cast<int>(msg.worker_id),
              {telemetry::EventField::Text("campaign", campaign->spec.campaign_id),
               telemetry::EventField::Uint("seq", msg.seq),
@@ -472,21 +493,25 @@ SyncAckMsg Orchestrator::HandleSync(const SyncMsg& msg) {
 
   // Farm row at the campaign frontier: the slowest still-running shard (or the
   // slowest overall once everything finished), monotone by construction.
+  EmitFarmRowLocked(campaign, FrontierLocked(*campaign));
+  return ack;
+}
+
+uint64_t Orchestrator::FrontierLocked(const CampaignState& campaign) const {
   uint64_t frontier = 0;
   bool any_active = false;
-  for (const ShardState& shard : campaign->shards) {
+  for (const ShardState& shard : campaign.shards) {
     if (shard.phase == ShardPhase::kLeased) {
       frontier = any_active ? std::min(frontier, shard.elapsed_us) : shard.elapsed_us;
       any_active = true;
     }
   }
   if (!any_active) {
-    for (const ShardState& shard : campaign->shards) {
+    for (const ShardState& shard : campaign.shards) {
       frontier = std::max(frontier, shard.elapsed_us);
     }
   }
-  EmitFarmRowLocked(campaign, frontier);
-  return ack;
+  return frontier;
 }
 
 FinalAckMsg Orchestrator::HandleFinal(const WorkerFinalMsg& msg) {
@@ -504,6 +529,12 @@ FinalAckMsg Orchestrator::HandleFinal(const WorkerFinalMsg& msg) {
   }
   campaign->finals.push_back(msg);
   campaign->workers_served.insert(msg.worker_id);
+  worker_it->second.execs_final += msg.execs;
+  worker_it->second.execs_live = 0;  // the batch folded into finals
+  worker_it->second.journal_dropped =
+      std::max(worker_it->second.journal_dropped, msg.journal_dropped);
+  uint64_t& dropped = campaign->worker_dropped[msg.worker_id];
+  dropped = std::max(dropped, msg.journal_dropped);
   EmitLocked(msg.elapsed_us, "worker_final", static_cast<int>(msg.worker_id),
              {telemetry::EventField::Text("campaign", campaign->spec.campaign_id),
               telemetry::EventField::Uint("execs", msg.execs),
@@ -525,7 +556,14 @@ void Orchestrator::EmitFarmRowLocked(CampaignState* campaign, VirtualTime at) {
     crashes += final.crashes;
     bugs_rejected += final.bugs_rejected;
   }
+  uint64_t dropped_workers = 0;
+  for (const auto& [worker, dropped] : campaign->worker_dropped) {
+    dropped_workers += dropped;
+  }
   telemetry::EventSink* out = sink();
+  // `journal_dropped` is this (orchestrator) sink's own drop count;
+  // `journal_dropped_workers` sums the latest worker-reported per-sink counts,
+  // so a drop is attributable to a specific sink rather than one aggregate.
   EmitLocked(at, "farm_snapshot", -1,
              {telemetry::EventField::Uint("boards", campaign->shards.size()),
               telemetry::EventField::Uint("campaign_coverage",
@@ -537,6 +575,8 @@ void Orchestrator::EmitFarmRowLocked(CampaignState* campaign, VirtualTime at) {
               telemetry::EventField::Uint("bugs_rejected", bugs_rejected),
               telemetry::EventField::Uint("journal_dropped",
                                           out == nullptr ? 0 : out->dropped()),
+              telemetry::EventField::Uint("journal_dropped_workers",
+                                          dropped_workers),
               telemetry::EventField::Text("campaign", campaign->spec.campaign_id)});
 }
 
@@ -625,6 +665,127 @@ std::vector<FleetCampaignResult> Orchestrator::Results() {
   return results;
 }
 
+StatusReplyMsg Orchestrator::AssembleStatusLocked(uint64_t now_ms) {
+  StatusReplyMsg reply;
+  reply.assembled_ms = now_ms;
+  reply.heartbeat_interval_ms = options_.heartbeat_interval_ms;
+  for (const auto& campaign : campaigns_) {
+    CampaignStatusWire wire;
+    wire.campaign_id = campaign->spec.campaign_id;
+    wire.os_name = campaign->spec.config.os_name;
+    wire.board_name = campaign->spec.config.board_name.empty()
+                          ? "default"
+                          : campaign->spec.config.board_name;
+    wire.budget_us = campaign->spec.config.budget;
+    wire.shards_total = static_cast<uint32_t>(campaign->shards.size());
+    uint64_t execs = 0;
+    for (size_t i = 0; i < campaign->shards.size(); ++i) {
+      const ShardState& shard = campaign->shards[i];
+      switch (shard.phase) {
+        case ShardPhase::kPending: ++wire.shards_pending; break;
+        case ShardPhase::kLeased: ++wire.shards_leased; break;
+        case ShardPhase::kDone: ++wire.shards_done; break;
+      }
+      execs += shard.execs;
+      ShardStatusWire row;
+      row.shard = static_cast<uint32_t>(i);
+      row.phase = static_cast<uint8_t>(shard.phase);
+      row.lease_id = shard.lease_id;
+      row.worker = shard.worker;
+      row.attempt = shard.attempt;
+      row.deadline_ms = shard.deadline_ms;
+      row.elapsed_us = shard.elapsed_us;
+      row.execs = shard.execs;
+      wire.shards.push_back(row);
+    }
+    wire.coverage = campaign->coverage.Count();
+    wire.corpus = campaign->corpus.size();
+    wire.execs = execs;
+    for (const WorkerFinalMsg& final : campaign->finals) {
+      wire.crashes += final.crashes;
+    }
+    wire.frontier_us = FrontierLocked(*campaign);
+    wire.leases_granted = campaign->leases_granted;
+    wire.leases_reclaimed = campaign->leases_reclaimed;
+    wire.rejected_uploads = campaign->rejected_uploads;
+    wire.workers_lost = campaign->workers_lost;
+    wire.corpus_syncs = campaign->corpus_syncs;
+    telemetry::EventSink* out = sink();
+    wire.journal_dropped = out == nullptr ? 0 : out->dropped();
+    for (const auto& [worker, dropped] : campaign->worker_dropped) {
+      wire.journal_dropped_workers += dropped;
+    }
+    wire.finalized = campaign->finalized ? 1 : 0;
+    for (const BugWire& bug : campaign->bugs) {
+      BugStatusWire row;
+      row.catalog_id = bug.catalog_id;
+      row.detector = bug.detector;
+      row.kind = bug.kind;
+      row.excerpt = bug.excerpt;
+      row.at_us = bug.at_us;
+      row.board = bug.board;
+      wire.bugs.push_back(std::move(row));
+    }
+    reply.campaigns.push_back(std::move(wire));
+  }
+  for (const auto& [worker_id, info] : workers_) {
+    WorkerStatusWire row;
+    row.worker_id = worker_id;
+    row.name = info.name;
+    row.last_seen_ms = info.last_seen_ms;
+    row.lost = info.lost ? 1 : 0;
+    row.execs = info.execs_final + info.execs_live;
+    row.syncs = info.syncs;
+    row.journal_dropped = info.journal_dropped;
+    for (const auto& campaign : campaigns_) {
+      for (const ShardState& shard : campaign->shards) {
+        if (shard.phase == ShardPhase::kLeased && shard.worker == worker_id) {
+          ++row.leases;
+        }
+      }
+    }
+    reply.workers.push_back(std::move(row));
+  }
+  return reply;
+}
+
+StatusReplyMsg Orchestrator::HandleStatus(const StatusRequestMsg& msg) {
+  std::lock_guard<std::mutex> lock(mu_);
+  status_requests_->Increment();
+  uint64_t now = NowMs();
+  // Bounded staleness: one assembly per heartbeat interval at most. A poll
+  // storm (many observers, short --interval) reuses the cached snapshot, so
+  // observers never add more than one state walk per heartbeat on top of the
+  // per-message lock they already share with workers.
+  if (!status_cache_valid_ || now < status_cache_ms_ ||
+      now - status_cache_ms_ >= options_.heartbeat_interval_ms) {
+    status_cache_ = AssembleStatusLocked(now);
+    status_cache_ms_ = now;
+    status_cache_valid_ = true;
+  }
+  StatusReplyMsg reply = status_cache_;
+  reply.server_ms = now;
+  if (!msg.campaign_id.empty()) {
+    std::vector<CampaignStatusWire> filtered;
+    for (CampaignStatusWire& campaign : reply.campaigns) {
+      if (campaign.campaign_id == msg.campaign_id) {
+        filtered.push_back(std::move(campaign));
+      }
+    }
+    reply.campaigns = std::move(filtered);
+  }
+  if (msg.include_shards == 0) {
+    for (CampaignStatusWire& campaign : reply.campaigns) {
+      campaign.shards.clear();
+    }
+  }
+  return reply;
+}
+
+telemetry::MetricsSnapshot Orchestrator::MetricsSnapshot() const {
+  return metrics_.Snapshot();
+}
+
 void Orchestrator::ServeConnection(Transport* transport) {
   // Recv timeout: long enough that a worker sleeping through a NoWork backoff
   // is not dropped, short enough that a dead peer frees the handler promptly.
@@ -670,6 +831,8 @@ void Orchestrator::ServeConnection(Transport* transport) {
         if (!msg.ok()) {
           return transport->Close();
         }
+        sync_frames_->Increment();
+        sync_payload_bytes_->Observe(frame.payload.size());
         reply.type = MsgType::kSyncAck;
         reply.payload = Encode(HandleSync(msg.value()));
         break;
@@ -681,6 +844,16 @@ void Orchestrator::ServeConnection(Transport* transport) {
         }
         reply.type = MsgType::kFinalAck;
         reply.payload = Encode(HandleFinal(msg.value()));
+        break;
+      }
+      case MsgType::kStatusRequest: {
+        // Observer role: read-only, never takes leases, never says Hello.
+        Result<StatusRequestMsg> msg = DecodeStatusRequest(frame.payload);
+        if (!msg.ok()) {
+          return transport->Close();
+        }
+        reply.type = MsgType::kStatusReply;
+        reply.payload = Encode(HandleStatus(msg.value()));
         break;
       }
       case MsgType::kGoodbye:

@@ -42,6 +42,7 @@
 #include "src/fleet/proto.h"
 #include "src/fleet/transport.h"
 #include "src/telemetry/journal.h"
+#include "src/telemetry/metrics.h"
 
 namespace eof {
 namespace fleet {
@@ -78,6 +79,10 @@ class Orchestrator {
     // file sink; `sink` injects one for tests. At most one may be set.
     std::string metrics_out;
     telemetry::EventSink* sink = nullptr;
+    // Size-based journal rotation: when > 0 and metrics_out is set, the journal
+    // is written as numbered segments of at most this many bytes each (see
+    // telemetry::RotatingFileEventSink). 0 = one unrotated file.
+    uint64_t journal_rotate_bytes = 0;
     // Wall clock in milliseconds for lease deadlines; defaults to
     // std::chrono::steady_clock. Tests inject a fake to expire leases instantly.
     std::function<uint64_t()> clock_ms;
@@ -108,6 +113,16 @@ class Orchestrator {
   // Finalizes every campaign (journals the closing farm_snapshot/campaign_end
   // rows once) and returns the merged results in AddCampaign order.
   std::vector<FleetCampaignResult> Results();
+
+  // Observer-role status poll: a read-only aggregated snapshot of every
+  // campaign and worker, assembled under the campaign lock at most once per
+  // heartbeat interval (subsequent polls within the interval reuse the cached
+  // snapshot — the bounded-staleness guarantee). Never touches lease state.
+  StatusReplyMsg HandleStatus(const StatusRequestMsg& msg);
+
+  // Orchestrator-side instruments (status polls served, sync payload sizes,
+  // lease counters mirrored as gauges) for the /metrics exposition.
+  telemetry::MetricsSnapshot MetricsSnapshot() const;
 
  private:
   enum class ShardPhase { kPending, kLeased, kDone };
@@ -152,6 +167,9 @@ class Orchestrator {
     uint64_t workers_lost = 0;
     uint64_t corpus_syncs = 0;
     uint64_t snapshot_at_us = 0;  // monotone farm_snapshot stamp
+    // Latest worker-reported sink drop count per worker (cumulative on the
+    // worker side), so the final farm_snapshot can attribute drops to sinks.
+    std::map<uint32_t, uint64_t> worker_dropped;
     bool finalized = false;
   };
 
@@ -159,6 +177,10 @@ class Orchestrator {
     std::string name;
     uint64_t last_seen_ms = 0;
     bool lost = false;
+    uint64_t execs_live = 0;   // sum of shard execs in the latest Sync
+    uint64_t execs_final = 0;  // summed execs from accepted finals
+    uint64_t syncs = 0;        // Sync frames accepted
+    uint64_t journal_dropped = 0;  // latest worker-reported sink drops
   };
 
   explicit Orchestrator(Options options);
@@ -186,17 +208,28 @@ class Orchestrator {
   void AdmitBugsLocked(CampaignState* campaign, const std::vector<BugWire>& bugs);
   std::vector<uint64_t> PeerFocusLocked(const CampaignState& campaign,
                                         uint32_t worker) const;
+  uint64_t FrontierLocked(const CampaignState& campaign) const;
   void EmitFarmRowLocked(CampaignState* campaign, VirtualTime at);
   void FinalizeCampaignLocked(CampaignState* campaign);
+  StatusReplyMsg AssembleStatusLocked(uint64_t now_ms);
 
   Options options_;
-  std::unique_ptr<telemetry::FileEventSink> file_sink_;
+  std::unique_ptr<telemetry::EventSink> file_sink_;
+  telemetry::MetricsRegistry metrics_;
+  telemetry::Counter* status_requests_ = nullptr;
+  telemetry::Counter* sync_frames_ = nullptr;
+  telemetry::Histogram* sync_payload_bytes_ = nullptr;
 
   mutable std::mutex mu_;
   std::vector<std::unique_ptr<CampaignState>> campaigns_;
   std::map<uint32_t, WorkerInfo> workers_;
   uint32_t next_worker_id_ = 1;
   uint64_t next_lease_id_ = 1;
+  // Bounded-staleness status cache: the full snapshot (all campaigns, with
+  // shard tables) assembled at status_cache_ms_, filtered per request.
+  StatusReplyMsg status_cache_;
+  uint64_t status_cache_ms_ = 0;
+  bool status_cache_valid_ = false;
 };
 
 }  // namespace fleet

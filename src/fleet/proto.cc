@@ -99,7 +99,7 @@ Result<size_t> DecodeFrameHeader(const uint8_t header[kFrameHeaderBytes],
   }
   uint16_t raw_type = reader.GetU16();
   if (raw_type < static_cast<uint16_t>(MsgType::kHello) ||
-      raw_type > static_cast<uint16_t>(MsgType::kGoodbye)) {
+      raw_type > static_cast<uint16_t>(MsgType::kStatusReply)) {
     return DataLossError(StrFormat("unknown message type %u", raw_type));
   }
   uint32_t length = reader.GetU32();
@@ -327,6 +327,7 @@ std::vector<uint8_t> Encode(const SyncMsg& msg) {
     PutBug(&writer, bug);
   }
   PutU64List(&writer, msg.focus);
+  writer.PutU64(msg.journal_dropped);
   return writer.TakeBytes();
 }
 
@@ -353,6 +354,7 @@ Result<SyncMsg> DecodeSync(const std::vector<uint8_t>& payload) {
     msg.bugs.push_back(GetBug(&reader));
   }
   msg.focus = GetU64List(&reader);
+  msg.journal_dropped = reader.GetU64();
   return Finish("Sync", reader, std::move(msg));
 }
 
@@ -497,6 +499,195 @@ Result<GoodbyeMsg> DecodeGoodbye(const std::vector<uint8_t>& payload) {
   GoodbyeMsg msg;
   msg.worker_id = reader.GetU32();
   return Finish("Goodbye", reader, msg);
+}
+
+std::vector<uint8_t> Encode(const StatusRequestMsg& msg) {
+  ByteWriter writer;
+  PutString(&writer, msg.campaign_id);
+  writer.PutU8(msg.include_shards);
+  return writer.TakeBytes();
+}
+
+Result<StatusRequestMsg> DecodeStatusRequest(
+    const std::vector<uint8_t>& payload) {
+  ByteReader reader(payload);
+  StatusRequestMsg msg;
+  msg.campaign_id = GetString(&reader);
+  msg.include_shards = reader.GetU8();
+  return Finish("StatusRequest", reader, std::move(msg));
+}
+
+namespace {
+
+void PutShardStatus(ByteWriter* writer, const ShardStatusWire& shard) {
+  writer->PutU32(shard.shard);
+  writer->PutU8(shard.phase);
+  writer->PutU64(shard.lease_id);
+  writer->PutU32(shard.worker);
+  writer->PutU32(shard.attempt);
+  writer->PutU64(shard.deadline_ms);
+  writer->PutU64(shard.elapsed_us);
+  writer->PutU64(shard.execs);
+}
+
+ShardStatusWire GetShardStatus(ByteReader* reader) {
+  ShardStatusWire shard;
+  shard.shard = reader->GetU32();
+  shard.phase = reader->GetU8();
+  shard.lease_id = reader->GetU64();
+  shard.worker = reader->GetU32();
+  shard.attempt = reader->GetU32();
+  shard.deadline_ms = reader->GetU64();
+  shard.elapsed_us = reader->GetU64();
+  shard.execs = reader->GetU64();
+  return shard;
+}
+
+void PutBugStatus(ByteWriter* writer, const BugStatusWire& bug) {
+  writer->PutU32(bug.catalog_id);
+  PutString(writer, bug.detector);
+  PutString(writer, bug.kind);
+  PutString(writer, bug.excerpt);
+  writer->PutU64(bug.at_us);
+  writer->PutU32(bug.board);
+}
+
+BugStatusWire GetBugStatus(ByteReader* reader) {
+  BugStatusWire bug;
+  bug.catalog_id = reader->GetU32();
+  bug.detector = GetString(reader);
+  bug.kind = GetString(reader);
+  bug.excerpt = GetString(reader);
+  bug.at_us = reader->GetU64();
+  bug.board = reader->GetU32();
+  return bug;
+}
+
+void PutCampaignStatus(ByteWriter* writer, const CampaignStatusWire& campaign) {
+  PutString(writer, campaign.campaign_id);
+  PutString(writer, campaign.os_name);
+  PutString(writer, campaign.board_name);
+  writer->PutU64(campaign.budget_us);
+  writer->PutU32(campaign.shards_total);
+  writer->PutU32(campaign.shards_pending);
+  writer->PutU32(campaign.shards_leased);
+  writer->PutU32(campaign.shards_done);
+  const uint64_t scalars[] = {campaign.coverage,
+                              campaign.corpus,
+                              campaign.execs,
+                              campaign.crashes,
+                              campaign.frontier_us,
+                              campaign.leases_granted,
+                              campaign.leases_reclaimed,
+                              campaign.rejected_uploads,
+                              campaign.workers_lost,
+                              campaign.corpus_syncs,
+                              campaign.journal_dropped,
+                              campaign.journal_dropped_workers};
+  for (uint64_t scalar : scalars) {
+    writer->PutU64(scalar);
+  }
+  writer->PutU8(campaign.finalized);
+  writer->PutU32(static_cast<uint32_t>(campaign.shards.size()));
+  for (const ShardStatusWire& shard : campaign.shards) {
+    PutShardStatus(writer, shard);
+  }
+  writer->PutU32(static_cast<uint32_t>(campaign.bugs.size()));
+  for (const BugStatusWire& bug : campaign.bugs) {
+    PutBugStatus(writer, bug);
+  }
+}
+
+CampaignStatusWire GetCampaignStatus(ByteReader* reader) {
+  CampaignStatusWire campaign;
+  campaign.campaign_id = GetString(reader);
+  campaign.os_name = GetString(reader);
+  campaign.board_name = GetString(reader);
+  campaign.budget_us = reader->GetU64();
+  campaign.shards_total = reader->GetU32();
+  campaign.shards_pending = reader->GetU32();
+  campaign.shards_leased = reader->GetU32();
+  campaign.shards_done = reader->GetU32();
+  uint64_t* scalars[] = {&campaign.coverage,
+                         &campaign.corpus,
+                         &campaign.execs,
+                         &campaign.crashes,
+                         &campaign.frontier_us,
+                         &campaign.leases_granted,
+                         &campaign.leases_reclaimed,
+                         &campaign.rejected_uploads,
+                         &campaign.workers_lost,
+                         &campaign.corpus_syncs,
+                         &campaign.journal_dropped,
+                         &campaign.journal_dropped_workers};
+  for (uint64_t* scalar : scalars) {
+    *scalar = reader->GetU64();
+  }
+  campaign.finalized = reader->GetU8();
+  uint32_t shard_count = reader->GetU32();
+  if (!reader->failed() &&
+      static_cast<size_t>(shard_count) * 41 <= reader->remaining()) {
+    campaign.shards.reserve(shard_count);
+  }
+  for (uint32_t i = 0; i < shard_count && !reader->failed(); ++i) {
+    campaign.shards.push_back(GetShardStatus(reader));
+  }
+  uint32_t bug_count = reader->GetU32();
+  for (uint32_t i = 0; i < bug_count && !reader->failed(); ++i) {
+    campaign.bugs.push_back(GetBugStatus(reader));
+  }
+  return campaign;
+}
+
+}  // namespace
+
+std::vector<uint8_t> Encode(const StatusReplyMsg& msg) {
+  ByteWriter writer;
+  writer.PutU64(msg.server_ms);
+  writer.PutU64(msg.assembled_ms);
+  writer.PutU64(msg.heartbeat_interval_ms);
+  writer.PutU32(static_cast<uint32_t>(msg.campaigns.size()));
+  for (const CampaignStatusWire& campaign : msg.campaigns) {
+    PutCampaignStatus(&writer, campaign);
+  }
+  writer.PutU32(static_cast<uint32_t>(msg.workers.size()));
+  for (const WorkerStatusWire& worker : msg.workers) {
+    writer.PutU32(worker.worker_id);
+    PutString(&writer, worker.name);
+    writer.PutU64(worker.last_seen_ms);
+    writer.PutU8(worker.lost);
+    writer.PutU64(worker.execs);
+    writer.PutU64(worker.leases);
+    writer.PutU64(worker.syncs);
+    writer.PutU64(worker.journal_dropped);
+  }
+  return writer.TakeBytes();
+}
+
+Result<StatusReplyMsg> DecodeStatusReply(const std::vector<uint8_t>& payload) {
+  ByteReader reader(payload);
+  StatusReplyMsg msg;
+  msg.server_ms = reader.GetU64();
+  msg.assembled_ms = reader.GetU64();
+  msg.heartbeat_interval_ms = reader.GetU64();
+  uint32_t campaign_count = reader.GetU32();
+  for (uint32_t i = 0; i < campaign_count && !reader.failed(); ++i) {
+    msg.campaigns.push_back(GetCampaignStatus(&reader));
+  }
+  uint32_t worker_count = reader.GetU32();
+  for (uint32_t i = 0; i < worker_count && !reader.failed(); ++i) {
+    WorkerStatusWire worker;
+    worker.worker_id = reader.GetU32();
+    worker.name = GetString(&reader);
+    worker.last_seen_ms = reader.GetU64();
+    worker.lost = reader.GetU8();
+    worker.execs = reader.GetU64();
+    worker.leases = reader.GetU64();
+    worker.syncs = reader.GetU64();
+    worker.journal_dropped = reader.GetU64();
+    msg.workers.push_back(std::move(worker));
+  }
+  return Finish("StatusReply", reader, std::move(msg));
 }
 
 }  // namespace fleet

@@ -49,6 +49,10 @@ enum class MsgType : uint16_t {
   kWorkerFinal = 8,
   kFinalAck = 9,
   kGoodbye = 10,
+  // Observer role: read-only status polls. An observer connection never says
+  // Hello and never holds leases; it sends StatusRequest and gets StatusReply.
+  kStatusRequest = 11,
+  kStatusReply = 12,
 };
 
 struct Frame {
@@ -164,6 +168,7 @@ struct SyncMsg {
   std::vector<CorpusEntryWire> corpus;  // newly admitted programs
   std::vector<BugWire> bugs;            // newly confirmed bugs
   std::vector<uint64_t> focus;          // worker's current focus specs
+  uint64_t journal_dropped = 0;  // this worker's sink drop count so far
 };
 
 struct SyncAckMsg {
@@ -223,6 +228,83 @@ struct GoodbyeMsg {
   uint32_t worker_id = 0;
 };
 
+// --- Observer role ---
+
+// One status poll. An observer never says Hello: it connects, sends
+// StatusRequest, reads StatusReply, says Goodbye (worker_id 0) and closes.
+struct StatusRequestMsg {
+  std::string campaign_id;    // empty = every registered campaign
+  uint8_t include_shards = 1; // 0 = omit the per-shard lease table
+};
+
+// Per-shard lease-table row. `phase` mirrors ShardState::Phase.
+struct ShardStatusWire {
+  uint32_t shard = 0;
+  uint8_t phase = 0;  // 0 pending, 1 leased, 2 done
+  uint64_t lease_id = 0;
+  uint32_t worker = 0;       // worker id holding the lease (leased phase)
+  uint32_t attempt = 0;      // grant attempts so far
+  uint64_t deadline_ms = 0;  // lease expiry on the orchestrator clock
+  uint64_t elapsed_us = 0;   // last reported virtual progress
+  uint64_t execs = 0;
+};
+
+// Per-worker row: identity, liveness, and accumulated sync-side counters.
+struct WorkerStatusWire {
+  uint32_t worker_id = 0;
+  std::string name;
+  uint64_t last_seen_ms = 0;  // orchestrator clock at the last frame
+  uint8_t lost = 0;           // 1 = reaped after lease timeout
+  uint64_t execs = 0;         // sum of live shard-progress execs
+  uint64_t leases = 0;        // leases currently held
+  uint64_t syncs = 0;         // Sync frames accepted
+  uint64_t journal_dropped = 0;  // worker-side sink drops (from Sync)
+};
+
+struct BugStatusWire {
+  uint32_t catalog_id = 0;
+  std::string detector;
+  std::string kind;
+  std::string excerpt;
+  uint64_t at_us = 0;
+  uint32_t board = 0;
+};
+
+// Aggregated campaign view assembled under the orchestrator lock.
+struct CampaignStatusWire {
+  std::string campaign_id;
+  std::string os_name;
+  std::string board_name;
+  uint64_t budget_us = 0;
+  uint32_t shards_total = 0;
+  uint32_t shards_pending = 0;
+  uint32_t shards_leased = 0;
+  uint32_t shards_done = 0;
+  uint64_t coverage = 0;       // merged edge count
+  uint64_t corpus = 0;         // merged corpus size (incl. seed programs)
+  uint64_t execs = 0;          // finals + live lease progress
+  uint64_t crashes = 0;        // from accepted finals
+  uint64_t frontier_us = 0;    // min elapsed over active shards
+  uint64_t leases_granted = 0;
+  uint64_t leases_reclaimed = 0;
+  uint64_t rejected_uploads = 0;
+  uint64_t workers_lost = 0;
+  uint64_t corpus_syncs = 0;
+  uint64_t journal_dropped = 0;          // orchestrator sink drops
+  uint64_t journal_dropped_workers = 0;  // sum of worker-reported drops
+  uint8_t finalized = 0;
+  std::vector<ShardStatusWire> shards;  // empty when include_shards == 0
+  std::vector<BugStatusWire> bugs;      // deduped bug table
+};
+
+struct StatusReplyMsg {
+  uint64_t server_ms = 0;     // orchestrator clock at reply time
+  uint64_t assembled_ms = 0;  // clock when this snapshot was assembled
+  uint64_t heartbeat_interval_ms = 0;  // staleness bound for the snapshot
+  std::vector<CampaignStatusWire> campaigns;
+  std::vector<WorkerStatusWire> workers;
+};
+
 // Flag bit helpers for WireCampaignConfig::flags.
 enum ConfigFlag : uint32_t {
   kFlagCoverageFeedback = 1u << 0,
@@ -249,6 +331,8 @@ std::vector<uint8_t> Encode(const SyncAckMsg& msg);
 std::vector<uint8_t> Encode(const WorkerFinalMsg& msg);
 std::vector<uint8_t> Encode(const FinalAckMsg& msg);
 std::vector<uint8_t> Encode(const GoodbyeMsg& msg);
+std::vector<uint8_t> Encode(const StatusRequestMsg& msg);
+std::vector<uint8_t> Encode(const StatusReplyMsg& msg);
 
 Result<HelloMsg> DecodeHello(const std::vector<uint8_t>& payload);
 Result<HelloAckMsg> DecodeHelloAck(const std::vector<uint8_t>& payload);
@@ -260,6 +344,8 @@ Result<SyncAckMsg> DecodeSyncAck(const std::vector<uint8_t>& payload);
 Result<WorkerFinalMsg> DecodeWorkerFinal(const std::vector<uint8_t>& payload);
 Result<FinalAckMsg> DecodeFinalAck(const std::vector<uint8_t>& payload);
 Result<GoodbyeMsg> DecodeGoodbye(const std::vector<uint8_t>& payload);
+Result<StatusRequestMsg> DecodeStatusRequest(const std::vector<uint8_t>& payload);
+Result<StatusReplyMsg> DecodeStatusReply(const std::vector<uint8_t>& payload);
 
 }  // namespace fleet
 }  // namespace eof

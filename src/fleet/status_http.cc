@@ -1,0 +1,165 @@
+#include "src/fleet/status_http.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "src/common/strings.h"
+#include "src/telemetry/prometheus.h"
+
+namespace eof {
+namespace fleet {
+
+namespace {
+
+// Bounded read of one request head (through the blank line). Observers send
+// tiny GETs; anything larger than this is not a client we serve.
+constexpr size_t kMaxRequestBytes = 8192;
+constexpr int kRequestTimeoutMs = 2000;
+
+void SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      return;
+    }
+    sent += static_cast<size_t>(n);
+  }
+}
+
+std::string HttpResponse(const char* status_line, const char* content_type,
+                         const std::string& body) {
+  return StrFormat(
+             "HTTP/1.1 %s\r\nContent-Type: %s\r\nContent-Length: %zu\r\n"
+             "Connection: close\r\n\r\n",
+             status_line, content_type, body.size()) +
+         body;
+}
+
+}  // namespace
+
+StatusHttpServer::StatusHttpServer(int listen_fd, uint16_t bound_port,
+                                   Handlers handlers)
+    : listen_fd_(listen_fd), bound_port_(bound_port),
+      handlers_(std::move(handlers)) {}
+
+Result<std::unique_ptr<StatusHttpServer>> StatusHttpServer::Start(
+    uint16_t port, Handlers handlers) {
+  if (!handlers.metrics) {
+    return InvalidArgumentError("StatusHttpServer: metrics handler required");
+  }
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return UnavailableError("StatusHttpServer: socket() failed");
+  }
+  int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close(fd);
+    return UnavailableError(
+        StrFormat("StatusHttpServer: cannot bind 127.0.0.1:%u", port));
+  }
+  if (listen(fd, 16) != 0) {
+    close(fd);
+    return UnavailableError("StatusHttpServer: listen() failed");
+  }
+  socklen_t len = sizeof(addr);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    close(fd);
+    return UnavailableError("StatusHttpServer: getsockname() failed");
+  }
+  auto server = std::unique_ptr<StatusHttpServer>(
+      new StatusHttpServer(fd, ntohs(addr.sin_port), std::move(handlers)));
+  server->accept_thread_ = std::thread([raw = server.get()] { raw->AcceptLoop(); });
+  return server;
+}
+
+StatusHttpServer::~StatusHttpServer() { Stop(); }
+
+void StatusHttpServer::Stop() {
+  if (stop_.exchange(true)) {
+    return;
+  }
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+  close(listen_fd_);
+}
+
+void StatusHttpServer::AcceptLoop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    int ready = poll(&pfd, 1, 100);
+    if (ready <= 0) {
+      continue;
+    }
+    int conn = accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) {
+      continue;
+    }
+    int one = 1;
+    setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    HandleConnection(conn);
+    close(conn);
+  }
+}
+
+void StatusHttpServer::HandleConnection(int fd) {
+  std::string request;
+  while (request.size() < kMaxRequestBytes &&
+         request.find("\r\n\r\n") == std::string::npos) {
+    pollfd pfd{fd, POLLIN, 0};
+    if (poll(&pfd, 1, kRequestTimeoutMs) <= 0) {
+      return;
+    }
+    char buffer[2048];
+    ssize_t n = recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) {
+      return;
+    }
+    request.append(buffer, static_cast<size_t>(n));
+  }
+  // Request line: METHOD SP PATH SP VERSION. Query strings are not served.
+  size_t method_end = request.find(' ');
+  size_t path_end =
+      method_end == std::string::npos ? std::string::npos
+                                      : request.find(' ', method_end + 1);
+  if (method_end == std::string::npos || path_end == std::string::npos) {
+    SendAll(fd, HttpResponse("400 Bad Request", "text/plain; charset=utf-8",
+                             "bad request\n"));
+    return;
+  }
+  std::string method = request.substr(0, method_end);
+  std::string path = request.substr(method_end + 1, path_end - method_end - 1);
+  if (method != "GET") {
+    SendAll(fd, HttpResponse("405 Method Not Allowed",
+                             "text/plain; charset=utf-8",
+                             "only GET is served\n"));
+    return;
+  }
+  if (path == "/metrics") {
+    SendAll(fd, HttpResponse("200 OK", telemetry::kPrometheusContentType,
+                             handlers_.metrics()));
+    return;
+  }
+  if (path == "/healthz") {
+    std::string body = handlers_.healthz ? handlers_.healthz() : "ok\n";
+    SendAll(fd, HttpResponse("200 OK", "text/plain; charset=utf-8", body));
+    return;
+  }
+  SendAll(fd, HttpResponse("404 Not Found", "text/plain; charset=utf-8",
+                           "not found\n"));
+}
+
+}  // namespace fleet
+}  // namespace eof

@@ -1,0 +1,59 @@
+// Minimal HTTP/1.1 status endpoint for `eof serve --status-port`: a loopback
+// listener with an accept thread answering GET /metrics (Prometheus text
+// exposition) and GET /healthz. One request per connection (Connection:
+// close), bodies built by injected handlers so the server owns no campaign
+// state. Deliberately tiny — no keep-alive, no chunking, no TLS; like the
+// fleet protocol it binds 127.0.0.1 only.
+
+#ifndef SRC_FLEET_STATUS_HTTP_H_
+#define SRC_FLEET_STATUS_HTTP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "src/common/status.h"
+
+namespace eof {
+namespace fleet {
+
+class StatusHttpServer {
+ public:
+  struct Handlers {
+    // Body for GET /metrics; served with the Prometheus content type.
+    std::function<std::string()> metrics;
+    // Body for GET /healthz; defaults to "ok\n" when unset.
+    std::function<std::string()> healthz;
+  };
+
+  // Binds 127.0.0.1:`port` (0 picks an ephemeral port, reported via the
+  // bound_port() accessor) and starts the accept thread.
+  static Result<std::unique_ptr<StatusHttpServer>> Start(uint16_t port,
+                                                         Handlers handlers);
+  ~StatusHttpServer();
+
+  // Stops the accept thread and closes the listener. Idempotent.
+  void Stop();
+
+  uint16_t bound_port() const { return bound_port_; }
+
+ private:
+  StatusHttpServer(int listen_fd, uint16_t bound_port, Handlers handlers);
+
+  void AcceptLoop();
+  void HandleConnection(int fd);
+
+  int listen_fd_;
+  uint16_t bound_port_;
+  Handlers handlers_;
+  std::atomic<bool> stop_{false};
+  std::thread accept_thread_;
+};
+
+}  // namespace fleet
+}  // namespace eof
+
+#endif  // SRC_FLEET_STATUS_HTTP_H_

@@ -185,6 +185,7 @@ Result<CampaignResult> FleetWorker::RunBatch(Transport* transport,
       shard.shard = lease.shard;
       sync.shards.push_back(shard);
     }
+    sync.journal_dropped = sink() != nullptr ? sink()->dropped() : 0;
     RETURN_IF_ERROR(transport->Send({MsgType::kSync, Encode(sync)}));
     ASSIGN_OR_RETURN(Frame reply,
                      transport->Recv(static_cast<int>(lease_timeout_ms_)));
@@ -308,6 +309,7 @@ Result<CampaignResult> FleetWorker::RunBatch(Transport* transport,
       sync.bugs.push_back(ToWireBug(bug));
     }
     sync.focus = FocusToWire(scheduler.FocusSpecs());
+    sync.journal_dropped = sink() != nullptr ? sink()->dropped() : 0;
 
     pump_status = transport->Send({MsgType::kSync, Encode(sync)});
     if (pump_status.ok()) {

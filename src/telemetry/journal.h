@@ -112,6 +112,52 @@ class FileEventSink : public EventSink {
   std::atomic<uint64_t> dropped_{0};
 };
 
+// Size-rotated JSONL journal: writes numbered segments next to `base_path`
+// (`orch.jsonl` -> `orch.000.jsonl`, `orch.001.jsonl`, ...) of at most
+// `rotate_bytes` each (a single oversized line still lands in one segment).
+// Closing a segment appends a `journal_rotate` manifest row (segment index,
+// byte/row counts, next segment's filename); every continuation segment opens
+// with a `journal_segment` header row, which is how the report loader knows to
+// concatenate a segment directory back into one stream. Both marker rows carry
+// the last event's virtual stamp, so a rotated journal stays bit-reproducible.
+// Writes are write-through (no line buffering): rotation decisions need exact
+// byte accounting, and the rotating sink's only current producer — the fleet
+// orchestrator — journals unbuffered anyway.
+class RotatingFileEventSink : public EventSink {
+ public:
+  static Result<std::unique_ptr<RotatingFileEventSink>> Open(
+      const std::string& base_path, uint64_t rotate_bytes,
+      size_t buffer_lines = 1);
+  ~RotatingFileEventSink() override;
+
+  bool Emit(const Event& event) override;
+  void Flush() override;
+  uint64_t dropped() const override { return dropped_.load(std::memory_order_relaxed); }
+
+  // Segment paths written so far, in order. For tests and manifest listings.
+  std::vector<std::string> SegmentPaths() const;
+
+ private:
+  RotatingFileEventSink(std::string stem, std::string suffix, uint64_t rotate_bytes);
+
+  static std::string SegmentName(const std::string& stem, const std::string& suffix,
+                                 size_t index);
+  bool WriteLineLocked(const std::string& line);
+  bool RotateLocked();
+
+  mutable std::mutex mu_;
+  std::string stem_;    // base path minus the ".jsonl" suffix
+  std::string suffix_;  // ".jsonl" (or empty when the base path has none)
+  uint64_t rotate_bytes_;
+  FILE* file_ = nullptr;
+  size_t segment_ = 0;
+  uint64_t segment_bytes_ = 0;
+  uint64_t segment_rows_ = 0;
+  VirtualTime last_at_ = 0;
+  std::vector<std::string> segments_;
+  std::atomic<uint64_t> dropped_{0};
+};
+
 }  // namespace telemetry
 }  // namespace eof
 

@@ -918,12 +918,15 @@ Result<CampaignReport> LoadReportFromFile(const std::string& path) {
   return BuildReport(rows);
 }
 
-Result<CampaignReport> LoadMergedReportFromFiles(
+Result<std::vector<JournalRow>> LoadMergedJournalRows(
     const std::vector<std::string>& paths) {
   if (paths.empty()) {
     return InvalidArgumentError("no journal files to merge");
   }
-  std::vector<JournalRow> merged;
+  // Group files into streams: a file opening with a journal_segment header is
+  // the next rotated segment of the previous file's stream and concatenates
+  // onto it; anything else starts a stream of its own.
+  std::vector<std::vector<JournalRow>> streams;
   std::string campaign_id;
   std::string campaign_owner;  // path that established campaign_id
   for (const std::string& path : paths) {
@@ -947,16 +950,40 @@ Result<CampaignReport> LoadMergedReportFromFiles(
             path.c_str()));
       }
     }
-    merged.insert(merged.end(), std::make_move_iterator(rows.begin()),
-                  std::make_move_iterator(rows.end()));
+    bool continuation =
+        !rows.empty() && rows.front().type == "journal_segment" && !streams.empty();
+    if (continuation) {
+      std::vector<JournalRow>& stream = streams.back();
+      stream.insert(stream.end(), std::make_move_iterator(rows.begin()),
+                    std::make_move_iterator(rows.end()));
+    } else {
+      streams.push_back(std::move(rows));
+    }
+  }
+  if (streams.size() == 1) {
+    // One stream (a single journal, possibly rotated): file order IS the
+    // journal order. No sort — rotated segments must reproduce the unrotated
+    // report bit-for-bit, and journal rows are not globally time-monotone.
+    return std::move(streams.front());
+  }
+  std::vector<JournalRow> merged;
+  for (std::vector<JournalRow>& stream : streams) {
+    merged.insert(merged.end(), std::make_move_iterator(stream.begin()),
+                  std::make_move_iterator(stream.end()));
   }
   // One virtual timeline: sort by timestamp, stably, so rows that share an
-  // instant keep their per-file order (and a single file replays unchanged).
+  // instant keep their per-stream order.
   std::stable_sort(merged.begin(), merged.end(),
                    [](const JournalRow& a, const JournalRow& b) {
                      return a.at < b.at;
                    });
-  return BuildReport(merged);
+  return merged;
+}
+
+Result<CampaignReport> LoadMergedReportFromFiles(
+    const std::vector<std::string>& paths) {
+  ASSIGN_OR_RETURN(std::vector<JournalRow> rows, LoadMergedJournalRows(paths));
+  return BuildReport(rows);
 }
 
 }  // namespace telemetry

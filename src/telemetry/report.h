@@ -178,6 +178,18 @@ CampaignReport BuildReport(const std::vector<JournalRow>& rows);
 // Reads, parses, and folds a journal file.
 Result<CampaignReport> LoadReportFromFile(const std::string& path);
 
+// Loads several journal files into one row list, honoring rotation: a file
+// whose first row is a `journal_segment` header (written by
+// RotatingFileEventSink) continues the previous file's stream, so a rotated
+// segment directory concatenates back into exactly the stream one unrotated
+// file would hold. With one resulting stream the rows are returned in file
+// order, unsorted — byte-for-byte what a single file yields. With several
+// streams (orchestrator + per-worker journals) the rows are pooled in path
+// order and stable-sorted by virtual timestamp. Campaign-id consistency is
+// enforced across all campaign_start rows; parse errors carry the path.
+Result<std::vector<JournalRow>> LoadMergedJournalRows(
+    const std::vector<std::string>& paths);
+
 // Merges several per-process journals (an orchestrator journal plus one per
 // fleet worker) into one report. Rows from all files are pooled and
 // stable-sorted by virtual timestamp (file order breaks ties) before folding,

@@ -1,0 +1,33 @@
+// Chrome trace-event export: converts journaled trace spans into the JSON
+// format chrome://tracing and Perfetto load, so a campaign's deploy / reflash /
+// watchdog-recovery phases render as a per-board flamegraph.
+//
+// Mapping: every `span` row becomes an "X" (complete) event at ts=begin_us with
+// dur=dur_us on pid 0 / tid = worker (the board or fleet-worker lane);
+// `bug_report` and `liveness_reset` rows become instant events on their lane
+// (or a global instant for campaign-scope rows); each lane gets a thread_name
+// metadata event. Timestamps are the journal's virtual microseconds verbatim —
+// the trace's time axis IS the campaign's virtual clock. Events are ordered by
+// ts ascending with longer durations first at a shared ts, which preserves
+// parent-before-child nesting for enclosing spans.
+
+#ifndef SRC_TELEMETRY_TRACE_EXPORT_H_
+#define SRC_TELEMETRY_TRACE_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/telemetry/report.h"
+
+namespace eof {
+namespace telemetry {
+
+// Renders the rows as one Chrome trace JSON object:
+//   {"displayTimeUnit":"ms","traceEvents":[...]}
+// Rows that are not spans / bugs / liveness resets are skipped.
+std::string RenderChromeTrace(const std::vector<JournalRow>& rows);
+
+}  // namespace telemetry
+}  // namespace eof
+
+#endif  // SRC_TELEMETRY_TRACE_EXPORT_H_

@@ -1,0 +1,645 @@
+// Observability-plane fleet tests: StatusRequest/StatusReply wire codecs,
+// HandleStatus aggregation and its bounded-staleness cache, the observer's
+// zero-perturbation guarantee (an observed fleet run produces bit-identical
+// campaign results to an unobserved one), the loopback FetchStatus poll, the
+// /metrics HTTP endpoint, and the eof-top / fleet-metrics renderers.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/coverage_serial.h"
+#include "src/core/fuzzer.h"
+#include "src/fleet/observer.h"
+#include "src/fleet/orchestrator.h"
+#include "src/fleet/proto.h"
+#include "src/fleet/status_http.h"
+#include "src/fleet/transport.h"
+#include "src/fleet/worker.h"
+#include "src/os/all_oses.h"
+#include "src/telemetry/journal.h"
+#include "src/telemetry/prometheus.h"
+
+namespace eof {
+namespace fleet {
+namespace {
+
+FuzzerConfig TinyConfig(uint64_t seed = 7) {
+  FuzzerConfig config;
+  config.os_name = "zephyr";
+  config.seed = seed;
+  config.budget = 30 * kVirtualSecond;
+  config.sample_points = 4;
+  return config;
+}
+
+StatusReplyMsg FullReply() {
+  StatusReplyMsg reply;
+  reply.server_ms = 123456;
+  reply.assembled_ms = 123400;
+  reply.heartbeat_interval_ms = 250;
+  CampaignStatusWire campaign;
+  campaign.campaign_id = "c1";
+  campaign.os_name = "zephyr";
+  campaign.board_name = "default";
+  campaign.budget_us = 30000000;
+  campaign.shards_total = 4;
+  campaign.shards_pending = 1;
+  campaign.shards_leased = 2;
+  campaign.shards_done = 1;
+  campaign.coverage = 234;
+  campaign.corpus = 17;
+  campaign.execs = 9001;
+  campaign.crashes = 2;
+  campaign.frontier_us = 1500000;
+  campaign.leases_granted = 5;
+  campaign.leases_reclaimed = 1;
+  campaign.rejected_uploads = 3;
+  campaign.workers_lost = 1;
+  campaign.corpus_syncs = 8;
+  campaign.journal_dropped = 4;
+  campaign.journal_dropped_workers = 11;
+  campaign.finalized = 1;
+  ShardStatusWire shard;
+  shard.shard = 2;
+  shard.phase = 1;
+  shard.lease_id = 42;
+  shard.worker = 7;
+  shard.attempt = 3;
+  shard.deadline_ms = 124000;
+  shard.elapsed_us = 2500000;
+  shard.execs = 321;
+  campaign.shards.push_back(shard);
+  BugStatusWire bug;
+  bug.catalog_id = 9;
+  bug.detector = "exception";
+  bug.kind = "double free";
+  bug.excerpt = "PANIC: double\nfree";
+  bug.at_us = 777;
+  bug.board = 1;
+  campaign.bugs.push_back(bug);
+  reply.campaigns.push_back(campaign);
+  WorkerStatusWire worker;
+  worker.worker_id = 7;
+  worker.name = "rack0/w7";
+  worker.last_seen_ms = 123300;
+  worker.lost = 0;
+  worker.execs = 4567;
+  worker.leases = 2;
+  worker.syncs = 31;
+  worker.journal_dropped = 6;
+  reply.workers.push_back(worker);
+  return reply;
+}
+
+TEST(StatusProtoTest, RequestRoundtrip) {
+  StatusRequestMsg request;
+  request.campaign_id = "only-this";
+  request.include_shards = 0;
+  auto decoded = DecodeStatusRequest(Encode(request));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->campaign_id, "only-this");
+  EXPECT_EQ(decoded->include_shards, 0);
+}
+
+TEST(StatusProtoTest, ReplyRoundtripPreservesEveryField) {
+  StatusReplyMsg reply = FullReply();
+  auto decoded = DecodeStatusReply(Encode(reply));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->server_ms, 123456u);
+  EXPECT_EQ(decoded->assembled_ms, 123400u);
+  EXPECT_EQ(decoded->heartbeat_interval_ms, 250u);
+  ASSERT_EQ(decoded->campaigns.size(), 1u);
+  const CampaignStatusWire& campaign = decoded->campaigns[0];
+  EXPECT_EQ(campaign.campaign_id, "c1");
+  EXPECT_EQ(campaign.os_name, "zephyr");
+  EXPECT_EQ(campaign.board_name, "default");
+  EXPECT_EQ(campaign.budget_us, 30000000u);
+  EXPECT_EQ(campaign.shards_total, 4u);
+  EXPECT_EQ(campaign.shards_pending, 1u);
+  EXPECT_EQ(campaign.shards_leased, 2u);
+  EXPECT_EQ(campaign.shards_done, 1u);
+  EXPECT_EQ(campaign.coverage, 234u);
+  EXPECT_EQ(campaign.corpus, 17u);
+  EXPECT_EQ(campaign.execs, 9001u);
+  EXPECT_EQ(campaign.crashes, 2u);
+  EXPECT_EQ(campaign.frontier_us, 1500000u);
+  EXPECT_EQ(campaign.leases_granted, 5u);
+  EXPECT_EQ(campaign.leases_reclaimed, 1u);
+  EXPECT_EQ(campaign.rejected_uploads, 3u);
+  EXPECT_EQ(campaign.workers_lost, 1u);
+  EXPECT_EQ(campaign.corpus_syncs, 8u);
+  EXPECT_EQ(campaign.journal_dropped, 4u);
+  EXPECT_EQ(campaign.journal_dropped_workers, 11u);
+  EXPECT_EQ(campaign.finalized, 1u);
+  ASSERT_EQ(campaign.shards.size(), 1u);
+  EXPECT_EQ(campaign.shards[0].shard, 2u);
+  EXPECT_EQ(campaign.shards[0].phase, 1u);
+  EXPECT_EQ(campaign.shards[0].lease_id, 42u);
+  EXPECT_EQ(campaign.shards[0].worker, 7u);
+  EXPECT_EQ(campaign.shards[0].attempt, 3u);
+  EXPECT_EQ(campaign.shards[0].deadline_ms, 124000u);
+  EXPECT_EQ(campaign.shards[0].elapsed_us, 2500000u);
+  EXPECT_EQ(campaign.shards[0].execs, 321u);
+  ASSERT_EQ(campaign.bugs.size(), 1u);
+  EXPECT_EQ(campaign.bugs[0].catalog_id, 9u);
+  EXPECT_EQ(campaign.bugs[0].detector, "exception");
+  EXPECT_EQ(campaign.bugs[0].kind, "double free");
+  EXPECT_EQ(campaign.bugs[0].excerpt, "PANIC: double\nfree");
+  EXPECT_EQ(campaign.bugs[0].at_us, 777u);
+  EXPECT_EQ(campaign.bugs[0].board, 1u);
+  ASSERT_EQ(decoded->workers.size(), 1u);
+  EXPECT_EQ(decoded->workers[0].worker_id, 7u);
+  EXPECT_EQ(decoded->workers[0].name, "rack0/w7");
+  EXPECT_EQ(decoded->workers[0].last_seen_ms, 123300u);
+  EXPECT_EQ(decoded->workers[0].lost, 0u);
+  EXPECT_EQ(decoded->workers[0].execs, 4567u);
+  EXPECT_EQ(decoded->workers[0].leases, 2u);
+  EXPECT_EQ(decoded->workers[0].syncs, 31u);
+  EXPECT_EQ(decoded->workers[0].journal_dropped, 6u);
+}
+
+TEST(StatusProtoTest, ReplyRejectsTruncationAndTrailingBytes) {
+  std::vector<uint8_t> payload = Encode(FullReply());
+  // Every strict prefix must fail to decode — no partial-read acceptance.
+  for (size_t len = 0; len < payload.size(); ++len) {
+    std::vector<uint8_t> cut(payload.begin(), payload.begin() + len);
+    EXPECT_FALSE(DecodeStatusReply(cut).ok()) << "prefix length " << len;
+  }
+  std::vector<uint8_t> padded = payload;
+  padded.push_back(0);
+  EXPECT_FALSE(DecodeStatusReply(padded).ok());
+}
+
+class ObserverTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { ASSERT_TRUE(RegisterAllOses().ok()); }
+
+  std::unique_ptr<Orchestrator> Make(int pool = 64) {
+    Orchestrator::Options options;
+    options.board_pool = pool;
+    options.heartbeat_interval_ms = 100;
+    options.lease_timeout_ms = 1000;
+    options.sink = &sink_;
+    options.clock_ms = [this] { return now_ms_; };
+    auto orchestrator = Orchestrator::Create(std::move(options));
+    EXPECT_TRUE(orchestrator.ok());
+    return std::move(orchestrator).value();
+  }
+
+  static uint32_t SayHello(Transport* t, const std::string& name) {
+    Frame hello{MsgType::kHello, Encode(HelloMsg{name, 4})};
+    EXPECT_TRUE(t->Send(hello).ok());
+    auto ack = t->Recv(2000);
+    EXPECT_TRUE(ack.ok());
+    auto decoded = DecodeHelloAck(ack->payload);
+    EXPECT_TRUE(decoded.ok());
+    return decoded->worker_id;
+  }
+
+  static Result<LeaseGrantMsg> AskForWork(Transport* t, uint32_t worker_id,
+                                          uint32_t capacity) {
+    Frame request{MsgType::kLeaseRequest,
+                  Encode(LeaseRequestMsg{worker_id, capacity})};
+    RETURN_IF_ERROR(t->Send(request));
+    ASSIGN_OR_RETURN(Frame reply, t->Recv(2000));
+    if (reply.type == MsgType::kNoWork) {
+      return UnavailableError("no work");
+    }
+    return DecodeLeaseGrant(reply.payload);
+  }
+
+  telemetry::MemoryEventSink sink_;
+  uint64_t now_ms_ = 1000;
+};
+
+TEST_F(ObserverTest, HandleStatusAggregatesCampaignWorkerAndShardState) {
+  auto orchestrator = Make();
+  FleetCampaignSpec spec;
+  spec.campaign_id = "c";
+  spec.config = TinyConfig();
+  spec.shards = 2;
+  ASSERT_TRUE(orchestrator->AddCampaign(spec).ok());
+
+  auto [client, server] = LoopbackPair();
+  std::thread handler([&] { orchestrator->ServeConnection(server.get()); });
+  uint32_t worker_id = SayHello(client.get(), "w0");
+  auto grant = AskForWork(client.get(), worker_id, 2);
+  ASSERT_TRUE(grant.ok());
+  ASSERT_EQ(grant->leases.size(), 2u);
+
+  SyncMsg sync;
+  sync.worker_id = worker_id;
+  sync.campaign_id = "c";
+  sync.seq = 1;
+  sync.shards.push_back({grant->leases[0].lease_id, grant->leases[0].shard,
+                         5000000, 500, 0});
+  sync.coverage_delta = SerializeCoverageIds({11, 22}, CoverageWireKind::kDiff);
+  BugWire bug;
+  bug.catalog_id = 3;
+  bug.detector = "exception";
+  bug.kind = "crash";
+  bug.excerpt = "PANIC: null deref";
+  sync.bugs.push_back(bug);
+  sync.journal_dropped = 9;
+  ASSERT_TRUE(client->Send({MsgType::kSync, Encode(sync)}).ok());
+  ASSERT_TRUE(client->Recv(2000).ok());
+
+  StatusReplyMsg status = orchestrator->HandleStatus(StatusRequestMsg{});
+  EXPECT_EQ(status.server_ms, 1000u);
+  EXPECT_EQ(status.assembled_ms, 1000u);
+  EXPECT_EQ(status.heartbeat_interval_ms, 100u);
+  ASSERT_EQ(status.campaigns.size(), 1u);
+  const CampaignStatusWire& campaign = status.campaigns[0];
+  EXPECT_EQ(campaign.campaign_id, "c");
+  EXPECT_EQ(campaign.os_name, "zephyr");
+  EXPECT_EQ(campaign.shards_total, 2u);
+  EXPECT_EQ(campaign.shards_pending, 0u);
+  EXPECT_EQ(campaign.shards_leased, 2u);
+  EXPECT_EQ(campaign.shards_done, 0u);
+  EXPECT_EQ(campaign.coverage, 2u);
+  EXPECT_EQ(campaign.execs, 500u);  // live lease progress, no finals yet
+  EXPECT_EQ(campaign.leases_granted, 2u);
+  EXPECT_EQ(campaign.journal_dropped_workers, 9u);
+  EXPECT_EQ(campaign.finalized, 0u);
+  ASSERT_EQ(campaign.bugs.size(), 1u);
+  EXPECT_EQ(campaign.bugs[0].catalog_id, 3u);
+  EXPECT_EQ(campaign.bugs[0].excerpt, "PANIC: null deref");
+  ASSERT_EQ(campaign.shards.size(), 2u);
+  uint64_t synced_execs = 0;
+  for (const ShardStatusWire& shard : campaign.shards) {
+    EXPECT_EQ(shard.phase, 1u);  // leased
+    EXPECT_EQ(shard.worker, worker_id);
+    EXPECT_EQ(shard.attempt, 1u);
+    synced_execs += shard.execs;
+  }
+  EXPECT_EQ(synced_execs, 500u);
+  ASSERT_EQ(status.workers.size(), 1u);
+  EXPECT_EQ(status.workers[0].name, "w0");
+  EXPECT_EQ(status.workers[0].worker_id, worker_id);
+  EXPECT_EQ(status.workers[0].lost, 0u);
+  EXPECT_EQ(status.workers[0].execs, 500u);
+  EXPECT_EQ(status.workers[0].leases, 2u);
+  EXPECT_EQ(status.workers[0].syncs, 1u);
+  EXPECT_EQ(status.workers[0].journal_dropped, 9u);
+
+  // include_shards=0 strips the lease table but keeps the phase counters.
+  StatusRequestMsg no_shards;
+  no_shards.include_shards = 0;
+  StatusReplyMsg lean = orchestrator->HandleStatus(no_shards);
+  ASSERT_EQ(lean.campaigns.size(), 1u);
+  EXPECT_TRUE(lean.campaigns[0].shards.empty());
+  EXPECT_EQ(lean.campaigns[0].shards_leased, 2u);
+
+  // A campaign filter that matches nothing returns an empty campaign list
+  // (workers are global and still present).
+  StatusRequestMsg filtered;
+  filtered.campaign_id = "no-such-campaign";
+  EXPECT_TRUE(orchestrator->HandleStatus(filtered).campaigns.empty());
+
+  // The poll path left the campaign untouched: same grant state, no journal
+  // rows beyond the scripted worker's own.
+  EXPECT_EQ(orchestrator->CompletedShards("c"), 0);
+
+  client->Send({MsgType::kGoodbye, Encode(GoodbyeMsg{worker_id})});
+  client->Close();
+  handler.join();
+}
+
+TEST_F(ObserverTest, StatusSnapshotHasBoundedStaleness) {
+  auto orchestrator = Make();
+  FleetCampaignSpec spec;
+  spec.campaign_id = "c";
+  spec.config = TinyConfig();
+  spec.shards = 2;
+  ASSERT_TRUE(orchestrator->AddCampaign(spec).ok());
+
+  // First poll assembles a snapshot at t=1000: all shards pending.
+  StatusReplyMsg first = orchestrator->HandleStatus(StatusRequestMsg{});
+  EXPECT_EQ(first.assembled_ms, 1000u);
+  ASSERT_EQ(first.campaigns.size(), 1u);
+  EXPECT_EQ(first.campaigns[0].shards_pending, 2u);
+
+  // State changes: a worker takes both shards.
+  auto [client, server] = LoopbackPair();
+  std::thread handler([&] { orchestrator->ServeConnection(server.get()); });
+  uint32_t worker_id = SayHello(client.get(), "w0");
+  ASSERT_TRUE(AskForWork(client.get(), worker_id, 2).ok());
+
+  // Within the heartbeat interval the cached snapshot is served: the lease is
+  // invisible, but server_ms is stamped fresh — that skew IS the advertised
+  // snapshot age.
+  now_ms_ = 1050;
+  StatusReplyMsg cached = orchestrator->HandleStatus(StatusRequestMsg{});
+  EXPECT_EQ(cached.server_ms, 1050u);
+  EXPECT_EQ(cached.assembled_ms, 1000u);
+  ASSERT_EQ(cached.campaigns.size(), 1u);
+  EXPECT_EQ(cached.campaigns[0].shards_pending, 2u);
+  EXPECT_EQ(cached.campaigns[0].shards_leased, 0u);
+
+  // Past the interval the next poll re-assembles and sees the leases.
+  now_ms_ = 1101;
+  StatusReplyMsg fresh = orchestrator->HandleStatus(StatusRequestMsg{});
+  EXPECT_EQ(fresh.assembled_ms, 1101u);
+  ASSERT_EQ(fresh.campaigns.size(), 1u);
+  EXPECT_EQ(fresh.campaigns[0].shards_pending, 0u);
+  EXPECT_EQ(fresh.campaigns[0].shards_leased, 2u);
+
+  // The status path itself is instrumented.
+  auto snapshot = orchestrator->MetricsSnapshot();
+  auto it = snapshot.counters.find("fleet.status_requests");
+  ASSERT_NE(it, snapshot.counters.end());
+  EXPECT_EQ(it->second, 3u);
+
+  client->Send({MsgType::kGoodbye, Encode(GoodbyeMsg{worker_id})});
+  client->Close();
+  handler.join();
+}
+
+TEST_F(ObserverTest, FetchStatusPollsOverLoopback) {
+  auto orchestrator = Make();
+  FleetCampaignSpec spec;
+  spec.campaign_id = "c";
+  spec.config = TinyConfig();
+  spec.shards = 1;
+  ASSERT_TRUE(orchestrator->AddCampaign(spec).ok());
+
+  auto [client, server] = LoopbackPair();
+  std::thread handler([&] { orchestrator->ServeConnection(server.get()); });
+  auto status = FetchStatus(client.get(), "", /*include_shards=*/true,
+                            /*timeout_ms=*/2000);
+  ASSERT_TRUE(status.ok());
+  ASSERT_EQ(status->campaigns.size(), 1u);
+  EXPECT_EQ(status->campaigns[0].campaign_id, "c");
+  EXPECT_EQ(status->campaigns[0].shards_total, 1u);
+  EXPECT_EQ(status->heartbeat_interval_ms, 100u);
+  EXPECT_TRUE(status->workers.empty());  // observers are not workers
+  client->Close();
+  handler.join();
+}
+
+// The acceptance bar for the whole observer role: a fleet run polled by a
+// concurrent observer ends with exactly the same merged campaign outcome as an
+// unobserved run of the same spec. One shard / capacity one keeps the worker
+// single-session and therefore bit-deterministic (two concurrent sessions
+// interleave corpus admission on thread timing — see fleet_differential_test),
+// so any observer-induced perturbation shows up as a hard diff.
+TEST_F(ObserverTest, ObserverPollingPerturbsNothing) {
+  auto run = [](bool observed, telemetry::MemoryEventSink* sink,
+                uint64_t* status_polls) {
+    Orchestrator::Options options;
+    options.board_pool = 64;
+    options.heartbeat_interval_ms = 100;
+    options.lease_timeout_ms = 1000;
+    options.sink = sink;
+    auto orchestrator = Orchestrator::Create(std::move(options));
+    EXPECT_TRUE(orchestrator.ok());
+    FleetCampaignSpec spec;
+    spec.campaign_id = "diff";
+    spec.config = TinyConfig();
+    spec.shards = 1;
+    EXPECT_TRUE(orchestrator.value()->AddCampaign(spec).ok());
+
+    auto [client, server] = LoopbackPair();
+    std::thread handler(
+        [&] { orchestrator.value()->ServeConnection(server.get()); });
+
+    std::atomic<bool> done{false};
+    std::thread poller([&] {
+      if (!observed) {
+        return;
+      }
+      while (!done.load()) {
+        auto [observer_client, observer_server] = LoopbackPair();
+        std::thread observer_handler([&] {
+          orchestrator.value()->ServeConnection(observer_server.get());
+        });
+        auto status = FetchStatus(observer_client.get(), "", true, 2000);
+        EXPECT_TRUE(status.ok());
+        if (status_polls != nullptr) {
+          ++*status_polls;
+        }
+        observer_client->Close();
+        observer_handler.join();
+      }
+    });
+
+    telemetry::MemoryEventSink worker_sink;
+    FleetWorker::Options worker_options;
+    worker_options.name = "w0";
+    worker_options.capacity = 1;
+    worker_options.sink = &worker_sink;
+    auto worker = FleetWorker::Create(std::move(worker_options));
+    EXPECT_TRUE(worker.ok());
+    Status ran = worker.value()->Run(client.get());
+    EXPECT_TRUE(ran.ok()) << ran.ToString();
+    done.store(true);
+    handler.join();
+    poller.join();
+    return orchestrator.value()->Results();
+  };
+
+  telemetry::MemoryEventSink baseline_sink;
+  telemetry::MemoryEventSink observed_sink;
+  uint64_t polls = 0;
+  auto baseline = run(/*observed=*/false, &baseline_sink, nullptr);
+  auto observed = run(/*observed=*/true, &observed_sink, &polls);
+  EXPECT_GT(polls, 0u);  // the observer actually ran against the live campaign
+
+  ASSERT_EQ(baseline.size(), 1u);
+  ASSERT_EQ(observed.size(), 1u);
+  EXPECT_EQ(observed[0].result.final_coverage, baseline[0].result.final_coverage);
+  EXPECT_EQ(observed[0].result.execs, baseline[0].result.execs);
+  EXPECT_EQ(observed[0].result.crashes, baseline[0].result.crashes);
+  EXPECT_EQ(observed[0].result.corpus_size, baseline[0].result.corpus_size);
+  EXPECT_EQ(observed[0].result.corpus_programs, baseline[0].result.corpus_programs);
+  EXPECT_EQ(observed[0].result.elapsed, baseline[0].result.elapsed);
+  EXPECT_EQ(observed[0].bugs.size(), baseline[0].bugs.size());
+  for (size_t i = 0; i < baseline[0].bugs.size(); ++i) {
+    EXPECT_EQ(observed[0].bugs[i].catalog_id, baseline[0].bugs[i].catalog_id);
+    EXPECT_EQ(observed[0].bugs[i].excerpt, baseline[0].bugs[i].excerpt);
+  }
+  EXPECT_EQ(observed[0].leases_granted, baseline[0].leases_granted);
+  EXPECT_EQ(observed[0].leases_reclaimed, baseline[0].leases_reclaimed);
+  EXPECT_EQ(observed[0].rejected_uploads, baseline[0].rejected_uploads);
+  EXPECT_EQ(observed[0].corpus_syncs, baseline[0].corpus_syncs);
+
+  // The fleet journals agree row-type-for-row-type: status polls add nothing.
+  auto count = [](const telemetry::MemoryEventSink& sink,
+                  const std::string& type) {
+    uint64_t n = 0;
+    for (const telemetry::Event& event : sink.Events()) {
+      n += event.type == type ? 1 : 0;
+    }
+    return n;
+  };
+  for (const char* type : {"lease_grant", "lease_complete", "lease_reclaim",
+                           "worker_lost", "worker_final", "campaign_end"}) {
+    EXPECT_EQ(count(observed_sink, type), count(baseline_sink, type)) << type;
+  }
+}
+
+// Raw HTTP client: one request, read to EOF (the server closes per request).
+std::string HttpRequest(uint16_t port, const std::string& request) {
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  size_t sent = 0;
+  while (sent < request.size()) {
+    ssize_t n = send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) {
+      break;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buffer[4096];
+  ssize_t n;
+  while ((n = recv(fd, buffer, sizeof(buffer), 0)) > 0) {
+    response.append(buffer, static_cast<size_t>(n));
+  }
+  close(fd);
+  return response;
+}
+
+TEST(StatusHttpTest, ServesMetricsHealthzAndErrors) {
+  StatusHttpServer::Handlers handlers;
+  handlers.metrics = [] { return std::string("eof_fleet_server_ms 42\n"); };
+  auto server = StatusHttpServer::Start(/*port=*/0, handlers);
+  ASSERT_TRUE(server.ok());
+  uint16_t port = server.value()->bound_port();
+  ASSERT_GT(port, 0u);
+
+  std::string metrics =
+      HttpRequest(port, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(metrics.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(metrics.find(telemetry::kPrometheusContentType), std::string::npos);
+  EXPECT_NE(metrics.find("Connection: close"), std::string::npos);
+  EXPECT_NE(metrics.find("Content-Length: 23"), std::string::npos);
+  EXPECT_NE(metrics.find("\r\n\r\neof_fleet_server_ms 42\n"), std::string::npos);
+
+  std::string healthz =
+      HttpRequest(port, "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(healthz.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(healthz.find("\r\n\r\nok\n"), std::string::npos);
+
+  std::string missing =
+      HttpRequest(port, "GET /nope HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(missing.find("HTTP/1.1 404"), std::string::npos);
+
+  std::string bad_method =
+      HttpRequest(port, "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(bad_method.find("HTTP/1.1 405"), std::string::npos);
+
+  server.value()->Stop();
+  server.value()->Stop();  // idempotent
+}
+
+TEST(RenderTopFrameTest, RendersCampaignTableHighlightsAndSparkline) {
+  EXPECT_EQ(RenderTopFrame({}), "eof top | no status yet\n");
+
+  // Three polls, one second apart: coverage flat (plateau), execs climbing
+  // unevenly (sparkline), one live worker, one lost, one silent (stalled).
+  std::vector<StatusReplyMsg> history;
+  for (int i = 0; i < 3; ++i) {
+    StatusReplyMsg poll = FullReply();
+    poll.server_ms = 1000 + 1000 * static_cast<uint64_t>(i);
+    poll.assembled_ms = poll.server_ms - 60;
+    poll.heartbeat_interval_ms = 100;
+    poll.campaigns[0].coverage = 234;  // unchanged across all three
+    static const uint64_t kExecs[] = {1000, 1100, 9500};  // rates 100 then 8400
+    poll.campaigns[0].execs = kExecs[i];
+    poll.campaigns[0].finalized = 0;
+    poll.workers[0].last_seen_ms = poll.server_ms - 50;
+    WorkerStatusWire lost;
+    lost.worker_id = 8;
+    lost.name = "gone";
+    lost.lost = 1;
+    poll.workers.push_back(lost);
+    WorkerStatusWire silent;
+    silent.worker_id = 9;
+    silent.name = "quiet";
+    silent.last_seen_ms = 500;  // ages past 3 heartbeats immediately
+    poll.workers.push_back(silent);
+    history.push_back(poll);
+  }
+
+  std::string frame = RenderTopFrame(history);
+  EXPECT_NE(frame.find("campaign c1 zephyr/default"), std::string::npos);
+  EXPECT_NE(frame.find("shards 4: 1 pending / 2 leased / 1 done"),
+            std::string::npos);
+  EXPECT_NE(frame.find("coverage 234"), std::string::npos);
+  EXPECT_NE(frame.find("snapshot age 60ms (bound 100ms)"), std::string::npos);
+  EXPECT_NE(frame.find("execs/s"), std::string::npos);
+  EXPECT_NE(frame.find("PLATEAU"), std::string::npos);
+  // Sparkline: two rate samples, the second 3x the first -> a low block then
+  // the full block.
+  EXPECT_NE(frame.find("▁"), std::string::npos);
+  EXPECT_NE(frame.find("█"), std::string::npos);
+  EXPECT_NE(frame.find("leased"), std::string::npos);  // shard table
+  EXPECT_NE(frame.find("bug 9 exception/double free"), std::string::npos);
+  EXPECT_NE(frame.find("rack0/w7"), std::string::npos);
+  EXPECT_NE(frame.find(" LOST"), std::string::npos);
+  EXPECT_NE(frame.find(" STALLED"), std::string::npos);
+  // The live worker is neither lost nor stalled: its row carries no flag.
+  size_t live_row = frame.find("rack0/w7");
+  size_t live_row_end = frame.find('\n', live_row);
+  EXPECT_EQ(frame.substr(live_row, live_row_end - live_row).find("LOST"),
+            std::string::npos);
+
+  // FINALIZED shows once the campaign closes.
+  history.back().campaigns[0].finalized = 1;
+  EXPECT_NE(RenderTopFrame(history).find("FINALIZED"), std::string::npos);
+}
+
+TEST(RenderFleetMetricsTest, EmitsCampaignWorkerAndOrchestratorFamilies) {
+  StatusReplyMsg status = FullReply();
+  telemetry::MetricsRegistry registry;
+  registry.RegisterCounter("fleet.status_requests")->Add(5);
+  std::string out = RenderFleetMetrics(status, registry.Snapshot());
+
+  EXPECT_NE(out.find("# TYPE eof_fleet_campaign_coverage gauge\n"
+                     "eof_fleet_campaign_coverage{campaign=\"c1\"} 234\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("eof_fleet_campaign_execs_total{campaign=\"c1\"} 9001\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("eof_fleet_campaign_bugs{campaign=\"c1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("eof_fleet_shards{campaign=\"c1\",phase=\"leased\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(
+      out.find("eof_fleet_journal_dropped_total{campaign=\"c1\","
+               "sink=\"orchestrator\"} 4\n"),
+      std::string::npos);
+  EXPECT_NE(out.find("eof_fleet_journal_dropped_total{campaign=\"c1\","
+                     "sink=\"workers\"} 11\n"),
+            std::string::npos);
+  EXPECT_NE(
+      out.find(
+          "eof_fleet_worker_execs_total{worker=\"rack0/w7\",id=\"7\"} 4567\n"),
+      std::string::npos);
+  EXPECT_NE(out.find("eof_fleet_worker_last_seen_ms{worker=\"rack0/w7\","
+                     "id=\"7\"} 123300\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("eof_fleet_server_ms 123456\n"), std::string::npos);
+  EXPECT_NE(out.find("eof_fleet_snapshot_age_ms 56\n"), std::string::npos);
+  // The orchestrator's own registry rides along at the end.
+  EXPECT_NE(out.find("eof_fleet_status_requests_total 5\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fleet
+}  // namespace eof

@@ -13,14 +13,18 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/agent/wire.h"
+#include "src/fleet/observer.h"
 #include "src/fleet/orchestrator.h"
+#include "src/fleet/status_http.h"
 #include "src/fleet/transport.h"
 #include "src/fleet/worker.h"
 #include "src/core/board_farm.h"
@@ -34,6 +38,7 @@
 #include "src/os/all_oses.h"
 #include "src/spec/spec_miner.h"
 #include "src/telemetry/report.h"
+#include "src/telemetry/trace_export.h"
 
 using namespace eof;
 
@@ -49,13 +54,17 @@ int Usage() {
           "           [--overlapped-drain on|off]\n"
           "           [--metrics-out FILE.jsonl] [--metrics-interval SECONDS]\n"
           "  eof report <journal.jsonl|dir>... [--journal FILE]... [--json]\n"
+          "           [--trace-out FILE.json]\n"
           "  eof serve <os> [minutes=60] [seed=1] [board=default] [--port N]\n"
           "           [--shards N] [--pool N] [--priority N] [--campaign-id ID]\n"
           "           [--heartbeat-interval MS] [--lease-timeout MS]\n"
           "           [--restore-mode reflash|snapshot] [--directed] [--trim]\n"
           "           [--metrics-out FILE.jsonl] [--metrics-interval SECONDS]\n"
+          "           [--status-port N] [--journal-rotate-mb N]\n"
           "  eof worker --connect HOST:PORT [--boards N] [--name S]\n"
           "           [--metrics-out FILE.jsonl]\n"
+          "  eof top --connect HOST:PORT [--campaign ID] [--interval SECONDS]\n"
+          "           [--once]\n"
           "  eof repro <os> <bug-id>\n"
           "  eof replay <os> <reproducer-file>\n"
           "  eof trim <os> <reproducer-file> [board]\n"
@@ -232,7 +241,9 @@ int Trim(const std::string& os_name, const std::string& path, const std::string&
 
 // Expands a positional report argument: a directory becomes its *.jsonl files
 // in name order (a fleet run drops one journal per process into one directory);
-// anything else passes through as a file path.
+// anything else passes through as a file path. Partial files — `*.tmp`
+// leftovers and zero-byte journals from a SIGKILLed writer — are skipped with
+// a warning rather than failing the strict parse gate downstream.
 bool ExpandJournalArg(const std::string& path, std::vector<std::string>* out) {
   struct stat st;
   if (stat(path.c_str(), &st) != 0 || !S_ISDIR(st.st_mode)) {
@@ -248,13 +259,26 @@ bool ExpandJournalArg(const std::string& path, std::vector<std::string>* out) {
   for (struct dirent* entry = readdir(dir); entry != nullptr;
        entry = readdir(dir)) {
     std::string name = entry->d_name;
+    if (name.size() > 4 && name.rfind(".tmp") == name.size() - 4) {
+      fprintf(stderr, "warning: skipping temporary file %s/%s\n", path.c_str(),
+              name.c_str());
+      continue;
+    }
     if (name.size() > 6 && name.rfind(".jsonl") == name.size() - 6) {
-      found.push_back(path + "/" + name);
+      std::string full = path + "/" + name;
+      struct stat fs;
+      if (stat(full.c_str(), &fs) == 0 && fs.st_size == 0) {
+        fprintf(stderr,
+                "warning: skipping empty journal %s (killed writer?)\n",
+                full.c_str());
+        continue;
+      }
+      found.push_back(std::move(full));
     }
   }
   closedir(dir);
   if (found.empty()) {
-    fprintf(stderr, "no *.jsonl journals in directory %s\n", path.c_str());
+    fprintf(stderr, "no usable *.jsonl journals in directory %s\n", path.c_str());
     return false;
   }
   std::sort(found.begin(), found.end());
@@ -262,14 +286,31 @@ bool ExpandJournalArg(const std::string& path, std::vector<std::string>* out) {
   return true;
 }
 
-int Report(const std::vector<std::string>& paths, bool json) {
-  auto report = paths.size() == 1 ? telemetry::LoadReportFromFile(paths[0])
-                                  : telemetry::LoadMergedReportFromFiles(paths);
-  if (!report.ok()) {
-    fprintf(stderr, "report failed: %s\n", report.status().ToString().c_str());
+int Report(const std::vector<std::string>& paths, bool json,
+           const std::string& trace_out) {
+  auto rows = telemetry::LoadMergedJournalRows(paths);
+  if (!rows.ok()) {
+    fprintf(stderr, "report failed: %s\n", rows.status().ToString().c_str());
     return 1;
   }
-  fputs(json ? report->RenderJson().c_str() : report->RenderText().c_str(), stdout);
+  if (!trace_out.empty()) {
+    std::string trace = telemetry::RenderChromeTrace(rows.value());
+    FILE* file = fopen(trace_out.c_str(), "w");
+    if (file == nullptr) {
+      fprintf(stderr, "cannot write trace to %s\n", trace_out.c_str());
+      return 1;
+    }
+    size_t written = fwrite(trace.data(), 1, trace.size(), file);
+    fclose(file);
+    if (written != trace.size()) {
+      fprintf(stderr, "short write to %s\n", trace_out.c_str());
+      return 1;
+    }
+    fprintf(stderr, "wrote Chrome trace (%zu bytes) to %s\n", trace.size(),
+            trace_out.c_str());
+  }
+  telemetry::CampaignReport report = telemetry::BuildReport(rows.value());
+  fputs(json ? report.RenderJson().c_str() : report.RenderText().c_str(), stdout);
   return 0;
 }
 
@@ -277,7 +318,7 @@ int Serve(const std::string& os_name, uint64_t minutes, uint64_t seed,
           const std::string& board, const std::string& campaign_id, int shards,
           int priority, uint16_t port, fleet::Orchestrator::Options fleet_options,
           RestoreMode restore_mode, const std::string& metrics_out,
-          uint64_t metrics_interval_s, bool directed, bool trim) {
+          uint64_t metrics_interval_s, bool directed, bool trim, int status_port) {
   FuzzerConfig config;
   config.os_name = os_name;
   config.board_name = board;
@@ -312,6 +353,26 @@ int Serve(const std::string& os_name, uint64_t minutes, uint64_t seed,
     fprintf(stderr, "serve failed: %s\n", listener.status().ToString().c_str());
     return 1;
   }
+  // Read-only status endpoint: /metrics renders the same bounded-staleness
+  // snapshot the fleet observers poll, plus the orchestrator's own registry.
+  std::unique_ptr<fleet::StatusHttpServer> status_server;
+  if (status_port >= 0) {
+    fleet::Orchestrator* orch = orchestrator.value().get();
+    fleet::StatusHttpServer::Handlers handlers;
+    handlers.metrics = [orch] {
+      return fleet::RenderFleetMetrics(orch->HandleStatus(fleet::StatusRequestMsg{}),
+                                       orch->MetricsSnapshot());
+    };
+    auto started = fleet::StatusHttpServer::Start(
+        static_cast<uint16_t>(status_port), std::move(handlers));
+    if (!started.ok()) {
+      fprintf(stderr, "serve failed: %s\n", started.status().ToString().c_str());
+      return 1;
+    }
+    status_server = std::move(started.value());
+    printf("status endpoint on http://127.0.0.1:%u (GET /metrics, /healthz)\n",
+           status_server->bound_port());
+  }
   printf("serving campaign %s on 127.0.0.1:%u (%d shard%s, %llu virtual minutes, "
          "seed %llu)\n",
          campaign_id.c_str(), bound_port, shards, shards == 1 ? "" : "s",
@@ -319,6 +380,9 @@ int Serve(const std::string& os_name, uint64_t minutes, uint64_t seed,
          static_cast<unsigned long long>(seed));
   fflush(stdout);
   Status served = orchestrator.value()->Serve(listener.value().get());
+  if (status_server != nullptr) {
+    status_server->Stop();
+  }
   if (!served.ok()) {
     fprintf(stderr, "serve failed: %s\n", served.ToString().c_str());
     return 1;
@@ -350,20 +414,32 @@ int Serve(const std::string& os_name, uint64_t minutes, uint64_t seed,
   return 0;
 }
 
-int Worker(const std::string& connect, int boards, const std::string& name,
-           const std::string& metrics_out) {
+// Splits "HOST:PORT" with a strict port range check; prints the usage error
+// itself and returns false on malformed input.
+bool ParseHostPort(const std::string& connect, std::string* host, uint16_t* port) {
   size_t colon = connect.rfind(':');
   if (colon == std::string::npos || colon == 0 || colon + 1 >= connect.size()) {
     fprintf(stderr, "eof: --connect wants HOST:PORT, got '%s'\n", connect.c_str());
-    return Usage();
+    return false;
   }
-  std::string host = connect.substr(0, colon);
+  *host = connect.substr(0, colon);
   char* end = nullptr;
   errno = 0;
-  unsigned long long port = strtoull(connect.c_str() + colon + 1, &end, 10);
-  if (errno != 0 || *end != '\0' || port == 0 || port > 65535) {
+  unsigned long long parsed = strtoull(connect.c_str() + colon + 1, &end, 10);
+  if (errno != 0 || *end != '\0' || parsed == 0 || parsed > 65535) {
     fprintf(stderr, "eof: --connect wants a port in [1, 65535], got '%s'\n",
             connect.c_str() + colon + 1);
+    return false;
+  }
+  *port = static_cast<uint16_t>(parsed);
+  return true;
+}
+
+int Worker(const std::string& connect, int boards, const std::string& name,
+           const std::string& metrics_out) {
+  std::string host;
+  uint16_t port = 0;
+  if (!ParseHostPort(connect, &host, &port)) {
     return Usage();
   }
   fleet::FleetWorker::Options options;
@@ -375,7 +451,7 @@ int Worker(const std::string& connect, int boards, const std::string& name,
     fprintf(stderr, "worker failed: %s\n", worker.status().ToString().c_str());
     return 1;
   }
-  auto transport = fleet::ConnectTcp(host, static_cast<uint16_t>(port));
+  auto transport = fleet::ConnectTcp(host, port);
   if (!transport.ok()) {
     fprintf(stderr, "worker failed: %s\n", transport.status().ToString().c_str());
     return 1;
@@ -396,6 +472,63 @@ int Worker(const std::string& connect, int boards, const std::string& name,
            static_cast<unsigned long long>(batch.corpus_size));
   }
   return 0;
+}
+
+// `eof top`: polling live monitor over the fleet status protocol. Each poll is
+// one short-lived observer connection (StatusRequest/StatusReply/Goodbye), so
+// a dead or restarted orchestrator costs one failed poll, not a wedged
+// monitor. --once renders a single frame without clearing the screen, for
+// scripting and CI.
+int Top(const std::string& connect, const std::string& campaign_id,
+        uint64_t interval_s, bool once) {
+  std::string host;
+  uint16_t port = 0;
+  if (!ParseHostPort(connect, &host, &port)) {
+    return Usage();
+  }
+  // Poll history drives the exec-rate sparkline and plateau detection; keep a
+  // bounded window so a long-running monitor never grows without bound.
+  constexpr size_t kHistoryWindow = 32;
+  std::vector<fleet::StatusReplyMsg> history;
+  for (;;) {
+    Status poll_status = OkStatus();
+    auto transport = fleet::ConnectTcp(host, port);
+    if (!transport.ok()) {
+      poll_status = transport.status();
+    } else {
+      auto status = fleet::FetchStatus(transport.value().get(), campaign_id,
+                                       /*include_shards=*/true,
+                                       /*timeout_ms=*/5000);
+      transport.value()->Close();
+      if (!status.ok()) {
+        poll_status = status.status();
+      } else {
+        history.push_back(std::move(status.value()));
+        if (history.size() > kHistoryWindow) {
+          history.erase(history.begin());
+        }
+      }
+    }
+    if (!poll_status.ok()) {
+      if (once) {
+        fprintf(stderr, "top failed: %s\n", poll_status.ToString().c_str());
+        return 1;
+      }
+      fprintf(stderr, "top: poll failed: %s (retrying in %llus)\n",
+              poll_status.ToString().c_str(),
+              static_cast<unsigned long long>(interval_s));
+    } else {
+      if (!once) {
+        fputs("\033[H\033[2J", stdout);  // cursor home + clear: plain redraw
+      }
+      fputs(fleet::RenderTopFrame(history).c_str(), stdout);
+      fflush(stdout);
+    }
+    if (once) {
+      return 0;
+    }
+    std::this_thread::sleep_for(std::chrono::seconds(interval_s));
+  }
 }
 
 int Bugs() {
@@ -458,6 +591,12 @@ int main(int argc, char** argv) {
   int boards = 1;
   std::string worker_name = "worker";
   std::vector<std::string> journals;
+  std::string trace_out;
+  int status_port = -1;  // -1 = no status endpoint; 0 = ephemeral
+  uint64_t rotate_mb = 0;  // 0 = unrotated journal
+  std::string top_campaign;  // empty = every campaign
+  uint64_t interval_s = 2;
+  bool once = false;
   {
     auto parse_uint = [](const char* text, uint64_t* out) {
       if (text == nullptr || text[0] < '0' || text[0] > '9') {
@@ -477,7 +616,7 @@ int main(int argc, char** argv) {
                                 "--metrics-out=", "--metrics-interval=",
                                 "--directed",     "--trim",
                                 "--overlapped-drain=", nullptr};
-    const char* kReportFlags[] = {"--json", "--journal=", nullptr};
+    const char* kReportFlags[] = {"--json", "--journal=", "--trace-out=", nullptr};
     const char* kServeFlags[] = {"--port=",
                                  "--shards=",
                                  "--pool=",
@@ -490,9 +629,13 @@ int main(int argc, char** argv) {
                                  "--trim",
                                  "--metrics-out=",
                                  "--metrics-interval=",
+                                 "--status-port=",
+                                 "--journal-rotate-mb=",
                                  nullptr};
     const char* kWorkerFlags[] = {"--connect=", "--boards=", "--name=",
                                   "--metrics-out=", nullptr};
+    const char* kTopFlags[] = {"--connect=", "--campaign=", "--interval=",
+                               "--once", nullptr};
     const char* kNoFlags[] = {nullptr};
     const char** allowed = kNoFlags;
     if (command == "fuzz") {
@@ -503,6 +646,8 @@ int main(int argc, char** argv) {
       allowed = kServeFlags;
     } else if (command == "worker") {
       allowed = kWorkerFlags;
+    } else if (command == "top") {
+      allowed = kTopFlags;
     }
     auto flag_list = [&allowed]() {
       std::string list;
@@ -686,6 +831,47 @@ int main(int argc, char** argv) {
           return Usage();
         }
         worker_name = value;
+      } else if (name == "--trace-out") {
+        if (value == nullptr || value[0] == '\0') {
+          fprintf(stderr, "eof: --trace-out wants a file path\n");
+          return Usage();
+        }
+        trace_out = value;
+      } else if (name == "--status-port") {
+        uint64_t parsed = 0;
+        if (!parse_uint(value, &parsed) || parsed > 65535) {
+          fprintf(stderr,
+                  "eof: --status-port wants an integer in [0, 65535] (0 = "
+                  "ephemeral), got '%s'\n",
+                  value == nullptr ? "" : value);
+          return Usage();
+        }
+        status_port = static_cast<int>(parsed);
+      } else if (name == "--journal-rotate-mb") {
+        // Bounds: 1 MiB .. 10 GiB per segment.
+        if (!parse_uint(value, &rotate_mb) || rotate_mb < 1 || rotate_mb > 10240) {
+          fprintf(stderr,
+                  "eof: --journal-rotate-mb wants megabytes in [1, 10240], "
+                  "got '%s'\n",
+                  value == nullptr ? "" : value);
+          return Usage();
+        }
+      } else if (name == "--campaign") {
+        if (value == nullptr || value[0] == '\0') {
+          fprintf(stderr, "eof: --campaign wants a non-empty campaign id\n");
+          return Usage();
+        }
+        top_campaign = value;
+      } else if (name == "--interval") {
+        if (!parse_uint(value, &interval_s) || interval_s < 1 ||
+            interval_s > 3600) {
+          fprintf(stderr,
+                  "eof: --interval wants seconds in [1, 3600], got '%s'\n",
+                  value == nullptr ? "" : value);
+          return Usage();
+        }
+      } else if (name == "--once") {
+        once = true;
       }
     }
     argc = out;
@@ -696,6 +882,12 @@ int main(int argc, char** argv) {
             "(%llu ms)\n",
             static_cast<unsigned long long>(lease_ms),
             static_cast<unsigned long long>(heartbeat_ms));
+    return Usage();
+  }
+  if (command == "serve" && rotate_mb > 0 && metrics_out.empty()) {
+    fprintf(stderr,
+            "eof: --journal-rotate-mb needs --metrics-out (no journal to "
+            "rotate)\n");
     return Usage();
   }
   if (command == "list-targets") {
@@ -717,7 +909,7 @@ int main(int argc, char** argv) {
         return 1;
       }
     }
-    return Report(journals, json);
+    return Report(journals, json, trace_out);
   }
   if (command == "serve" && argc >= 3) {
     uint64_t minutes = argc >= 4 ? strtoull(argv[3], nullptr, 10) : 60;
@@ -727,9 +919,11 @@ int main(int argc, char** argv) {
     fleet_options.board_pool = pool;
     fleet_options.heartbeat_interval_ms = heartbeat_ms;
     fleet_options.lease_timeout_ms = lease_ms;
+    fleet_options.journal_rotate_bytes = rotate_mb * 1024 * 1024;
     return Serve(argv[2], minutes == 0 ? 60 : minutes, seed, board, campaign_id,
                  shards, priority, static_cast<uint16_t>(port), fleet_options,
-                 restore_mode, metrics_out, metrics_interval_s, directed, trim);
+                 restore_mode, metrics_out, metrics_interval_s, directed, trim,
+                 status_port);
   }
   if (command == "worker") {
     if (connect.empty()) {
@@ -737,6 +931,13 @@ int main(int argc, char** argv) {
       return Usage();
     }
     return Worker(connect, boards, worker_name, metrics_out);
+  }
+  if (command == "top") {
+    if (connect.empty()) {
+      fprintf(stderr, "eof: top needs --connect HOST:PORT\n");
+      return Usage();
+    }
+    return Top(connect, top_campaign, interval_s, once);
   }
   if (command == "repro" && argc >= 4) {
     return Repro(argv[2], atoi(argv[3]));
